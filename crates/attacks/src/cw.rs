@@ -1,0 +1,373 @@
+//! The Carlini-Wagner attack family (S&P 2017): CW2, CWinf and CW0.
+//!
+//! All three share the margin objective
+//! `f(x') = max(max_{j != t} Z_j(x') - Z_t(x'), -kappa)` (targeted form;
+//! the untargeted form swaps the roles of the true label and the best
+//! other class). CW2 optimizes `||x' - x||^2 + c * f(x')` in tanh space
+//! with Adam and a short binary search over `c`; CWinf is the iterative
+//! shrinking-ball reduction; CW0 iteratively freezes low-impact pixels.
+//! Iteration budgets are reduced relative to the original (DESIGN.md
+//! §4.5).
+
+use dv_nn::Network;
+use dv_tensor::Tensor;
+
+use crate::grad::{logits_input_gradient, logits_of};
+use crate::target::TargetMode;
+use crate::{finish, Attack, AttackResult};
+
+/// Margin objective value and its logits-space coefficient vector.
+///
+/// Returns `(f, coeffs)` where `f <= 0` means the attack objective is
+/// satisfied and `coeffs` is `df/dlogits` (all-zero once the margin is
+/// saturated at `-kappa`).
+fn margin(
+    logits: &Tensor,
+    true_label: usize,
+    target: Option<usize>,
+    kappa: f32,
+) -> (f32, Vec<f32>) {
+    let classes = logits.numel();
+    let data = logits.data();
+    let best_other = |exclude: usize| -> usize {
+        let mut best = usize::MAX;
+        for j in 0..classes {
+            if j != exclude && (best == usize::MAX || data[j] > data[best]) {
+                best = j;
+            }
+        }
+        best
+    };
+    let (push_down, push_up) = match target {
+        // Targeted: make Z_t beat every other logit.
+        Some(t) => (best_other(t), t),
+        // Untargeted: make some other logit beat Z_true.
+        None => (true_label, best_other(true_label)),
+    };
+    let raw = data[push_down] - data[push_up];
+    // Return the raw margin so callers can detect success (raw < 0), but
+    // zero the gradient once the margin is saturated past -kappa: the CW
+    // loss max(raw, -kappa) stops contributing there.
+    if raw <= -kappa {
+        (raw, vec![0.0; classes])
+    } else {
+        let mut coeffs = vec![0.0; classes];
+        coeffs[push_down] = 1.0;
+        coeffs[push_up] = -1.0;
+        (raw, coeffs)
+    }
+}
+
+/// CW2: L2-minimal adversarial perturbation via tanh-space Adam.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CwL2 {
+    mode: TargetMode,
+    iterations: usize,
+    binary_steps: usize,
+    kappa: f32,
+    lr: f32,
+}
+
+impl CwL2 {
+    /// Creates CW2 with sensible reduced-budget defaults
+    /// (60 Adam steps, 3 binary-search steps over `c`, kappa 0).
+    pub fn new(mode: TargetMode) -> Self {
+        Self::with_budget(mode, 60, 3)
+    }
+
+    /// Creates CW2 with explicit iteration budgets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either budget is zero.
+    pub fn with_budget(mode: TargetMode, iterations: usize, binary_steps: usize) -> Self {
+        assert!(iterations > 0 && binary_steps > 0, "budgets must be positive");
+        Self {
+            mode,
+            iterations,
+            binary_steps,
+            kappa: 0.0,
+            lr: 0.05,
+        }
+    }
+}
+
+impl Attack for CwL2 {
+    fn name(&self) -> &str {
+        "cw2"
+    }
+
+    fn run(&self, net: &mut Network, image: &Tensor, true_label: usize) -> AttackResult {
+        let target = self.mode.resolve(net, image, true_label);
+        // Map pixels into tanh space: x = (tanh(w) + 1) / 2.
+        let to_w = |x: f32| {
+            let x = x.clamp(1e-4, 1.0 - 1e-4);
+            let v = 2.0 * x - 1.0;
+            0.5 * ((1.0 + v) / (1.0 - v)).ln() // atanh
+        };
+        let from_w = |w: f32| 0.5 * (w.tanh() + 1.0);
+
+        let mut best: Option<(f32, Tensor)> = None; // (l2, adversarial)
+        let mut c = 1.0f32;
+        for _ in 0..self.binary_steps {
+            let mut w = image.map(to_w);
+            // Adam state.
+            let mut m = Tensor::zeros(image.shape().dims());
+            let mut v = Tensor::zeros(image.shape().dims());
+            let (b1, b2, eps_adam) = (0.9f32, 0.999f32, 1e-8f32);
+            let mut success_this_c = false;
+            for t in 1..=self.iterations {
+                let x = w.map(from_w);
+                let logits = logits_of(net, &x);
+                let (f_val, coeffs) = margin(&logits, true_label, target, self.kappa);
+                if f_val < 0.0 {
+                    let l2 = x.sub(image).norm_l2();
+                    if best.as_ref().is_none_or(|(bl2, _)| l2 < *bl2) {
+                        best = Some((l2, x.clone()));
+                    }
+                    success_this_c = true;
+                }
+                // d(total)/dx = 2 (x - x0) + c * df/dx.
+                let f_grad = logits_input_gradient(net, &x, &coeffs);
+                let grad_x = x.sub(image).scale(2.0).add(&f_grad.scale(c));
+                // Chain through tanh: dx/dw = (1 - tanh(w)^2) / 2.
+                let grad_w = grad_x.zip(&w, |g, wv| g * (1.0 - wv.tanh().powi(2)) * 0.5);
+                // Adam update on w.
+                m = m.zip(&grad_w, |mv, gv| b1 * mv + (1.0 - b1) * gv);
+                v = v.zip(&grad_w, |vv, gv| b2 * vv + (1.0 - b2) * gv * gv);
+                let bc1 = 1.0 - b1.powi(t as i32);
+                let bc2 = 1.0 - b2.powi(t as i32);
+                let step = m.zip(&v, |mv, vv| {
+                    self.lr * (mv / bc1) / ((vv / bc2).sqrt() + eps_adam)
+                });
+                w = w.sub(&step);
+            }
+            // Binary-search-style schedule on c.
+            c = if success_this_c { c * 0.5 } else { c * 10.0 };
+        }
+        let adv = best
+            .map(|(_, x)| x)
+            .unwrap_or_else(|| image.clone());
+        finish(net, adv, true_label)
+    }
+}
+
+/// CWinf: the shrinking L-infinity ball reduction of the CW objective.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CwLinf {
+    mode: TargetMode,
+    iterations: usize,
+    initial_tau: f32,
+}
+
+impl CwLinf {
+    /// Creates CWinf with default budget (8 tau stages x 20 steps).
+    pub fn new(mode: TargetMode) -> Self {
+        Self {
+            mode,
+            iterations: 20,
+            initial_tau: 0.4,
+        }
+    }
+}
+
+impl Attack for CwLinf {
+    fn name(&self) -> &str {
+        "cwinf"
+    }
+
+    fn run(&self, net: &mut Network, image: &Tensor, true_label: usize) -> AttackResult {
+        let target = self.mode.resolve(net, image, true_label);
+        let mut tau = self.initial_tau;
+        let mut best: Option<Tensor> = None;
+        let mut current = image.clone();
+        for _stage in 0..8 {
+            let mut succeeded = false;
+            for _ in 0..self.iterations {
+                let logits = logits_of(net, &current);
+                let (f_val, coeffs) = margin(&logits, true_label, target, 0.0);
+                if f_val < 0.0 {
+                    succeeded = true;
+                    best = Some(current.clone());
+                    break;
+                }
+                let g = logits_input_gradient(net, &current, &coeffs);
+                current = current
+                    .zip(&g, |x, gv| x - 0.02 * gv.signum())
+                    .zip(image, |a, x| a.clamp(x - tau, x + tau))
+                    .clamp(0.0, 1.0);
+            }
+            if succeeded {
+                tau *= 0.7; // tighten the ball and try again
+            } else {
+                break;
+            }
+        }
+        let adv = best.unwrap_or(current);
+        finish(net, adv, true_label)
+    }
+}
+
+/// CW0: L0-minimal attack by iterative pixel freezing over a CW2 core.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CwL0 {
+    mode: TargetMode,
+    inner_iterations: usize,
+}
+
+impl CwL0 {
+    /// Creates CW0 with the default inner budget (40 steps per round).
+    pub fn new(mode: TargetMode) -> Self {
+        Self {
+            mode,
+            inner_iterations: 40,
+        }
+    }
+}
+
+impl Attack for CwL0 {
+    fn name(&self) -> &str {
+        "cw0"
+    }
+
+    fn run(&self, net: &mut Network, image: &Tensor, true_label: usize) -> AttackResult {
+        let target = self.mode.resolve(net, image, true_label);
+        let n = image.numel();
+        let mut allowed = vec![true; n];
+        let mut best: Option<Tensor> = None;
+        for _round in 0..6 {
+            // Masked gradient attack on the allowed pixel set.
+            let mut current = image.clone();
+            let mut succeeded = None;
+            for _ in 0..self.inner_iterations {
+                let logits = logits_of(net, &current);
+                let (f_val, coeffs) = margin(&logits, true_label, target, 0.0);
+                if f_val < 0.0 {
+                    succeeded = Some(current.clone());
+                    break;
+                }
+                let g = logits_input_gradient(net, &current, &coeffs);
+                for (i, x) in current.data_mut().iter_mut().enumerate() {
+                    if allowed[i] {
+                        *x = (*x - 0.1 * g.data()[i].signum()).clamp(0.0, 1.0);
+                    }
+                }
+            }
+            let Some(adv) = succeeded else { break };
+            best = Some(adv.clone());
+            // Freeze the least-perturbed active pixels (the CW0 reduction
+            // step), keeping at least a handful active.
+            let mut deltas: Vec<(usize, f32)> = (0..n)
+                .filter(|&i| allowed[i])
+                .map(|i| (i, (adv.data()[i] - image.data()[i]).abs()))
+                .collect();
+            deltas.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+            let freeze = (deltas.len() / 3).max(1);
+            if deltas.len() - freeze < 4 {
+                break;
+            }
+            for &(i, _) in deltas.iter().take(freeze) {
+                allowed[i] = false;
+            }
+        }
+        let adv = best.unwrap_or_else(|| image.clone());
+        finish(net, adv, true_label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests_support::trained_toy;
+
+    #[test]
+    fn margin_is_negative_exactly_on_success() {
+        let logits = Tensor::from_vec(vec![2.0, 1.0, 0.0], &[3]);
+        // Untargeted with true label 0: model still predicts 0 -> f > 0.
+        let (f, _) = margin(&logits, 0, None, 0.0);
+        assert!(f > 0.0);
+        // Untargeted with true label 1: model predicts 0 != 1 -> f < 0.
+        let (f, _) = margin(&logits, 1, None, 0.0);
+        assert!(f < 0.0);
+        // Targeted at 0 (already the argmax) -> f < 0.
+        let (f, _) = margin(&logits, 1, Some(0), 0.0);
+        assert!(f < 0.0);
+        // Targeted at 2 (the weakest logit) -> f > 0.
+        let (f, _) = margin(&logits, 0, Some(2), 0.0);
+        assert!(f > 0.0);
+    }
+
+    #[test]
+    fn margin_saturates_at_kappa_with_zero_gradient() {
+        let logits = Tensor::from_vec(vec![10.0, 0.0], &[2]);
+        let (f, coeffs) = margin(&logits, 1, None, 5.0);
+        assert_eq!(f, -10.0);
+        assert!(coeffs.iter().all(|&c| c == 0.0));
+    }
+
+    #[test]
+    fn cw2_finds_small_perturbations() {
+        let (mut net, images, labels) = trained_toy();
+        let attack = CwL2::new(TargetMode::Untargeted);
+        let mut wins = 0;
+        let mut total_l2 = 0.0f32;
+        for (img, &l) in images.iter().zip(&labels).take(8) {
+            let r = attack.run(&mut net, img, l);
+            if r.success {
+                wins += 1;
+                total_l2 += r.adversarial.sub(img).norm_l2();
+            }
+        }
+        assert!(wins >= 5, "CW2 only fooled {wins}/8");
+        // CW2 perturbations must be small relative to image norm (~4).
+        assert!(total_l2 / (wins as f32) < 3.0);
+    }
+
+    #[test]
+    fn cwinf_bounds_the_max_perturbation() {
+        let (mut net, images, labels) = trained_toy();
+        let attack = CwLinf::new(TargetMode::Untargeted);
+        let r = attack.run(&mut net, &images[0], labels[0]);
+        let linf = r.adversarial.sub(&images[0]).norm_linf();
+        assert!(linf <= 0.4 + 1e-5, "Linf {linf} exceeds initial tau");
+    }
+
+    #[test]
+    fn cw0_touches_fewer_pixels_than_cwinf() {
+        let (mut net, images, labels) = trained_toy();
+        let cw0 = CwL0::new(TargetMode::Untargeted);
+        let count_changed = |a: &Tensor, b: &Tensor| {
+            a.sub(b).data().iter().filter(|&&d| d.abs() > 1e-4).count()
+        };
+        let mut cw0_changed = 0usize;
+        let mut cw0_wins = 0usize;
+        for (img, &l) in images.iter().zip(&labels).take(6) {
+            let r = cw0.run(&mut net, img, l);
+            if r.success {
+                cw0_changed += count_changed(&r.adversarial, img);
+                cw0_wins += 1;
+            }
+        }
+        assert!(cw0_wins >= 3, "CW0 only fooled {cw0_wins}/6");
+        let mean_changed = cw0_changed as f32 / cw0_wins as f32;
+        assert!(
+            mean_changed < 36.0 * 0.8,
+            "CW0 touched {mean_changed} pixels on average"
+        );
+    }
+
+    #[test]
+    fn targeted_cw2_reaches_the_target_class() {
+        let (mut net, images, labels) = trained_toy();
+        let attack = CwL2::new(TargetMode::Next);
+        let mut reached = 0;
+        for (img, &l) in images.iter().zip(&labels).take(6) {
+            let target = TargetMode::Next.resolve(&mut net, img, l).unwrap();
+            let r = attack.run(&mut net, img, l);
+            if r.success && r.prediction == target {
+                reached += 1;
+            }
+        }
+        assert!(reached >= 3, "targeted CW2 reached target only {reached}/6");
+    }
+}

@@ -1,0 +1,123 @@
+//! Input-gradient helpers shared by the attacks.
+
+use dv_nn::loss::cross_entropy;
+use dv_nn::Network;
+use dv_tensor::Tensor;
+
+/// Gradient of the cross-entropy loss toward `label` with respect to the
+/// input pixels, for one `[C, H, W]` image.
+///
+/// # Panics
+///
+/// Panics if the image shape does not match the network input or the
+/// label is out of range.
+pub fn loss_input_gradient(net: &mut Network, image: &Tensor, label: usize) -> Tensor {
+    let x = Tensor::stack(std::slice::from_ref(image));
+    let logits = net.forward(&x, false);
+    let out = cross_entropy(&logits, &[label]);
+    net.zero_grads();
+    net.backward(&out.grad_logits).index_outer(0)
+}
+
+/// Gradient of an arbitrary linear combination of logits with respect to
+/// the input pixels: `d(<coeffs, logits>)/dx` for one image.
+///
+/// Used by the CW attacks, whose objective is a logit difference rather
+/// than a cross-entropy.
+///
+/// # Panics
+///
+/// Panics if `coeffs` does not have one entry per class.
+pub fn logits_input_gradient(net: &mut Network, image: &Tensor, coeffs: &[f32]) -> Tensor {
+    let x = Tensor::stack(std::slice::from_ref(image));
+    let logits = net.forward(&x, false);
+    assert_eq!(
+        coeffs.len(),
+        logits.shape().dim(1),
+        "need one coefficient per class"
+    );
+    let grad = Tensor::from_vec(coeffs.to_vec(), &[1, coeffs.len()]);
+    net.zero_grads();
+    net.backward(&grad).index_outer(0)
+}
+
+/// Raw logits of one image.
+pub fn logits_of(net: &mut Network, image: &Tensor) -> Tensor {
+    let x = Tensor::stack(std::slice::from_ref(image));
+    net.forward(&x, false).row(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dv_nn::layers::{Dense, Flatten, Relu};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn net() -> Network {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut n = Network::new(&[1, 3, 3]);
+        n.push(Flatten::new())
+            .push(Dense::new(&mut rng, 9, 8))
+            .push_probe(Relu::new())
+            .push(Dense::new(&mut rng, 8, 4));
+        n
+    }
+
+    #[test]
+    fn loss_gradient_matches_finite_differences() {
+        let mut net = net();
+        let mut rng = StdRng::seed_from_u64(1);
+        let img = Tensor::rand_uniform(&mut rng, &[1, 3, 3], 0.2, 0.8);
+        let g = loss_input_gradient(&mut net, &img, 2);
+        let eps = 1e-3f32;
+        for flat in 0..9 {
+            let mut p = img.clone();
+            p.data_mut()[flat] += eps;
+            let mut m = img.clone();
+            m.data_mut()[flat] -= eps;
+            let lp = cross_entropy(
+                &net.forward(&Tensor::stack(std::slice::from_ref(&p)), false),
+                &[2],
+            )
+            .loss;
+            let lm = cross_entropy(
+                &net.forward(&Tensor::stack(std::slice::from_ref(&m)), false),
+                &[2],
+            )
+            .loss;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - g.data()[flat]).abs() < 1e-2,
+                "pixel {flat}: {numeric} vs {}",
+                g.data()[flat]
+            );
+        }
+    }
+
+    #[test]
+    fn logits_gradient_of_single_logit() {
+        let mut net = net();
+        let mut rng = StdRng::seed_from_u64(2);
+        let img = Tensor::rand_uniform(&mut rng, &[1, 3, 3], 0.2, 0.8);
+        let mut coeffs = vec![0.0; 4];
+        coeffs[1] = 1.0;
+        let g = logits_input_gradient(&mut net, &img, &coeffs);
+        let eps = 1e-3f32;
+        let mut p = img.clone();
+        p.data_mut()[4] += eps;
+        let mut m = img.clone();
+        m.data_mut()[4] -= eps;
+        let numeric = (logits_of(&mut net, &p).data()[1] - logits_of(&mut net, &m).data()[1])
+            / (2.0 * eps);
+        assert!((numeric - g.data()[4]).abs() < 1e-2);
+    }
+
+    #[test]
+    fn gradient_shape_matches_image() {
+        let mut net = net();
+        let img = Tensor::zeros(&[1, 3, 3]);
+        let g = loss_input_gradient(&mut net, &img, 0);
+        assert_eq!(g.shape().dims(), img.shape().dims());
+    }
+}

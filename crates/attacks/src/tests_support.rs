@@ -1,0 +1,46 @@
+//! A small trained model shared by the attack tests.
+
+use dv_nn::layers::{Dense, Flatten, Relu};
+use dv_nn::optim::Adam;
+use dv_nn::train::{fit, TrainConfig};
+use dv_nn::Network;
+use dv_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const N: usize = 40;
+
+/// Number of images `trained_toy` returns.
+pub fn toy_images() -> usize {
+    N
+}
+
+/// Trains a 3-class MLP on a simple separable image problem and
+/// returns it with its training data.
+pub fn trained_toy() -> (Network, Vec<Tensor>, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut images = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..N {
+        let class = i % 3;
+        let mut img = Tensor::zeros(&[1, 6, 6]);
+        for y in 0..6 {
+            img.set(&[0, y, class * 2], rng.gen_range(0.7..0.95));
+            img.set(&[0, y, class * 2 + 1], rng.gen_range(0.7..0.95));
+        }
+        images.push(img);
+        labels.push(class);
+    }
+    let mut net = Network::new(&[1, 6, 6]);
+    net.push(Flatten::new())
+        .push(Dense::new(&mut rng, 36, 24))
+        .push_probe(Relu::new())
+        .push(Dense::new(&mut rng, 24, 3));
+    let mut opt = Adam::new(0.01);
+    let cfg = TrainConfig {
+        epochs: 30,
+        batch_size: 8,
+    };
+    fit(&mut net, &mut opt, &images, &labels, &cfg, &mut rng);
+    (net, images, labels)
+}

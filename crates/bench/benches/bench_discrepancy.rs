@@ -1,0 +1,65 @@
+//! Criterion bench: Deep Validation's end-to-end discrepancy estimation
+//! vs a plain forward pass — quantifying the runtime monitoring overhead
+//! the paper claims is low (Section IV-C) and its limitation discussion
+//! worries about (Section VI).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dv_core::{DeepValidator, ValidatorConfig};
+use dv_nn::layers::{Conv2d, Dense, Flatten, MaxPool2, Relu};
+use dv_nn::optim::Adam;
+use dv_nn::train::{fit, TrainConfig};
+use dv_nn::Network;
+use dv_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+/// A small trained model + fitted validator, built once.
+fn fixture() -> (Network, DeepValidator, Tensor) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut images = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..200 {
+        let class = i % 4;
+        let mut img = Tensor::zeros(&[1, 12, 12]);
+        let cx = 2 + class * 3;
+        for y in 2..10 {
+            img.set(&[0, y, cx], rng.gen_range(0.7..1.0));
+        }
+        images.push(img);
+        labels.push(class);
+    }
+    let mut net = Network::new(&[1, 12, 12]);
+    net.push(Conv2d::new(&mut rng, 1, 6, 3))
+        .push_probe(Relu::new())
+        .push(MaxPool2::new())
+        .push(Flatten::new())
+        .push(Dense::new(&mut rng, 6 * 5 * 5, 32))
+        .push_probe(Relu::new())
+        .push(Dense::new(&mut rng, 32, 4));
+    let mut opt = Adam::new(0.01);
+    let cfg = TrainConfig {
+        epochs: 6,
+        batch_size: 32,
+    };
+    fit(&mut net, &mut opt, &images, &labels, &cfg, &mut rng);
+    let validator =
+        DeepValidator::fit(&mut net, &images, &labels, &ValidatorConfig::default()).unwrap();
+    (net, validator, images[0].clone())
+}
+
+fn bench_discrepancy(c: &mut Criterion) {
+    let (mut net, validator, image) = fixture();
+    let batched = Tensor::stack(std::slice::from_ref(&image));
+    let mut group = c.benchmark_group("discrepancy");
+    group.bench_function("plain_forward", |b| {
+        b.iter(|| black_box(net.forward(black_box(&batched), false)))
+    });
+    group.bench_function("deep_validation_query", |b| {
+        b.iter(|| black_box(validator.discrepancy(&mut net, black_box(&image))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_discrepancy);
+criterion_main!(benches);

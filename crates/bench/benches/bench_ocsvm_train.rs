@@ -1,0 +1,40 @@
+//! Criterion bench: one-class SVM training cost vs training-set size —
+//! supporting Section IV-C's claim that fitting the SVM ensemble is much
+//! cheaper than training the DNN.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dv_ocsvm::{OcsvmParams, OneClassSvm};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn blob(n: usize, d: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .collect()
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ocsvm_fit");
+    group.sample_size(10);
+    for &n in &[50usize, 100, 200] {
+        let data = blob(n, 64, n as u64);
+        group.bench_with_input(BenchmarkId::new("n", n), &data, |b, data| {
+            b.iter(|| black_box(OneClassSvm::fit(black_box(data), &OcsvmParams::default())))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("ocsvm_decision");
+    let data = blob(200, 64, 7);
+    let svm = OneClassSvm::fit(&data, &OcsvmParams::default()).unwrap();
+    let query: Vec<f32> = vec![0.1; 64];
+    group.bench_function("d64_n200", |b| {
+        b.iter(|| black_box(svm.decision(black_box(&query))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion bench: per-image cost of the metamorphic transformations —
+//! the corner-case generator's inner loop (Section IV-B's grid search
+//! applies these thousands of times).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dv_imgops::Transform;
+use dv_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_transforms(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let gray = Tensor::rand_uniform(&mut rng, &[1, 28, 28], 0.0, 1.0);
+    let color = Tensor::rand_uniform(&mut rng, &[3, 32, 32], 0.0, 1.0);
+    let cases: Vec<(&str, Transform)> = vec![
+        ("brightness", Transform::Brightness { beta: 0.5 }),
+        ("contrast", Transform::Contrast { alpha: 3.0 }),
+        ("rotation", Transform::Rotation { deg: 40.0 }),
+        ("shear", Transform::Shear { sh: 0.3, sv: 0.2 }),
+        ("scale", Transform::Scale { sx: 0.6, sy: 0.6 }),
+        (
+            "translation",
+            Transform::Translation { tx: 4.0, ty: 3.0 },
+        ),
+        ("complement", Transform::Complement),
+        (
+            "combined",
+            Transform::Compose(vec![
+                Transform::Complement,
+                Transform::Scale { sx: 0.8, sy: 0.8 },
+            ]),
+        ),
+    ];
+    let mut group = c.benchmark_group("transforms");
+    for (name, t) in &cases {
+        group.bench_function(format!("gray28/{name}"), |b| {
+            b.iter(|| black_box(t.apply(black_box(&gray))))
+        });
+    }
+    for (name, t) in cases.iter().take(6) {
+        group.bench_function(format!("color32/{name}"), |b| {
+            b.iter(|| black_box(t.apply(black_box(&color))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transforms);
+criterion_main!(benches);

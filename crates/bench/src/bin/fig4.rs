@@ -1,0 +1,99 @@
+//! Reproduces **Figure 4**: detection rates of Deep Validation and
+//! feature squeezing under increasing scale distortion on the digit
+//! model, with both detectors pinned to the same clean-data false
+//! positive rate (the paper uses 0.059). SCC and FCC detection rates and
+//! the model's success rate are reported per scale ratio; a CSV lands in
+//! `target/dv-out/fig4/`.
+
+use dv_bench::cache::out_dir;
+use dv_bench::detector_adapters::JointValidatorDetector;
+use dv_bench::Experiment;
+use dv_datasets::DatasetSpec;
+use dv_detectors::{Detector, FeatureSqueezing};
+use dv_eval::table::TextTable;
+use dv_eval::{detection_rate, threshold_at_fpr};
+use dv_imgops::Transform;
+use dv_tensor::Tensor;
+
+const FPR: f32 = 0.059;
+
+fn main() {
+    println!("== Figure 4: detection rate vs increasing scale ratio (digit model) ==\n");
+    let mut exp = Experiment::prepare(DatasetSpec::SynthDigits);
+    let validator = exp.fit_validator();
+    let mut dv = JointValidatorDetector::new(validator);
+    let mut fs = FeatureSqueezing::mnist_default();
+
+    let (seeds, seed_labels) = exp.seeds();
+    let clean: Vec<Tensor> = exp.clean_negatives(seeds.len());
+    let dv_threshold = threshold_at_fpr(&dv.score_all(&mut exp.net, &clean), FPR);
+    let fs_threshold = threshold_at_fpr(&fs.score_all(&mut exp.net, &clean), FPR);
+    println!("both detectors pinned at clean-data FPR {FPR}\n");
+
+    let mut table = TextTable::new(vec![
+        "Scale Ratio",
+        "Success Rate",
+        "DV SCC rate",
+        "DV FCC rate",
+        "FS SCC rate",
+        "FS FCC rate",
+    ]);
+    let mut csv = String::from("scale,success_rate,dv_scc,dv_fcc,fs_scc,fs_fcc\n");
+
+    for step in 0..10 {
+        let ratio = 1.25 + step as f32 * 0.25;
+        let transform = Transform::Scale {
+            sx: ratio,
+            sy: ratio,
+        };
+        let mut sccs = Vec::new();
+        let mut fccs = Vec::new();
+        for (seed, &label) in seeds.iter().zip(&seed_labels) {
+            let img = transform.apply(seed);
+            let (pred, _) = exp.net.classify(&Tensor::stack(std::slice::from_ref(&img)));
+            if pred != label {
+                sccs.push(img);
+            } else {
+                fccs.push(img);
+            }
+        }
+        let success_rate = sccs.len() as f32 / seeds.len() as f32;
+        let rate = |d: &mut dyn Detector,
+                    net: &mut dv_nn::Network,
+                    images: &[Tensor],
+                    threshold: f32| {
+            if images.is_empty() {
+                None
+            } else {
+                Some(detection_rate(&d.score_all(net, images), threshold))
+            }
+        };
+        let dv_scc = rate(&mut dv, &mut exp.net, &sccs, dv_threshold);
+        let dv_fcc = rate(&mut dv, &mut exp.net, &fccs, dv_threshold);
+        let fs_scc = rate(&mut fs, &mut exp.net, &sccs, fs_threshold);
+        let fs_fcc = rate(&mut fs, &mut exp.net, &fccs, fs_threshold);
+        let fmt = |r: Option<f32>| r.map_or("-".to_owned(), |v| format!("{v:.3}"));
+        table.row(vec![
+            format!("{ratio:.2}"),
+            format!("{success_rate:.3}"),
+            fmt(dv_scc),
+            fmt(dv_fcc),
+            fmt(fs_scc),
+            fmt(fs_fcc),
+        ]);
+        csv.push_str(&format!(
+            "{ratio},{success_rate},{},{},{},{}\n",
+            dv_scc.unwrap_or(f32::NAN),
+            dv_fcc.unwrap_or(f32::NAN),
+            fs_scc.unwrap_or(f32::NAN),
+            fs_fcc.unwrap_or(f32::NAN),
+        ));
+    }
+
+    println!("{}", table.render());
+    let path = out_dir("fig4").join("scale_sweep.csv");
+    std::fs::write(&path, csv).expect("cannot write CSV");
+    println!("csv: {}", path.display());
+    println!("\n(paper's shape: DV holds ~100% on SCCs with FCC rate growing with the");
+    println!(" success rate; FS oscillates and degrades as distortion grows)");
+}

@@ -1,0 +1,68 @@
+//! Reproduces **Table VII**: Deep Validation vs feature squeezing vs
+//! kernel density estimation on real-world corner cases (overall ROC-AUC
+//! over SCCs, per dataset).
+
+use dv_bench::detector_adapters::JointValidatorDetector;
+use dv_bench::Experiment;
+use dv_datasets::DatasetSpec;
+use dv_detectors::{Detector, FeatureSqueezing, KdeDetector};
+use dv_eval::roc_auc;
+use dv_eval::table::TextTable;
+
+fn main() {
+    println!("== Table VII: comparison with feature squeezing and KDE ==\n");
+    let mut table = TextTable::new(vec!["Dataset", "Method", "Overall ROC-AUC Score (SCCs)"]);
+    for spec in DatasetSpec::all() {
+        let mut exp = Experiment::prepare(spec);
+        let outcomes = exp.search_corner_cases();
+        let eval_set = exp.build_eval_set(&outcomes);
+        let sccs: Vec<_> = eval_set.sccs().into_iter().cloned().collect();
+        if sccs.is_empty() {
+            eprintln!("[{}] no SCCs, skipping", spec.name());
+            continue;
+        }
+        eprintln!(
+            "[{}] {} clean vs {} SCCs",
+            spec.name(),
+            eval_set.clean.len(),
+            sccs.len()
+        );
+
+        let validator = exp.fit_validator();
+        let mut dv = JointValidatorDetector::new(validator);
+        let mut fs = if spec.is_grayscale() {
+            FeatureSqueezing::mnist_default()
+        } else {
+            FeatureSqueezing::color_default()
+        };
+        let mut kde = KdeDetector::fit(
+            &mut exp.net,
+            &exp.dataset.train.images,
+            &exp.dataset.train.labels,
+            200,
+            None,
+        )
+        .expect("KDE fit failed");
+
+        let scc_images: Vec<_> = sccs.iter().map(|c| c.image.clone()).collect();
+        let mut methods: Vec<(&str, &mut dyn Detector)> = vec![
+            ("Deep Validation", &mut dv),
+            ("Feature Squeezing", &mut fs),
+            ("Kernel Density Estimation", &mut kde),
+        ];
+        for (label, detector) in methods.iter_mut() {
+            let clean = detector.score_all(&mut exp.net, &eval_set.clean);
+            let pos = detector.score_all(&mut exp.net, &scc_images);
+            let auc = roc_auc(&clean, &pos);
+            eprintln!("[{}]   {label}: {auc:.4}", spec.name());
+            table.row(vec![
+                spec.name().to_owned(),
+                (*label).to_owned(),
+                format!("{auc:.4}"),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!("paper: DV 0.9937/0.9805/0.9506, FS 0.9784/0.8796/0.6870,");
+    println!("       KDE 0.1436/0.1254/0.2543 (DV dominates; KDE below chance)");
+}

@@ -1,0 +1,113 @@
+//! Configuration of the Deep Validation framework.
+
+use dv_ocsvm::Kernel;
+
+/// Which of the network's probe points the validator monitors.
+///
+/// The paper validates every hidden layer of the MNIST and SVHN models but
+/// only the **last six** layers of DenseNet (Section IV-C): errors in early
+/// layers propagate forward along the dense connections, so validating the
+/// rear layers suffices and keeps the cost bounded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayerSelection {
+    /// Validate every probe point.
+    All,
+    /// Validate only the last `k` probe points.
+    LastK(usize),
+}
+
+impl LayerSelection {
+    /// The probe indices (into a network with `total` probes) this
+    /// selection covers, in network order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `LastK(0)` is used or `k > total`.
+    pub fn indices(&self, total: usize) -> Vec<usize> {
+        match self {
+            LayerSelection::All => (0..total).collect(),
+            LayerSelection::LastK(k) => {
+                assert!(*k > 0, "LastK(0) selects nothing");
+                assert!(
+                    *k <= total,
+                    "cannot select last {k} of {total} probe points"
+                );
+                (total - k..total).collect()
+            }
+        }
+    }
+}
+
+/// Hyperparameters for [`DeepValidator::fit`](crate::DeepValidator::fit).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValidatorConfig {
+    /// ν for every one-class SVM. The paper tunes per-layer parameters on
+    /// a held-out validation split; a single moderate ν works well at this
+    /// scale.
+    pub nu: f64,
+    /// Kernel for every one-class SVM (RBF with the scale heuristic by
+    /// default, matching scikit-learn's `OneClassSVM`).
+    pub kernel: Kernel,
+    /// Which probe points to validate.
+    pub layers: LayerSelection,
+    /// Upper bound on per-class training representations fed to each SVM
+    /// (a compute-budget concession; the paper uses all ~5000 per class).
+    pub max_per_class: usize,
+    /// Convolutional feature maps are adaptively average-pooled to at most
+    /// this many cells per side before SVM fitting (see DESIGN.md §4.3).
+    /// Fully connected representations are used raw.
+    pub max_spatial: usize,
+    /// SMO stopping tolerance.
+    pub tol: f64,
+    /// SMO iteration cap per SVM.
+    pub max_iter: usize,
+}
+
+impl Default for ValidatorConfig {
+    fn default() -> Self {
+        Self {
+            nu: 0.1,
+            kernel: Kernel::default(),
+            layers: LayerSelection::All,
+            max_per_class: 200,
+            max_spatial: 4,
+            tol: 1e-4,
+            max_iter: 100_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_selects_everything() {
+        assert_eq!(LayerSelection::All.indices(4), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn last_k_selects_suffix() {
+        assert_eq!(LayerSelection::LastK(2).indices(5), vec![3, 4]);
+        assert_eq!(LayerSelection::LastK(5).indices(5), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot select last")]
+    fn last_k_larger_than_total_panics() {
+        let _ = LayerSelection::LastK(7).indices(5);
+    }
+
+    #[test]
+    #[should_panic(expected = "selects nothing")]
+    fn last_zero_panics() {
+        let _ = LayerSelection::LastK(0).indices(5);
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = ValidatorConfig::default();
+        assert!(c.nu > 0.0 && c.nu < 1.0);
+        assert!(c.max_per_class > 0 && c.max_spatial > 0);
+    }
+}

@@ -1,0 +1,63 @@
+//! The per-input output of Algorithm 2.
+
+/// Discrepancy estimation for one input (paper Algorithm 2).
+///
+/// `per_layer[i]` is the discrepancy `d_i` of the `i`-th *validated* probe
+/// point (after [`LayerSelection`](crate::LayerSelection) is applied);
+/// `joint` is the unweighted sum of Eq. 3. A single validator's verdict is
+/// just one entry of `per_layer`; the joint validator's verdict is `joint`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscrepancyReport {
+    /// The model's predicted class `y'` for this input.
+    pub predicted: usize,
+    /// The model's top-1 softmax confidence.
+    pub confidence: f32,
+    /// Per-validated-layer discrepancies `d_i = -t_i^{y'}(f_i(x))`.
+    pub per_layer: Vec<f32>,
+    /// Joint discrepancy `d = sum_i d_i` (Eq. 3).
+    pub joint: f32,
+}
+
+impl DiscrepancyReport {
+    /// Builds a report, computing the joint sum from the per-layer vector.
+    pub fn new(predicted: usize, confidence: f32, per_layer: Vec<f32>) -> Self {
+        let joint = per_layer.iter().sum();
+        Self {
+            predicted,
+            confidence,
+            per_layer,
+            joint,
+        }
+    }
+
+    /// Whether the joint discrepancy exceeds a threshold, i.e. the input
+    /// should be flagged as a corner case.
+    pub fn is_flagged(&self, epsilon: f32) -> bool {
+        self.joint > epsilon
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn joint_is_sum_of_layers() {
+        let r = DiscrepancyReport::new(3, 0.9, vec![0.1, -0.2, 0.4]);
+        assert!((r.joint - 0.3).abs() < 1e-6);
+        assert_eq!(r.predicted, 3);
+    }
+
+    #[test]
+    fn flagging_respects_threshold() {
+        let r = DiscrepancyReport::new(0, 0.5, vec![0.2, 0.2]);
+        assert!(r.is_flagged(0.3));
+        assert!(!r.is_flagged(0.5));
+    }
+
+    #[test]
+    fn empty_layers_sum_to_zero() {
+        let r = DiscrepancyReport::new(1, 1.0, vec![]);
+        assert_eq!(r.joint, 0.0);
+    }
+}

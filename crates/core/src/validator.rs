@@ -1,0 +1,498 @@
+//! The Deep Validation framework: Algorithm 1 (fit) and Algorithm 2
+//! (discrepancy estimation).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use dv_nn::Network;
+use dv_ocsvm::{FitError, OcsvmParams, OneClassSvm, ResolvedKernel, SvmParts};
+use dv_tensor::Tensor;
+
+use crate::config::ValidatorConfig;
+use crate::reducer::FeatureReducer;
+use crate::report::DiscrepancyReport;
+
+/// Batch size used when sweeping the training set through the network.
+const SWEEP_BATCH: usize = 32;
+
+/// Errors from [`DeepValidator::fit`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValidatorError {
+    /// The training set was empty or misaligned with labels.
+    BadTrainingSet(String),
+    /// A class had no correctly classified training images left after the
+    /// Algorithm 1 filter, so its reference distribution cannot be fit.
+    NoCorrectSamples {
+        /// The offending class.
+        class: usize,
+    },
+    /// An underlying SVM fit failed.
+    Svm(FitError),
+}
+
+impl fmt::Display for ValidatorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidatorError::BadTrainingSet(what) => write!(f, "bad training set: {what}"),
+            ValidatorError::NoCorrectSamples { class } => {
+                write!(f, "class {class} has no correctly classified training images")
+            }
+            ValidatorError::Svm(e) => write!(f, "one-class SVM fit failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ValidatorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ValidatorError::Svm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FitError> for ValidatorError {
+    fn from(e: FitError) -> Self {
+        ValidatorError::Svm(e)
+    }
+}
+
+/// A fitted Deep Validation detector: one one-class SVM per
+/// `(validated layer, class)` pair plus the feature reduction used to
+/// build them.
+#[derive(Debug, Clone)]
+pub struct DeepValidator {
+    /// `svms[v][k]` = SVM for validated probe `v`, class `k`.
+    svms: Vec<Vec<OneClassSvm>>,
+    /// Indices of validated probes within the network's probe list.
+    probe_indices: Vec<usize>,
+    num_classes: usize,
+    reducer: FeatureReducer,
+}
+
+impl DeepValidator {
+    /// Algorithm 1: fits the per-layer, per-class one-class SVMs.
+    ///
+    /// `images`/`labels` are the (clean) training set; images the network
+    /// misclassifies are dropped first, exactly as the paper prescribes
+    /// ("they are likely to be outliers and will do harm to the training
+    /// of SVMs").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidatorError`] if the training set is empty or
+    /// misaligned, a class ends up with no correct samples, or an SVM fit
+    /// fails.
+    pub fn fit(
+        net: &mut Network,
+        images: &[Tensor],
+        labels: &[usize],
+        config: &ValidatorConfig,
+    ) -> Result<Self, ValidatorError> {
+        if images.is_empty() {
+            return Err(ValidatorError::BadTrainingSet("no images".into()));
+        }
+        if images.len() != labels.len() {
+            return Err(ValidatorError::BadTrainingSet(format!(
+                "{} images vs {} labels",
+                images.len(),
+                labels.len()
+            )));
+        }
+        let num_classes = labels.iter().max().copied().unwrap_or(0) + 1;
+        let total_probes = net.num_probes();
+        if total_probes == 0 {
+            return Err(ValidatorError::BadTrainingSet(
+                "network declares no probe points".into(),
+            ));
+        }
+        let probe_indices = config.layers.indices(total_probes);
+        let reducer = FeatureReducer::new(config.max_spatial);
+
+        // Sweep the training set once: keep reduced representations of the
+        // correctly classified images, grouped per (validated probe, class),
+        // respecting the per-class cap.
+        let mut reps: Vec<Vec<Vec<Vec<f32>>>> =
+            vec![vec![Vec::new(); num_classes]; probe_indices.len()];
+        let mut kept_per_class = vec![0usize; num_classes];
+        for chunk_start in (0..images.len()).step_by(SWEEP_BATCH) {
+            let chunk_end = (chunk_start + SWEEP_BATCH).min(images.len());
+            let batch: Vec<Tensor> = images[chunk_start..chunk_end].to_vec();
+            let x = Tensor::stack(&batch);
+            let (logits, probes) = net.forward_probed(&x);
+            for (bi, global) in (chunk_start..chunk_end).enumerate() {
+                let label = labels[global];
+                let predicted = logits.row(bi).argmax();
+                if predicted != label || kept_per_class[label] >= config.max_per_class {
+                    continue;
+                }
+                kept_per_class[label] += 1;
+                for (v, &p) in probe_indices.iter().enumerate() {
+                    let rep = probes[p].index_outer(bi);
+                    reps[v][label].push(reducer.reduce(&rep));
+                }
+            }
+        }
+        for (class, &count) in kept_per_class.iter().enumerate() {
+            if count == 0 {
+                return Err(ValidatorError::NoCorrectSamples { class });
+            }
+        }
+
+        // Fit SVM(i, k) for every validated layer and class.
+        let params = OcsvmParams {
+            nu: config.nu,
+            kernel: config.kernel,
+            tol: config.tol,
+            max_iter: config.max_iter,
+        };
+        let mut svms = Vec::with_capacity(probe_indices.len());
+        for layer_reps in &reps {
+            let mut layer_svms = Vec::with_capacity(num_classes);
+            for class_reps in layer_reps {
+                layer_svms.push(OneClassSvm::fit(class_reps, &params)?);
+            }
+            svms.push(layer_svms);
+        }
+        Ok(Self {
+            svms,
+            probe_indices,
+            num_classes,
+            reducer,
+        })
+    }
+
+    /// Algorithm 2: estimates the discrepancy of one `[C, H, W]` input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image shape does not match the network input.
+    pub fn discrepancy(&self, net: &mut Network, image: &Tensor) -> DiscrepancyReport {
+        let x = Tensor::stack(std::slice::from_ref(image));
+        let (logits, probes) = net.forward_probed(&x);
+        let row = logits.row(0);
+        let predicted = row.argmax();
+        let confidence = dv_tensor::stats::softmax(&row).max();
+        let per_layer = self
+            .probe_indices
+            .iter()
+            .map(|&p| {
+                let rep = self.reducer.reduce(&probes[p].index_outer(0));
+                // Eq. 2: discrepancy is the negated signed distance.
+                -(self.svms_for_probe(p)[predicted].decision(&rep) as f32)
+            })
+            .collect();
+        DiscrepancyReport::new(predicted, confidence, per_layer)
+    }
+
+    /// Estimates discrepancies for many inputs.
+    pub fn discrepancies(&self, net: &mut Network, images: &[Tensor]) -> Vec<DiscrepancyReport> {
+        images
+            .iter()
+            .map(|img| self.discrepancy(net, img))
+            .collect()
+    }
+
+    /// Number of validated layers (rows of the paper's Table VI per
+    /// dataset).
+    pub fn num_validated_layers(&self) -> usize {
+        self.probe_indices.len()
+    }
+
+    /// The validated probe indices within the network's probe list.
+    pub fn validated_probes(&self) -> &[usize] {
+        &self.probe_indices
+    }
+
+    /// Number of classes (SVMs per layer).
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Total number of fitted SVMs.
+    pub fn num_svms(&self) -> usize {
+        self.svms.iter().map(|l| l.len()).sum()
+    }
+
+    fn svms_for_probe(&self, probe: usize) -> &[OneClassSvm] {
+        let v = self
+            .probe_indices
+            .iter()
+            .position(|&p| p == probe)
+            .expect("probe not validated");
+        &self.svms[v]
+    }
+
+    /// Serializes the validator into named tensors (for on-disk caching
+    /// through `dv_tensor::io::write_named`).
+    pub fn to_named_tensors(&self) -> BTreeMap<String, Tensor> {
+        let mut out = BTreeMap::new();
+        out.insert(
+            "meta".to_owned(),
+            Tensor::from_vec(
+                vec![
+                    self.num_classes as f32,
+                    self.probe_indices.len() as f32,
+                    self.reducer.max_spatial() as f32,
+                ],
+                &[3],
+            ),
+        );
+        out.insert(
+            "probes".to_owned(),
+            Tensor::from_vec(
+                self.probe_indices.iter().map(|&p| p as f32).collect(),
+                &[self.probe_indices.len()],
+            ),
+        );
+        for (v, layer) in self.svms.iter().enumerate() {
+            for (k, svm) in layer.iter().enumerate() {
+                let parts = svm.to_parts();
+                let n = parts.support.len();
+                let d = parts.support.first().map_or(1, |r| r.len());
+                let mut flat = Vec::with_capacity(n * d);
+                for row in &parts.support {
+                    flat.extend_from_slice(row);
+                }
+                let prefix = format!("svm.{v:02}.{k:02}");
+                out.insert(format!("{prefix}.support"), Tensor::from_vec(flat, &[n, d]));
+                out.insert(
+                    format!("{prefix}.alpha"),
+                    Tensor::from_vec(parts.alpha.iter().map(|&a| a as f32).collect(), &[n]),
+                );
+                let (kind, gamma) = match parts.kernel {
+                    ResolvedKernel::Rbf { gamma } => (0.0, gamma as f32),
+                    ResolvedKernel::Linear => (1.0, 0.0),
+                };
+                out.insert(
+                    format!("{prefix}.meta"),
+                    Tensor::from_vec(vec![parts.rho as f32, kind, gamma], &[3]),
+                );
+            }
+        }
+        out
+    }
+
+    /// Rebuilds a validator from tensors produced by
+    /// [`to_named_tensors`](DeepValidator::to_named_tensors).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a structurally invalid map (missing keys, bad shapes) —
+    /// cache corruption is a programming/environment error, not a user
+    /// input.
+    pub fn from_named_tensors(entries: &BTreeMap<String, Tensor>) -> Self {
+        let meta = entries.get("meta").expect("missing meta");
+        let num_classes = meta.data()[0] as usize;
+        let num_layers = meta.data()[1] as usize;
+        let max_spatial = meta.data()[2] as usize;
+        let probes = entries.get("probes").expect("missing probes");
+        let probe_indices: Vec<usize> = probes.data().iter().map(|&p| p as usize).collect();
+        assert_eq!(probe_indices.len(), num_layers, "probe count mismatch");
+
+        let mut svms = Vec::with_capacity(num_layers);
+        for v in 0..num_layers {
+            let mut layer = Vec::with_capacity(num_classes);
+            for k in 0..num_classes {
+                let prefix = format!("svm.{v:02}.{k:02}");
+                let support_t = entries
+                    .get(&format!("{prefix}.support"))
+                    .unwrap_or_else(|| panic!("missing {prefix}.support"));
+                let alpha_t = entries
+                    .get(&format!("{prefix}.alpha"))
+                    .unwrap_or_else(|| panic!("missing {prefix}.alpha"));
+                let meta_t = entries
+                    .get(&format!("{prefix}.meta"))
+                    .unwrap_or_else(|| panic!("missing {prefix}.meta"));
+                let n = support_t.shape().dim(0);
+                let d = support_t.shape().dim(1);
+                let support: Vec<Vec<f32>> = (0..n)
+                    .map(|i| support_t.data()[i * d..(i + 1) * d].to_vec())
+                    .collect();
+                let alpha: Vec<f64> = alpha_t.data().iter().map(|&a| a as f64).collect();
+                let rho = meta_t.data()[0] as f64;
+                let kernel = if meta_t.data()[1] == 0.0 {
+                    ResolvedKernel::Rbf {
+                        gamma: meta_t.data()[2] as f64,
+                    }
+                } else {
+                    ResolvedKernel::Linear
+                };
+                layer.push(OneClassSvm::from_parts(SvmParts {
+                    support,
+                    alpha,
+                    rho,
+                    kernel,
+                }));
+            }
+            svms.push(layer);
+        }
+        Self {
+            svms,
+            probe_indices,
+            num_classes,
+            reducer: FeatureReducer::new(max_spatial),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LayerSelection;
+    use dv_nn::layers::{Conv2d, Dense, Flatten, MaxPool2, Relu};
+    use dv_nn::optim::Adam;
+    use dv_nn::train::{fit as train_fit, TrainConfig};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// A 3-class toy image problem: class = which third of the image the
+    /// bright blob sits in.
+    fn toy_data(rng: &mut StdRng, n: usize) -> (Vec<Tensor>, Vec<usize>) {
+        let mut images = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = i % 3;
+            let mut img = Tensor::zeros(&[1, 12, 12]);
+            let cx = 2 + class * 4;
+            let cy = rng.gen_range(3..9);
+            for dy in 0..3 {
+                for dx in 0..3 {
+                    img.set(&[0, cy + dy - 1, cx + dx - 1], rng.gen_range(0.7..1.0));
+                }
+            }
+            images.push(img);
+            labels.push(class);
+        }
+        (images, labels)
+    }
+
+    fn toy_net(seed: u64) -> Network {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = Network::new(&[1, 12, 12]);
+        net.push(Conv2d::new(&mut rng, 1, 4, 3))
+            .push_probe(Relu::new())
+            .push(MaxPool2::new())
+            .push(Flatten::new())
+            .push(Dense::new(&mut rng, 4 * 5 * 5, 16))
+            .push_probe(Relu::new())
+            .push(Dense::new(&mut rng, 16, 3));
+        net
+    }
+
+    fn trained_setup() -> (Network, Vec<Tensor>, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(0);
+        let (images, labels) = toy_data(&mut rng, 120);
+        let mut net = toy_net(1);
+        let mut opt = Adam::new(0.01);
+        let cfg = TrainConfig {
+            epochs: 12,
+            batch_size: 16,
+        };
+        train_fit(&mut net, &mut opt, &images, &labels, &cfg, &mut rng);
+        (net, images, labels)
+    }
+
+    #[test]
+    fn fit_produces_one_svm_per_layer_and_class() {
+        let (mut net, images, labels) = trained_setup();
+        let v = DeepValidator::fit(&mut net, &images, &labels, &ValidatorConfig::default())
+            .unwrap();
+        assert_eq!(v.num_validated_layers(), 2);
+        assert_eq!(v.num_classes(), 3);
+        assert_eq!(v.num_svms(), 6);
+    }
+
+    #[test]
+    fn clean_inputs_score_below_garbage_inputs() {
+        let (mut net, images, labels) = trained_setup();
+        let v = DeepValidator::fit(&mut net, &images, &labels, &ValidatorConfig::default())
+            .unwrap();
+        let clean: f32 = images[..20]
+            .iter()
+            .map(|img| v.discrepancy(&mut net, img).joint)
+            .sum::<f32>()
+            / 20.0;
+        // Garbage: uniform noise, far from any training manifold.
+        let mut rng = StdRng::seed_from_u64(9);
+        let noise: f32 = (0..20)
+            .map(|_| {
+                let img = Tensor::rand_uniform(&mut rng, &[1, 12, 12], 0.0, 1.0);
+                v.discrepancy(&mut net, &img).joint
+            })
+            .sum::<f32>()
+            / 20.0;
+        assert!(
+            noise > clean,
+            "noise discrepancy {noise} not above clean {clean}"
+        );
+    }
+
+    #[test]
+    fn last_k_selection_validates_fewer_layers() {
+        let (mut net, images, labels) = trained_setup();
+        let cfg = ValidatorConfig {
+            layers: LayerSelection::LastK(1),
+            ..ValidatorConfig::default()
+        };
+        let v = DeepValidator::fit(&mut net, &images, &labels, &cfg).unwrap();
+        assert_eq!(v.num_validated_layers(), 1);
+        assert_eq!(v.validated_probes(), &[1]);
+        let report = v.discrepancy(&mut net, &images[0]);
+        assert_eq!(report.per_layer.len(), 1);
+    }
+
+    #[test]
+    fn report_prediction_matches_network() {
+        let (mut net, images, labels) = trained_setup();
+        let v = DeepValidator::fit(&mut net, &images, &labels, &ValidatorConfig::default())
+            .unwrap();
+        for img in images.iter().take(5) {
+            let report = v.discrepancy(&mut net, img);
+            let (label, conf) = net.classify(&Tensor::stack(std::slice::from_ref(img)));
+            assert_eq!(report.predicted, label);
+            assert!((report.confidence - conf).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn named_tensor_round_trip_preserves_scores() {
+        let (mut net, images, labels) = trained_setup();
+        let v = DeepValidator::fit(&mut net, &images, &labels, &ValidatorConfig::default())
+            .unwrap();
+        let entries = v.to_named_tensors();
+        let v2 = DeepValidator::from_named_tensors(&entries);
+        for img in images.iter().take(5) {
+            let a = v.discrepancy(&mut net, img);
+            let b = v2.discrepancy(&mut net, img);
+            assert_eq!(a.predicted, b.predicted);
+            assert!(
+                (a.joint - b.joint).abs() < 1e-4,
+                "joint {} vs {}",
+                a.joint,
+                b.joint
+            );
+        }
+    }
+
+    #[test]
+    fn mismatched_labels_are_rejected() {
+        let (mut net, images, _) = trained_setup();
+        let err =
+            DeepValidator::fit(&mut net, &images, &[0], &ValidatorConfig::default()).unwrap_err();
+        assert!(matches!(err, ValidatorError::BadTrainingSet(_)));
+    }
+
+    #[test]
+    fn untrained_network_fails_with_no_correct_samples_or_fits_poorly() {
+        // An untrained network predicts one class for nearly everything,
+        // so some class ends up with zero correct samples.
+        let mut rng = StdRng::seed_from_u64(5);
+        let (images, labels) = toy_data(&mut rng, 60);
+        let mut net = toy_net(6);
+        match DeepValidator::fit(&mut net, &images, &labels, &ValidatorConfig::default()) {
+            Err(ValidatorError::NoCorrectSamples { .. }) | Ok(_) => {}
+            Err(other) => panic!("unexpected error {other:?}"),
+        }
+    }
+}

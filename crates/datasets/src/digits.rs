@@ -1,0 +1,117 @@
+//! MNIST stand-in: 28x28 grayscale digits with handwriting-like jitter.
+
+use dv_imgops::{warp::warp_centered, Affine};
+use dv_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::raster::{add_noise, render_digit};
+use crate::{Dataset, Split};
+
+/// Generates the MNIST stand-in corpus.
+///
+/// Each sample renders a digit glyph near the canvas center and perturbs
+/// it like handwriting varies: random stroke intensity, size, rotation,
+/// shear and sub-pixel translation, plus mild sensor noise. Labels cycle
+/// through 0–9 so every class is equally represented.
+///
+/// # Panics
+///
+/// Panics if either split size is zero.
+pub fn synth_digits(seed: u64, n_train: usize, n_test: usize) -> Dataset {
+    assert!(n_train > 0 && n_test > 0, "split sizes must be positive");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD161_7505);
+    let make_split = |n: usize, rng: &mut StdRng| {
+        let mut split = Split::default();
+        for i in 0..n {
+            let label = i % 10;
+            split.push(sample_digit(label, rng), label);
+        }
+        split
+    };
+    let train = make_split(n_train, &mut rng);
+    let test = make_split(n_test, &mut rng);
+    Dataset {
+        name: "synth-digits".to_owned(),
+        image_dims: vec![1, 28, 28],
+        num_classes: 10,
+        train,
+        test,
+    }
+}
+
+/// Renders one jittered digit sample.
+fn sample_digit(label: usize, rng: &mut StdRng) -> Tensor {
+    let intensity = rng.gen_range(0.75..1.0);
+    let scale = rng.gen_range(2.6..3.4);
+    let cx = 13.5 + rng.gen_range(-1.5..1.5);
+    let cy = 13.5 + rng.gen_range(-1.5..1.5);
+    let base = render_digit(label, 28, cx, cy, scale, intensity);
+
+    // Handwriting-like geometric jitter: small rotation and shear.
+    let rot = rng.gen_range(-8.0..8.0f32);
+    let shear = rng.gen_range(-0.12..0.12f32);
+    let jitter = Affine::rotation_deg(rot).compose(&Affine::shear(shear, 0.0));
+    let warped = warp_centered(&base, &jitter);
+
+    add_noise(&warped, rng, 0.04)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digits_have_reasonable_ink_mass() {
+        let ds = synth_digits(5, 50, 10);
+        for (img, &label) in ds.train.images.iter().zip(&ds.train.labels) {
+            let mass = img.sum();
+            assert!(
+                (5.0..200.0).contains(&mass),
+                "digit {label} has implausible mass {mass}"
+            );
+        }
+    }
+
+    #[test]
+    fn same_class_samples_differ() {
+        let ds = synth_digits(6, 20, 10);
+        // Items 0 and 10 are both digit 0 but independently jittered.
+        assert_eq!(ds.train.labels[0], ds.train.labels[10]);
+        assert_ne!(ds.train.images[0].data(), ds.train.images[10].data());
+    }
+
+    #[test]
+    fn class_means_are_separated() {
+        // Nearest-class-mean on raw pixels should beat chance by a wide
+        // margin; if it does not, the corpus is not learnable.
+        let ds = synth_digits(7, 200, 100);
+        let mut means: Vec<Tensor> = vec![Tensor::zeros(&[1, 28, 28]); 10];
+        let mut counts = [0usize; 10];
+        for (img, &l) in ds.train.images.iter().zip(&ds.train.labels) {
+            means[l].axpy(1.0, img);
+            counts[l] += 1;
+        }
+        for (m, &c) in means.iter_mut().zip(&counts) {
+            *m = m.scale(1.0 / c as f32);
+        }
+        let mut correct = 0;
+        for (img, &l) in ds.test.images.iter().zip(&ds.test.labels) {
+            let pred = means
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    let da = img.sub(a).norm_l2();
+                    let db = img.sub(b).norm_l2();
+                    da.partial_cmp(&db).unwrap()
+                })
+                .unwrap()
+                .0;
+            if pred == l {
+                correct += 1;
+            }
+        }
+        let acc = correct as f32 / ds.test.len() as f32;
+        assert!(acc > 0.6, "nearest-mean accuracy only {acc}");
+    }
+}

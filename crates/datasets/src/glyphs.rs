@@ -1,0 +1,159 @@
+//! 5x7 bitmap glyphs for the digits 0–9.
+//!
+//! The classic 5x7 dot-matrix font: coarse but unambiguous, which is what
+//! the synthetic corpora need — class identity must survive the jitter the
+//! generators add on top.
+
+/// Width of a glyph bitmap in cells.
+pub const GLYPH_W: usize = 5;
+/// Height of a glyph bitmap in cells.
+pub const GLYPH_H: usize = 7;
+
+/// The 5x7 bitmap for digit `d`, row-major, `1` = ink.
+///
+/// # Panics
+///
+/// Panics if `d > 9`.
+pub fn digit_glyph(d: usize) -> &'static [[u8; GLYPH_W]; GLYPH_H] {
+    assert!(d <= 9, "digit {d} out of range");
+    &GLYPHS[d]
+}
+
+const GLYPHS: [[[u8; GLYPH_W]; GLYPH_H]; 10] = [
+    // 0
+    [
+        [0, 1, 1, 1, 0],
+        [1, 0, 0, 0, 1],
+        [1, 0, 0, 1, 1],
+        [1, 0, 1, 0, 1],
+        [1, 1, 0, 0, 1],
+        [1, 0, 0, 0, 1],
+        [0, 1, 1, 1, 0],
+    ],
+    // 1
+    [
+        [0, 0, 1, 0, 0],
+        [0, 1, 1, 0, 0],
+        [0, 0, 1, 0, 0],
+        [0, 0, 1, 0, 0],
+        [0, 0, 1, 0, 0],
+        [0, 0, 1, 0, 0],
+        [0, 1, 1, 1, 0],
+    ],
+    // 2
+    [
+        [0, 1, 1, 1, 0],
+        [1, 0, 0, 0, 1],
+        [0, 0, 0, 0, 1],
+        [0, 0, 0, 1, 0],
+        [0, 0, 1, 0, 0],
+        [0, 1, 0, 0, 0],
+        [1, 1, 1, 1, 1],
+    ],
+    // 3
+    [
+        [1, 1, 1, 1, 1],
+        [0, 0, 0, 1, 0],
+        [0, 0, 1, 0, 0],
+        [0, 0, 0, 1, 0],
+        [0, 0, 0, 0, 1],
+        [1, 0, 0, 0, 1],
+        [0, 1, 1, 1, 0],
+    ],
+    // 4
+    [
+        [0, 0, 0, 1, 0],
+        [0, 0, 1, 1, 0],
+        [0, 1, 0, 1, 0],
+        [1, 0, 0, 1, 0],
+        [1, 1, 1, 1, 1],
+        [0, 0, 0, 1, 0],
+        [0, 0, 0, 1, 0],
+    ],
+    // 5
+    [
+        [1, 1, 1, 1, 1],
+        [1, 0, 0, 0, 0],
+        [1, 1, 1, 1, 0],
+        [0, 0, 0, 0, 1],
+        [0, 0, 0, 0, 1],
+        [1, 0, 0, 0, 1],
+        [0, 1, 1, 1, 0],
+    ],
+    // 6
+    [
+        [0, 0, 1, 1, 0],
+        [0, 1, 0, 0, 0],
+        [1, 0, 0, 0, 0],
+        [1, 1, 1, 1, 0],
+        [1, 0, 0, 0, 1],
+        [1, 0, 0, 0, 1],
+        [0, 1, 1, 1, 0],
+    ],
+    // 7
+    [
+        [1, 1, 1, 1, 1],
+        [0, 0, 0, 0, 1],
+        [0, 0, 0, 1, 0],
+        [0, 0, 1, 0, 0],
+        [0, 1, 0, 0, 0],
+        [0, 1, 0, 0, 0],
+        [0, 1, 0, 0, 0],
+    ],
+    // 8
+    [
+        [0, 1, 1, 1, 0],
+        [1, 0, 0, 0, 1],
+        [1, 0, 0, 0, 1],
+        [0, 1, 1, 1, 0],
+        [1, 0, 0, 0, 1],
+        [1, 0, 0, 0, 1],
+        [0, 1, 1, 1, 0],
+    ],
+    // 9
+    [
+        [0, 1, 1, 1, 0],
+        [1, 0, 0, 0, 1],
+        [1, 0, 0, 0, 1],
+        [0, 1, 1, 1, 1],
+        [0, 0, 0, 0, 1],
+        [0, 0, 0, 1, 0],
+        [0, 1, 1, 0, 0],
+    ],
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_digit_has_ink() {
+        for d in 0..10 {
+            let g = digit_glyph(d);
+            let ink: u32 = g.iter().flatten().map(|&v| v as u32).sum();
+            assert!(ink >= 7, "digit {d} has only {ink} ink cells");
+        }
+    }
+
+    #[test]
+    fn glyphs_are_pairwise_distinct() {
+        for a in 0..10 {
+            for b in (a + 1)..10 {
+                let (ga, gb) = (digit_glyph(a), digit_glyph(b));
+                let diff: u32 = ga
+                    .iter()
+                    .flatten()
+                    .zip(gb.iter().flatten())
+                    .map(|(x, y)| (x != y) as u32)
+                    .sum();
+                assert!(diff >= 4, "digits {a} and {b} differ in only {diff} cells");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_digit_panics() {
+        let _ = digit_glyph(10);
+    }
+}

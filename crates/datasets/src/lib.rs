@@ -1,0 +1,227 @@
+//! Procedurally generated stand-ins for the paper's three datasets.
+//!
+//! The original evaluation uses MNIST, CIFAR-10 and SVHN. This build
+//! environment has no dataset downloads, so this crate generates
+//! *look-alike corpora* with the same tensor shapes, class counts and
+//! qualitative character (see `DESIGN.md` §4 for the substitution
+//! rationale):
+//!
+//! - [`digits::synth_digits`] — MNIST stand-in: 28x28x1 grayscale digits
+//!   0–9 rendered from glyph bitmaps with geometric and photometric
+//!   jitter. Clean and well-centered.
+//! - [`objects::synth_objects`] — CIFAR-10 stand-in: 32x32x3 color images
+//!   of ten shape/texture classes over textured backgrounds.
+//! - [`street::synth_street_digits`] — SVHN stand-in: 32x32x3 colored
+//!   digits over noisy colored backgrounds with distractor glyph
+//!   fragments, deliberately "noisy" like SVHN.
+//!
+//! All generation is deterministic given a seed. Images are `[C, H, W]`
+//! tensors with values in `[0, 1]`.
+//!
+//! # Examples
+//!
+//! ```
+//! use dv_datasets::{DatasetSpec, Dataset};
+//!
+//! let ds = DatasetSpec::SynthDigits.generate(42, 100, 20);
+//! assert_eq!(ds.train.len(), 100);
+//! assert_eq!(ds.test.len(), 20);
+//! assert_eq!(ds.image_dims, vec![1, 28, 28]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod digits;
+pub mod glyphs;
+pub mod objects;
+pub mod pnm;
+pub mod raster;
+pub mod street;
+
+use dv_tensor::Tensor;
+
+/// One labeled split (train or test) of a dataset.
+#[derive(Debug, Clone, Default)]
+pub struct Split {
+    /// Per-item images, `[C, H, W]` in `[0, 1]`.
+    pub images: Vec<Tensor>,
+    /// Class labels aligned with `images`.
+    pub labels: Vec<usize>,
+}
+
+impl Split {
+    /// Number of items in the split.
+    pub fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    /// Whether the split is empty.
+    pub fn is_empty(&self) -> bool {
+        self.images.is_empty()
+    }
+
+    /// Appends one labeled image.
+    pub fn push(&mut self, image: Tensor, label: usize) {
+        self.images.push(image);
+        self.labels.push(label);
+    }
+}
+
+/// A generated dataset with standard train/test partitions.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Short dataset name used in tables (e.g. `"synth-digits"`).
+    pub name: String,
+    /// Per-item image shape, e.g. `[1, 28, 28]`.
+    pub image_dims: Vec<usize>,
+    /// Number of classes (always 10 here, matching the paper).
+    pub num_classes: usize,
+    /// Training split.
+    pub train: Split,
+    /// Test split.
+    pub test: Split,
+}
+
+/// Which of the three stand-in corpora to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetSpec {
+    /// MNIST stand-in (grayscale digits).
+    SynthDigits,
+    /// CIFAR-10 stand-in (colored shapes).
+    SynthObjects,
+    /// SVHN stand-in (noisy colored street digits).
+    SynthStreetDigits,
+}
+
+impl DatasetSpec {
+    /// All three datasets in the order of the paper's tables
+    /// (MNIST, CIFAR-10, SVHN).
+    pub fn all() -> [DatasetSpec; 3] {
+        [
+            DatasetSpec::SynthDigits,
+            DatasetSpec::SynthObjects,
+            DatasetSpec::SynthStreetDigits,
+        ]
+    }
+
+    /// The dataset's short name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetSpec::SynthDigits => "synth-digits",
+            DatasetSpec::SynthObjects => "synth-objects",
+            DatasetSpec::SynthStreetDigits => "synth-street",
+        }
+    }
+
+    /// The paper dataset this corpus stands in for.
+    pub fn stands_in_for(&self) -> &'static str {
+        match self {
+            DatasetSpec::SynthDigits => "MNIST",
+            DatasetSpec::SynthObjects => "CIFAR-10",
+            DatasetSpec::SynthStreetDigits => "SVHN",
+        }
+    }
+
+    /// Whether images are grayscale (complement corner cases only apply to
+    /// grayscale images in the paper).
+    pub fn is_grayscale(&self) -> bool {
+        matches!(self, DatasetSpec::SynthDigits)
+    }
+
+    /// Per-item image shape.
+    pub fn image_dims(&self) -> Vec<usize> {
+        match self {
+            DatasetSpec::SynthDigits => vec![1, 28, 28],
+            DatasetSpec::SynthObjects | DatasetSpec::SynthStreetDigits => vec![3, 32, 32],
+        }
+    }
+
+    /// Generates the dataset deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either split size is zero.
+    pub fn generate(&self, seed: u64, n_train: usize, n_test: usize) -> Dataset {
+        assert!(n_train > 0 && n_test > 0, "split sizes must be positive");
+        match self {
+            DatasetSpec::SynthDigits => digits::synth_digits(seed, n_train, n_test),
+            DatasetSpec::SynthObjects => objects::synth_objects(seed, n_train, n_test),
+            DatasetSpec::SynthStreetDigits => street::synth_street_digits(seed, n_train, n_test),
+        }
+    }
+}
+
+impl std::fmt::Display for DatasetSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_specs_generate_consistent_shapes() {
+        for spec in DatasetSpec::all() {
+            let ds = spec.generate(1, 30, 10);
+            assert_eq!(ds.train.len(), 30);
+            assert_eq!(ds.test.len(), 10);
+            assert_eq!(ds.num_classes, 10);
+            for img in ds.train.images.iter().chain(&ds.test.images) {
+                assert_eq!(img.shape().dims(), ds.image_dims.as_slice());
+                assert!(img.min() >= 0.0 && img.max() <= 1.0, "{spec} out of range");
+            }
+            for &label in ds.train.labels.iter().chain(&ds.test.labels) {
+                assert!(label < 10);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for spec in DatasetSpec::all() {
+            let a = spec.generate(7, 12, 4);
+            let b = spec.generate(7, 12, 4);
+            assert_eq!(a.train.labels, b.train.labels);
+            for (x, y) in a.train.images.iter().zip(&b.train.images) {
+                assert_eq!(x.data(), y.data(), "{spec} not deterministic");
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = DatasetSpec::SynthDigits.generate(1, 10, 2);
+        let b = DatasetSpec::SynthDigits.generate(2, 10, 2);
+        let same = a
+            .train
+            .images
+            .iter()
+            .zip(&b.train.images)
+            .all(|(x, y)| x.data() == y.data());
+        assert!(!same, "different seeds produced identical data");
+    }
+
+    #[test]
+    fn labels_cover_all_classes() {
+        for spec in DatasetSpec::all() {
+            let ds = spec.generate(3, 100, 10);
+            let mut seen = [false; 10];
+            for &l in &ds.train.labels {
+                seen[l] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "{spec} missing a class");
+        }
+    }
+
+    #[test]
+    fn split_push_and_len() {
+        let mut s = Split::default();
+        assert!(s.is_empty());
+        s.push(Tensor::zeros(&[1, 2, 2]), 3);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.labels, vec![3]);
+    }
+}

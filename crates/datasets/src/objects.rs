@@ -1,0 +1,183 @@
+//! CIFAR-10 stand-in: 32x32 color images of ten shape/texture classes
+//! over textured backgrounds.
+
+use dv_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::raster::{add_noise, composite_mask, hsv_to_rgb, smooth_field};
+use crate::{Dataset, Split};
+
+const SIZE: usize = 32;
+
+/// The ten object classes, mirroring CIFAR-10's mix of natural categories
+/// with shape as the dominant feature and color as a correlated cue.
+const CLASS_HUES: [f32; 10] = [0.00, 0.08, 0.17, 0.30, 0.45, 0.55, 0.63, 0.75, 0.85, 0.95];
+
+/// Generates the CIFAR-10 stand-in corpus.
+///
+/// Each class is a geometric shape family (disc, square, triangle, ring,
+/// cross, horizontal stripes, vertical stripes, checkerboard, diamond,
+/// star) with a class-correlated hue, drawn over a smooth textured
+/// background of a different hue, plus noise. Intra-class variance comes
+/// from jittered shape size, position, hue and background.
+///
+/// # Panics
+///
+/// Panics if either split size is zero.
+pub fn synth_objects(seed: u64, n_train: usize, n_test: usize) -> Dataset {
+    assert!(n_train > 0 && n_test > 0, "split sizes must be positive");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0B1E_C755);
+    let make_split = |n: usize, rng: &mut StdRng| {
+        let mut split = Split::default();
+        for i in 0..n {
+            let label = i % 10;
+            split.push(sample_object(label, rng), label);
+        }
+        split
+    };
+    let train = make_split(n_train, &mut rng);
+    let test = make_split(n_test, &mut rng);
+    Dataset {
+        name: "synth-objects".to_owned(),
+        image_dims: vec![3, SIZE, SIZE],
+        num_classes: 10,
+        train,
+        test,
+    }
+}
+
+fn sample_object(label: usize, rng: &mut StdRng) -> Tensor {
+    // Background: smooth field in a hue offset from the class hue.
+    let bg_hue = (CLASS_HUES[label] + rng.gen_range(0.3..0.7)).rem_euclid(1.0);
+    let bg_v = smooth_field(rng, SIZE, SIZE, 0.1, 0.55);
+    let bg_rgb = hsv_to_rgb(bg_hue, rng.gen_range(0.2..0.5), 1.0);
+    let mut bg = Tensor::zeros(&[3, SIZE, SIZE]);
+    for (c, &channel_value) in bg_rgb.iter().enumerate() {
+        for i in 0..SIZE * SIZE {
+            bg.data_mut()[c * SIZE * SIZE + i] = bg_v.data()[i] * channel_value;
+        }
+    }
+
+    // Foreground: class shape mask with jittered geometry and class hue.
+    let cx = 15.5 + rng.gen_range(-3.0..3.0);
+    let cy = 15.5 + rng.gen_range(-3.0..3.0);
+    let r = rng.gen_range(7.0..11.0f32);
+    let mask = shape_mask(label, cx, cy, r);
+    let hue = (CLASS_HUES[label] + rng.gen_range(-0.04..0.04)).rem_euclid(1.0);
+    let color = hsv_to_rgb(hue, rng.gen_range(0.6..0.95), rng.gen_range(0.7..1.0));
+    let img = composite_mask(&bg, &mask, color);
+
+    add_noise(&img, rng, 0.05)
+}
+
+/// Builds the `[1, 32, 32]` soft mask for class `label`'s shape centered
+/// at `(cx, cy)` with radius `r`.
+fn shape_mask(label: usize, cx: f32, cy: f32, r: f32) -> Tensor {
+    let mut mask = Tensor::zeros(&[1, SIZE, SIZE]);
+    for y in 0..SIZE {
+        for x in 0..SIZE {
+            let dx = x as f32 - cx;
+            let dy = y as f32 - cy;
+            let inside = match label {
+                // Disc.
+                0 => (dx * dx + dy * dy).sqrt() <= r,
+                // Square.
+                1 => dx.abs() <= r * 0.85 && dy.abs() <= r * 0.85,
+                // Upward triangle.
+                2 => dy <= r * 0.6 && dy >= -r && dx.abs() <= (dy + r) * 0.55,
+                // Ring.
+                3 => {
+                    let d = (dx * dx + dy * dy).sqrt();
+                    d <= r && d >= r * 0.55
+                }
+                // Cross / plus.
+                4 => (dx.abs() <= r * 0.3 && dy.abs() <= r)
+                    || (dy.abs() <= r * 0.3 && dx.abs() <= r),
+                // Horizontal stripes clipped to a disc.
+                5 => (dx * dx + dy * dy).sqrt() <= r && (dy * 0.9).rem_euclid(4.0) < 2.0,
+                // Vertical stripes clipped to a disc.
+                6 => (dx * dx + dy * dy).sqrt() <= r && (dx * 0.9).rem_euclid(4.0) < 2.0,
+                // Checkerboard clipped to a square.
+                7 => {
+                    dx.abs() <= r * 0.9
+                        && dy.abs() <= r * 0.9
+                        && ((dx.rem_euclid(6.0) < 3.0) ^ (dy.rem_euclid(6.0) < 3.0))
+                }
+                // Diamond (L1 ball).
+                8 => dx.abs() + dy.abs() <= r,
+                // Four-pointed star (L0.5-ish ball).
+                9 => dx.abs().sqrt() + dy.abs().sqrt() <= r.sqrt() * 1.15,
+                _ => unreachable!("labels are 0..10"),
+            };
+            if inside {
+                mask.set(&[0, y, x], 1.0);
+            }
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_have_distinct_masks() {
+        let masks: Vec<Tensor> = (0..10).map(|l| shape_mask(l, 15.5, 15.5, 9.0)).collect();
+        for a in 0..10 {
+            assert!(masks[a].sum() > 20.0, "class {a} mask too small");
+            for b in (a + 1)..10 {
+                let diff = masks[a].sub(&masks[b]).norm_l1();
+                assert!(diff > 15.0, "classes {a}/{b} differ by only {diff}");
+            }
+        }
+    }
+
+    #[test]
+    fn images_are_colorful() {
+        let ds = synth_objects(2, 30, 10);
+        for img in &ds.train.images {
+            // Channels must differ somewhere, otherwise it is grayscale.
+            let r = img.index_outer(0);
+            let g = img.index_outer(1);
+            assert!(r.sub(&g).norm_l1() > 1.0, "image appears grayscale");
+        }
+    }
+
+    #[test]
+    fn foreground_shape_dominates_over_background() {
+        // Two samples of the same class must be closer in mask-space than
+        // the raw color stats alone would suggest; cheap proxy: class
+        // means are separated (same check as the digit corpus).
+        let ds = synth_objects(3, 300, 100);
+        let mut means: Vec<Tensor> = vec![Tensor::zeros(&[3, 32, 32]); 10];
+        let mut counts = [0usize; 10];
+        for (img, &l) in ds.train.images.iter().zip(&ds.train.labels) {
+            means[l].axpy(1.0, img);
+            counts[l] += 1;
+        }
+        for (m, &c) in means.iter_mut().zip(&counts) {
+            *m = m.scale(1.0 / c as f32);
+        }
+        let mut correct = 0;
+        for (img, &l) in ds.test.images.iter().zip(&ds.test.labels) {
+            let pred = means
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    img.sub(a)
+                        .norm_l2()
+                        .partial_cmp(&img.sub(b).norm_l2())
+                        .unwrap()
+                })
+                .unwrap()
+                .0;
+            if pred == l {
+                correct += 1;
+            }
+        }
+        let acc = correct as f32 / ds.test.len() as f32;
+        assert!(acc > 0.5, "nearest-mean accuracy only {acc}");
+    }
+}

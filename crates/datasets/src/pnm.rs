@@ -1,0 +1,118 @@
+//! PGM/PPM image writers used to dump Figure 2's example corner cases.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+use dv_tensor::Tensor;
+
+/// Writes a `[1, H, W]` grayscale tensor as a binary PGM (P5) file, or a
+/// `[3, H, W]` color tensor as a binary PPM (P6) file. Values are clamped
+/// to `[0, 1]` and quantized to 8 bits.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+///
+/// # Panics
+///
+/// Panics if the tensor is not `[1, H, W]` or `[3, H, W]`.
+pub fn write_pnm(path: &Path, image: &Tensor) -> io::Result<()> {
+    let dims = image.shape().dims();
+    assert_eq!(dims.len(), 3, "expected [C, H, W] image");
+    let (c, h, w) = (dims[0], dims[1], dims[2]);
+    assert!(c == 1 || c == 3, "expected 1 or 3 channels, got {c}");
+    let mut out = BufWriter::new(File::create(path)?);
+    let magic = if c == 1 { "P5" } else { "P6" };
+    write!(out, "{magic}\n{w} {h}\n255\n")?;
+    let data = image.data();
+    let mut buf = Vec::with_capacity(c * h * w);
+    for i in 0..h * w {
+        for ch in 0..c {
+            let v = (data[ch * h * w + i].clamp(0.0, 1.0) * 255.0).round() as u8;
+            buf.push(v);
+        }
+    }
+    out.write_all(&buf)
+}
+
+/// Arranges same-shaped images into a grid (row-major) with 1-pixel white
+/// separators, for contact sheets like the paper's Fig. 2.
+///
+/// # Panics
+///
+/// Panics if `images` is empty or shapes differ.
+pub fn contact_sheet(images: &[Tensor], cols: usize) -> Tensor {
+    assert!(!images.is_empty(), "no images for contact sheet");
+    assert!(cols > 0, "cols must be positive");
+    let dims = images[0].shape().dims().to_vec();
+    let (c, h, w) = (dims[0], dims[1], dims[2]);
+    let rows = images.len().div_ceil(cols);
+    let sheet_h = rows * h + (rows - 1);
+    let sheet_w = cols * w + (cols - 1);
+    let mut sheet = Tensor::ones(&[c, sheet_h, sheet_w]);
+    for (i, img) in images.iter().enumerate() {
+        assert_eq!(img.shape().dims(), dims.as_slice(), "image shape mismatch");
+        let (row, col) = (i / cols, i % cols);
+        let y0 = row * (h + 1);
+        let x0 = col * (w + 1);
+        for ch in 0..c {
+            for y in 0..h {
+                for x in 0..w {
+                    sheet.set(&[ch, y0 + y, x0 + x], img.at(&[ch, y, x]));
+                }
+            }
+        }
+    }
+    sheet
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pgm_header_and_size_are_correct() {
+        let dir = std::env::temp_dir().join("dv_pnm_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.pgm");
+        let img = Tensor::full(&[1, 2, 3], 0.5);
+        write_pnm(&path, &img).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let header = b"P5\n3 2\n255\n";
+        assert!(bytes.starts_with(header));
+        assert_eq!(bytes.len(), header.len() + 6);
+        assert_eq!(bytes[header.len()], 128);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn ppm_interleaves_channels() {
+        let dir = std::env::temp_dir().join("dv_pnm_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.ppm");
+        let mut img = Tensor::zeros(&[3, 1, 1]);
+        img.set(&[0, 0, 0], 1.0); // pure red pixel
+        write_pnm(&path, &img).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let px = &bytes[bytes.len() - 3..];
+        assert_eq!(px, &[255, 0, 0]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn contact_sheet_dimensions() {
+        let imgs = vec![Tensor::zeros(&[1, 4, 4]); 5];
+        let sheet = contact_sheet(&imgs, 3);
+        // 2 rows x 3 cols with 1px separators: 9 high, 14 wide.
+        assert_eq!(sheet.shape().dims(), &[1, 9, 14]);
+        // Separator pixels stay white.
+        assert_eq!(sheet.at(&[0, 4, 0]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no images")]
+    fn empty_sheet_panics() {
+        let _ = contact_sheet(&[], 2);
+    }
+}

@@ -1,0 +1,254 @@
+//! Low-level rasterization helpers shared by the dataset generators.
+
+use dv_tensor::Tensor;
+use rand::Rng;
+
+use crate::glyphs::{digit_glyph, GLYPH_H, GLYPH_W};
+
+/// Renders digit `d` into a grayscale `[1, size, size]` canvas.
+///
+/// The 5x7 glyph is smoothly upsampled to roughly `scale` pixels per cell
+/// and placed with its center at `(cx, cy)` (pixel coordinates). Ink has
+/// intensity `intensity`; the background stays 0.
+///
+/// # Panics
+///
+/// Panics if `d > 9` or `size == 0`.
+pub fn render_digit(d: usize, size: usize, cx: f32, cy: f32, scale: f32, intensity: f32) -> Tensor {
+    assert!(size > 0, "canvas size must be positive");
+    let glyph = digit_glyph(d);
+    let glyph_w = GLYPH_W as f32 * scale;
+    let glyph_h = GLYPH_H as f32 * scale;
+    let x0 = cx - glyph_w / 2.0;
+    let y0 = cy - glyph_h / 2.0;
+    let mut out = Tensor::zeros(&[1, size, size]);
+    for py in 0..size {
+        for px in 0..size {
+            // Sample the glyph with a small 2x2 supersample for soft edges.
+            let mut acc = 0.0f32;
+            for (ox, oy) in [(0.25, 0.25), (0.75, 0.25), (0.25, 0.75), (0.75, 0.75)] {
+                let gx = (px as f32 + ox - x0) / scale;
+                let gy = (py as f32 + oy - y0) / scale;
+                if gx >= 0.0 && gy >= 0.0 && (gx as usize) < GLYPH_W && (gy as usize) < GLYPH_H {
+                    acc += glyph[gy as usize][gx as usize] as f32;
+                }
+            }
+            let v = acc / 4.0 * intensity;
+            if v > 0.0 {
+                out.set(&[0, py, px], v.min(1.0));
+            }
+        }
+    }
+    out
+}
+
+/// Adds i.i.d. uniform noise in `[-amplitude, amplitude]` and clamps to
+/// `[0, 1]`.
+pub fn add_noise<R: Rng + ?Sized>(image: &Tensor, rng: &mut R, amplitude: f32) -> Tensor {
+    let mut out = image.clone();
+    for v in out.data_mut() {
+        *v = (*v + rng.gen_range(-amplitude..=amplitude)).clamp(0.0, 1.0);
+    }
+    out
+}
+
+/// A smooth random background field in `[lo, hi]`: a sum of low-frequency
+/// cosine waves with random phase and orientation, normalized per image.
+///
+/// # Panics
+///
+/// Panics if `lo > hi`.
+pub fn smooth_field<R: Rng + ?Sized>(rng: &mut R, h: usize, w: usize, lo: f32, hi: f32) -> Tensor {
+    assert!(lo <= hi, "field bounds inverted");
+    let mut waves = Vec::new();
+    for _ in 0..3 {
+        let fx = rng.gen_range(0.5..2.5) / w as f32 * std::f32::consts::TAU;
+        let fy = rng.gen_range(0.5..2.5) / h as f32 * std::f32::consts::TAU;
+        let phase = rng.gen_range(0.0..std::f32::consts::TAU);
+        let amp = rng.gen_range(0.3..1.0);
+        waves.push((fx, fy, phase, amp));
+    }
+    let mut data = vec![0.0f32; h * w];
+    let mut min = f32::INFINITY;
+    let mut max = f32::NEG_INFINITY;
+    for y in 0..h {
+        for x in 0..w {
+            let mut v = 0.0;
+            for &(fx, fy, phase, amp) in &waves {
+                v += amp * (fx * x as f32 + fy * y as f32 + phase).cos();
+            }
+            data[y * w + x] = v;
+            min = min.min(v);
+            max = max.max(v);
+        }
+    }
+    let range = (max - min).max(1e-6);
+    for v in &mut data {
+        *v = lo + (*v - min) / range * (hi - lo);
+    }
+    Tensor::from_vec(data, &[1, h, w])
+}
+
+/// A simple 3x3 box blur applied per channel (used by the SVHN stand-in
+/// to soften glyph edges the way street imagery is soft).
+///
+/// # Panics
+///
+/// Panics if `image` is not rank 3.
+pub fn box_blur3(image: &Tensor) -> Tensor {
+    assert_eq!(image.shape().ndim(), 3, "box_blur3 expects [C, H, W]");
+    let dims = image.shape().dims();
+    let (c, h, w) = (dims[0], dims[1], dims[2]);
+    let data = image.data();
+    let mut out = vec![0.0f32; c * h * w];
+    for ch in 0..c {
+        let base = ch * h * w;
+        for y in 0..h {
+            for x in 0..w {
+                let mut acc = 0.0;
+                let mut count = 0.0;
+                for dy in -1i32..=1 {
+                    for dx in -1i32..=1 {
+                        let yy = y as i32 + dy;
+                        let xx = x as i32 + dx;
+                        if yy >= 0 && xx >= 0 && (yy as usize) < h && (xx as usize) < w {
+                            acc += data[base + yy as usize * w + xx as usize];
+                            count += 1.0;
+                        }
+                    }
+                }
+                out[base + y * w + x] = acc / count;
+            }
+        }
+    }
+    Tensor::from_vec(out, dims)
+}
+
+/// Converts an HSV color (`h` in `[0, 1)`, `s`, `v` in `[0, 1]`) to RGB.
+pub fn hsv_to_rgb(h: f32, s: f32, v: f32) -> [f32; 3] {
+    let h6 = (h.rem_euclid(1.0)) * 6.0;
+    let i = h6.floor() as i32 % 6;
+    let f = h6 - h6.floor();
+    let p = v * (1.0 - s);
+    let q = v * (1.0 - f * s);
+    let t = v * (1.0 - (1.0 - f) * s);
+    match i {
+        0 => [v, t, p],
+        1 => [q, v, p],
+        2 => [p, v, t],
+        3 => [p, q, v],
+        4 => [t, p, v],
+        _ => [v, p, q],
+    }
+}
+
+/// Composites a grayscale mask (as alpha) over an RGB image with a solid
+/// color: `out = mask * color + (1 - mask) * image`.
+///
+/// # Panics
+///
+/// Panics if shapes are incompatible (`mask` must be `[1, H, W]` and
+/// `image` `[3, H, W]`).
+pub fn composite_mask(image: &Tensor, mask: &Tensor, color: [f32; 3]) -> Tensor {
+    let idims = image.shape().dims();
+    let mdims = mask.shape().dims();
+    assert_eq!(idims[0], 3, "composite target must be RGB");
+    assert_eq!(mdims[0], 1, "mask must be single-channel");
+    assert_eq!(&idims[1..], &mdims[1..], "mask/image size mismatch");
+    let (h, w) = (idims[1], idims[2]);
+    let mut out = image.clone();
+    for (c, &channel_value) in color.iter().enumerate() {
+        for i in 0..h * w {
+            let a = mask.data()[i];
+            let idx = c * h * w + i;
+            out.data_mut()[idx] = a * channel_value + (1.0 - a) * image.data()[idx];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn render_digit_produces_ink_in_canvas() {
+        let img = render_digit(3, 28, 14.0, 14.0, 3.0, 1.0);
+        assert!(img.sum() > 10.0, "digit too faint: {}", img.sum());
+        assert!(img.max() <= 1.0);
+    }
+
+    #[test]
+    fn rendered_digits_are_distinguishable() {
+        let a = render_digit(0, 28, 14.0, 14.0, 3.0, 1.0);
+        let b = render_digit(1, 28, 14.0, 14.0, 3.0, 1.0);
+        assert!(a.sub(&b).norm_l1() > 5.0);
+    }
+
+    #[test]
+    fn off_canvas_digit_is_partially_clipped() {
+        let centered = render_digit(8, 28, 14.0, 14.0, 3.0, 1.0);
+        let shifted = render_digit(8, 28, 2.0, 2.0, 3.0, 1.0);
+        assert!(shifted.sum() < centered.sum());
+    }
+
+    #[test]
+    fn noise_stays_in_unit_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let img = Tensor::full(&[1, 8, 8], 0.5);
+        let noisy = add_noise(&img, &mut rng, 0.8);
+        assert!(noisy.min() >= 0.0 && noisy.max() <= 1.0);
+        assert!(noisy.sub(&img).norm_l1() > 0.0);
+    }
+
+    #[test]
+    fn smooth_field_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let f = smooth_field(&mut rng, 16, 16, 0.2, 0.6);
+        assert!(f.min() >= 0.2 - 1e-5 && f.max() <= 0.6 + 1e-5);
+        // It must actually span the range (it is normalized).
+        assert!(f.max() - f.min() > 0.3);
+    }
+
+    #[test]
+    fn box_blur_preserves_constant_images() {
+        let img = Tensor::full(&[2, 6, 6], 0.7);
+        let blurred = box_blur3(&img);
+        for &v in blurred.data() {
+            assert!((v - 0.7).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn box_blur_smooths_impulse() {
+        let mut img = Tensor::zeros(&[1, 5, 5]);
+        img.set(&[0, 2, 2], 9.0);
+        let blurred = box_blur3(&img);
+        assert!((blurred.at(&[0, 2, 2]) - 1.0).abs() < 1e-5);
+        assert!((blurred.at(&[0, 1, 1]) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn hsv_primaries() {
+        let red = hsv_to_rgb(0.0, 1.0, 1.0);
+        assert_eq!(red, [1.0, 0.0, 0.0]);
+        let green = hsv_to_rgb(1.0 / 3.0, 1.0, 1.0);
+        assert!((green[1] - 1.0).abs() < 1e-5 && green[0] < 1e-5);
+        let gray = hsv_to_rgb(0.5, 0.0, 0.5);
+        assert!((gray[0] - 0.5).abs() < 1e-6 && (gray[1] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn composite_blends_by_mask() {
+        let bg = Tensor::zeros(&[3, 2, 2]);
+        let mut mask = Tensor::zeros(&[1, 2, 2]);
+        mask.set(&[0, 0, 0], 1.0);
+        mask.set(&[0, 1, 1], 0.5);
+        let out = composite_mask(&bg, &mask, [1.0, 0.0, 0.0]);
+        assert_eq!(out.at(&[0, 0, 0]), 1.0);
+        assert_eq!(out.at(&[0, 1, 1]), 0.5);
+        assert_eq!(out.at(&[1, 0, 0]), 0.0);
+    }
+}

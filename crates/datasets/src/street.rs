@@ -1,0 +1,152 @@
+//! SVHN stand-in: noisy 32x32 color street-number digits.
+
+use dv_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::raster::{add_noise, box_blur3, composite_mask, hsv_to_rgb, render_digit, smooth_field};
+use crate::{Dataset, Split};
+
+const SIZE: usize = 32;
+
+/// Generates the SVHN stand-in corpus.
+///
+/// SVHN crops digits out of house-number photos, so images are noisy,
+/// colors are arbitrary, digits can sit slightly off-center, and
+/// *distractor* digits intrude from the left/right borders. This
+/// generator reproduces all four properties: a colored digit over a
+/// smooth colored background, partial neighbor glyphs at the edges, a box
+/// blur and strong sensor noise.
+///
+/// # Panics
+///
+/// Panics if either split size is zero.
+pub fn synth_street_digits(seed: u64, n_train: usize, n_test: usize) -> Dataset {
+    assert!(n_train > 0 && n_test > 0, "split sizes must be positive");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5711_D161);
+    let make_split = |n: usize, rng: &mut StdRng| {
+        let mut split = Split::default();
+        for i in 0..n {
+            let label = i % 10;
+            split.push(sample_street_digit(label, rng), label);
+        }
+        split
+    };
+    let train = make_split(n_train, &mut rng);
+    let test = make_split(n_test, &mut rng);
+    Dataset {
+        name: "synth-street".to_owned(),
+        image_dims: vec![3, SIZE, SIZE],
+        num_classes: 10,
+        train,
+        test,
+    }
+}
+
+fn sample_street_digit(label: usize, rng: &mut StdRng) -> Tensor {
+    // Background: colored smooth field.
+    let bg_hue = rng.gen::<f32>();
+    let bg_rgb = hsv_to_rgb(bg_hue, rng.gen_range(0.2..0.7), 1.0);
+    let field = smooth_field(rng, SIZE, SIZE, 0.15, 0.7);
+    let mut img = Tensor::zeros(&[3, SIZE, SIZE]);
+    for (c, &channel_value) in bg_rgb.iter().enumerate() {
+        for i in 0..SIZE * SIZE {
+            img.data_mut()[c * SIZE * SIZE + i] = field.data()[i] * channel_value;
+        }
+    }
+
+    // Foreground color: hue pushed away from the background hue so the
+    // digit stays legible, value contrast enforced.
+    let fg_hue = (bg_hue + rng.gen_range(0.33..0.67)).rem_euclid(1.0);
+    let fg_rgb = hsv_to_rgb(fg_hue, rng.gen_range(0.5..1.0), rng.gen_range(0.75..1.0));
+
+    // Distractor glyph fragments from the neighbors of a house number.
+    for side in [-1.0f32, 1.0] {
+        if rng.gen_bool(0.7) {
+            let d: usize = rng.gen_range(0..10);
+            let off = rng.gen_range(13.0..17.0f32);
+            let mask = render_digit(d, SIZE, 15.5 + side * off, 15.5 + rng.gen_range(-2.0..2.0), 3.0, 0.8);
+            let color = hsv_to_rgb(rng.gen(), rng.gen_range(0.4..0.9), rng.gen_range(0.6..1.0));
+            img = composite_mask(&img, &mask, color);
+        }
+    }
+
+    // The labeled digit itself, roughly centered.
+    let cx = 15.5 + rng.gen_range(-2.0..2.0);
+    let cy = 15.5 + rng.gen_range(-2.0..2.0);
+    let scale = rng.gen_range(3.0..3.8);
+    let mask = render_digit(label, SIZE, cx, cy, scale, 1.0);
+    img = composite_mask(&img, &mask, fg_rgb);
+
+    // Street imagery is soft and noisy.
+    let img = box_blur3(&img);
+    add_noise(&img, rng, 0.13)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn images_are_noisier_than_digit_corpus() {
+        // Proxy for "SVHN is noisy": neighboring-pixel differences are
+        // larger on average than in the clean digit corpus.
+        let street = synth_street_digits(1, 30, 5);
+        let digits = crate::digits::synth_digits(1, 30, 5);
+        let roughness = |img: &Tensor| {
+            let dims = img.shape().dims();
+            let (c, h, w) = (dims[0], dims[1], dims[2]);
+            let mut acc = 0.0f32;
+            for ch in 0..c {
+                for y in 0..h {
+                    for x in 1..w {
+                        acc += (img.at(&[ch, y, x]) - img.at(&[ch, y, x - 1])).abs();
+                    }
+                }
+            }
+            acc / (c * h * (w - 1)) as f32
+        };
+        let street_rough: f32 = street.train.images.iter().map(&roughness).sum::<f32>()
+            / street.train.len() as f32;
+        let digit_rough: f32 = digits.train.images.iter().map(roughness).sum::<f32>()
+            / digits.train.len() as f32;
+        assert!(
+            street_rough > digit_rough,
+            "street {street_rough} not rougher than digits {digit_rough}"
+        );
+    }
+
+    #[test]
+    fn digit_region_contrasts_with_background() {
+        let ds = synth_street_digits(2, 20, 5);
+        let mut diffs = Vec::new();
+        for img in ds.train.images.iter().take(10) {
+            // The center 12x12 crop (where the digit lives) must differ
+            // from the border ring in at least one channel.
+            let mut center = 0.0f32;
+            let mut border = 0.0f32;
+            let mut nc = 0.0f32;
+            let mut nb = 0.0f32;
+            for c in 0..3 {
+                for y in 0..SIZE {
+                    for x in 0..SIZE {
+                        let v = img.at(&[c, y, x]);
+                        if (10..22).contains(&y) && (10..22).contains(&x) {
+                            center += v;
+                            nc += 1.0;
+                        } else if !(3..SIZE - 3).contains(&y) {
+                            border += v;
+                            nb += 1.0;
+                        }
+                    }
+                }
+            }
+            diffs.push((center / nc - border / nb).abs());
+        }
+        let mean_diff = diffs.iter().sum::<f32>() / diffs.len() as f32;
+        assert!(
+            mean_diff > 0.01,
+            "digits blend into background on average ({mean_diff})"
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! Property tests for the synthetic dataset generators.
+
+use dv_datasets::DatasetSpec;
+use proptest::prelude::*;
+
+proptest! {
+    // Dataset generation is comparatively slow, so keep case counts low.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn generation_is_deterministic_for_any_seed(seed in 0u64..10_000) {
+        let a = DatasetSpec::SynthDigits.generate(seed, 20, 5);
+        let b = DatasetSpec::SynthDigits.generate(seed, 20, 5);
+        for (x, y) in a.train.images.iter().zip(&b.train.images) {
+            prop_assert_eq!(x.data(), y.data());
+        }
+        prop_assert_eq!(a.test.labels, b.test.labels);
+    }
+
+    #[test]
+    fn pixel_range_holds_for_all_corpora(seed in 0u64..1_000) {
+        for spec in DatasetSpec::all() {
+            let ds = spec.generate(seed, 10, 5);
+            for img in ds.train.images.iter().chain(&ds.test.images) {
+                prop_assert!(img.min() >= 0.0, "{} below 0", spec);
+                prop_assert!(img.max() <= 1.0, "{} above 1", spec);
+                prop_assert!(!img.has_non_finite(), "{} non-finite", spec);
+            }
+        }
+    }
+
+    #[test]
+    fn labels_cycle_through_classes(seed in 0u64..1_000, n in 10usize..60) {
+        let ds = DatasetSpec::SynthObjects.generate(seed, n, 5);
+        for (i, &label) in ds.train.labels.iter().enumerate() {
+            prop_assert_eq!(label, i % 10);
+        }
+    }
+
+    #[test]
+    fn train_and_test_splits_differ(seed in 0u64..1_000) {
+        // The generators must not reuse the RNG stream between splits.
+        let ds = DatasetSpec::SynthDigits.generate(seed, 10, 10);
+        let identical = ds
+            .train
+            .images
+            .iter()
+            .zip(&ds.test.images)
+            .all(|(a, b)| a.data() == b.data());
+        prop_assert!(!identical, "train and test are byte-identical");
+    }
+}

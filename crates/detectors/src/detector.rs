@@ -1,0 +1,49 @@
+//! The common scoring interface all detectors implement.
+
+use dv_nn::Network;
+use dv_tensor::Tensor;
+
+/// An anomaly detector over a classifier's inputs.
+///
+/// `score` returns a real number where **higher means more anomalous**;
+/// evaluation is threshold-free (ROC-AUC), and operating points are chosen
+/// downstream from clean-data quantiles. Detectors take `&mut self`
+/// because scoring may reuse internal buffers, and `&mut Network` because
+/// inference mutates layer caches.
+pub trait Detector {
+    /// Short name for tables, e.g. `"feature-squeezing"`.
+    fn name(&self) -> &str;
+
+    /// Anomaly score of one `[C, H, W]` image (higher = more anomalous).
+    fn score(&mut self, net: &mut Network, image: &Tensor) -> f32;
+
+    /// Scores a whole set (default: one-by-one).
+    fn score_all(&mut self, net: &mut Network, images: &[Tensor]) -> Vec<f32> {
+        images.iter().map(|img| self.score(net, img)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct ConstDetector(f32);
+
+    impl Detector for ConstDetector {
+        fn name(&self) -> &str {
+            "const"
+        }
+        fn score(&mut self, _net: &mut Network, _image: &Tensor) -> f32 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn score_all_maps_score() {
+        let mut d = ConstDetector(0.5);
+        let mut net = Network::new(&[1]);
+        net.push(dv_nn::layers::Flatten::new());
+        let imgs = vec![Tensor::zeros(&[1, 2, 2]); 3];
+        assert_eq!(d.score_all(&mut net, &imgs), vec![0.5, 0.5, 0.5]);
+    }
+}

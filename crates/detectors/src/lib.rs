@@ -1,0 +1,32 @@
+//! Baseline anomaly detectors the paper compares against (Section IV-D4):
+//!
+//! - [`squeeze::FeatureSqueezing`] — Xu et al., NDSS 2018: squeeze the
+//!   input (bit-depth reduction, median smoothing) and score by the
+//!   maximum L1 distance between the model's softmax outputs on the
+//!   original and squeezed inputs. Representative of
+//!   *prediction-inconsistency* detection.
+//! - [`kde::KdeDetector`] — Feinman et al., 2017: Gaussian kernel density
+//!   estimation on the last hidden layer's activations of the training
+//!   data; score is the negated density under the predicted class.
+//!   Representative of *statistical* detection.
+//!
+//! Both implement the common [`Detector`] trait (higher score = more
+//! anomalous), so they plug into the same ROC-AUC evaluation as Deep
+//! Validation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod confidence;
+pub mod detector;
+pub mod kde;
+pub mod mahalanobis;
+pub mod odin;
+pub mod squeeze;
+
+pub use confidence::MaxConfidence;
+pub use detector::Detector;
+pub use kde::KdeDetector;
+pub use mahalanobis::MahalanobisDetector;
+pub use odin::OdinDetector;
+pub use squeeze::{FeatureSqueezing, Squeezer};

@@ -1,0 +1,190 @@
+//! ROC-AUC and operating-point metrics.
+
+/// Exact ROC-AUC of an anomaly scorer: the probability that a random
+/// positive (anomaly) scores above a random negative (clean input), with
+/// ties counted as half — the Mann-Whitney U statistic normalized to
+/// `[0, 1]`.
+///
+/// `negatives` are clean-input scores, `positives` are anomaly scores;
+/// higher scores mean "more anomalous".
+///
+/// # Panics
+///
+/// Panics if either slice is empty.
+///
+/// # Examples
+///
+/// ```
+/// use dv_eval::roc_auc;
+///
+/// assert_eq!(roc_auc(&[0.0, 0.1], &[0.9, 1.0]), 1.0); // perfect
+/// assert_eq!(roc_auc(&[0.9, 1.0], &[0.0, 0.1]), 0.0); // inverted
+/// assert_eq!(roc_auc(&[0.5], &[0.5]), 0.5);           // tie
+/// ```
+pub fn roc_auc(negatives: &[f32], positives: &[f32]) -> f64 {
+    assert!(
+        !negatives.is_empty() && !positives.is_empty(),
+        "roc_auc needs at least one score on each side"
+    );
+    // Sort-merge rank computation: O((m+n) log (m+n)).
+    let mut all: Vec<(f32, bool)> = negatives
+        .iter()
+        .map(|&s| (s, false))
+        .chain(positives.iter().map(|&s| (s, true)))
+        .collect();
+    all.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+
+    let mut u = 0.0f64; // sum over positives of (#negatives below + ties/2)
+    let mut i = 0usize;
+    let mut negatives_below = 0usize;
+    while i < all.len() {
+        // Group ties.
+        let mut j = i;
+        let mut tie_neg = 0usize;
+        let mut tie_pos = 0usize;
+        while j < all.len() && all[j].0 == all[i].0 {
+            if all[j].1 {
+                tie_pos += 1;
+            } else {
+                tie_neg += 1;
+            }
+            j += 1;
+        }
+        u += tie_pos as f64 * (negatives_below as f64 + tie_neg as f64 / 2.0);
+        negatives_below += tie_neg;
+        i = j;
+    }
+    u / (negatives.len() as f64 * positives.len() as f64)
+}
+
+/// Chooses a detection threshold so that at most `fpr` of the clean
+/// scores exceed it (the paper pins both detectors at FPR 0.059 in
+/// Fig. 4 this way).
+///
+/// # Panics
+///
+/// Panics if `clean_scores` is empty or `fpr` outside `[0, 1]`.
+pub fn threshold_at_fpr(clean_scores: &[f32], fpr: f32) -> f32 {
+    assert!(!clean_scores.is_empty(), "no clean scores");
+    assert!((0.0..=1.0).contains(&fpr), "fpr {fpr} outside [0, 1]");
+    let mut sorted = clean_scores.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    // Allow floor(fpr * n) scores strictly above the threshold.
+    let allowed = (fpr * sorted.len() as f32).floor() as usize;
+    let idx = sorted.len() - 1 - allowed.min(sorted.len() - 1);
+    sorted[idx]
+}
+
+/// The paper's epsilon rule from Figure 3: "one can set the center of
+/// both distribution centroids as the discrepancy threshold" — the
+/// midpoint between the mean clean score and the mean anomaly score.
+///
+/// # Panics
+///
+/// Panics if either slice is empty.
+pub fn centroid_threshold(clean_scores: &[f32], anomaly_scores: &[f32]) -> f32 {
+    assert!(
+        !clean_scores.is_empty() && !anomaly_scores.is_empty(),
+        "centroid threshold needs scores on both sides"
+    );
+    let clean_mean: f32 = clean_scores.iter().sum::<f32>() / clean_scores.len() as f32;
+    let anomaly_mean: f32 = anomaly_scores.iter().sum::<f32>() / anomaly_scores.len() as f32;
+    0.5 * (clean_mean + anomaly_mean)
+}
+
+/// Fraction of `scores` strictly above `threshold` (a detection / true
+/// positive rate when applied to anomaly scores).
+pub fn detection_rate(scores: &[f32], threshold: f32) -> f32 {
+    if scores.is_empty() {
+        return 0.0;
+    }
+    scores.iter().filter(|&&s| s > threshold).count() as f32 / scores.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separable_scores_give_extreme_auc() {
+        assert_eq!(roc_auc(&[1.0, 2.0, 3.0], &[4.0, 5.0]), 1.0);
+        assert_eq!(roc_auc(&[4.0, 5.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn interleaved_scores_give_half() {
+        let auc = roc_auc(&[1.0, 3.0], &[2.0, 4.0]);
+        assert!((auc - 0.75).abs() < 1e-12);
+        let auc = roc_auc(&[1.0, 2.0, 3.0, 4.0], &[1.0, 2.0, 3.0, 4.0]);
+        assert!((auc - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_data() {
+        // Deterministic pseudo-random scores with duplicates.
+        let negatives: Vec<f32> = (0..40).map(|i| ((i * 37) % 17) as f32).collect();
+        let positives: Vec<f32> = (0..30).map(|i| ((i * 23) % 19) as f32 + 3.0).collect();
+        let mut brute = 0.0f64;
+        for &p in &positives {
+            for &n in &negatives {
+                brute += if p > n {
+                    1.0
+                } else if p == n {
+                    0.5
+                } else {
+                    0.0
+                };
+            }
+        }
+        brute /= (negatives.len() * positives.len()) as f64;
+        assert!((roc_auc(&negatives, &positives) - brute).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_is_invariant_under_monotone_transforms() {
+        let neg = [0.1f32, 0.4, 0.2, 0.35];
+        let pos = [0.3f32, 0.8, 0.5];
+        let a = roc_auc(&neg, &pos);
+        let neg2: Vec<f32> = neg.iter().map(|&x| x.exp() * 3.0 + 1.0).collect();
+        let pos2: Vec<f32> = pos.iter().map(|&x| x.exp() * 3.0 + 1.0).collect();
+        let b = roc_auc(&neg2, &pos2);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threshold_respects_fpr_budget() {
+        let clean: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        let t = threshold_at_fpr(&clean, 0.05);
+        let fp = clean.iter().filter(|&&s| s > t).count();
+        assert!(fp <= 5, "threshold lets {fp} false positives through");
+        // Zero FPR means the max clean score.
+        assert_eq!(threshold_at_fpr(&clean, 0.0), 99.0);
+    }
+
+    #[test]
+    fn centroid_threshold_sits_between_the_means() {
+        let t = centroid_threshold(&[0.0, 0.2], &[1.0, 1.2]);
+        assert!((t - 0.6).abs() < 1e-6);
+        // Well-separated populations are perfectly split by it.
+        assert_eq!(detection_rate(&[1.0, 1.2], t), 1.0);
+        assert_eq!(detection_rate(&[0.0, 0.2], t), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "both sides")]
+    fn centroid_threshold_rejects_empty() {
+        let _ = centroid_threshold(&[], &[1.0]);
+    }
+
+    #[test]
+    fn detection_rate_counts_strictly_above() {
+        assert_eq!(detection_rate(&[1.0, 2.0, 3.0], 2.0), 1.0 / 3.0);
+        assert_eq!(detection_rate(&[], 0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one score")]
+    fn empty_sides_panic() {
+        let _ = roc_auc(&[], &[1.0]);
+    }
+}

@@ -1,0 +1,141 @@
+//! Text histograms and CSV dumps (for Figure 3's discrepancy
+//! distributions).
+
+/// A two-population histogram over a shared range.
+#[derive(Debug, Clone)]
+pub struct DualHistogram {
+    lo: f32,
+    hi: f32,
+    bins_a: Vec<usize>,
+    bins_b: Vec<usize>,
+    label_a: String,
+    label_b: String,
+}
+
+impl DualHistogram {
+    /// Builds a histogram with `bins` buckets covering both populations'
+    /// combined range (the paper's Fig. 3 uses 200 bins).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or both populations are empty.
+    pub fn new(a: &[f32], b: &[f32], bins: usize, label_a: &str, label_b: &str) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        assert!(!(a.is_empty() && b.is_empty()), "both populations empty");
+        let all = a.iter().chain(b);
+        let mut lo = f32::INFINITY;
+        let mut hi = f32::NEG_INFINITY;
+        for &v in all {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        if lo == hi {
+            hi = lo + 1.0;
+        }
+        let mut bins_a = vec![0usize; bins];
+        let mut bins_b = vec![0usize; bins];
+        let width = (hi - lo) / bins as f32;
+        let place = |v: f32| (((v - lo) / width) as usize).min(bins - 1);
+        for &v in a {
+            bins_a[place(v)] += 1;
+        }
+        for &v in b {
+            bins_b[place(v)] += 1;
+        }
+        Self {
+            lo,
+            hi,
+            bins_a,
+            bins_b,
+            label_a: label_a.to_owned(),
+            label_b: label_b.to_owned(),
+        }
+    }
+
+    /// Renders an ASCII plot, one row per bin: bin range, then `#` bars
+    /// for population A and `*` bars for population B (normalized to the
+    /// largest bin).
+    pub fn render(&self, width: usize) -> String {
+        let max = self
+            .bins_a
+            .iter()
+            .chain(&self.bins_b)
+            .copied()
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        let bin_w = (self.hi - self.lo) / self.bins_a.len() as f32;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "# '#' = {}, '*' = {}\n",
+            self.label_a, self.label_b
+        ));
+        for (i, (&ca, &cb)) in self.bins_a.iter().zip(&self.bins_b).enumerate() {
+            if ca == 0 && cb == 0 {
+                continue;
+            }
+            let start = self.lo + bin_w * i as f32;
+            let bar_a = "#".repeat((ca * width).div_ceil(max));
+            let bar_b = "*".repeat((cb * width).div_ceil(max));
+            out.push_str(&format!("{start:>9.3} | {bar_a}{bar_b}\n"));
+        }
+        out
+    }
+
+    /// CSV rows: `bin_start,count_a,count_b` with a header.
+    pub fn to_csv(&self) -> String {
+        let bin_w = (self.hi - self.lo) / self.bins_a.len() as f32;
+        let mut out = format!("bin_start,{},{}\n", self.label_a, self.label_b);
+        for (i, (&ca, &cb)) in self.bins_a.iter().zip(&self.bins_b).enumerate() {
+            let start = self.lo + bin_w * i as f32;
+            out.push_str(&format!("{start},{ca},{cb}\n"));
+        }
+        out
+    }
+
+    /// Total counts per population.
+    pub fn totals(&self) -> (usize, usize) {
+        (self.bins_a.iter().sum(), self.bins_b.iter().sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_match_inputs() {
+        let h = DualHistogram::new(&[0.0, 0.5, 1.0], &[0.9, 0.95], 10, "clean", "scc");
+        assert_eq!(h.totals(), (3, 2));
+    }
+
+    #[test]
+    fn extreme_values_land_in_edge_bins() {
+        let h = DualHistogram::new(&[0.0], &[1.0], 4, "a", "b");
+        assert_eq!(h.bins_a[0], 1);
+        assert_eq!(h.bins_b[3], 1);
+    }
+
+    #[test]
+    fn constant_population_does_not_divide_by_zero() {
+        let h = DualHistogram::new(&[0.5, 0.5], &[], 5, "a", "b");
+        assert_eq!(h.totals(), (2, 0));
+        assert!(!h.render(20).is_empty());
+    }
+
+    #[test]
+    fn csv_has_header_and_all_bins() {
+        let h = DualHistogram::new(&[0.0, 1.0], &[0.5], 5, "clean", "scc");
+        let csv = h.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 6);
+        assert_eq!(lines[0], "bin_start,clean,scc");
+    }
+
+    #[test]
+    fn render_skips_empty_bins() {
+        let h = DualHistogram::new(&[0.0], &[10.0], 100, "a", "b");
+        // Only two non-empty bins plus the header line.
+        assert_eq!(h.render(10).lines().count(), 3);
+    }
+}

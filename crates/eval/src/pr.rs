@@ -1,0 +1,126 @@
+//! Precision/recall metrics complementing ROC-AUC.
+//!
+//! ROC-AUC (the paper's metric) is insensitive to class imbalance; the
+//! deployment scenarios in the paper's introduction (rare corner cases in
+//! a stream of clean frames) are heavily imbalanced, so the reproduction
+//! also reports average precision and the full PR curve.
+
+/// One precision/recall operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrPoint {
+    /// Detection threshold this point corresponds to.
+    pub threshold: f32,
+    /// Precision at the threshold.
+    pub precision: f32,
+    /// Recall at the threshold.
+    pub recall: f32,
+}
+
+/// The precision-recall curve of an anomaly scorer, sorted by descending
+/// threshold (increasing recall). Higher scores mean "more anomalous".
+///
+/// # Panics
+///
+/// Panics if `positives` is empty.
+pub fn pr_curve(negatives: &[f32], positives: &[f32]) -> Vec<PrPoint> {
+    assert!(!positives.is_empty(), "pr_curve needs positive scores");
+    let mut all: Vec<(f32, bool)> = negatives
+        .iter()
+        .map(|&s| (s, false))
+        .chain(positives.iter().map(|&s| (s, true)))
+        .collect();
+    // Descending by score: walking the list lowers the threshold.
+    all.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    let total_pos = positives.len() as f32;
+    let mut tp = 0.0f32;
+    let mut fp = 0.0f32;
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < all.len() {
+        // Process ties together so the curve is well-defined.
+        let score = all[i].0;
+        while i < all.len() && all[i].0 == score {
+            if all[i].1 {
+                tp += 1.0;
+            } else {
+                fp += 1.0;
+            }
+            i += 1;
+        }
+        out.push(PrPoint {
+            threshold: score,
+            precision: tp / (tp + fp),
+            recall: tp / total_pos,
+        });
+    }
+    out
+}
+
+/// Average precision: the area under the PR curve computed as the
+/// step-wise sum `sum (R_i - R_{i-1}) * P_i` (the scikit-learn
+/// definition).
+///
+/// # Panics
+///
+/// Panics if `positives` is empty.
+pub fn average_precision(negatives: &[f32], positives: &[f32]) -> f64 {
+    let curve = pr_curve(negatives, positives);
+    let mut ap = 0.0f64;
+    let mut prev_recall = 0.0f64;
+    for point in &curve {
+        ap += (point.recall as f64 - prev_recall) * point.precision as f64;
+        prev_recall = point.recall as f64;
+    }
+    ap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation_gives_ap_one() {
+        let ap = average_precision(&[0.0, 0.1, 0.2], &[0.8, 0.9]);
+        assert!((ap - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inverted_scores_give_low_ap() {
+        let ap = average_precision(&[0.8, 0.9, 1.0], &[0.0, 0.1]);
+        assert!(ap < 0.5);
+    }
+
+    #[test]
+    fn ap_of_random_interleaving_is_near_prevalence() {
+        // Alternating scores: AP approaches the positive prevalence.
+        let negatives: Vec<f32> = (0..50).map(|i| i as f32).collect();
+        let positives: Vec<f32> = (0..50).map(|i| i as f32 + 0.5).collect();
+        let ap = average_precision(&negatives, &positives);
+        assert!((0.4..0.85).contains(&ap), "ap {ap}");
+    }
+
+    #[test]
+    fn curve_recall_is_monotone_and_ends_at_one() {
+        let curve = pr_curve(&[0.2, 0.5, 0.1], &[0.4, 0.9, 0.3]);
+        for w in curve.windows(2) {
+            assert!(w[1].recall >= w[0].recall);
+            assert!(w[1].threshold <= w[0].threshold);
+        }
+        assert!((curve.last().unwrap().recall - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ties_are_grouped() {
+        // All scores equal: a single PR point with prevalence precision.
+        let curve = pr_curve(&[1.0, 1.0], &[1.0, 1.0]);
+        assert_eq!(curve.len(), 1);
+        assert!((curve[0].precision - 0.5).abs() < 1e-6);
+        assert!((curve[0].recall - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive scores")]
+    fn empty_positives_panic() {
+        let _ = pr_curve(&[1.0], &[]);
+    }
+}

@@ -1,0 +1,125 @@
+//! Fixed-width text tables for the reproduction binaries.
+
+/// A simple left-aligned text table builder.
+///
+/// # Examples
+///
+/// ```
+/// use dv_eval::table::TextTable;
+///
+/// let mut t = TextTable::new(vec!["Dataset", "AUC"]);
+/// t.row(vec!["synth-digits".into(), "0.99".into()]);
+/// let s = t.render();
+/// assert!(s.contains("synth-digits"));
+/// assert!(s.lines().count() >= 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    pub fn new(headers: Vec<&str>) -> Self {
+        assert!(!headers.is_empty(), "table needs at least one column");
+        Self {
+            headers: headers.into_iter().map(str::to_owned).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Short rows are padded with empty cells; long rows
+    /// are truncated to the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        let mut cells = cells;
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with a header separator.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().take(cols).enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let render_row = |cells: &[String]| -> String {
+            let parts: Vec<String> = cells
+                .iter()
+                .take(cols)
+                .enumerate()
+                .map(|(i, c)| format!("{:<width$}", c, width = widths[i]))
+                .collect();
+            parts.join("  ").trim_end().to_owned()
+        };
+        let mut out = render_row(&self.headers);
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats an AUC/score as the paper does (4 decimal places), or `-` for
+/// absent cells.
+pub fn fmt_score(score: Option<f64>) -> String {
+    match score {
+        Some(s) => format!("{s:.4}"),
+        None => "-".to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn columns_align() {
+        let mut t = TextTable::new(vec!["A", "LongHeader"]);
+        t.row(vec!["xxxx".into(), "1".into()]);
+        t.row(vec!["y".into(), "2".into()]);
+        let rendered = t.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // The second column must start at the same offset on each line.
+        let off = lines[0].find("LongHeader").unwrap();
+        assert_eq!(lines[2].find('1').unwrap(), off);
+        assert_eq!(lines[3].find('2').unwrap(), off);
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new(vec!["A", "B", "C"]);
+        t.row(vec!["only".into()]);
+        assert!(t.render().contains("only"));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn fmt_score_formats_like_the_paper() {
+        assert_eq!(fmt_score(Some(0.99365)), "0.9937");
+        assert_eq!(fmt_score(None), "-");
+    }
+}

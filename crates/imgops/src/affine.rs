@@ -1,0 +1,222 @@
+//! Homogeneous 3x3 affine transformation matrices (paper Table I).
+
+/// A 2-D affine transform in homogeneous coordinates, stored row-major.
+///
+/// Points are column vectors `(a, b, 1)`; a transformed point is
+/// `T * (a, b, 1)`. The last row is always `(0, 0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use dv_imgops::Affine;
+///
+/// let t = Affine::translation(2.0, -1.0);
+/// assert_eq!(t.apply(0.0, 0.0), (2.0, -1.0));
+/// let r = Affine::rotation_deg(90.0);
+/// let (x, y) = r.apply(1.0, 0.0);
+/// assert!((x - 0.0).abs() < 1e-6 && (y + 1.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Affine {
+    m: [f32; 9],
+}
+
+impl Affine {
+    /// The identity transform.
+    pub fn identity() -> Self {
+        Self {
+            m: [1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0],
+        }
+    }
+
+    /// Builds a transform from an explicit row-major matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the last row is not `(0, 0, 1)`.
+    pub fn from_rows(m: [f32; 9]) -> Self {
+        assert!(
+            m[6] == 0.0 && m[7] == 0.0 && m[8] == 1.0,
+            "affine matrices must have last row (0, 0, 1)"
+        );
+        Self { m }
+    }
+
+    /// Rotation by `theta` degrees (counter-clockwise in the
+    /// x-right/y-up convention of the paper's Table I).
+    pub fn rotation_deg(theta: f32) -> Self {
+        let r = theta.to_radians();
+        let (s, c) = r.sin_cos();
+        Self::from_rows([c, s, 0.0, -s, c, 0.0, 0.0, 0.0, 1.0])
+    }
+
+    /// Shear with ratio `sh` along the x axis and `sv` along the y axis.
+    pub fn shear(sh: f32, sv: f32) -> Self {
+        Self::from_rows([1.0, sh, 0.0, sv, 1.0, 0.0, 0.0, 0.0, 1.0])
+    }
+
+    /// Scaling by `sx` along x and `sy` along y.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either factor is zero (the matrix would be singular).
+    pub fn scale(sx: f32, sy: f32) -> Self {
+        assert!(sx != 0.0 && sy != 0.0, "scale factors must be non-zero");
+        Self::from_rows([sx, 0.0, 0.0, 0.0, sy, 0.0, 0.0, 0.0, 1.0])
+    }
+
+    /// Translation by `(tx, ty)`.
+    pub fn translation(tx: f32, ty: f32) -> Self {
+        Self::from_rows([1.0, 0.0, tx, 0.0, 1.0, ty, 0.0, 0.0, 1.0])
+    }
+
+    /// Matrix product `self * other` (apply `other` first, then `self`).
+    pub fn compose(&self, other: &Affine) -> Affine {
+        let a = &self.m;
+        let b = &other.m;
+        let mut out = [0.0f32; 9];
+        for i in 0..3 {
+            for j in 0..3 {
+                out[i * 3 + j] = (0..3).map(|k| a[i * 3 + k] * b[k * 3 + j]).sum();
+            }
+        }
+        Affine { m: out }
+    }
+
+    /// The same transform re-anchored at `(cx, cy)` instead of the origin:
+    /// `T(c) * self * T(-c)`. Used so rotation/shear/scale act about the
+    /// image center.
+    pub fn about(&self, cx: f32, cy: f32) -> Affine {
+        Affine::translation(cx, cy)
+            .compose(self)
+            .compose(&Affine::translation(-cx, -cy))
+    }
+
+    /// Applies the transform to a point.
+    pub fn apply(&self, a: f32, b: f32) -> (f32, f32) {
+        let m = &self.m;
+        (
+            m[0] * a + m[1] * b + m[2],
+            m[3] * a + m[4] * b + m[5],
+        )
+    }
+
+    /// The inverse transform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the linear part is singular (determinant ~ 0).
+    pub fn inverse(&self) -> Affine {
+        let m = &self.m;
+        let det = m[0] * m[4] - m[1] * m[3];
+        assert!(
+            det.abs() > 1e-12,
+            "affine transform is singular (det {det})"
+        );
+        let inv_det = 1.0 / det;
+        // Inverse of [A t; 0 1] is [A^-1, -A^-1 t; 0 1].
+        let ia = m[4] * inv_det;
+        let ib = -m[1] * inv_det;
+        let ic = -m[3] * inv_det;
+        let id = m[0] * inv_det;
+        Affine::from_rows([
+            ia,
+            ib,
+            -(ia * m[2] + ib * m[5]),
+            ic,
+            id,
+            -(ic * m[2] + id * m[5]),
+            0.0,
+            0.0,
+            1.0,
+        ])
+    }
+
+    /// The row-major matrix entries.
+    pub fn rows(&self) -> [f32; 9] {
+        self.m
+    }
+}
+
+impl Default for Affine {
+    fn default() -> Self {
+        Self::identity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: (f32, f32), b: (f32, f32)) -> bool {
+        (a.0 - b.0).abs() < 1e-5 && (a.1 - b.1).abs() < 1e-5
+    }
+
+    #[test]
+    fn identity_fixes_points() {
+        let id = Affine::identity();
+        assert!(close(id.apply(3.5, -2.0), (3.5, -2.0)));
+    }
+
+    #[test]
+    fn rotation_by_360_is_identity() {
+        let r = Affine::rotation_deg(360.0);
+        assert!(close(r.apply(2.0, 5.0), (2.0, 5.0)));
+    }
+
+    #[test]
+    fn rotation_composes_additively() {
+        let a = Affine::rotation_deg(30.0);
+        let b = Affine::rotation_deg(25.0);
+        let ab = a.compose(&b);
+        let direct = Affine::rotation_deg(55.0);
+        assert!(close(ab.apply(1.0, 2.0), direct.apply(1.0, 2.0)));
+    }
+
+    #[test]
+    fn shear_moves_x_proportional_to_y() {
+        let s = Affine::shear(0.5, 0.0);
+        assert!(close(s.apply(1.0, 2.0), (2.0, 2.0)));
+        assert!(close(s.apply(1.0, 0.0), (1.0, 0.0)));
+    }
+
+    #[test]
+    fn scale_multiplies_coordinates() {
+        let s = Affine::scale(2.0, 0.5);
+        assert!(close(s.apply(3.0, 4.0), (6.0, 2.0)));
+    }
+
+    #[test]
+    fn translation_shifts() {
+        let t = Affine::translation(1.0, -1.0);
+        assert!(close(t.apply(0.0, 0.0), (1.0, -1.0)));
+    }
+
+    #[test]
+    fn inverse_undoes_transform() {
+        let t = Affine::rotation_deg(33.0)
+            .compose(&Affine::scale(1.7, 0.6))
+            .compose(&Affine::translation(4.0, -2.0));
+        let inv = t.inverse();
+        let p = t.apply(1.2, 3.4);
+        assert!(close(inv.apply(p.0, p.1), (1.2, 3.4)));
+    }
+
+    #[test]
+    fn about_fixes_the_anchor_point() {
+        let r = Affine::rotation_deg(90.0).about(5.0, 7.0);
+        assert!(close(r.apply(5.0, 7.0), (5.0, 7.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn singular_inverse_panics() {
+        let _ = Affine::from_rows([0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0]).inverse();
+    }
+
+    #[test]
+    #[should_panic(expected = "last row")]
+    fn bad_last_row_panics() {
+        let _ = Affine::from_rows([1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0]);
+    }
+}

@@ -1,0 +1,286 @@
+//! The transformation catalogue of paper Table IV, as a single enum.
+
+use dv_tensor::Tensor;
+
+use crate::affine::Affine;
+use crate::warp::warp_centered;
+
+/// The eight corner-case categories of the paper's evaluation
+/// (Tables V and VI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TransformKind {
+    /// Additive brightness bias.
+    Brightness,
+    /// Multiplicative contrast gain.
+    Contrast,
+    /// Rotation about the image center.
+    Rotation,
+    /// Shear about the image center.
+    Shear,
+    /// Scale about the image center.
+    Scale,
+    /// Translation in pixels.
+    Translation,
+    /// Pixel-value complement (grayscale images only in the paper).
+    Complement,
+    /// The per-dataset combination of two transformations.
+    Combined,
+}
+
+impl TransformKind {
+    /// All eight categories in the order of the paper's tables.
+    pub fn all() -> [TransformKind; 8] {
+        [
+            TransformKind::Brightness,
+            TransformKind::Contrast,
+            TransformKind::Rotation,
+            TransformKind::Shear,
+            TransformKind::Scale,
+            TransformKind::Translation,
+            TransformKind::Complement,
+            TransformKind::Combined,
+        ]
+    }
+
+    /// The column header used in the paper's tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TransformKind::Brightness => "Brightness",
+            TransformKind::Contrast => "Contrast",
+            TransformKind::Rotation => "Rotation",
+            TransformKind::Shear => "Shear",
+            TransformKind::Scale => "Scale",
+            TransformKind::Translation => "Translation",
+            TransformKind::Complement => "Complement",
+            TransformKind::Combined => "Combined",
+        }
+    }
+}
+
+impl std::fmt::Display for TransformKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A concrete, parameterized image transformation.
+///
+/// Applying a transform never changes the image shape; affine transforms
+/// fill uncovered pixels with black, and pixel-value transforms clamp to
+/// `[0, 1]`, both matching the behaviour of the image pipelines the paper
+/// builds on.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Transform {
+    /// Adds bias `beta` to every pixel (paper: β in `[0, 0.95]`).
+    Brightness {
+        /// Additive bias.
+        beta: f32,
+    },
+    /// Multiplies every pixel by gain `alpha` (paper: α in `[0, 5]`).
+    Contrast {
+        /// Multiplicative gain.
+        alpha: f32,
+    },
+    /// Rotates by `deg` degrees about the image center.
+    Rotation {
+        /// Rotation angle in degrees.
+        deg: f32,
+    },
+    /// Shears about the center with ratios `(sh, sv)`.
+    Shear {
+        /// Shear ratio along the x axis.
+        sh: f32,
+        /// Shear ratio along the y axis.
+        sv: f32,
+    },
+    /// Scales about the center by `(sx, sy)`.
+    Scale {
+        /// Scale ratio along the x axis.
+        sx: f32,
+        /// Scale ratio along the y axis.
+        sy: f32,
+    },
+    /// Translates by `(tx, ty)` pixels.
+    Translation {
+        /// Shift along the x axis, in pixels.
+        tx: f32,
+        /// Shift along the y axis, in pixels.
+        ty: f32,
+    },
+    /// Flips every pixel value: `x -> 1 - x`.
+    Complement,
+    /// Applies the inner transforms left to right.
+    Compose(Vec<Transform>),
+}
+
+impl Transform {
+    /// Applies the transformation to a `[C, H, W]` image in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `image` is not rank 3 or an affine component is singular
+    /// (e.g. `Scale` with a zero factor).
+    pub fn apply(&self, image: &Tensor) -> Tensor {
+        match self {
+            Transform::Brightness { beta } => image.map(|x| (x + beta).clamp(0.0, 1.0)),
+            Transform::Contrast { alpha } => image.map(|x| (x * alpha).clamp(0.0, 1.0)),
+            Transform::Rotation { deg } => warp_centered(image, &Affine::rotation_deg(*deg)),
+            Transform::Shear { sh, sv } => warp_centered(image, &Affine::shear(*sh, *sv)),
+            Transform::Scale { sx, sy } => warp_centered(image, &Affine::scale(*sx, *sy)),
+            Transform::Translation { tx, ty } => {
+                warp_centered(image, &Affine::translation(*tx, *ty))
+            }
+            Transform::Complement => image.map(|x| 1.0 - x),
+            Transform::Compose(parts) => {
+                let mut out = image.clone();
+                for part in parts {
+                    out = part.apply(&out);
+                }
+                out
+            }
+        }
+    }
+
+    /// The evaluation category this transform belongs to.
+    pub fn kind(&self) -> TransformKind {
+        match self {
+            Transform::Brightness { .. } => TransformKind::Brightness,
+            Transform::Contrast { .. } => TransformKind::Contrast,
+            Transform::Rotation { .. } => TransformKind::Rotation,
+            Transform::Shear { .. } => TransformKind::Shear,
+            Transform::Scale { .. } => TransformKind::Scale,
+            Transform::Translation { .. } => TransformKind::Translation,
+            Transform::Complement => TransformKind::Complement,
+            Transform::Compose(_) => TransformKind::Combined,
+        }
+    }
+
+    /// Human-readable configuration string for tables, e.g. `theta=40`.
+    pub fn describe(&self) -> String {
+        match self {
+            Transform::Brightness { beta } => format!("beta={beta:.2}"),
+            Transform::Contrast { alpha } => format!("alpha={alpha:.2}"),
+            Transform::Rotation { deg } => format!("theta={deg:.0}deg"),
+            Transform::Shear { sh, sv } => format!("(sh,sv)=({sh:.1},{sv:.1})"),
+            Transform::Scale { sx, sy } => format!("(sx,sy)=({sx:.1},{sy:.1})"),
+            Transform::Translation { tx, ty } => format!("(Tx,Ty)=({tx:.0},{ty:.0})"),
+            Transform::Complement => "complement".to_owned(),
+            Transform::Compose(parts) => {
+                let inner: Vec<String> = parts.iter().map(|p| p.describe()).collect();
+                inner.join(" + ")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> Tensor {
+        Tensor::from_vec((0..16).map(|i| i as f32 / 15.0).collect(), &[1, 4, 4])
+    }
+
+    #[test]
+    fn brightness_shifts_and_clamps() {
+        let out = Transform::Brightness { beta: 0.5 }.apply(&ramp());
+        assert!((out.at(&[0, 0, 0]) - 0.5).abs() < 1e-6);
+        assert_eq!(out.max(), 1.0);
+        assert!(out.min() >= 0.0);
+    }
+
+    #[test]
+    fn negative_brightness_darkens() {
+        let out = Transform::Brightness { beta: -0.5 }.apply(&ramp());
+        assert_eq!(out.at(&[0, 0, 0]), 0.0);
+        assert!(out.max() <= 0.5 + 1e-6);
+    }
+
+    #[test]
+    fn contrast_scales_and_clamps() {
+        let out = Transform::Contrast { alpha: 2.0 }.apply(&ramp());
+        assert!((out.at(&[0, 0, 1]) - 2.0 / 15.0).abs() < 1e-6);
+        assert_eq!(out.max(), 1.0);
+    }
+
+    #[test]
+    fn complement_is_involution() {
+        let img = ramp();
+        let twice = Transform::Complement.apply(&Transform::Complement.apply(&img));
+        for (a, b) in twice.data().iter().zip(img.data()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn zero_parameter_transforms_are_identity() {
+        let img = ramp();
+        for t in [
+            Transform::Rotation { deg: 0.0 },
+            Transform::Shear { sh: 0.0, sv: 0.0 },
+            Transform::Scale { sx: 1.0, sy: 1.0 },
+            Transform::Translation { tx: 0.0, ty: 0.0 },
+            Transform::Brightness { beta: 0.0 },
+            Transform::Contrast { alpha: 1.0 },
+        ] {
+            let out = t.apply(&img);
+            for (a, b) in out.data().iter().zip(img.data()) {
+                assert!((a - b).abs() < 1e-5, "{t:?} not identity");
+            }
+        }
+    }
+
+    #[test]
+    fn compose_applies_left_to_right() {
+        let img = ramp();
+        let composed = Transform::Compose(vec![
+            Transform::Contrast { alpha: 2.0 },
+            Transform::Complement,
+        ])
+        .apply(&img);
+        let manual = Transform::Complement.apply(&Transform::Contrast { alpha: 2.0 }.apply(&img));
+        assert_eq!(composed.data(), manual.data());
+    }
+
+    #[test]
+    fn kinds_cover_all_variants() {
+        assert_eq!(
+            Transform::Rotation { deg: 10.0 }.kind(),
+            TransformKind::Rotation
+        );
+        assert_eq!(
+            Transform::Compose(vec![Transform::Complement]).kind(),
+            TransformKind::Combined
+        );
+        assert_eq!(TransformKind::all().len(), 8);
+    }
+
+    #[test]
+    fn describe_is_nonempty_for_all() {
+        for t in [
+            Transform::Brightness { beta: 0.5 },
+            Transform::Contrast { alpha: 4.0 },
+            Transform::Rotation { deg: 40.0 },
+            Transform::Shear { sh: 0.5, sv: 0.4 },
+            Transform::Scale { sx: 0.6, sy: 0.6 },
+            Transform::Translation { tx: 4.0, ty: 3.0 },
+            Transform::Complement,
+            Transform::Compose(vec![Transform::Complement, Transform::Scale { sx: 0.8, sy: 0.8 }]),
+        ] {
+            assert!(!t.describe().is_empty());
+        }
+    }
+
+    #[test]
+    fn preserves_shape_for_all_variants() {
+        let img = Tensor::ones(&[3, 6, 5]);
+        for t in [
+            Transform::Brightness { beta: 0.2 },
+            Transform::Rotation { deg: 30.0 },
+            Transform::Scale { sx: 0.7, sy: 0.7 },
+            Transform::Complement,
+        ] {
+            assert_eq!(t.apply(&img).shape().dims(), img.shape().dims());
+        }
+    }
+}

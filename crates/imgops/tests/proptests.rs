@@ -1,0 +1,106 @@
+//! Property tests for the metamorphic transformations.
+
+use dv_imgops::warp::{warp, warp_centered};
+use dv_imgops::{Affine, Transform};
+use dv_tensor::Tensor;
+use proptest::prelude::*;
+
+fn image() -> impl Strategy<Value = Tensor> {
+    (1usize..=3, 4usize..=10, 4usize..=10).prop_flat_map(|(c, h, w)| {
+        proptest::collection::vec(0.0f32..=1.0, c * h * w)
+            .prop_map(move |data| Tensor::from_vec(data, &[c, h, w]))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn warp_never_amplifies_pixel_range(img in image(), deg in -180.0f32..=180.0) {
+        // Bilinear interpolation is a convex combination of in-range
+        // pixels and zero, so outputs stay within [min(0, min), max].
+        let out = warp_centered(&img, &Affine::rotation_deg(deg));
+        prop_assert!(out.max() <= img.max() + 1e-5);
+        prop_assert!(out.min() >= img.min().min(0.0) - 1e-5);
+    }
+
+    #[test]
+    fn rotation_by_theta_then_minus_theta_is_near_identity_in_the_interior(
+        deg in -60.0f32..=60.0,
+    ) {
+        // Warping loses information at borders, so check a centered
+        // impulse only: rotate there and back, the mass must return
+        // close to the original pixel.
+        let mut img = Tensor::zeros(&[1, 15, 15]);
+        img.set(&[0, 7, 7], 1.0);
+        img.set(&[0, 7, 9], 0.8);
+        let there = warp_centered(&img, &Affine::rotation_deg(deg));
+        let back = warp_centered(&there, &Affine::rotation_deg(-deg));
+        // Center pixel is a fixed point (up to interpolation softening).
+        prop_assert!((back.at(&[0, 7, 7]) - 1.0).abs() < 0.3);
+        // Total mass approximately preserved (bilinear warping is not
+        // exactly mass-preserving, so the tolerance is generous).
+        prop_assert!((back.sum() - img.sum()).abs() < 0.9);
+    }
+
+    #[test]
+    fn translation_composes_additively(
+        img in image(),
+        t1 in 0.0f32..=2.0,
+        t2 in 0.0f32..=2.0,
+    ) {
+        // Integer translations in the SAME direction compose exactly
+        // (fractional shifts suffer double interpolation, and opposite
+        // shifts lose different border pixels to the zero fill).
+        let (t1, t2) = (t1.round(), t2.round());
+        let sequential = warp(
+            &warp(&img, &Affine::translation(t1, 0.0)),
+            &Affine::translation(t2, 0.0),
+        );
+        let direct = warp(&img, &Affine::translation(t1 + t2, 0.0));
+        for (a, b) in sequential.data().iter().zip(direct.data()) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn contrast_of_zero_blacks_out(img in image()) {
+        let out = Transform::Contrast { alpha: 0.0 }.apply(&img);
+        prop_assert_eq!(out.sum(), 0.0);
+    }
+
+    #[test]
+    fn brightness_saturates_to_white(img in image()) {
+        let out = Transform::Brightness { beta: 1.0 }.apply(&img);
+        prop_assert_eq!(out.min(), 1.0);
+    }
+
+    #[test]
+    fn transform_kind_is_stable_under_apply(img in image(), deg in -90.0f32..=90.0) {
+        let t = Transform::Rotation { deg };
+        let _ = t.apply(&img);
+        prop_assert_eq!(t.kind(), dv_imgops::TransformKind::Rotation);
+    }
+
+    #[test]
+    fn scale_up_then_down_preserves_center_mass(
+        s in 1.1f32..=2.0,
+    ) {
+        let mut img = Tensor::zeros(&[1, 17, 17]);
+        for y in 6..11 {
+            for x in 6..11 {
+                img.set(&[0, y, x], 1.0);
+            }
+        }
+        let up = warp_centered(&img, &Affine::scale(s, s));
+        let back = warp_centered(&up, &Affine::scale(1.0 / s, 1.0 / s));
+        // The 5x5 center block must still be mostly bright.
+        let mut center_mass = 0.0;
+        for y in 7..10 {
+            for x in 7..10 {
+                center_mass += back.at(&[0, y, x]);
+            }
+        }
+        prop_assert!(center_mass > 7.0, "center mass only {}", center_mass);
+    }
+}

@@ -1,0 +1,54 @@
+//! Convolutional neural network substrate for the Deep Validation
+//! reproduction.
+//!
+//! The paper treats a CNN classifier as a composition of `L` parametric
+//! layers `f(x) = f_L(f_{L-1}(... f_1(x)))` and probes the output of every
+//! hidden layer (Section III-B). This crate provides exactly that view:
+//!
+//! - [`layer::Layer`]: forward/backward with gradients for both parameters
+//!   and the *input* (input gradients power the white-box attacks of
+//!   `dv-attacks`),
+//! - concrete layers: [`layers::Conv2d`], [`layers::Dense`],
+//!   [`layers::Relu`], [`layers::MaxPool2`], [`layers::Flatten`],
+//! - [`network::Network`]: a sequential container whose
+//!   [`forward_probed`](network::Network::forward_probed) returns the hidden
+//!   representation at every probe point — the hook Deep Validation
+//!   consumes,
+//! - [`loss`]: softmax cross-entropy,
+//! - [`optim`]: SGD with momentum, **Adadelta** (the paper's optimizer) and
+//!   Adam,
+//! - [`train`]: a mini-batch training loop with accuracy/confidence
+//!   evaluation,
+//! - checkpoint save/load through `dv-tensor`'s binary format.
+//!
+//! # Examples
+//!
+//! ```
+//! use dv_nn::network::Network;
+//! use dv_nn::layers::{Dense, Relu};
+//! use dv_tensor::Tensor;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let mut net = Network::new(&[4]);
+//! net.push(Dense::new(&mut rng, 4, 8)).push_probe(Relu::new());
+//! net.push(Dense::new(&mut rng, 8, 3));
+//! let x = Tensor::zeros(&[1, 4]);
+//! let (logits, probes) = net.forward_probed(&x);
+//! assert_eq!(logits.shape().dims(), &[1, 3]);
+//! assert_eq!(probes.len(), 1); // one probe point: the ReLU output
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod layer;
+pub mod layers;
+pub mod layers_extra;
+pub mod loss;
+pub mod network;
+pub mod optim;
+pub mod train;
+
+pub use layer::Layer;
+pub use network::Network;

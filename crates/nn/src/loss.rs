@@ -1,0 +1,131 @@
+//! Softmax cross-entropy loss with logits.
+
+use dv_tensor::stats::softmax;
+use dv_tensor::Tensor;
+
+/// Result of a cross-entropy evaluation on a batch.
+#[derive(Debug, Clone)]
+pub struct LossOutput {
+    /// Mean cross-entropy over the batch.
+    pub loss: f32,
+    /// Softmax probabilities, `[N, classes]`.
+    pub probs: Tensor,
+    /// Gradient of the mean loss w.r.t. the logits, `[N, classes]`.
+    pub grad_logits: Tensor,
+}
+
+/// Computes mean softmax cross-entropy and its logits gradient.
+///
+/// The gradient is the classic `softmax(z) - onehot(y)` scaled by `1/N`.
+///
+/// # Panics
+///
+/// Panics if `logits` is not `[N, classes]`, `labels.len() != N`, or any
+/// label is out of range.
+pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> LossOutput {
+    assert_eq!(logits.shape().ndim(), 2, "logits must be [N, classes]");
+    let n = logits.shape().dim(0);
+    let classes = logits.shape().dim(1);
+    assert_eq!(labels.len(), n, "label count mismatch");
+
+    let mut loss = 0.0f32;
+    let mut probs = Vec::with_capacity(n);
+    let mut grad = Tensor::zeros(&[n, classes]);
+    for (i, &y) in labels.iter().enumerate() {
+        assert!(y < classes, "label {y} out of range for {classes} classes");
+        let p = softmax(&logits.row(i));
+        loss -= (p.data()[y].max(1e-12)).ln();
+        for c in 0..classes {
+            let indicator = if c == y { 1.0 } else { 0.0 };
+            grad.set(&[i, c], (p.data()[c] - indicator) / n as f32);
+        }
+        probs.push(p);
+    }
+    LossOutput {
+        loss: loss / n as f32,
+        probs: Tensor::stack(&probs),
+        grad_logits: grad,
+    }
+}
+
+/// Cross-entropy toward a single target class for one image (used by
+/// targeted attacks); returns `(loss, grad_logits)` for a `[1, classes]`
+/// logits tensor.
+///
+/// # Panics
+///
+/// Panics on shape/label mismatch (see [`cross_entropy`]).
+pub fn targeted_cross_entropy(logits: &Tensor, target: usize) -> (f32, Tensor) {
+    let out = cross_entropy(logits, &[target]);
+    (out.loss, out.grad_logits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_classes() {
+        let logits = Tensor::zeros(&[1, 4]);
+        let out = cross_entropy(&logits, &[2]);
+        assert!((out.loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_low_loss() {
+        let logits = Tensor::from_vec(vec![10.0, 0.0, 0.0], &[1, 3]);
+        let out = cross_entropy(&logits, &[0]);
+        assert!(out.loss < 1e-3);
+    }
+
+    #[test]
+    fn gradient_is_probs_minus_onehot_over_n() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 0.5, 0.0, 0.0, 0.0], &[2, 3]);
+        let out = cross_entropy(&logits, &[1, 0]);
+        for i in 0..2 {
+            for c in 0..3 {
+                let expect = (out.probs.at(&[i, c])
+                    - if (i, c) == (0, 1) || (i, c) == (1, 0) {
+                        1.0
+                    } else {
+                        0.0
+                    })
+                    / 2.0;
+                assert!((out.grad_logits.at(&[i, c]) - expect).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let logits = Tensor::from_vec(vec![0.3, -0.7, 2.0], &[1, 3]);
+        let out = cross_entropy(&logits, &[2]);
+        assert!(out.grad_logits.sum().abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let logits = Tensor::from_vec(vec![0.2, -1.0, 0.7, 0.1], &[1, 4]);
+        let out = cross_entropy(&logits, &[3]);
+        let eps = 1e-3f32;
+        for c in 0..4 {
+            let mut lp = logits.clone();
+            lp.data_mut()[c] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[c] -= eps;
+            let numeric =
+                (cross_entropy(&lp, &[3]).loss - cross_entropy(&lm, &[3]).loss) / (2.0 * eps);
+            assert!(
+                (numeric - out.grad_logits.data()[c]).abs() < 1e-3,
+                "class {c}: {numeric} vs {}",
+                out.grad_logits.data()[c]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_label_panics() {
+        let _ = cross_entropy(&Tensor::zeros(&[1, 3]), &[3]);
+    }
+}

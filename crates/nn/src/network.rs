@@ -1,0 +1,390 @@
+//! Sequential network container with per-layer probes.
+//!
+//! [`Network::forward_probed`] is the hook the Deep Validation framework
+//! (Fig. 1 of the paper) attaches to: it returns the hidden representation
+//! `f_i(x)` at every declared probe point alongside the final logits.
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter};
+use std::path::Path;
+
+use dv_tensor::io::{read_named, write_named, DecodeError};
+use dv_tensor::stats::softmax;
+use dv_tensor::Tensor;
+
+use crate::layer::Layer;
+
+/// A sequential stack of layers with declared probe points.
+///
+/// The network maps batched inputs `[N, ...]` to logits `[N, classes]`;
+/// softmax is applied by [`predict`](Network::predict), never inside the
+/// stack, so attack code can work directly on logits.
+///
+/// Probe points define what the paper calls "layers 1..L-1": typically one
+/// probe after each conv/dense activation block. They are declared while
+/// building the network via [`push_probe`](Network::push_probe).
+pub struct Network {
+    input_dims: Vec<usize>,
+    layers: Vec<Box<dyn Layer>>,
+    /// Indices into `layers` after which a hidden representation is exposed.
+    probe_points: Vec<usize>,
+}
+
+impl Network {
+    /// Creates an empty network for inputs of shape `input_dims`
+    /// (without the batch axis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_dims` is empty.
+    pub fn new(input_dims: &[usize]) -> Self {
+        assert!(!input_dims.is_empty(), "input shape must not be empty");
+        Self {
+            input_dims: input_dims.to_vec(),
+            layers: Vec::new(),
+            probe_points: Vec::new(),
+        }
+    }
+
+    /// Appends a layer. Returns `&mut self` for chaining.
+    pub fn push(&mut self, layer: impl Layer + 'static) -> &mut Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends a layer and marks its output as a probe point (a hidden
+    /// representation Deep Validation will monitor). Returns `&mut self`.
+    pub fn push_probe(&mut self, layer: impl Layer + 'static) -> &mut Self {
+        self.layers.push(Box::new(layer));
+        self.probe_points.push(self.layers.len() - 1);
+        self
+    }
+
+    /// Number of layers in the stack.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Number of declared probe points (the paper's `L - 1` monitored
+    /// hidden layers).
+    pub fn num_probes(&self) -> usize {
+        self.probe_points.len()
+    }
+
+    /// Expected input shape (without the batch axis).
+    pub fn input_dims(&self) -> &[usize] {
+        &self.input_dims
+    }
+
+    /// Output shape (without the batch axis), by folding
+    /// [`Layer::output_shape`] through the stack.
+    pub fn output_dims(&self) -> Vec<usize> {
+        let mut dims = self.input_dims.clone();
+        for layer in &self.layers {
+            dims = layer.output_shape(&dims);
+        }
+        dims
+    }
+
+    /// Shapes of the probe-point representations (without the batch axis),
+    /// in network order.
+    pub fn probe_dims(&self) -> Vec<Vec<usize>> {
+        let mut dims = self.input_dims.clone();
+        let mut out = Vec::with_capacity(self.probe_points.len());
+        for (i, layer) in self.layers.iter().enumerate() {
+            dims = layer.output_shape(&dims);
+            if self.probe_points.contains(&i) {
+                out.push(dims.clone());
+            }
+        }
+        out
+    }
+
+    /// Total number of trainable parameters.
+    pub fn num_params(&mut self) -> usize {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_and_grads())
+            .map(|(p, _)| p.numel())
+            .sum()
+    }
+
+    /// Forward pass producing logits `[N, classes]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the per-item input shape does not match
+    /// [`input_dims`](Network::input_dims).
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        self.check_input(input);
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, train);
+        }
+        x
+    }
+
+    /// Forward pass that also captures every probe-point representation.
+    ///
+    /// Returns `(logits, probes)` where `probes[i]` is the batched hidden
+    /// representation at the `i`-th probe point.
+    ///
+    /// # Panics
+    ///
+    /// Panics on input shape mismatch.
+    pub fn forward_probed(&mut self, input: &Tensor) -> (Tensor, Vec<Tensor>) {
+        self.check_input(input);
+        let mut x = input.clone();
+        let mut probes = Vec::with_capacity(self.probe_points.len());
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            x = layer.forward(&x, false);
+            if self.probe_points.contains(&i) {
+                probes.push(x.clone());
+            }
+        }
+        (x, probes)
+    }
+
+    /// Backward pass from a logits gradient; returns the input gradient.
+    ///
+    /// Parameter gradients accumulate in each layer (call
+    /// [`zero_grads`](Network::zero_grads) between batches).
+    pub fn backward(&mut self, grad_logits: &Tensor) -> Tensor {
+        let mut g = grad_logits.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    /// Clears all accumulated parameter gradients.
+    pub fn zero_grads(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grads();
+        }
+    }
+
+    /// All parameters paired with their gradients, in stack order.
+    pub fn params_and_grads(&mut self) -> Vec<(&mut Tensor, &Tensor)> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_and_grads())
+            .collect()
+    }
+
+    /// Softmax class probabilities for a batch: `[N, classes]`.
+    pub fn predict(&mut self, input: &Tensor) -> Tensor {
+        let logits = self.forward(input, false);
+        let n = logits.shape().dim(0);
+        let rows: Vec<Tensor> = (0..n).map(|i| softmax(&logits.row(i))).collect();
+        Tensor::stack(&rows)
+    }
+
+    /// Predicted class and confidence for a single `[1, ...]`-batched image.
+    pub fn classify(&mut self, input: &Tensor) -> (usize, f32) {
+        let probs = self.predict(input);
+        let row = probs.row(0);
+        let label = row.argmax();
+        (label, row.data()[label])
+    }
+
+    /// Saves all parameters to `path` in the `dv-tensor` binary format.
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O error.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let mut entries = BTreeMap::new();
+        for (i, layer) in self.layers.iter().enumerate() {
+            for (name, tensor) in layer.named_params() {
+                entries.insert(format!("layer{i:03}.{name}"), tensor.clone());
+            }
+        }
+        let file = BufWriter::new(File::create(path)?);
+        write_named(file, &entries)
+    }
+
+    /// Loads parameters saved by [`save`](Network::save) into a network of
+    /// identical architecture.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] on I/O failure or malformed checkpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a checkpointed parameter does not match the architecture
+    /// (wrong layer index, unknown name or wrong shape).
+    pub fn load(&mut self, path: &Path) -> Result<(), DecodeError> {
+        let file = BufReader::new(File::open(path).map_err(DecodeError::Io)?);
+        let entries = read_named(file)?;
+        for (key, tensor) in entries {
+            let (layer_part, name) = key
+                .split_once('.')
+                .unwrap_or_else(|| panic!("malformed checkpoint key {key:?}"));
+            let idx: usize = layer_part
+                .strip_prefix("layer")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| panic!("malformed checkpoint key {key:?}"));
+            assert!(
+                idx < self.layers.len(),
+                "checkpoint refers to layer {idx} but network has {}",
+                self.layers.len()
+            );
+            self.layers[idx].load_param(name, tensor);
+        }
+        Ok(())
+    }
+
+    fn check_input(&self, input: &Tensor) {
+        assert!(
+            input.shape().ndim() == self.input_dims.len() + 1,
+            "expected batched input of rank {}, got {}",
+            self.input_dims.len() + 1,
+            input.shape()
+        );
+        assert_eq!(
+            &input.shape().dims()[1..],
+            self.input_dims.as_slice(),
+            "input item shape mismatch"
+        );
+    }
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&str> = self.layers.iter().map(|l| l.name()).collect();
+        f.debug_struct("Network")
+            .field("input_dims", &self.input_dims)
+            .field("layers", &names)
+            .field("probe_points", &self.probe_points)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Conv2d, Dense, Flatten, MaxPool2, Relu};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_cnn(seed: u64) -> Network {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = Network::new(&[1, 8, 8]);
+        net.push(Conv2d::new(&mut rng, 1, 4, 3))
+            .push_probe(Relu::new())
+            .push(MaxPool2::new())
+            .push(Flatten::new())
+            .push(Dense::new(&mut rng, 4 * 3 * 3, 10))
+            .push_probe(Relu::new())
+            .push(Dense::new(&mut rng, 10, 3));
+        net
+    }
+
+    #[test]
+    fn forward_produces_logits_of_right_shape() {
+        let mut net = tiny_cnn(0);
+        let x = Tensor::zeros(&[2, 1, 8, 8]);
+        let logits = net.forward(&x, false);
+        assert_eq!(logits.shape().dims(), &[2, 3]);
+        assert_eq!(net.output_dims(), vec![3]);
+    }
+
+    #[test]
+    fn probes_capture_hidden_representations() {
+        let mut net = tiny_cnn(1);
+        let mut rng = StdRng::seed_from_u64(42);
+        let x = Tensor::randn(&mut rng, &[1, 1, 8, 8], 1.0);
+        let (_, probes) = net.forward_probed(&x);
+        assert_eq!(probes.len(), 2);
+        assert_eq!(probes[0].shape().dims(), &[1, 4, 6, 6]);
+        assert_eq!(probes[1].shape().dims(), &[1, 10]);
+        assert_eq!(net.probe_dims(), vec![vec![4, 6, 6], vec![10]]);
+    }
+
+    #[test]
+    fn predict_rows_are_distributions() {
+        let mut net = tiny_cnn(2);
+        let mut rng = StdRng::seed_from_u64(7);
+        let x = Tensor::randn(&mut rng, &[3, 1, 8, 8], 1.0);
+        let p = net.predict(&x);
+        for i in 0..3 {
+            let row = p.row(i);
+            assert!((row.sum() - 1.0).abs() < 1e-5);
+            assert!(row.min() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn whole_network_input_gradient_matches_finite_differences() {
+        let mut net = tiny_cnn(3);
+        let mut rng = StdRng::seed_from_u64(17);
+        let x = Tensor::randn(&mut rng, &[1, 1, 8, 8], 1.0);
+        let logits = net.forward(&x, false);
+        let probe = Tensor::randn(&mut rng, logits.shape().dims(), 1.0);
+        let analytic = net.backward(&probe);
+        let eps = 1e-2f32;
+        for flat in (0..x.numel()).step_by(7) {
+            let mut xp = x.clone();
+            xp.data_mut()[flat] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[flat] -= eps;
+            let op = net.forward(&xp, false).mul(&probe).sum();
+            let om = net.forward(&xm, false).mul(&probe).sum();
+            let numeric = (op - om) / (2.0 * eps);
+            let got = analytic.data()[flat];
+            assert!(
+                (numeric - got).abs() < 3e-2 * (1.0 + numeric.abs().max(got.abs())),
+                "grad mismatch at {flat}: {numeric} vs {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn save_load_round_trips_outputs() {
+        let dir = std::env::temp_dir().join("dv_nn_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.dvt");
+
+        let mut net = tiny_cnn(4);
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = Tensor::randn(&mut rng, &[1, 1, 8, 8], 1.0);
+        let before = net.forward(&x, false);
+        net.save(&path).unwrap();
+
+        let mut other = tiny_cnn(5); // different random init
+        let different = other.forward(&x, false);
+        assert_ne!(before.data(), different.data());
+        other.load(&path).unwrap();
+        let after = other.forward(&x, false);
+        assert_eq!(before.data(), after.data());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn classify_returns_argmax_and_confidence() {
+        let mut net = tiny_cnn(6);
+        let mut rng = StdRng::seed_from_u64(8);
+        let x = Tensor::randn(&mut rng, &[1, 1, 8, 8], 1.0);
+        let (label, conf) = net.classify(&x);
+        let probs = net.predict(&x);
+        assert_eq!(label, probs.row(0).argmax());
+        assert!((0.0..=1.0).contains(&conf));
+    }
+
+    #[test]
+    #[should_panic(expected = "input item shape mismatch")]
+    fn wrong_input_shape_panics() {
+        let mut net = tiny_cnn(7);
+        let _ = net.forward(&Tensor::zeros(&[1, 1, 9, 9]), false);
+    }
+
+    #[test]
+    fn num_params_counts_everything() {
+        let mut net = tiny_cnn(8);
+        // conv: 4*9 + 4; dense1: 36*10 + 10; dense2: 10*3 + 3.
+        assert_eq!(net.num_params(), 36 + 4 + 360 + 10 + 30 + 3);
+    }
+}

@@ -1,0 +1,255 @@
+//! Optimizers: SGD with momentum, Adadelta (the paper's choice, Section
+//! IV-A: initial learning rate 1.0, decay 0.95) and Adam.
+
+use dv_tensor::Tensor;
+
+/// A first-order optimizer over a flat list of `(parameter, gradient)`
+/// pairs.
+///
+/// Optimizer state (momentum buffers, squared-gradient accumulators) is
+/// keyed by position in the list, so the same parameter order must be
+/// passed on every step — [`crate::network::Network::params_and_grads`]
+/// guarantees this.
+pub trait Optimizer {
+    /// Applies one update step in place.
+    fn step(&mut self, params: Vec<(&mut Tensor, &Tensor)>);
+}
+
+/// Stochastic gradient descent with classical momentum.
+#[derive(Debug)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates SGD with learning rate `lr` and momentum coefficient
+    /// `momentum` (0 disables momentum).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0` or `momentum` is outside `[0, 1)`.
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        Self {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: Vec<(&mut Tensor, &Tensor)>) {
+        ensure_state(&mut self.velocity, &params);
+        for (i, (p, g)) in params.into_iter().enumerate() {
+            let v = &mut self.velocity[i];
+            for ((vv, pv), &gv) in v.data_mut().iter_mut().zip(p.data_mut()).zip(g.data()) {
+                *vv = self.momentum * *vv - self.lr * gv;
+                *pv += *vv;
+            }
+        }
+    }
+}
+
+/// Adadelta (Zeiler 2012) — the optimizer the paper trains its SVHN model
+/// with (initial learning rate 1.0, decay factor ρ = 0.95).
+#[derive(Debug)]
+pub struct Adadelta {
+    lr: f32,
+    rho: f32,
+    eps: f32,
+    acc_grad: Vec<Tensor>,
+    acc_update: Vec<Tensor>,
+}
+
+impl Adadelta {
+    /// Creates Adadelta with the paper's defaults: `lr = 1.0`, `rho = 0.95`.
+    pub fn new() -> Self {
+        Self::with_params(1.0, 0.95, 1e-6)
+    }
+
+    /// Creates Adadelta with explicit hyperparameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`, `rho` outside `(0, 1)` or `eps <= 0`.
+    pub fn with_params(lr: f32, rho: f32, eps: f32) -> Self {
+        assert!(lr > 0.0 && eps > 0.0, "lr and eps must be positive");
+        assert!(rho > 0.0 && rho < 1.0, "rho must be in (0, 1)");
+        Self {
+            lr,
+            rho,
+            eps,
+            acc_grad: Vec::new(),
+            acc_update: Vec::new(),
+        }
+    }
+}
+
+impl Default for Adadelta {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Optimizer for Adadelta {
+    fn step(&mut self, params: Vec<(&mut Tensor, &Tensor)>) {
+        ensure_state(&mut self.acc_grad, &params);
+        ensure_state(&mut self.acc_update, &params);
+        for (i, (p, g)) in params.into_iter().enumerate() {
+            let eg = &mut self.acc_grad[i];
+            let eu = &mut self.acc_update[i];
+            for (((egv, euv), pv), &gv) in eg
+                .data_mut()
+                .iter_mut()
+                .zip(eu.data_mut())
+                .zip(p.data_mut())
+                .zip(g.data())
+            {
+                *egv = self.rho * *egv + (1.0 - self.rho) * gv * gv;
+                let update = -((*euv + self.eps).sqrt() / (*egv + self.eps).sqrt()) * gv;
+                *euv = self.rho * *euv + (1.0 - self.rho) * update * update;
+                *pv += self.lr * update;
+            }
+        }
+    }
+}
+
+/// Adam (Kingma & Ba 2015).
+#[derive(Debug)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u32,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates Adam with the conventional defaults `beta1 = 0.9`,
+    /// `beta2 = 0.999`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: Vec<(&mut Tensor, &Tensor)>) {
+        ensure_state(&mut self.m, &params);
+        ensure_state(&mut self.v, &params);
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, (p, g)) in params.into_iter().enumerate() {
+            let m = &mut self.m[i];
+            let v = &mut self.v[i];
+            for (((mv, vv), pv), &gv) in m
+                .data_mut()
+                .iter_mut()
+                .zip(v.data_mut())
+                .zip(p.data_mut())
+                .zip(g.data())
+            {
+                *mv = self.beta1 * *mv + (1.0 - self.beta1) * gv;
+                *vv = self.beta2 * *vv + (1.0 - self.beta2) * gv * gv;
+                let mh = *mv / bc1;
+                let vh = *vv / bc2;
+                *pv -= self.lr * mh / (vh.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+fn ensure_state(state: &mut Vec<Tensor>, params: &[(&mut Tensor, &Tensor)]) {
+    if state.is_empty() {
+        for (p, _) in params {
+            state.push(Tensor::zeros(p.shape().dims()));
+        }
+    }
+    assert_eq!(
+        state.len(),
+        params.len(),
+        "optimizer saw a different parameter list than on the first step"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimizing f(x) = 0.5 * ||x - target||^2 with gradient x - target.
+    fn run_quadratic(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        let target = Tensor::from_vec(vec![1.0, -2.0, 0.5], &[3]);
+        let mut x = Tensor::zeros(&[3]);
+        for _ in 0..steps {
+            let g = x.sub(&target);
+            opt.step(vec![(&mut x, &g)]);
+        }
+        x.sub(&target).norm_l2()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1, 0.0);
+        assert!(run_quadratic(&mut opt, 200) < 1e-3);
+    }
+
+    #[test]
+    fn sgd_momentum_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.05, 0.9);
+        assert!(run_quadratic(&mut opt, 300) < 1e-3);
+    }
+
+    #[test]
+    fn adadelta_makes_progress_on_quadratic() {
+        let mut opt = Adadelta::new();
+        let start = Tensor::zeros(&[3])
+            .sub(&Tensor::from_vec(vec![1.0, -2.0, 0.5], &[3]))
+            .norm_l2();
+        // Adadelta's first updates are ~sqrt(eps)-sized, so it needs more
+        // iterations than SGD/Adam on this quadratic.
+        let end = run_quadratic(&mut opt, 5000);
+        assert!(end < start * 0.1, "adadelta stalled: {end} vs start {start}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.1);
+        assert!(run_quadratic(&mut opt, 300) < 1e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different parameter list")]
+    fn changing_param_list_is_rejected() {
+        let mut opt = Sgd::new(0.1, 0.0);
+        let mut a = Tensor::zeros(&[2]);
+        let g = Tensor::ones(&[2]);
+        opt.step(vec![(&mut a, &g)]);
+        let mut b = Tensor::zeros(&[2]);
+        opt.step(vec![(&mut a, &g), (&mut b, &g)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn nonpositive_lr_is_rejected() {
+        let _ = Sgd::new(0.0, 0.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Systematic finite-difference gradient checks across layer
+//! combinations — the single most important correctness property of the
+//! CNN substrate, since both training and the white-box attacks depend
+//! on exact gradients.
+
+use dv_nn::layers::{Conv2d, Dense, Flatten, MaxPool2, Relu};
+use dv_nn::loss::cross_entropy;
+use dv_nn::Network;
+use dv_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Checks d(loss)/d(input) of `net` against central differences on a
+/// random input, sampling every `stride`-th pixel.
+fn check_loss_input_gradient(net: &mut Network, input_dims: &[usize], label: usize, stride: usize) {
+    let mut rng = StdRng::seed_from_u64(1234);
+    let x = Tensor::randn(&mut rng, input_dims, 0.5).map(|v| (v + 0.5).clamp(0.0, 1.0));
+    let logits = net.forward(&x, false);
+    let out = cross_entropy(&logits, &[label]);
+    net.zero_grads();
+    let analytic = net.backward(&out.grad_logits);
+
+    let eps = 1e-2f32;
+    for flat in (0..x.numel()).step_by(stride) {
+        let mut xp = x.clone();
+        xp.data_mut()[flat] += eps;
+        let mut xm = x.clone();
+        xm.data_mut()[flat] -= eps;
+        let lp = cross_entropy(&net.forward(&xp, false), &[label]).loss;
+        let lm = cross_entropy(&net.forward(&xm, false), &[label]).loss;
+        let numeric = (lp - lm) / (2.0 * eps);
+        let got = analytic.data()[flat];
+        assert!(
+            (numeric - got).abs() < 2e-2 * (1.0 + numeric.abs().max(got.abs())),
+            "pixel {flat}: numeric {numeric} vs analytic {got}"
+        );
+    }
+}
+
+#[test]
+fn conv_relu_pool_dense_chain() {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut net = Network::new(&[1, 10, 10]);
+    net.push(Conv2d::new(&mut rng, 1, 4, 3))
+        .push_probe(Relu::new())
+        .push(MaxPool2::new())
+        .push(Flatten::new())
+        .push(Dense::new(&mut rng, 4 * 4 * 4, 5));
+    check_loss_input_gradient(&mut net, &[1, 1, 10, 10], 2, 3);
+}
+
+#[test]
+fn double_conv_with_padding() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut net = Network::new(&[2, 8, 8]);
+    net.push(Conv2d::with_padding(&mut rng, 2, 3, 3, 1))
+        .push_probe(Relu::new())
+        .push(Conv2d::with_padding(&mut rng, 3, 3, 3, 1))
+        .push_probe(Relu::new())
+        .push(Flatten::new())
+        .push(Dense::new(&mut rng, 3 * 8 * 8, 4));
+    check_loss_input_gradient(&mut net, &[1, 2, 8, 8], 0, 5);
+}
+
+#[test]
+fn deep_mlp() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut net = Network::new(&[12]);
+    net.push(Dense::new(&mut rng, 12, 16))
+        .push_probe(Relu::new())
+        .push(Dense::new(&mut rng, 16, 16))
+        .push_probe(Relu::new())
+        .push(Dense::new(&mut rng, 16, 16))
+        .push_probe(Relu::new())
+        .push(Dense::new(&mut rng, 16, 3));
+    check_loss_input_gradient(&mut net, &[1, 12], 1, 1);
+}
+
+#[test]
+fn parameter_gradients_of_full_network_match_finite_differences() {
+    // Perturb a handful of parameters across all layers and compare the
+    // accumulated gradient against central differences of the loss.
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut net = Network::new(&[1, 6, 6]);
+    net.push(Conv2d::new(&mut rng, 1, 2, 3))
+        .push_probe(Relu::new())
+        .push(Flatten::new())
+        .push(Dense::new(&mut rng, 2 * 4 * 4, 3));
+    let x = Tensor::randn(&mut rng, &[2, 1, 6, 6], 0.5);
+    let labels = [0usize, 2];
+
+    let loss_of = |net: &mut Network, x: &Tensor| {
+        let logits = net.forward(x, false);
+        cross_entropy(&logits, &labels).loss
+    };
+
+    // Accumulate analytic gradients.
+    let logits = net.forward(&x, false);
+    let out = cross_entropy(&logits, &labels);
+    net.zero_grads();
+    net.backward(&out.grad_logits);
+    let grads: Vec<Tensor> = net
+        .params_and_grads()
+        .iter()
+        .map(|(_, g)| (*g).clone())
+        .collect();
+
+    let eps = 1e-2f32;
+    for (pi, flat) in [(0usize, 0usize), (0, 7), (1, 1), (2, 10), (3, 2)] {
+        let analytic = grads[pi].data()[flat];
+        {
+            let mut params = net.params_and_grads();
+            params[pi].0.data_mut()[flat] += eps;
+        }
+        let lp = loss_of(&mut net, &x);
+        {
+            let mut params = net.params_and_grads();
+            params[pi].0.data_mut()[flat] -= 2.0 * eps;
+        }
+        let lm = loss_of(&mut net, &x);
+        {
+            let mut params = net.params_and_grads();
+            params[pi].0.data_mut()[flat] += eps;
+        }
+        let numeric = (lp - lm) / (2.0 * eps);
+        assert!(
+            (numeric - analytic).abs() < 2e-2 * (1.0 + numeric.abs()),
+            "param {pi}[{flat}]: numeric {numeric} vs analytic {analytic}"
+        );
+    }
+}
+
+#[test]
+fn gradients_accumulate_across_backward_calls() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut net = Network::new(&[4]);
+    net.push(Dense::new(&mut rng, 4, 2));
+    let x = Tensor::ones(&[1, 4]);
+    let g = Tensor::ones(&[1, 2]);
+
+    net.zero_grads();
+    net.forward(&x, true);
+    net.backward(&g);
+    let once: Vec<f32> = net.params_and_grads()[0].1.data().to_vec();
+
+    net.zero_grads();
+    net.forward(&x, true);
+    net.backward(&g);
+    net.forward(&x, true);
+    net.backward(&g);
+    let twice: Vec<f32> = net.params_and_grads()[0].1.data().to_vec();
+
+    for (a, b) in once.iter().zip(&twice) {
+        assert!((2.0 * a - b).abs() < 1e-5, "{a} * 2 != {b}");
+    }
+}

@@ -1,0 +1,179 @@
+//! Kernel functions for the one-class SVM.
+
+/// RBF bandwidth specification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Gamma {
+    /// `1 / (d * var(X))` — the "scale" heuristic scikit-learn defaults
+    /// to, which is what the paper's SVMs effectively used.
+    Scale,
+    /// An explicit positive value.
+    Value(f64),
+}
+
+/// Kernel family.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Kernel {
+    /// Gaussian RBF: `exp(-gamma * ||x - y||^2)`.
+    Rbf(Gamma),
+    /// Linear: `<x, y>`.
+    Linear,
+}
+
+impl Default for Kernel {
+    fn default() -> Self {
+        Kernel::Rbf(Gamma::Scale)
+    }
+}
+
+/// A kernel with all hyperparameters resolved against the training data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ResolvedKernel {
+    /// RBF with a concrete bandwidth.
+    Rbf {
+        /// Concrete positive bandwidth.
+        gamma: f64,
+    },
+    /// Linear kernel.
+    Linear,
+}
+
+impl Kernel {
+    /// Resolves `Gamma::Scale` against the data: `1 / (d * var)` where
+    /// `var` is the variance over all feature values, floored to a small
+    /// positive constant so constant data stays well-defined.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty, rows are empty, or an explicit gamma is
+    /// not positive.
+    pub fn resolve(&self, data: &[Vec<f32>]) -> ResolvedKernel {
+        match self {
+            Kernel::Linear => ResolvedKernel::Linear,
+            Kernel::Rbf(Gamma::Value(g)) => {
+                assert!(*g > 0.0, "gamma must be positive, got {g}");
+                ResolvedKernel::Rbf { gamma: *g }
+            }
+            Kernel::Rbf(Gamma::Scale) => {
+                assert!(!data.is_empty(), "cannot resolve gamma on empty data");
+                let d = data[0].len();
+                assert!(d > 0, "cannot resolve gamma on empty rows");
+                let n = (data.len() * d) as f64;
+                let mut sum = 0.0f64;
+                let mut sum_sq = 0.0f64;
+                for row in data {
+                    for &v in row {
+                        sum += v as f64;
+                        sum_sq += (v as f64) * (v as f64);
+                    }
+                }
+                let mean = sum / n;
+                let var = (sum_sq / n - mean * mean).max(1e-9);
+                ResolvedKernel::Rbf {
+                    gamma: 1.0 / (d as f64 * var),
+                }
+            }
+        }
+    }
+}
+
+impl ResolvedKernel {
+    /// Evaluates the kernel on a pair of points.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the slices have different lengths.
+    pub fn eval(&self, a: &[f32], b: &[f32]) -> f64 {
+        debug_assert_eq!(a.len(), b.len(), "kernel arguments differ in length");
+        match self {
+            ResolvedKernel::Linear => a
+                .iter()
+                .zip(b)
+                .map(|(&x, &y)| x as f64 * y as f64)
+                .sum(),
+            ResolvedKernel::Rbf { gamma } => {
+                let sq: f64 = a
+                    .iter()
+                    .zip(b)
+                    .map(|(&x, &y)| {
+                        let d = x as f64 - y as f64;
+                        d * d
+                    })
+                    .sum();
+                (-gamma * sq).exp()
+            }
+        }
+    }
+
+    /// The full symmetric kernel (Gram) matrix of a dataset, row-major.
+    pub fn gram(&self, data: &[Vec<f32>]) -> Vec<f64> {
+        let n = data.len();
+        let mut q = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in i..n {
+                let v = self.eval(&data[i], &data[j]);
+                q[i * n + j] = v;
+                q[j * n + i] = v;
+            }
+        }
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rbf_is_one_on_diagonal_and_decays() {
+        let k = ResolvedKernel::Rbf { gamma: 0.5 };
+        assert!((k.eval(&[1.0, 2.0], &[1.0, 2.0]) - 1.0).abs() < 1e-12);
+        let near = k.eval(&[0.0, 0.0], &[0.1, 0.0]);
+        let far = k.eval(&[0.0, 0.0], &[3.0, 0.0]);
+        assert!(near > far && far > 0.0);
+    }
+
+    #[test]
+    fn linear_kernel_is_dot_product() {
+        let k = ResolvedKernel::Linear;
+        assert_eq!(k.eval(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn scale_gamma_matches_formula() {
+        // Data with known variance: values {0, 1} equally -> var = 0.25,
+        // d = 2 -> gamma = 1 / (2 * 0.25) = 2.
+        let data = vec![vec![0.0, 0.0], vec![1.0, 1.0]];
+        match Kernel::Rbf(Gamma::Scale).resolve(&data) {
+            ResolvedKernel::Rbf { gamma } => assert!((gamma - 2.0).abs() < 1e-9),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn constant_data_resolves_to_finite_gamma() {
+        let data = vec![vec![0.5; 3]; 5];
+        match Kernel::Rbf(Gamma::Scale).resolve(&data) {
+            ResolvedKernel::Rbf { gamma } => assert!(gamma.is_finite() && gamma > 0.0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gram_matrix_is_symmetric_with_unit_diagonal() {
+        let data = vec![vec![0.0, 1.0], vec![1.0, 0.0], vec![0.5, 0.5]];
+        let k = ResolvedKernel::Rbf { gamma: 1.0 };
+        let q = k.gram(&data);
+        for i in 0..3 {
+            assert!((q[i * 3 + i] - 1.0).abs() < 1e-12);
+            for j in 0..3 {
+                assert_eq!(q[i * 3 + j], q[j * 3 + i]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma must be positive")]
+    fn non_positive_gamma_panics() {
+        let _ = Kernel::Rbf(Gamma::Value(0.0)).resolve(&[vec![1.0]]);
+    }
+}

@@ -1,0 +1,44 @@
+//! One-class support vector machine (Schölkopf et al., *Estimating the
+//! support of a high-dimensional distribution*, Neural Computation 2001).
+//!
+//! Deep Validation models the per-layer, per-class reference distributions
+//! with exactly this estimator (paper Section III-B2, Algorithm 1; the
+//! original implementation used scikit-learn's `OneClassSVM`). This crate
+//! implements the ν-OCSVM dual
+//!
+//! ```text
+//! min   1/2 * alpha' Q alpha
+//! s.t.  0 <= alpha_i <= 1/(nu*l),   sum_i alpha_i = 1
+//! ```
+//!
+//! with a pairwise SMO solver (LIBSVM-style most-violating-pair working-set
+//! selection) and recovers the offset `rho` from the margin support
+//! vectors. The decision value of a point `x` is
+//! `sum_i alpha_i K(x_i, x) - rho`: non-negative inside the estimated
+//! support region, negative outside — Deep Validation's *discrepancy* is
+//! its negation.
+//!
+//! # Examples
+//!
+//! ```
+//! use dv_ocsvm::{OcsvmParams, OneClassSvm};
+//!
+//! let inliers: Vec<Vec<f32>> = (0..40)
+//!     .map(|i| vec![(i % 5) as f32 * 0.01, (i % 7) as f32 * 0.01])
+//!     .collect();
+//! let svm = OneClassSvm::fit(&inliers, &OcsvmParams::default()).unwrap();
+//! let near = svm.decision(&[0.02, 0.03]);
+//! let far = svm.decision(&[5.0, -4.0]);
+//! assert!(near > far);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod kernel;
+pub mod smo;
+pub mod svm;
+
+pub use kernel::{Gamma, Kernel};
+pub use kernel::ResolvedKernel;
+pub use svm::{FitError, OcsvmParams, OneClassSvm, SvmParts};

@@ -1,0 +1,236 @@
+//! Pairwise SMO solver for the ν-OCSVM dual.
+//!
+//! Solves `min 1/2 alpha' Q alpha` subject to `0 <= alpha_i <= c` and
+//! `sum alpha_i = 1`, where `c = 1/(nu*l)`, with most-violating-pair
+//! working-set selection as in LIBSVM's one-class solver.
+
+/// Outcome of an SMO run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmoSolution {
+    /// Final dual variables, length `l`.
+    pub alpha: Vec<f64>,
+    /// The offset `rho` (decision threshold) recovered from margin SVs.
+    pub rho: f64,
+    /// Number of pair updates performed.
+    pub iterations: usize,
+    /// Whether the KKT gap fell below tolerance (vs. hitting `max_iter`).
+    pub converged: bool,
+}
+
+/// Solves the ν-OCSVM dual over a precomputed Gram matrix `q`
+/// (row-major, `l x l`).
+///
+/// # Panics
+///
+/// Panics if `q.len() != l * l`, `l == 0`, or `nu` is outside `(0, 1]`.
+pub fn solve(q: &[f64], l: usize, nu: f64, tol: f64, max_iter: usize) -> SmoSolution {
+    assert!(l > 0, "cannot solve an empty problem");
+    assert_eq!(q.len(), l * l, "gram matrix size mismatch");
+    assert!(nu > 0.0 && nu <= 1.0, "nu must be in (0, 1], got {nu}");
+
+    let c = 1.0 / (nu * l as f64);
+    // LIBSVM-style initialization: the first floor(nu*l) points get the
+    // box bound, the next point takes the remainder, the rest are zero.
+    let mut alpha = vec![0.0f64; l];
+    let n_full = (nu * l as f64).floor() as usize;
+    let mut remaining = 1.0f64;
+    for a in alpha.iter_mut().take(n_full.min(l)) {
+        *a = c;
+        remaining -= c;
+    }
+    if n_full < l && remaining > 0.0 {
+        alpha[n_full] = remaining;
+    }
+
+    // Gradient of the objective: G = Q alpha.
+    let mut grad = vec![0.0f64; l];
+    for (i, g) in grad.iter_mut().enumerate() {
+        let row = &q[i * l..(i + 1) * l];
+        *g = row.iter().zip(&alpha).map(|(&k, &a)| k * a).sum();
+    }
+
+    let mut iterations = 0usize;
+    let mut converged = false;
+    while iterations < max_iter {
+        // Most violating pair: i maximizes -G over alpha_i < C (room to
+        // grow), j minimizes -G over alpha_j > 0 (room to shrink).
+        let mut i_sel = None;
+        let mut g_min = f64::INFINITY;
+        let mut j_sel = None;
+        let mut g_max = f64::NEG_INFINITY;
+        for t in 0..l {
+            if alpha[t] < c - 1e-12 && grad[t] < g_min {
+                g_min = grad[t];
+                i_sel = Some(t);
+            }
+            if alpha[t] > 1e-12 && grad[t] > g_max {
+                g_max = grad[t];
+                j_sel = Some(t);
+            }
+        }
+        let (i, j) = match (i_sel, j_sel) {
+            (Some(i), Some(j)) => (i, j),
+            _ => {
+                converged = true;
+                break;
+            }
+        };
+        if g_max - g_min < tol {
+            converged = true;
+            break;
+        }
+
+        // Move t mass from j to i; unconstrained optimum t* = (Gj-Gi)/eta.
+        let eta = (q[i * l + i] + q[j * l + j] - 2.0 * q[i * l + j]).max(1e-12);
+        let mut t_step = (grad[j] - grad[i]) / eta;
+        t_step = t_step.min(c - alpha[i]).min(alpha[j]);
+        if t_step <= 0.0 {
+            converged = true;
+            break;
+        }
+        alpha[i] += t_step;
+        alpha[j] -= t_step;
+        for (t, g) in grad.iter_mut().enumerate() {
+            *g += t_step * (q[i * l + t] - q[j * l + t]);
+        }
+        iterations += 1;
+    }
+
+    let rho = recover_rho(&grad, &alpha, c);
+    SmoSolution {
+        alpha,
+        rho,
+        iterations,
+        converged,
+    }
+}
+
+/// Recovers `rho` as the mean gradient over free (margin) support vectors,
+/// falling back to the midpoint of the KKT bounds when none are free.
+fn recover_rho(grad: &[f64], alpha: &[f64], c: f64) -> f64 {
+    let mut sum = 0.0f64;
+    let mut count = 0usize;
+    let mut upper = f64::INFINITY; // min over alpha=0 of G
+    let mut lower = f64::NEG_INFINITY; // max over alpha=C of G
+    for (&g, &a) in grad.iter().zip(alpha) {
+        if a > 1e-12 && a < c - 1e-12 {
+            sum += g;
+            count += 1;
+        } else if a <= 1e-12 {
+            upper = upper.min(g);
+        } else {
+            lower = lower.max(g);
+        }
+    }
+    if count > 0 {
+        sum / count as f64
+    } else {
+        let lo = if lower.is_finite() { lower } else { upper };
+        let hi = if upper.is_finite() { upper } else { lower };
+        0.5 * (lo + hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rbf_gram(points: &[(f64, f64)], gamma: f64) -> Vec<f64> {
+        let l = points.len();
+        let mut q = vec![0.0; l * l];
+        for i in 0..l {
+            for j in 0..l {
+                let dx = points[i].0 - points[j].0;
+                let dy = points[i].1 - points[j].1;
+                q[i * l + j] = (-gamma * (dx * dx + dy * dy)).exp();
+            }
+        }
+        q
+    }
+
+    fn grid_points(n: usize) -> Vec<(f64, f64)> {
+        (0..n)
+            .map(|i| ((i % 5) as f64 * 0.1, (i / 5) as f64 * 0.1))
+            .collect()
+    }
+
+    #[test]
+    fn constraints_hold_after_solving() {
+        let pts = grid_points(25);
+        let q = rbf_gram(&pts, 1.0);
+        let sol = solve(&q, 25, 0.2, 1e-6, 10_000);
+        let c = 1.0 / (0.2 * 25.0);
+        let sum: f64 = sol.alpha.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "sum(alpha) = {sum}");
+        for &a in &sol.alpha {
+            assert!((-1e-12..=c + 1e-12).contains(&a), "alpha {a} out of box");
+        }
+        assert!(sol.converged);
+    }
+
+    #[test]
+    fn kkt_conditions_hold_at_solution() {
+        let pts = grid_points(25);
+        let q = rbf_gram(&pts, 1.0);
+        let nu = 0.3;
+        let sol = solve(&q, 25, nu, 1e-8, 50_000);
+        let c = 1.0 / (nu * 25.0);
+        // Recompute the gradient and check stationarity classes.
+        for i in 0..25 {
+            let g: f64 = (0..25).map(|j| q[i * 25 + j] * sol.alpha[j]).sum();
+            if sol.alpha[i] <= 1e-10 {
+                assert!(g >= sol.rho - 1e-5, "alpha=0 point violates KKT: {g}");
+            } else if sol.alpha[i] >= c - 1e-10 {
+                assert!(g <= sol.rho + 1e-5, "alpha=C point violates KKT: {g}");
+            } else {
+                assert!((g - sol.rho).abs() < 1e-5, "free SV gradient {g} != rho");
+            }
+        }
+    }
+
+    #[test]
+    fn nu_bounds_the_outlier_fraction() {
+        // Schölkopf's nu-property: at most a nu fraction of training
+        // points lie strictly outside (decision < 0), at least nu are SVs.
+        let pts = grid_points(50);
+        let q = rbf_gram(&pts, 2.0);
+        let nu = 0.2;
+        let sol = solve(&q, 50, nu, 1e-8, 50_000);
+        let outside = (0..50)
+            .filter(|&i| {
+                let f: f64 = (0..50).map(|j| q[i * 50 + j] * sol.alpha[j]).sum();
+                f - sol.rho < -1e-8
+            })
+            .count();
+        assert!(
+            outside as f64 <= nu * 50.0 + 1.0,
+            "{outside} outliers exceeds nu bound"
+        );
+        let svs = sol.alpha.iter().filter(|&&a| a > 1e-10).count();
+        assert!(svs as f64 >= nu * 50.0 - 1.0, "only {svs} support vectors");
+    }
+
+    #[test]
+    fn single_point_problem_is_trivial() {
+        let q = vec![1.0];
+        let sol = solve(&q, 1, 1.0, 1e-6, 100);
+        assert!((sol.alpha[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_points_share_mass() {
+        // All kernel entries 1: any feasible alpha is optimal; solver must
+        // converge immediately without oscillating.
+        let q = vec![1.0; 16];
+        let sol = solve(&q, 4, 0.5, 1e-6, 1000);
+        assert!(sol.converged);
+        let sum: f64 = sol.alpha.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "nu must be in")]
+    fn invalid_nu_panics() {
+        let _ = solve(&[1.0], 1, 0.0, 1e-6, 10);
+    }
+}

@@ -1,0 +1,359 @@
+//! The fitted one-class SVM: training entry point and decision function.
+
+use std::fmt;
+
+use crate::kernel::{Kernel, ResolvedKernel};
+use crate::smo;
+
+/// Training hyperparameters for [`OneClassSvm::fit`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OcsvmParams {
+    /// The ν parameter: an upper bound on the fraction of training
+    /// outliers and a lower bound on the fraction of support vectors.
+    pub nu: f64,
+    /// Kernel family and bandwidth.
+    pub kernel: Kernel,
+    /// KKT violation tolerance for the SMO stopping rule.
+    pub tol: f64,
+    /// Hard cap on SMO pair updates.
+    pub max_iter: usize,
+}
+
+impl Default for OcsvmParams {
+    fn default() -> Self {
+        Self {
+            nu: 0.1,
+            kernel: Kernel::default(),
+            tol: 1e-4,
+            max_iter: 100_000,
+        }
+    }
+}
+
+/// Error returned when fitting is impossible.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FitError {
+    /// The training set was empty.
+    EmptyTrainingSet,
+    /// Rows had inconsistent dimensionality.
+    RaggedRows {
+        /// Dimensionality of the first row.
+        expected: usize,
+        /// Dimensionality of the offending row.
+        got: usize,
+    },
+    /// ν was outside `(0, 1]`.
+    InvalidNu(f64),
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FitError::EmptyTrainingSet => write!(f, "training set is empty"),
+            FitError::RaggedRows { expected, got } => {
+                write!(f, "row dimensionality {got} differs from first row {expected}")
+            }
+            FitError::InvalidNu(nu) => write!(f, "nu {nu} outside (0, 1]"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// A fitted ν one-class SVM.
+///
+/// Only support vectors (points with `alpha > 0`) are retained for
+/// inference, so memory and query time scale with the support size, not
+/// the training size.
+#[derive(Debug, Clone)]
+pub struct OneClassSvm {
+    support: Vec<Vec<f32>>,
+    alpha: Vec<f64>,
+    rho: f64,
+    kernel: ResolvedKernel,
+    converged: bool,
+}
+
+impl OneClassSvm {
+    /// Fits the estimator on `data` (one row per point).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FitError`] on empty data, ragged rows, or invalid ν.
+    pub fn fit(data: &[Vec<f32>], params: &OcsvmParams) -> Result<Self, FitError> {
+        if data.is_empty() {
+            return Err(FitError::EmptyTrainingSet);
+        }
+        let d = data[0].len();
+        if let Some(bad) = data.iter().find(|row| row.len() != d) {
+            return Err(FitError::RaggedRows {
+                expected: d,
+                got: bad.len(),
+            });
+        }
+        if !(params.nu > 0.0 && params.nu <= 1.0) {
+            return Err(FitError::InvalidNu(params.nu));
+        }
+        let kernel = params.kernel.resolve(data);
+        let gram = kernel.gram(data);
+        let sol = smo::solve(&gram, data.len(), params.nu, params.tol, params.max_iter);
+        let mut support = Vec::new();
+        let mut alpha = Vec::new();
+        for (row, &a) in data.iter().zip(&sol.alpha) {
+            if a > 1e-12 {
+                support.push(row.clone());
+                alpha.push(a);
+            }
+        }
+        Ok(Self {
+            support,
+            alpha,
+            rho: sol.rho,
+            kernel,
+            converged: sol.converged,
+        })
+    }
+
+    /// The signed decision value `sum_i alpha_i K(x_i, x) - rho`:
+    /// non-negative inside the estimated support of the training
+    /// distribution, negative outside.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `x` has the wrong dimensionality.
+    pub fn decision(&self, x: &[f32]) -> f64 {
+        let mut acc = 0.0f64;
+        for (sv, &a) in self.support.iter().zip(&self.alpha) {
+            acc += a * self.kernel.eval(sv, x);
+        }
+        acc - self.rho
+    }
+
+    /// Whether `x` lies inside the estimated support region.
+    pub fn is_inlier(&self, x: &[f32]) -> bool {
+        self.decision(x) >= 0.0
+    }
+
+    /// Number of retained support vectors.
+    pub fn num_support_vectors(&self) -> usize {
+        self.support.len()
+    }
+
+    /// The learned offset `rho`.
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+
+    /// Whether the SMO solver reached its tolerance (vs. the iteration
+    /// cap). A non-converged model is still usable but approximate.
+    pub fn converged(&self) -> bool {
+        self.converged
+    }
+
+    /// Decomposes the model into its raw parts (for serialization).
+    pub fn to_parts(&self) -> SvmParts {
+        SvmParts {
+            support: self.support.clone(),
+            alpha: self.alpha.clone(),
+            rho: self.rho,
+            kernel: self.kernel,
+        }
+    }
+
+    /// Rebuilds a model from parts produced by
+    /// [`to_parts`](OneClassSvm::to_parts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `support` and `alpha` lengths differ.
+    pub fn from_parts(parts: SvmParts) -> Self {
+        assert_eq!(
+            parts.support.len(),
+            parts.alpha.len(),
+            "support/alpha length mismatch"
+        );
+        Self {
+            support: parts.support,
+            alpha: parts.alpha,
+            rho: parts.rho,
+            kernel: parts.kernel,
+            converged: true,
+        }
+    }
+}
+
+/// The raw contents of a fitted model, used for serialization by
+/// downstream crates.
+#[derive(Debug, Clone)]
+pub struct SvmParts {
+    /// Support vectors, one row per retained training point.
+    pub support: Vec<Vec<f32>>,
+    /// Dual coefficients aligned with `support`.
+    pub alpha: Vec<f64>,
+    /// Decision offset.
+    pub rho: f64,
+    /// Fully resolved kernel.
+    pub kernel: ResolvedKernel,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::Gamma;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn gaussian_blob(rng: &mut StdRng, n: usize, center: (f32, f32), std: f32) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|_| {
+                // Box-Muller.
+                let u1: f32 = 1.0 - rng.gen::<f32>();
+                let u2: f32 = rng.gen();
+                let r = (-2.0 * u1.ln()).sqrt();
+                let z0 = r * (std::f32::consts::TAU * u2).cos();
+                let z1 = r * (std::f32::consts::TAU * u2).sin();
+                vec![center.0 + std * z0, center.1 + std * z1]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn inliers_score_above_far_outliers() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let data = gaussian_blob(&mut rng, 80, (0.0, 0.0), 0.5);
+        let svm = OneClassSvm::fit(&data, &OcsvmParams::default()).unwrap();
+        assert!(svm.converged());
+        assert!(svm.decision(&[0.0, 0.0]) > svm.decision(&[5.0, 5.0]));
+        assert!(!svm.is_inlier(&[8.0, 8.0]));
+        // The bulk of the training data must be inside the region
+        // (nu = 0.1 bounds the training-outlier fraction).
+        let inliers = data.iter().filter(|p| svm.is_inlier(p)).count();
+        assert!(inliers >= 70, "only {inliers}/80 training inliers");
+    }
+
+    #[test]
+    fn decision_decreases_monotonically_with_distance() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = gaussian_blob(&mut rng, 60, (0.0, 0.0), 0.3);
+        let svm = OneClassSvm::fit(&data, &OcsvmParams::default()).unwrap();
+        // Inside the blob the decision surface is nearly flat (the dual
+        // places its mass on boundary points), so monotonicity is only
+        // guaranteed once we leave the data: check radii >= 1 (the blob
+        // std is 0.3).
+        // Far from the data the decision saturates at exactly -rho, so the
+        // comparison is non-strict.
+        let mut prev = f64::INFINITY;
+        for r in [1.0f32, 2.0, 4.0, 8.0] {
+            let v = svm.decision(&[r, 0.0]);
+            assert!(v <= prev, "decision not decreasing at r={r}");
+            prev = v;
+        }
+        assert!(svm.decision(&[1.0, 0.0]) > svm.decision(&[2.0, 0.0]));
+        assert!(svm.decision(&[0.0, 0.0]) > svm.decision(&[4.0, 0.0]));
+    }
+
+    #[test]
+    fn nu_controls_training_outlier_fraction() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let data = gaussian_blob(&mut rng, 100, (1.0, -1.0), 0.4);
+        for nu in [0.05f64, 0.2, 0.5] {
+            let svm = OneClassSvm::fit(
+                &data,
+                &OcsvmParams {
+                    nu,
+                    ..OcsvmParams::default()
+                },
+            )
+            .unwrap();
+            let outliers = data.iter().filter(|p| !svm.is_inlier(p)).count();
+            assert!(
+                outliers as f64 <= nu * 100.0 + 2.0,
+                "nu={nu}: {outliers} outliers"
+            );
+        }
+    }
+
+    #[test]
+    fn support_vectors_are_a_subset() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let data = gaussian_blob(&mut rng, 50, (0.0, 0.0), 1.0);
+        let svm = OneClassSvm::fit(&data, &OcsvmParams::default()).unwrap();
+        assert!(svm.num_support_vectors() <= 50);
+        assert!(svm.num_support_vectors() >= 1);
+    }
+
+    #[test]
+    fn linear_kernel_works_too() {
+        let mut rng = StdRng::seed_from_u64(4);
+        // Shifted blob so the linear kernel has signal.
+        let data = gaussian_blob(&mut rng, 60, (2.0, 2.0), 0.2);
+        let svm = OneClassSvm::fit(
+            &data,
+            &OcsvmParams {
+                kernel: Kernel::Linear,
+                ..OcsvmParams::default()
+            },
+        )
+        .unwrap();
+        assert!(svm.decision(&[2.0, 2.0]) > svm.decision(&[-2.0, -2.0]));
+    }
+
+    #[test]
+    fn explicit_gamma_is_respected() {
+        let data = vec![vec![0.0f32], vec![0.1], vec![-0.1]];
+        let tight = OneClassSvm::fit(
+            &data,
+            &OcsvmParams {
+                kernel: Kernel::Rbf(Gamma::Value(100.0)),
+                ..OcsvmParams::default()
+            },
+        )
+        .unwrap();
+        let loose = OneClassSvm::fit(
+            &data,
+            &OcsvmParams {
+                kernel: Kernel::Rbf(Gamma::Value(0.01)),
+                ..OcsvmParams::default()
+            },
+        )
+        .unwrap();
+        // A tight kernel rejects a moderately distant point that a loose
+        // kernel still accepts.
+        let x = [1.5f32];
+        assert!(tight.decision(&x) < loose.decision(&x));
+    }
+
+    #[test]
+    fn fit_errors_are_reported() {
+        assert_eq!(
+            OneClassSvm::fit(&[], &OcsvmParams::default()).unwrap_err(),
+            FitError::EmptyTrainingSet
+        );
+        let ragged = vec![vec![1.0, 2.0], vec![1.0]];
+        assert!(matches!(
+            OneClassSvm::fit(&ragged, &OcsvmParams::default()).unwrap_err(),
+            FitError::RaggedRows { expected: 2, got: 1 }
+        ));
+        let data = vec![vec![1.0]];
+        assert_eq!(
+            OneClassSvm::fit(
+                &data,
+                &OcsvmParams {
+                    nu: 1.5,
+                    ..OcsvmParams::default()
+                }
+            )
+            .unwrap_err(),
+            FitError::InvalidNu(1.5)
+        );
+    }
+
+    #[test]
+    fn fit_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let data = gaussian_blob(&mut rng, 40, (0.0, 0.0), 0.7);
+        let a = OneClassSvm::fit(&data, &OcsvmParams::default()).unwrap();
+        let b = OneClassSvm::fit(&data, &OcsvmParams::default()).unwrap();
+        assert_eq!(a.decision(&[0.3, 0.4]), b.decision(&[0.3, 0.4]));
+    }
+}

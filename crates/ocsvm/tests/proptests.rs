@@ -1,0 +1,129 @@
+//! Property tests for the one-class SVM.
+
+use dv_ocsvm::{Gamma, Kernel, OcsvmParams, OneClassSvm};
+use proptest::prelude::*;
+
+/// A deterministic 2-D grid cluster scaled by `spread`.
+fn cluster(n: usize, spread: f32) -> Vec<Vec<f32>> {
+    (0..n)
+        .map(|i| {
+            vec![
+                (i % 7) as f32 * 0.1 * spread,
+                (i % 5) as f32 * 0.1 * spread,
+            ]
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn rbf_decision_is_bounded(nu in 0.05f64..=0.9, spread in 0.5f32..=3.0) {
+        // For an RBF kernel, sum_i alpha_i K <= sum_i alpha_i = 1, so the
+        // decision value lies in [-rho, 1 - rho].
+        let data = cluster(40, spread);
+        let svm = OneClassSvm::fit(
+            &data,
+            &OcsvmParams { nu, ..OcsvmParams::default() },
+        )
+        .unwrap();
+        let rho = svm.rho();
+        for probe in [[0.0f32, 0.0], [0.3, 0.2], [100.0, -50.0]] {
+            let d = svm.decision(&probe);
+            prop_assert!(d >= -rho - 1e-9, "decision {} below -rho {}", d, -rho);
+            prop_assert!(d <= 1.0 - rho + 1e-9, "decision {} above 1-rho", d);
+        }
+    }
+
+    #[test]
+    fn far_points_saturate_at_minus_rho(shift in 50.0f32..=500.0) {
+        let data = cluster(30, 1.0);
+        let svm = OneClassSvm::fit(&data, &OcsvmParams::default()).unwrap();
+        let d = svm.decision(&[shift, shift]);
+        prop_assert!((d + svm.rho()).abs() < 1e-6, "far decision {} != -rho", d);
+    }
+
+    #[test]
+    fn nu_upper_bounds_training_outliers(nu in 0.05f64..=0.5) {
+        // Exact dual property: outliers (f < 0 strictly) are a subset of
+        // the bound-constrained support vectors, of which there are at
+        // most nu*l. A small tolerance absorbs the SMO stopping slack in
+        // rho (boundary duplicates would otherwise flip sign on rounding).
+        let data = cluster(60, 1.0);
+        let svm = OneClassSvm::fit(
+            &data,
+            &OcsvmParams { nu, ..OcsvmParams::default() },
+        )
+        .unwrap();
+        let outliers = data
+            .iter()
+            .filter(|p| svm.decision(p) < -1e-3)
+            .count();
+        prop_assert!(
+            outliers as f64 <= nu * 60.0 + 1.0,
+            "{} outliers for nu {}",
+            outliers,
+            nu
+        );
+    }
+
+    #[test]
+    fn support_vector_count_at_least_nu_fraction(nu in 0.1f64..=0.6) {
+        let data = cluster(50, 1.0);
+        let svm = OneClassSvm::fit(
+            &data,
+            &OcsvmParams { nu, ..OcsvmParams::default() },
+        )
+        .unwrap();
+        prop_assert!(
+            svm.num_support_vectors() as f64 >= nu * 50.0 - 1.5,
+            "{} SVs for nu {}",
+            svm.num_support_vectors(),
+            nu
+        );
+    }
+
+    #[test]
+    fn parts_round_trip_preserves_decisions(gamma in 0.1f64..=10.0) {
+        let data = cluster(25, 1.0);
+        let svm = OneClassSvm::fit(
+            &data,
+            &OcsvmParams {
+                kernel: Kernel::Rbf(Gamma::Value(gamma)),
+                ..OcsvmParams::default()
+            },
+        )
+        .unwrap();
+        let rebuilt = OneClassSvm::from_parts(svm.to_parts());
+        for probe in [[0.1f32, 0.1], [2.0, -1.0]] {
+            prop_assert_eq!(svm.decision(&probe), rebuilt.decision(&probe));
+        }
+    }
+
+    #[test]
+    fn decision_is_translation_equivariant_for_rbf(
+        dx in -5.0f32..=5.0,
+        dy in -5.0f32..=5.0,
+    ) {
+        // With a FIXED gamma the RBF kernel depends only on pairwise
+        // distances, so translating the training set and the query leaves
+        // decisions unchanged. (The Scale heuristic pools feature values
+        // across dimensions, so it is deliberately NOT shift-invariant
+        // under per-dimension shifts — hence the explicit gamma here.)
+        let params = OcsvmParams {
+            kernel: Kernel::Rbf(Gamma::Value(2.0)),
+            ..OcsvmParams::default()
+        };
+        let data = cluster(30, 1.0);
+        let shifted: Vec<Vec<f32>> = data
+            .iter()
+            .map(|p| vec![p[0] + dx, p[1] + dy])
+            .collect();
+        let a = OneClassSvm::fit(&data, &params).unwrap();
+        let b = OneClassSvm::fit(&shifted, &params).unwrap();
+        let qa = a.decision(&[0.25, 0.15]);
+        let qb = b.decision(&[0.25 + dx, 0.15 + dy]);
+        prop_assert!((qa - qb).abs() < 1e-4, "{} vs {}", qa, qb);
+    }
+}

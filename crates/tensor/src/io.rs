@@ -1,0 +1,249 @@
+//! A tiny versioned binary format for tensors and checkpoints.
+//!
+//! The experiment binaries cache trained models and SVM ensembles between
+//! runs; this module provides the on-disk format. It is deliberately
+//! minimal: little-endian, magic `DVT1`, no compression.
+//!
+//! Layout of one tensor record:
+//!
+//! ```text
+//! magic   b"DVT1"
+//! ndim    u32
+//! dims    ndim x u64
+//! data    numel x f32
+//! ```
+//!
+//! Checkpoints are a sequence of named records (see [`write_named`] /
+//! [`read_named`]).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use crate::tensor::Tensor;
+
+const MAGIC: &[u8; 4] = b"DVT1";
+
+/// Error returned when decoding tensor records fails.
+#[derive(Debug)]
+pub enum DecodeError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The magic bytes did not match.
+    BadMagic([u8; 4]),
+    /// A structural field was out of range.
+    Malformed(String),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Io(e) => write!(f, "i/o failure while decoding tensor: {e}"),
+            DecodeError::BadMagic(m) => write!(f, "bad magic bytes {m:?}, expected {MAGIC:?}"),
+            DecodeError::Malformed(what) => write!(f, "malformed tensor record: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DecodeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for DecodeError {
+    fn from(e: io::Error) -> Self {
+        DecodeError::Io(e)
+    }
+}
+
+/// Writes one tensor record.
+///
+/// A `&mut` reference can be passed for `w` (writers are taken by value per
+/// the usual `io::Write` blanket impls).
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn write_tensor<W: Write>(mut w: W, t: &Tensor) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&(t.shape().ndim() as u32).to_le_bytes())?;
+    for &d in t.shape().dims() {
+        w.write_all(&(d as u64).to_le_bytes())?;
+    }
+    for &x in t.data() {
+        w.write_all(&x.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Reads one tensor record.
+///
+/// A `&mut` reference can be passed for `r`.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on I/O failure, magic mismatch or a structurally
+/// invalid record (zero dims, absurd rank).
+pub fn read_tensor<R: Read>(mut r: R) -> Result<Tensor, DecodeError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(DecodeError::BadMagic(magic));
+    }
+    let ndim = read_u32(&mut r)? as usize;
+    if ndim == 0 || ndim > 8 {
+        return Err(DecodeError::Malformed(format!("rank {ndim} out of range")));
+    }
+    let mut dims = Vec::with_capacity(ndim);
+    let mut numel: u64 = 1;
+    for _ in 0..ndim {
+        let d = read_u64(&mut r)?;
+        if d == 0 || d > u32::MAX as u64 {
+            return Err(DecodeError::Malformed(format!("dimension {d} out of range")));
+        }
+        numel = numel.saturating_mul(d);
+        dims.push(d as usize);
+    }
+    if numel > (1 << 31) {
+        return Err(DecodeError::Malformed(format!("{numel} elements too many")));
+    }
+    let mut data = vec![0.0f32; numel as usize];
+    let mut buf = [0u8; 4];
+    for x in &mut data {
+        r.read_exact(&mut buf)?;
+        *x = f32::from_le_bytes(buf);
+    }
+    Ok(Tensor::from_vec(data, &dims))
+}
+
+/// Writes a named collection of tensors (a checkpoint).
+///
+/// Names are UTF-8, length-prefixed; records are sorted by name so the
+/// output is deterministic.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn write_named<W: Write>(mut w: W, entries: &BTreeMap<String, Tensor>) -> io::Result<()> {
+    w.write_all(&(entries.len() as u32).to_le_bytes())?;
+    for (name, tensor) in entries {
+        let bytes = name.as_bytes();
+        w.write_all(&(bytes.len() as u32).to_le_bytes())?;
+        w.write_all(bytes)?;
+        write_tensor(&mut w, tensor)?;
+    }
+    Ok(())
+}
+
+/// Reads a named collection of tensors written by [`write_named`].
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on I/O failure or malformed records.
+pub fn read_named<R: Read>(mut r: R) -> Result<BTreeMap<String, Tensor>, DecodeError> {
+    let count = read_u32(&mut r)? as usize;
+    if count > 1 << 20 {
+        return Err(DecodeError::Malformed(format!("{count} entries too many")));
+    }
+    let mut out = BTreeMap::new();
+    for _ in 0..count {
+        let name_len = read_u32(&mut r)? as usize;
+        if name_len > 1 << 16 {
+            return Err(DecodeError::Malformed(format!("name of {name_len} bytes")));
+        }
+        let mut name = vec![0u8; name_len];
+        r.read_exact(&mut name)?;
+        let name = String::from_utf8(name)
+            .map_err(|_| DecodeError::Malformed("non-UTF-8 name".to_owned()))?;
+        let tensor = read_tensor(&mut r)?;
+        out.insert(name, tensor);
+    }
+    Ok(out)
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn tensor_round_trips() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let t = Tensor::randn(&mut rng, &[3, 4, 5], 1.0);
+        let mut buf = Vec::new();
+        write_tensor(&mut buf, &t).unwrap();
+        let back = read_tensor(buf.as_slice()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn named_round_trips_in_order() {
+        let mut entries = BTreeMap::new();
+        entries.insert("b.weight".to_owned(), Tensor::ones(&[2, 2]));
+        entries.insert("a.bias".to_owned(), Tensor::zeros(&[4]));
+        let mut buf = Vec::new();
+        write_named(&mut buf, &entries).unwrap();
+        let back = read_named(buf.as_slice()).unwrap();
+        assert_eq!(back, entries);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let buf = b"NOPE\x01\x00\x00\x00".to_vec();
+        match read_tensor(buf.as_slice()) {
+            Err(DecodeError::BadMagic(m)) => assert_eq!(&m, b"NOPE"),
+            other => panic!("expected BadMagic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_data_is_io_error() {
+        let t = Tensor::ones(&[8]);
+        let mut buf = Vec::new();
+        write_tensor(&mut buf, &t).unwrap();
+        buf.truncate(buf.len() - 2);
+        assert!(matches!(
+            read_tensor(buf.as_slice()),
+            Err(DecodeError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn zero_dim_record_is_malformed() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        assert!(matches!(
+            read_tensor(buf.as_slice()),
+            Err(DecodeError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn deterministic_encoding() {
+        let t = Tensor::from_vec(vec![1.0, -2.0], &[2]);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        write_tensor(&mut a, &t).unwrap();
+        write_tensor(&mut b, &t).unwrap();
+        assert_eq!(a, b);
+    }
+}

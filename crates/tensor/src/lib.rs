@@ -1,0 +1,37 @@
+//! Dense `f32` tensor library underpinning the Deep Validation reproduction.
+//!
+//! The crate provides the numeric substrate every other crate builds on:
+//!
+//! - [`Shape`]: dimension bookkeeping with row-major strides,
+//! - [`Tensor`]: contiguous row-major storage with elementwise ops,
+//!   reductions and random initialization,
+//! - [`matmul`]: blocked dense matrix multiplication (plus transposed
+//!   variants used by backpropagation),
+//! - [`conv`]: `im2col` / `col2im` lowering used by the convolution layers,
+//! - [`io`]: a tiny versioned binary format used to cache trained models
+//!   between experiment runs.
+//!
+//! # Examples
+//!
+//! ```
+//! use dv_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+//! let b = Tensor::eye(2);
+//! let c = dv_tensor::matmul::matmul(&a, &b);
+//! assert_eq!(c.data(), a.data());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conv;
+pub mod io;
+pub mod linalg;
+pub mod matmul;
+pub mod shape;
+pub mod stats;
+pub mod tensor;
+
+pub use shape::Shape;
+pub use tensor::Tensor;

@@ -1,0 +1,189 @@
+//! Small dense linear algebra: Cholesky factorization and SPD solves.
+//!
+//! Used by the Mahalanobis-distance detector (class-conditional Gaussians
+//! share a covariance matrix that must be inverted once).
+
+use crate::tensor::Tensor;
+
+/// Error for factorization failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotPositiveDefinite {
+    /// Index of the pivot that failed.
+    pub pivot: usize,
+}
+
+impl std::fmt::Display for NotPositiveDefinite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix is not positive definite (pivot {})", self.pivot)
+    }
+}
+
+impl std::error::Error for NotPositiveDefinite {}
+
+/// Lower-triangular Cholesky factor `L` with `A = L L^T`.
+///
+/// # Errors
+///
+/// Returns [`NotPositiveDefinite`] if a pivot is non-positive.
+///
+/// # Panics
+///
+/// Panics if `a` is not a square rank-2 tensor.
+pub fn cholesky(a: &Tensor) -> Result<Tensor, NotPositiveDefinite> {
+    assert_eq!(a.shape().ndim(), 2, "cholesky expects a matrix");
+    let n = a.shape().dim(0);
+    assert_eq!(n, a.shape().dim(1), "cholesky expects a square matrix");
+    let ad = a.data();
+    let mut l = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = ad[i * n + j] as f64;
+            for k in 0..j {
+                sum -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return Err(NotPositiveDefinite { pivot: i });
+                }
+                l[i * n + j] = sum.sqrt();
+            } else {
+                l[i * n + j] = sum / l[j * n + j];
+            }
+        }
+    }
+    Ok(Tensor::from_vec(l.iter().map(|&x| x as f32).collect(), &[n, n]))
+}
+
+/// Solves `A x = b` for symmetric positive definite `A` via Cholesky.
+///
+/// # Errors
+///
+/// Returns [`NotPositiveDefinite`] if the factorization fails.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn solve_spd(a: &Tensor, b: &Tensor) -> Result<Tensor, NotPositiveDefinite> {
+    let l = cholesky(a)?;
+    Ok(solve_with_cholesky(&l, b))
+}
+
+/// Solves `A x = b` given the precomputed Cholesky factor `L` of `A`
+/// (forward then backward substitution).
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn solve_with_cholesky(l: &Tensor, b: &Tensor) -> Tensor {
+    let n = l.shape().dim(0);
+    assert_eq!(b.shape().ndim(), 1, "rhs must be a vector");
+    assert_eq!(b.numel(), n, "rhs length mismatch");
+    let ld = l.data();
+    let mut y = vec![0.0f64; n];
+    // L y = b.
+    for i in 0..n {
+        let mut sum = b.data()[i] as f64;
+        for k in 0..i {
+            sum -= ld[i * n + k] as f64 * y[k];
+        }
+        y[i] = sum / ld[i * n + i] as f64;
+    }
+    // L^T x = y.
+    let mut x = vec![0.0f64; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in i + 1..n {
+            sum -= ld[k * n + i] as f64 * x[k];
+        }
+        x[i] = sum / ld[i * n + i] as f64;
+    }
+    Tensor::from_vec(x.iter().map(|&v| v as f32).collect(), &[n])
+}
+
+/// The quadratic form `v^T A^{-1} v` given the Cholesky factor `L` of `A`
+/// — the squared Mahalanobis distance when `A` is a covariance and `v` a
+/// centered sample.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn quad_form_inv(l: &Tensor, v: &Tensor) -> f64 {
+    let x = solve_with_cholesky(l, v);
+    v.data()
+        .iter()
+        .zip(x.data())
+        .map(|(&a, &b)| a as f64 * b as f64)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matmul::{matmul, transpose};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn spd(n: usize, seed: u64) -> Tensor {
+        // A = M M^T + n*I is SPD for any M.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = Tensor::randn(&mut rng, &[n, n], 1.0);
+        let mut a = matmul(&m, &transpose(&m));
+        for i in 0..n {
+            let v = a.at(&[i, i]) + n as f32;
+            a.set(&[i, i], v);
+        }
+        a
+    }
+
+    #[test]
+    fn cholesky_reconstructs_the_matrix() {
+        let a = spd(5, 0);
+        let l = cholesky(&a).unwrap();
+        let back = matmul(&l, &transpose(&l));
+        for (x, y) in back.data().iter().zip(a.data()) {
+            assert!((x - y).abs() < 1e-2 * (1.0 + y.abs()), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = spd(6, 1);
+        let x_true = Tensor::from_vec((0..6).map(|i| i as f32 - 2.5).collect(), &[6]);
+        let b = crate::matmul::matvec(&a, &x_true);
+        let x = solve_spd(&a, &b).unwrap();
+        for (got, want) in x.data().iter().zip(x_true.data()) {
+            assert!((got - want).abs() < 1e-3, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn quad_form_matches_explicit_solve() {
+        let a = spd(4, 2);
+        let l = cholesky(&a).unwrap();
+        let v = Tensor::from_vec(vec![1.0, -2.0, 0.5, 3.0], &[4]);
+        let expected: f64 = {
+            let x = solve_spd(&a, &v).unwrap();
+            v.data()
+                .iter()
+                .zip(x.data())
+                .map(|(&p, &q)| p as f64 * q as f64)
+                .sum()
+        };
+        assert!((quad_form_inv(&l, &v) - expected).abs() < 1e-6);
+        // Quadratic forms of SPD inverses are positive.
+        assert!(quad_form_inv(&l, &v) > 0.0);
+    }
+
+    #[test]
+    fn identity_quad_form_is_squared_norm() {
+        let l = cholesky(&Tensor::eye(3)).unwrap();
+        let v = Tensor::from_vec(vec![3.0, 4.0, 0.0], &[3]);
+        assert!((quad_form_inv(&l, &v) - 25.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn indefinite_matrix_is_rejected() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 2.0, 1.0], &[2, 2]); // eigenvalues 3, -1
+        assert!(cholesky(&a).is_err());
+    }
+}

@@ -1,0 +1,244 @@
+//! Dense matrix multiplication with the transposed variants backprop needs.
+//!
+//! The kernels are cache-blocked scalar loops: on the single-core CPU budget
+//! of this reproduction they are within a small factor of a tuned BLAS for
+//! the matrix sizes the CNNs produce (hundreds by hundreds), and they keep
+//! the crate free of unsafe code and external dependencies.
+
+use crate::tensor::Tensor;
+
+/// Loop-blocking tile edge, sized so three tiles fit comfortably in L1.
+const BLOCK: usize = 64;
+
+/// `C = A * B` for `A: [m, k]`, `B: [k, n]`.
+///
+/// # Panics
+///
+/// Panics if either argument is not rank 2 or the inner dimensions differ.
+///
+/// # Examples
+///
+/// ```
+/// use dv_tensor::{matmul::matmul, Tensor};
+///
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+/// let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+/// assert_eq!(matmul(&a, &b).data(), &[19.0, 22.0, 43.0, 50.0]);
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = dims2(a, "matmul lhs");
+    let (kb, n) = dims2(b, "matmul rhs");
+    assert_eq!(k, kb, "matmul inner dims differ: {k} vs {kb}");
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    // i-k-j loop order with blocking: the innermost loop is a contiguous
+    // axpy over a row of B, which auto-vectorizes well.
+    for i0 in (0..m).step_by(BLOCK) {
+        let i1 = (i0 + BLOCK).min(m);
+        for k0 in (0..k).step_by(BLOCK) {
+            let k1 = (k0 + BLOCK).min(k);
+            for i in i0..i1 {
+                let crow = &mut out[i * n..(i + 1) * n];
+                for kk in k0..k1 {
+                    let aik = ad[i * k + kk];
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let brow = &bd[kk * n..(kk + 1) * n];
+                    for (c, &bv) in crow.iter_mut().zip(brow) {
+                        *c += aik * bv;
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// `C = A^T * B` for `A: [k, m]`, `B: [k, n]` (result `[m, n]`).
+///
+/// Used in backprop for weight gradients without materializing `A^T`.
+///
+/// # Panics
+///
+/// Panics on rank or inner-dimension mismatch.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    let (k, m) = dims2(a, "matmul_tn lhs");
+    let (kb, n) = dims2(b, "matmul_tn rhs");
+    assert_eq!(k, kb, "matmul_tn inner dims differ: {k} vs {kb}");
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for kk in 0..k {
+        let arow = &ad[kk * m..(kk + 1) * m];
+        let brow = &bd[kk * n..(kk + 1) * n];
+        for (i, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let crow = &mut out[i * n..(i + 1) * n];
+            for (c, &bv) in crow.iter_mut().zip(brow) {
+                *c += av * bv;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// `C = A * B^T` for `A: [m, k]`, `B: [n, k]` (result `[m, n]`).
+///
+/// Used in backprop for input gradients without materializing `B^T`.
+///
+/// # Panics
+///
+/// Panics on rank or inner-dimension mismatch.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = dims2(a, "matmul_nt lhs");
+    let (n, kb) = dims2(b, "matmul_nt rhs");
+    assert_eq!(k, kb, "matmul_nt inner dims differ: {k} vs {kb}");
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        let crow = &mut out[i * n..(i + 1) * n];
+        for (j, c) in crow.iter_mut().enumerate() {
+            let brow = &bd[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (av, bv) in arow.iter().zip(brow) {
+                acc += av * bv;
+            }
+            *c = acc;
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Matrix-vector product `y = A * x` for `A: [m, k]`, `x: [k]`.
+///
+/// # Panics
+///
+/// Panics if `a` is not rank 2, `x` is not rank 1 or dimensions differ.
+pub fn matvec(a: &Tensor, x: &Tensor) -> Tensor {
+    let (m, k) = dims2(a, "matvec lhs");
+    assert_eq!(x.shape().ndim(), 1, "matvec rhs must be rank 1");
+    assert_eq!(x.numel(), k, "matvec dims differ: {k} vs {}", x.numel());
+    let ad = a.data();
+    let xd = x.data();
+    let mut out = vec![0.0f32; m];
+    for (i, o) in out.iter_mut().enumerate() {
+        let row = &ad[i * k..(i + 1) * k];
+        *o = row.iter().zip(xd).map(|(a, b)| a * b).sum();
+    }
+    Tensor::from_vec(out, &[m])
+}
+
+/// Explicit transpose of a rank-2 tensor.
+///
+/// # Panics
+///
+/// Panics if `a` is not rank 2.
+pub fn transpose(a: &Tensor) -> Tensor {
+    let (m, n) = dims2(a, "transpose");
+    let ad = a.data();
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            out[j * m + i] = ad[i * n + j];
+        }
+    }
+    Tensor::from_vec(out, &[n, m])
+}
+
+fn dims2(t: &Tensor, what: &str) -> (usize, usize) {
+    assert_eq!(
+        t.shape().ndim(),
+        2,
+        "{what} must be rank 2, got {}",
+        t.shape()
+    );
+    (t.shape().dim(0), t.shape().dim(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.shape().dim(0), a.shape().dim(1));
+        let n = b.shape().dim(1);
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for kk in 0..k {
+                    acc += a.at(&[i, kk]) * b.at(&[kk, j]);
+                }
+                out.set(&[i, j], acc);
+            }
+        }
+        out
+    }
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+        assert_eq!(a.shape().dims(), b.shape().dims());
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() <= tol, "{x} != {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_matches_naive_on_random_inputs() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 2), (70, 65, 130), (128, 64, 1)] {
+            let a = Tensor::randn(&mut rng, &[m, k], 1.0);
+            let b = Tensor::randn(&mut rng, &[k, n], 1.0);
+            assert_close(&matmul(&a, &b), &naive(&a, &b), 1e-3);
+        }
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = Tensor::randn(&mut rng, &[4, 4], 1.0);
+        assert_close(&matmul(&a, &Tensor::eye(4)), &a, 1e-6);
+        assert_close(&matmul(&Tensor::eye(4), &a), &a, 1e-6);
+    }
+
+    #[test]
+    fn transposed_variants_agree_with_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = Tensor::randn(&mut rng, &[7, 3], 1.0);
+        let b = Tensor::randn(&mut rng, &[7, 4], 1.0);
+        assert_close(&matmul_tn(&a, &b), &matmul(&transpose(&a), &b), 1e-4);
+
+        let c = Tensor::randn(&mut rng, &[5, 6], 1.0);
+        let d = Tensor::randn(&mut rng, &[8, 6], 1.0);
+        assert_close(&matmul_nt(&c, &d), &matmul(&c, &transpose(&d)), 1e-4);
+    }
+
+    #[test]
+    fn matvec_matches_matmul_with_column() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = Tensor::randn(&mut rng, &[6, 4], 1.0);
+        let x = Tensor::randn(&mut rng, &[4], 1.0);
+        let as_mat = matmul(&a, &x.reshape(&[4, 1]));
+        assert_close(&matvec(&a, &x), &as_mat.reshape(&[6]), 1e-5);
+    }
+
+    #[test]
+    fn transpose_is_involution() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Tensor::randn(&mut rng, &[3, 8], 1.0);
+        assert_eq!(transpose(&transpose(&a)), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims differ")]
+    fn mismatched_inner_dims_panic() {
+        let _ = matmul(&Tensor::zeros(&[2, 3]), &Tensor::zeros(&[4, 2]));
+    }
+}

@@ -1,0 +1,159 @@
+//! Small numeric helpers shared across the workspace.
+
+use crate::tensor::Tensor;
+
+/// Numerically stable softmax of a rank-1 tensor.
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank 1.
+///
+/// # Examples
+///
+/// ```
+/// use dv_tensor::{stats::softmax, Tensor};
+///
+/// let p = softmax(&Tensor::from_vec(vec![0.0, 0.0], &[2]));
+/// assert!((p.data()[0] - 0.5).abs() < 1e-6);
+/// ```
+pub fn softmax(logits: &Tensor) -> Tensor {
+    assert_eq!(logits.shape().ndim(), 1, "softmax expects a rank-1 tensor");
+    let max = logits.max();
+    let exps = logits.map(|x| (x - max).exp());
+    let z = exps.sum();
+    exps.scale(1.0 / z)
+}
+
+/// Log-sum-exp of a slice, computed stably.
+pub fn log_sum_exp(xs: &[f32]) -> f32 {
+    let max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    if !max.is_finite() {
+        return max;
+    }
+    max + xs.iter().map(|&x| (x - max).exp()).sum::<f32>().ln()
+}
+
+/// Mean of a slice. Returns 0 for an empty slice.
+pub fn mean(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f32>() / xs.len() as f32
+    }
+}
+
+/// Population variance of a slice. Returns 0 for slices shorter than 2.
+pub fn variance(xs: &[f32]) -> f32 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|&x| (x - m) * (x - m)).sum::<f32>() / xs.len() as f32
+}
+
+/// Population standard deviation of a slice.
+pub fn std_dev(xs: &[f32]) -> f32 {
+    variance(xs).sqrt()
+}
+
+/// Median of a slice (average of the middle two for even lengths).
+///
+/// Returns 0 for an empty slice; NaNs sort last.
+pub fn median(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Less));
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+    }
+}
+
+/// Empirical quantile `q` in `[0, 1]` by linear interpolation.
+///
+/// Returns 0 for an empty slice.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]`.
+pub fn quantile(xs: &[f32], q: f32) -> f32 {
+    assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Less));
+    let pos = q * (sorted.len() - 1) as f32;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f32;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one_and_preserves_order() {
+        let p = softmax(&Tensor::from_vec(vec![1.0, 3.0, 2.0], &[3]));
+        assert!((p.sum() - 1.0).abs() < 1e-6);
+        assert!(p.data()[1] > p.data()[2] && p.data()[2] > p.data()[0]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = softmax(&Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        let b = softmax(&Tensor::from_vec(vec![101.0, 102.0], &[2]));
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_survives_large_logits() {
+        let p = softmax(&Tensor::from_vec(vec![1000.0, 0.0], &[2]));
+        assert!(!p.has_non_finite());
+        assert!((p.data()[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn log_sum_exp_matches_naive_in_safe_range() {
+        let xs = [0.1f32, 0.7, -0.3];
+        let naive = xs.iter().map(|x| x.exp()).sum::<f32>().ln();
+        assert!((log_sum_exp(&xs) - naive).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mean_variance_median() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&xs), 2.5);
+        assert_eq!(variance(&xs), 1.25);
+        assert_eq!(median(&xs), 2.5);
+        assert_eq!(median(&[5.0, 1.0, 3.0]), 3.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        assert_eq!(quantile(&xs, 0.0), 0.0);
+        assert_eq!(quantile(&xs, 1.0), 3.0);
+        assert_eq!(quantile(&xs, 0.5), 1.5);
+    }
+
+    #[test]
+    fn empty_slices_are_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(quantile(&[], 0.5), 0.0);
+    }
+}

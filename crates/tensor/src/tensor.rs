@@ -1,0 +1,517 @@
+//! The dense row-major `f32` tensor type.
+
+use std::fmt;
+
+use rand::distributions::Distribution;
+use rand::Rng;
+
+use crate::shape::Shape;
+
+/// A dense, contiguous, row-major `f32` tensor.
+///
+/// All neural-network activations, weights and image data in the workspace
+/// are `Tensor`s. The type is deliberately simple: no views, no broadcasting
+/// beyond scalar ops, no unsafe. Operations that combine two tensors panic
+/// on shape mismatch — shape errors are always programming errors here, not
+/// recoverable conditions.
+///
+/// # Examples
+///
+/// ```
+/// use dv_tensor::Tensor;
+///
+/// let t = Tensor::zeros(&[2, 3]);
+/// assert_eq!(t.shape().dims(), &[2, 3]);
+/// assert_eq!(t.sum(), 0.0);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor filled with zeros.
+    pub fn zeros(dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        let n = shape.numel();
+        Self {
+            shape,
+            data: vec![0.0; n],
+        }
+    }
+
+    /// Creates a tensor filled with ones.
+    pub fn ones(dims: &[usize]) -> Self {
+        Self::full(dims, 1.0)
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(dims: &[usize], value: f32) -> Self {
+        let shape = Shape::new(dims);
+        let n = shape.numel();
+        Self {
+            shape,
+            data: vec![value; n],
+        }
+    }
+
+    /// Creates a square identity matrix of side `n`.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Self::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Wraps an existing buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the product of `dims`.
+    pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        assert_eq!(
+            data.len(),
+            shape.numel(),
+            "buffer length {} does not match shape {} ({} elements)",
+            data.len(),
+            shape,
+            shape.numel()
+        );
+        Self { shape, data }
+    }
+
+    /// Creates a tensor of i.i.d. standard-normal draws scaled by `std`.
+    pub fn randn<R: Rng + ?Sized>(rng: &mut R, dims: &[usize], std: f32) -> Self {
+        let normal = StandardNormal;
+        let shape = Shape::new(dims);
+        let data = (0..shape.numel())
+            .map(|_| normal.sample(rng) * std)
+            .collect();
+        Self { shape, data }
+    }
+
+    /// Creates a tensor of i.i.d. uniform draws in `[lo, hi)`.
+    pub fn rand_uniform<R: Rng + ?Sized>(rng: &mut R, dims: &[usize], lo: f32, hi: f32) -> Self {
+        let shape = Shape::new(dims);
+        let data = (0..shape.numel()).map(|_| rng.gen_range(lo..hi)).collect();
+        Self { shape, data }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Number of elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Read-only view of the flat buffer (row-major).
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the flat buffer (row-major).
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds or has the wrong rank.
+    pub fn at(&self, index: &[usize]) -> f32 {
+        self.data[self.shape.offset(index)]
+    }
+
+    /// Sets the element at a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds or has the wrong rank.
+    pub fn set(&mut self, index: &[usize], value: f32) {
+        let off = self.shape.offset(index);
+        self.data[off] = value;
+    }
+
+    /// Returns a tensor with the same buffer and a new shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshape(&self, dims: &[usize]) -> Tensor {
+        let shape = Shape::new(dims);
+        assert_eq!(
+            shape.numel(),
+            self.data.len(),
+            "cannot reshape {} elements into {}",
+            self.data.len(),
+            shape
+        );
+        Tensor {
+            shape,
+            data: self.data.clone(),
+        }
+    }
+
+    /// Applies `f` to every element, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Combines two same-shaped tensors elementwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        self.assert_same_shape(other);
+        Tensor {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// Elementwise sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a + b)
+    }
+
+    /// Elementwise difference.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a * b)
+    }
+
+    /// In-place `self += alpha * other` (axpy).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        self.assert_same_shape(other);
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Multiplies every element by `alpha`, returning a new tensor.
+    pub fn scale(&self, alpha: f32) -> Tensor {
+        self.map(|x| x * alpha)
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements.
+    pub fn mean(&self) -> f32 {
+        self.sum() / self.data.len() as f32
+    }
+
+    /// Maximum element.
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element.
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Index of the maximum element in the flat buffer (first on ties).
+    pub fn argmax(&self) -> usize {
+        let mut best = 0;
+        for (i, &x) in self.data.iter().enumerate() {
+            if x > self.data[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Euclidean norm of the flat buffer.
+    pub fn norm_l2(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Sum of absolute values of the flat buffer.
+    pub fn norm_l1(&self) -> f32 {
+        self.data.iter().map(|&x| x.abs()).sum::<f32>()
+    }
+
+    /// Maximum absolute value of the flat buffer.
+    pub fn norm_linf(&self) -> f32 {
+        self.data.iter().map(|&x| x.abs()).fold(0.0, f32::max)
+    }
+
+    /// Clamps every element into `[lo, hi]`, returning a new tensor.
+    pub fn clamp(&self, lo: f32, hi: f32) -> Tensor {
+        self.map(|x| x.clamp(lo, hi))
+    }
+
+    /// Whether any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|x| !x.is_finite())
+    }
+
+    /// Extracts row `row` of a rank-2 tensor as a rank-1 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2 or `row` is out of bounds.
+    pub fn row(&self, row: usize) -> Tensor {
+        assert_eq!(self.shape.ndim(), 2, "row() requires a rank-2 tensor");
+        let cols = self.shape.dim(1);
+        let start = row * cols;
+        assert!(row < self.shape.dim(0), "row {row} out of bounds");
+        Tensor::from_vec(self.data[start..start + cols].to_vec(), &[cols])
+    }
+
+    /// Extracts the `n`-th outermost slice: for a `[N, ...]` tensor,
+    /// returns the `[...]`-shaped sub-tensor at index `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor has rank < 2 or `n` is out of bounds.
+    pub fn index_outer(&self, n: usize) -> Tensor {
+        assert!(self.shape.ndim() >= 2, "index_outer() requires rank >= 2");
+        assert!(n < self.shape.dim(0), "outer index {n} out of bounds");
+        let inner: usize = self.shape.dims()[1..].iter().product();
+        let start = n * inner;
+        Tensor::from_vec(
+            self.data[start..start + inner].to_vec(),
+            &self.shape.dims()[1..],
+        )
+    }
+
+    /// Stacks same-shaped tensors along a new outermost axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty or shapes differ.
+    pub fn stack(items: &[Tensor]) -> Tensor {
+        assert!(!items.is_empty(), "cannot stack zero tensors");
+        let inner = items[0].shape.clone();
+        let mut data = Vec::with_capacity(items.len() * inner.numel());
+        for item in items {
+            assert!(
+                item.shape.same_dims(&inner),
+                "stack shape mismatch: {} vs {}",
+                item.shape,
+                inner
+            );
+            data.extend_from_slice(&item.data);
+        }
+        let mut dims = vec![items.len()];
+        dims.extend_from_slice(inner.dims());
+        Tensor::from_vec(data, &dims)
+    }
+
+    fn assert_same_shape(&self, other: &Tensor) {
+        assert!(
+            self.shape.same_dims(&other.shape),
+            "shape mismatch: {} vs {}",
+            self.shape,
+            other.shape
+        );
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let preview: Vec<f32> = self.data.iter().take(8).copied().collect();
+        write!(
+            f,
+            "Tensor({}, data[..{}]={:?}{})",
+            self.shape,
+            preview.len(),
+            preview,
+            if self.data.len() > 8 { ", ..." } else { "" }
+        )
+    }
+}
+
+/// A Box-Muller standard normal sampler.
+///
+/// `rand` 0.8 does not bundle a normal distribution (that lives in
+/// `rand_distr`, which is outside the approved dependency list), so we
+/// implement the classic Box-Muller transform directly.
+struct StandardNormal;
+
+impl Distribution<f32> for StandardNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        // Draw u1 in (0, 1] to avoid ln(0).
+        let u1: f32 = 1.0 - rng.gen::<f32>();
+        let u2: f32 = rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zeros_ones_full() {
+        assert_eq!(Tensor::zeros(&[3]).sum(), 0.0);
+        assert_eq!(Tensor::ones(&[4]).sum(), 4.0);
+        assert_eq!(Tensor::full(&[2, 2], 2.5).sum(), 10.0);
+    }
+
+    #[test]
+    fn eye_has_unit_trace_rows() {
+        let t = Tensor::eye(3);
+        assert_eq!(t.at(&[0, 0]), 1.0);
+        assert_eq!(t.at(&[1, 2]), 0.0);
+        assert_eq!(t.sum(), 3.0);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let b = Tensor::from_vec(vec![3.0, 5.0], &[2]);
+        assert_eq!(a.add(&b).data(), &[4.0, 7.0]);
+        assert_eq!(b.sub(&a).data(), &[2.0, 3.0]);
+        assert_eq!(a.mul(&b).data(), &[3.0, 10.0]);
+        assert_eq!(a.scale(2.0).data(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Tensor::from_vec(vec![1.0, 1.0], &[2]);
+        let b = Tensor::from_vec(vec![2.0, 4.0], &[2]);
+        a.axpy(0.5, &b);
+        assert_eq!(a.data(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_vec(vec![-1.0, 4.0, 2.0, -5.0], &[4]);
+        assert_eq!(t.sum(), 0.0);
+        assert_eq!(t.mean(), 0.0);
+        assert_eq!(t.max(), 4.0);
+        assert_eq!(t.min(), -5.0);
+        assert_eq!(t.argmax(), 1);
+        assert_eq!(t.norm_l1(), 12.0);
+        assert_eq!(t.norm_linf(), 5.0);
+    }
+
+    #[test]
+    fn argmax_takes_first_on_ties() {
+        let t = Tensor::from_vec(vec![1.0, 3.0, 3.0], &[3]);
+        assert_eq!(t.argmax(), 1);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let r = t.reshape(&[3, 2]);
+        assert_eq!(r.shape().dims(), &[3, 2]);
+        assert_eq!(r.data(), t.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot reshape")]
+    fn reshape_wrong_count_panics() {
+        Tensor::zeros(&[4]).reshape(&[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn add_shape_mismatch_panics() {
+        let _ = Tensor::zeros(&[2]).add(&Tensor::zeros(&[3]));
+    }
+
+    #[test]
+    fn row_and_index_outer() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        assert_eq!(t.row(1).data(), &[4.0, 5.0, 6.0]);
+        assert_eq!(t.index_outer(0).data(), &[1.0, 2.0, 3.0]);
+        assert_eq!(t.index_outer(0).shape().dims(), &[3]);
+    }
+
+    #[test]
+    fn stack_round_trips_index_outer() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let b = Tensor::from_vec(vec![3.0, 4.0], &[2]);
+        let s = Tensor::stack(&[a.clone(), b.clone()]);
+        assert_eq!(s.shape().dims(), &[2, 2]);
+        assert_eq!(s.index_outer(0), a);
+        assert_eq!(s.index_outer(1), b);
+    }
+
+    #[test]
+    fn randn_moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = Tensor::randn(&mut rng, &[10_000], 1.0);
+        assert!(t.mean().abs() < 0.05, "mean {} too far from 0", t.mean());
+        let var = t.map(|x| x * x).mean() - t.mean() * t.mean();
+        assert!((var - 1.0).abs() < 0.1, "variance {var} too far from 1");
+    }
+
+    #[test]
+    fn rand_uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = Tensor::rand_uniform(&mut rng, &[1000], -0.25, 0.75);
+        assert!(t.min() >= -0.25 && t.max() < 0.75);
+    }
+
+    #[test]
+    fn clamp_bounds_values() {
+        let t = Tensor::from_vec(vec![-2.0, 0.5, 3.0], &[3]);
+        assert_eq!(t.clamp(0.0, 1.0).data(), &[0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        let mut t = Tensor::zeros(&[2]);
+        assert!(!t.has_non_finite());
+        t.data_mut()[1] = f32::NAN;
+        assert!(t.has_non_finite());
+    }
+}

@@ -1,0 +1,151 @@
+//! Property tests for the tensor substrate.
+
+use dv_tensor::conv::{col2im, im2col, Conv2dGeom};
+use dv_tensor::matmul::{matmul, matmul_nt, matmul_tn, transpose};
+use dv_tensor::stats::{log_sum_exp, quantile};
+use dv_tensor::Tensor;
+use proptest::prelude::*;
+
+fn tensor2(max: usize) -> impl Strategy<Value = Tensor> {
+    (1..=max, 1..=max).prop_flat_map(|(m, n)| {
+        proptest::collection::vec(-10.0f32..=10.0, m * n)
+            .prop_map(move |data| Tensor::from_vec(data, &[m, n]))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in tensor2(5),
+        seed in 0u64..1000,
+    ) {
+        let (m, k) = (a.shape().dim(0), a.shape().dim(1));
+        let mut rng = rand::SeedableRng::seed_from_u64(seed);
+        let b = Tensor::randn::<rand::rngs::StdRng>(&mut rng, &[k, 3], 1.0);
+        let c = Tensor::randn::<rand::rngs::StdRng>(&mut rng, &[k, 3], 1.0);
+        let lhs = matmul(&a, &b.add(&c));
+        let rhs = matmul(&a, &b).add(&matmul(&a, &c));
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-2 * (1.0 + x.abs()), "{m}x{k}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn tn_and_nt_agree_with_explicit_transposes(a in tensor2(5), b in tensor2(5)) {
+        // Make shapes compatible by transposing as needed.
+        let k = a.shape().dim(0);
+        let bt = if b.shape().dim(0) == k { b.clone() } else { return Ok(()); };
+        let lhs = matmul_tn(&a, &bt);
+        let rhs = matmul(&transpose(&a), &bt);
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3 * (1.0 + x.abs()));
+        }
+        let lhs = matmul_nt(&transpose(&a), &transpose(&bt));
+        let rhs = matmul(&transpose(&a), &bt);
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3 * (1.0 + x.abs()));
+        }
+    }
+
+    #[test]
+    fn im2col_col2im_adjointness(
+        (c, h, w, k) in (1usize..=2, 4usize..=7, 4usize..=7, 2usize..=3),
+        seed in 0u64..1000,
+    ) {
+        let geom = Conv2dGeom { in_channels: c, in_h: h, in_w: w, kernel: k, stride: 1, pad: 0 };
+        let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(seed);
+        let x = Tensor::randn(&mut rng, &[c, h, w], 1.0);
+        let y = Tensor::randn(&mut rng, &[geom.col_rows(), geom.col_cols()], 1.0);
+        let lhs = im2col(&x, &geom).mul(&y).sum();
+        let rhs = x.mul(&col2im(&y, &geom)).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn stack_then_index_outer_is_identity(items in proptest::collection::vec(
+        proptest::collection::vec(-5.0f32..=5.0, 6), 1..=5)) {
+        let tensors: Vec<Tensor> = items
+            .iter()
+            .map(|v| Tensor::from_vec(v.clone(), &[2, 3]))
+            .collect();
+        let stacked = Tensor::stack(&tensors);
+        for (i, t) in tensors.iter().enumerate() {
+            prop_assert_eq!(&stacked.index_outer(i), t);
+        }
+    }
+
+    #[test]
+    fn log_sum_exp_bounds(xs in proptest::collection::vec(-50.0f32..=50.0, 1..=20)) {
+        let max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let lse = log_sum_exp(&xs);
+        prop_assert!(lse >= max - 1e-4);
+        prop_assert!(lse <= max + (xs.len() as f32).ln() + 1e-4);
+    }
+
+    #[test]
+    fn quantile_is_monotone(
+        xs in proptest::collection::vec(-100.0f32..=100.0, 1..=30),
+        q1 in 0.0f32..=1.0,
+        q2 in 0.0f32..=1.0,
+    ) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(quantile(&xs, lo) <= quantile(&xs, hi) + 1e-5);
+    }
+
+    #[test]
+    fn norms_satisfy_standard_inequalities(v in proptest::collection::vec(-9.0f32..=9.0, 1..=25)) {
+        let n = v.len();
+        let t = Tensor::from_vec(v, &[n]);
+        prop_assert!(t.norm_linf() <= t.norm_l2() + 1e-3);
+        prop_assert!(t.norm_l2() <= t.norm_l1() + 1e-3);
+        prop_assert!(t.norm_l1() <= n as f32 * t.norm_linf() + 1e-3);
+    }
+}
+
+mod linalg_props {
+    use dv_tensor::linalg::{cholesky, solve_spd};
+    use dv_tensor::matmul::{matmul, matvec, transpose};
+    use dv_tensor::Tensor;
+    use proptest::prelude::*;
+
+    /// Builds a well-conditioned SPD matrix deterministically from a seed.
+    fn spd(n: usize, seed: u64) -> Tensor {
+        let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(seed);
+        let m = Tensor::randn(&mut rng, &[n, n], 1.0);
+        let mut a = matmul(&m, &transpose(&m));
+        for i in 0..n {
+            let v = a.at(&[i, i]) + n as f32;
+            a.set(&[i, i], v);
+        }
+        a
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn spd_solve_round_trips((n, seed) in (2usize..=8, 0u64..1000)) {
+            let a = spd(n, seed);
+            let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(seed ^ 7);
+            let x_true = Tensor::randn(&mut rng, &[n], 1.0);
+            let b = matvec(&a, &x_true);
+            let x = solve_spd(&a, &b).unwrap();
+            for (got, want) in x.data().iter().zip(x_true.data()) {
+                prop_assert!((got - want).abs() < 1e-2 * (1.0 + want.abs()), "{} vs {}", got, want);
+            }
+        }
+
+        #[test]
+        fn cholesky_factor_is_lower_triangular((n, seed) in (2usize..=8, 0u64..1000)) {
+            let l = cholesky(&spd(n, seed)).unwrap();
+            for i in 0..n {
+                prop_assert!(l.at(&[i, i]) > 0.0, "non-positive diagonal");
+                for j in (i + 1)..n {
+                    prop_assert_eq!(l.at(&[i, j]), 0.0);
+                }
+            }
+        }
+    }
+}

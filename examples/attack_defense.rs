@@ -1,0 +1,110 @@
+//! Using Deep Validation as an adversarial-input filter (paper
+//! Section IV-D5).
+//!
+//! A white-box attacker crafts FGSM/BIM/CW2 adversarial examples against
+//! the classifier; Deep Validation, fitted only on clean training data
+//! (it never sees an attack), ranks them above clean inputs.
+//!
+//! Run with: `cargo run --release --example attack_defense`
+
+use deep_validation::attacks::{Attack, Bim, CwL2, Fgsm, TargetMode};
+use deep_validation::core::{DeepValidator, ValidatorConfig};
+use deep_validation::datasets::DatasetSpec;
+use deep_validation::eval::roc_auc;
+use deep_validation::nn::layers::{Conv2d, Dense, Flatten, MaxPool2, Relu};
+use deep_validation::nn::optim::Adam;
+use deep_validation::nn::train::{fit, TrainConfig};
+use deep_validation::nn::Network;
+use deep_validation::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ds = DatasetSpec::SynthDigits.generate(19, 800, 200);
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut net = Network::new(&[1, 28, 28]);
+    net.push(Conv2d::new(&mut rng, 1, 8, 3))
+        .push_probe(Relu::new())
+        .push(MaxPool2::new())
+        .push(Conv2d::new(&mut rng, 8, 16, 3))
+        .push_probe(Relu::new())
+        .push(MaxPool2::new())
+        .push(Flatten::new())
+        .push(Dense::new(&mut rng, 16 * 5 * 5, 64))
+        .push_probe(Relu::new())
+        .push(Dense::new(&mut rng, 64, 10));
+    let mut opt = Adam::new(0.002);
+    let cfg = TrainConfig {
+        epochs: 3,
+        batch_size: 32,
+    };
+    println!("training the victim model...");
+    fit(&mut net, &mut opt, &ds.train.images, &ds.train.labels, &cfg, &mut rng);
+
+    println!("fitting Deep Validation on clean training data only...");
+    let validator = DeepValidator::fit(
+        &mut net,
+        &ds.train.images,
+        &ds.train.labels,
+        &ValidatorConfig::default(),
+    )?;
+
+    // Seeds the attacker perturbs: correctly classified test images.
+    let mut seeds = Vec::new();
+    let mut seed_labels = Vec::new();
+    for (img, &label) in ds.test.images.iter().zip(&ds.test.labels) {
+        if seeds.len() >= 30 {
+            break;
+        }
+        if net.classify(&Tensor::stack(std::slice::from_ref(img))).0 == label {
+            seeds.push(img.clone());
+            seed_labels.push(label);
+        }
+    }
+    let clean_scores: Vec<f32> = ds.test.images[100..180]
+        .iter()
+        .map(|img| validator.discrepancy(&mut net, img).joint)
+        .collect();
+
+    let attacks: Vec<(&str, Box<dyn Attack>)> = vec![
+        ("FGSM (eps 0.3)", Box::new(Fgsm::new(0.3, TargetMode::Untargeted))),
+        (
+            "BIM (eps 0.3, 10 steps)",
+            Box::new(Bim::new(0.3, 0.06, 10, TargetMode::Untargeted)),
+        ),
+        ("CW2 (Next target)", Box::new(CwL2::new(TargetMode::Next))),
+    ];
+    println!(
+        "\n{:<24} {:>12} {:>14} {:>16}",
+        "attack", "success", "mean L2 dist", "ROC-AUC (SAEs)"
+    );
+    for (name, attack) in attacks {
+        let mut adversarial = Vec::new();
+        let mut l2_sum = 0.0f32;
+        for (img, &label) in seeds.iter().zip(&seed_labels) {
+            let result = attack.run(&mut net, img, label);
+            if result.success {
+                l2_sum += result.adversarial.sub(img).norm_l2();
+                adversarial.push(result.adversarial);
+            }
+        }
+        if adversarial.is_empty() {
+            println!("{name:<24} {:>12} {:>14} {:>16}", "0/30", "-", "-");
+            continue;
+        }
+        let scores: Vec<f32> = adversarial
+            .iter()
+            .map(|img| validator.discrepancy(&mut net, img).joint)
+            .collect();
+        let auc = roc_auc(&clean_scores, &scores);
+        println!(
+            "{name:<24} {:>12} {:>14.3} {:>16.4}",
+            format!("{}/30", adversarial.len()),
+            l2_sum / adversarial.len() as f32,
+            auc
+        );
+    }
+    println!("\nThe detector never trained on attacks, yet ranks adversarial inputs");
+    println!("above clean ones — the scenario-agnostic property the paper argues for.");
+    Ok(())
+}

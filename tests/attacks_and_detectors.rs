@@ -1,0 +1,163 @@
+//! Cross-crate integration: attacks actually degrade a trained model and
+//! all three detector families rank anomalous inputs above clean ones.
+
+use deep_validation::attacks::{Attack, Bim, Fgsm, TargetMode};
+use deep_validation::bench::detector_adapters::{
+    JointValidatorDetector, SingleValidatorDetector,
+};
+use deep_validation::core::{DeepValidator, ValidatorConfig};
+use deep_validation::datasets::DatasetSpec;
+use deep_validation::detectors::{Detector, FeatureSqueezing, KdeDetector};
+use deep_validation::eval::roc_auc;
+use deep_validation::imgops::Transform;
+use deep_validation::nn::layers::{Conv2d, Dense, Flatten, MaxPool2, Relu};
+use deep_validation::nn::optim::Adam;
+use deep_validation::nn::train::{evaluate, fit, TrainConfig};
+use deep_validation::nn::Network;
+use deep_validation::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Trains a small digit CNN once for the whole test binary.
+fn trained() -> (Network, deep_validation::datasets::Dataset) {
+    let ds = DatasetSpec::SynthDigits.generate(3, 400, 150);
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut net = Network::new(&[1, 28, 28]);
+    net.push(Conv2d::new(&mut rng, 1, 6, 3))
+        .push_probe(Relu::new())
+        .push(MaxPool2::new())
+        .push(Conv2d::new(&mut rng, 6, 12, 3))
+        .push_probe(Relu::new())
+        .push(MaxPool2::new())
+        .push(Flatten::new())
+        .push(Dense::new(&mut rng, 12 * 5 * 5, 48))
+        .push_probe(Relu::new())
+        .push(Dense::new(&mut rng, 48, 10));
+    let mut opt = Adam::new(0.002);
+    let cfg = TrainConfig {
+        epochs: 3,
+        batch_size: 32,
+    };
+    fit(&mut net, &mut opt, &ds.train.images, &ds.train.labels, &cfg, &mut rng);
+    (net, ds)
+}
+
+#[test]
+fn attacks_reduce_accuracy_and_are_detected() {
+    let (mut net, ds) = trained();
+    let stats = evaluate(&mut net, &ds.test.images, &ds.test.labels);
+    assert!(stats.accuracy > 0.7, "model too weak: {}", stats.accuracy);
+
+    let validator = DeepValidator::fit(
+        &mut net,
+        &ds.train.images,
+        &ds.train.labels,
+        &ValidatorConfig::default(),
+    )
+    .unwrap();
+
+    // Attack 20 correctly classified seeds.
+    let mut seeds = Vec::new();
+    let mut labels = Vec::new();
+    for (img, &l) in ds.test.images.iter().zip(&ds.test.labels) {
+        if seeds.len() >= 20 {
+            break;
+        }
+        if net.classify(&Tensor::stack(std::slice::from_ref(img))).0 == l {
+            seeds.push(img.clone());
+            labels.push(l);
+        }
+    }
+    let bim = Bim::new(0.3, 0.06, 10, TargetMode::Untargeted);
+    let mut adversarial = Vec::new();
+    for (img, &l) in seeds.iter().zip(&labels) {
+        let r = bim.run(&mut net, img, l);
+        if r.success {
+            adversarial.push(r.adversarial);
+        }
+    }
+    assert!(
+        adversarial.len() >= 10,
+        "BIM fooled only {}/20",
+        adversarial.len()
+    );
+
+    let clean_scores: Vec<f32> = ds.test.images[50..120]
+        .iter()
+        .map(|img| validator.discrepancy(&mut net, img).joint)
+        .collect();
+    let adv_scores: Vec<f32> = adversarial
+        .iter()
+        .map(|img| validator.discrepancy(&mut net, img).joint)
+        .collect();
+    let auc = roc_auc(&clean_scores, &adv_scores);
+    assert!(auc > 0.7, "DV vs BIM AUC only {auc:.3}");
+}
+
+#[test]
+fn fgsm_is_weaker_than_bim_on_the_same_budget() {
+    let (mut net, ds) = trained();
+    let mut fooled = [0usize; 2];
+    for (i, attack) in [
+        &Fgsm::new(0.2, TargetMode::Untargeted) as &dyn Attack,
+        &Bim::new(0.2, 0.04, 10, TargetMode::Untargeted),
+    ]
+    .iter()
+    .enumerate()
+    {
+        for (img, &l) in ds.test.images[..25].iter().zip(&ds.test.labels) {
+            if attack.run(&mut net, img, l).success {
+                fooled[i] += 1;
+            }
+        }
+    }
+    assert!(fooled[1] >= fooled[0], "BIM {} < FGSM {}", fooled[1], fooled[0]);
+}
+
+#[test]
+fn all_detector_families_rank_corner_cases_above_clean() {
+    let (mut net, ds) = trained();
+    let validator = DeepValidator::fit(
+        &mut net,
+        &ds.train.images,
+        &ds.train.labels,
+        &ValidatorConfig::default(),
+    )
+    .unwrap();
+
+    // Corner cases: complement (breaks digit models completely).
+    let corners: Vec<Tensor> = ds.test.images[..40]
+        .iter()
+        .map(|img| Transform::Complement.apply(img))
+        .collect();
+    let clean: Vec<Tensor> = ds.test.images[60..120].to_vec();
+
+    let mut dv = JointValidatorDetector::new(validator.clone());
+    let mut fs = FeatureSqueezing::mnist_default();
+    let mut kde =
+        KdeDetector::fit(&mut net, &ds.train.images, &ds.train.labels, 100, None).unwrap();
+
+    // Deep Validation must separate well; the baselines merely have to
+    // produce finite scores (their quality is measured in table7).
+    let neg = dv.score_all(&mut net, &clean);
+    let pos = dv.score_all(&mut net, &corners);
+    let dv_auc = roc_auc(&neg, &pos);
+    assert!(dv_auc > 0.9, "DV vs complement AUC only {dv_auc:.3}");
+
+    for d in [&mut fs as &mut dyn Detector, &mut kde] {
+        for s in d
+            .score_all(&mut net, &clean)
+            .iter()
+            .chain(&d.score_all(&mut net, &corners))
+        {
+            assert!(s.is_finite(), "{} produced non-finite score", d.name());
+        }
+    }
+
+    // Single validators exist for every layer and agree with the report.
+    for layer in 0..validator.num_validated_layers() {
+        let mut single = SingleValidatorDetector::new(validator.clone(), layer);
+        let s = single.score(&mut net, &clean[0]);
+        assert!(s.is_finite());
+    }
+}

@@ -1,0 +1,138 @@
+//! Cross-crate property tests (proptest) on the invariants DESIGN.md §7
+//! calls out.
+
+use deep_validation::eval::roc_auc;
+use deep_validation::imgops::{Affine, Transform};
+use deep_validation::ocsvm::{OcsvmParams, OneClassSvm};
+use deep_validation::tensor::io::{read_tensor, write_tensor};
+use deep_validation::tensor::matmul::{matmul, transpose};
+use deep_validation::tensor::stats::softmax;
+use deep_validation::tensor::Tensor;
+use proptest::prelude::*;
+
+fn small_image() -> impl Strategy<Value = Tensor> {
+    (1usize..=3, 3usize..=8, 3usize..=8)
+        .prop_flat_map(|(c, h, w)| {
+            proptest::collection::vec(0.0f32..=1.0, c * h * w)
+                .prop_map(move |data| Tensor::from_vec(data, &[c, h, w]))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tensor_io_round_trips(img in small_image()) {
+        let mut buf = Vec::new();
+        write_tensor(&mut buf, &img).unwrap();
+        let back = read_tensor(buf.as_slice()).unwrap();
+        prop_assert_eq!(back, img);
+    }
+
+    #[test]
+    fn complement_is_an_involution(img in small_image()) {
+        let twice = Transform::Complement.apply(&Transform::Complement.apply(&img));
+        for (a, b) in twice.data().iter().zip(img.data()) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn brightness_then_negative_brightness_never_exceeds_bounds(
+        img in small_image(),
+        beta in 0.0f32..=1.0,
+    ) {
+        let out = Transform::Brightness { beta: -beta }
+            .apply(&Transform::Brightness { beta }.apply(&img));
+        prop_assert!(out.min() >= 0.0 && out.max() <= 1.0);
+    }
+
+    #[test]
+    fn affine_inverse_round_trips_points(
+        deg in -80.0f32..=80.0,
+        sx in 0.3f32..=2.5,
+        tx in -5.0f32..=5.0,
+        px in -10.0f32..=10.0,
+        py in -10.0f32..=10.0,
+    ) {
+        let t = Affine::rotation_deg(deg)
+            .compose(&Affine::scale(sx, 1.0))
+            .compose(&Affine::translation(tx, 0.0));
+        let (qx, qy) = t.apply(px, py);
+        let (bx, by) = t.inverse().apply(qx, qy);
+        prop_assert!((bx - px).abs() < 1e-2 && (by - py).abs() < 1e-2);
+    }
+
+    #[test]
+    fn warp_is_linear_in_pixel_values(
+        img in small_image(),
+        deg in -45.0f32..=45.0,
+        alpha in 0.1f32..=2.0,
+    ) {
+        // warp(alpha * x) == alpha * warp(x): bilinear warping is linear.
+        let t = Transform::Rotation { deg };
+        let lhs = t.apply(&img.scale(alpha));
+        let rhs = t.apply(&img).scale(alpha);
+        for (a, b) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((a - b).abs() < 1e-3, "{} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn matmul_transpose_identity((m, k, n) in (1usize..=6, 1usize..=6, 1usize..=6)) {
+        // (A B)^T == B^T A^T on small deterministic matrices.
+        let a = Tensor::from_vec(
+            (0..m * k).map(|i| ((i * 7 + 3) % 11) as f32 - 5.0).collect(),
+            &[m, k],
+        );
+        let b = Tensor::from_vec(
+            (0..k * n).map(|i| ((i * 5 + 1) % 13) as f32 - 6.0).collect(),
+            &[k, n],
+        );
+        let lhs = transpose(&matmul(&a, &b));
+        let rhs = matmul(&transpose(&b), &transpose(&a));
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn softmax_is_a_distribution(data in proptest::collection::vec(-20.0f32..=20.0, 1..=12)) {
+        let n = data.len();
+        let p = softmax(&Tensor::from_vec(data, &[n]));
+        prop_assert!((p.sum() - 1.0).abs() < 1e-4);
+        prop_assert!(p.min() >= 0.0);
+    }
+
+    #[test]
+    fn roc_auc_stays_in_unit_interval_and_flips_symmetrically(
+        neg in proptest::collection::vec(-10.0f32..=10.0, 1..=30),
+        pos in proptest::collection::vec(-10.0f32..=10.0, 1..=30),
+    ) {
+        let auc = roc_auc(&neg, &pos);
+        prop_assert!((0.0..=1.0).contains(&auc));
+        // Swapping the populations reflects the AUC about 1/2.
+        let flipped = roc_auc(&pos, &neg);
+        prop_assert!((auc + flipped - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ocsvm_far_points_never_beat_the_densest_region(
+        shift in 5.0f32..=50.0,
+        nu in 0.05f64..=0.5,
+    ) {
+        // A tight deterministic cluster near the origin: any point far
+        // away must score strictly lower than the cluster centroid.
+        let data: Vec<Vec<f32>> = (0..30)
+            .map(|i| vec![(i % 5) as f32 * 0.05, (i % 6) as f32 * 0.05])
+            .collect();
+        let svm = OneClassSvm::fit(
+            &data,
+            &OcsvmParams { nu, ..OcsvmParams::default() },
+        )
+        .unwrap();
+        let near = svm.decision(&[0.1, 0.1]);
+        let far = svm.decision(&[shift, shift]);
+        prop_assert!(near > far, "near {} <= far {}", near, far);
+    }
+}
