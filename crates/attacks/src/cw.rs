@@ -81,7 +81,10 @@ impl CwL2 {
     ///
     /// Panics if either budget is zero.
     pub fn with_budget(mode: TargetMode, iterations: usize, binary_steps: usize) -> Self {
-        assert!(iterations > 0 && binary_steps > 0, "budgets must be positive");
+        assert!(
+            iterations > 0 && binary_steps > 0,
+            "budgets must be positive"
+        );
         Self {
             mode,
             iterations,
@@ -145,9 +148,7 @@ impl Attack for CwL2 {
             // Binary-search-style schedule on c.
             c = if success_this_c { c * 0.5 } else { c * 10.0 };
         }
-        let adv = best
-            .map(|(_, x)| x)
-            .unwrap_or_else(|| image.clone());
+        let adv = best.map(|(_, x)| x).unwrap_or_else(|| image.clone());
         finish(net, adv, true_label)
     }
 }
@@ -336,9 +337,8 @@ mod tests {
     fn cw0_touches_fewer_pixels_than_cwinf() {
         let (mut net, images, labels) = trained_toy();
         let cw0 = CwL0::new(TargetMode::Untargeted);
-        let count_changed = |a: &Tensor, b: &Tensor| {
-            a.sub(b).data().iter().filter(|&&d| d.abs() > 1e-4).count()
-        };
+        let count_changed =
+            |a: &Tensor, b: &Tensor| a.sub(b).data().iter().filter(|&&d| d.abs() > 1e-4).count();
         let mut cw0_changed = 0usize;
         let mut cw0_wins = 0usize;
         for (img, &l) in images.iter().zip(&labels).take(6) {

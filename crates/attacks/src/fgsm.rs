@@ -103,7 +103,7 @@ impl Attack for Bim {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::tests_support::{trained_toy, toy_images};
+    use crate::tests_support::{toy_images, trained_toy};
 
     #[test]
     fn fgsm_stays_within_eps_ball_and_range() {
@@ -190,9 +190,7 @@ mod tests {
         let correct = images
             .iter()
             .zip(&labels)
-            .filter(|(img, &l)| {
-                net.classify(&Tensor::stack(std::slice::from_ref(*img))).0 == l
-            })
+            .filter(|(img, &l)| net.classify(&Tensor::stack(std::slice::from_ref(*img))).0 == l)
             .count();
         assert!(correct >= images.len() * 9 / 10);
         assert_eq!(toy_images(), images.len());

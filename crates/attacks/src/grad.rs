@@ -108,8 +108,8 @@ mod tests {
         p.data_mut()[4] += eps;
         let mut m = img.clone();
         m.data_mut()[4] -= eps;
-        let numeric = (logits_of(&mut net, &p).data()[1] - logits_of(&mut net, &m).data()[1])
-            / (2.0 * eps);
+        let numeric =
+            (logits_of(&mut net, &p).data()[1] - logits_of(&mut net, &m).data()[1]) / (2.0 * eps);
         assert!((numeric - g.data()[4]).abs() < 1e-2);
     }
 

@@ -137,7 +137,10 @@ mod tests {
             .iter()
             .filter(|&&d| d.abs() > 1e-6)
             .count();
-        assert!(changed <= (0.2 * 36.0) as usize + 1, "{changed} pixels changed");
+        assert!(
+            changed <= (0.2 * 36.0) as usize + 1,
+            "{changed} pixels changed"
+        );
     }
 
     #[test]

@@ -87,9 +87,7 @@ mod tests {
         let mut net = net();
         let mut rng = StdRng::seed_from_u64(7);
         let img = Tensor::rand_uniform(&mut rng, &[1, 2, 2], 0.0, 1.0);
-        let target = TargetMode::LeastLikely
-            .resolve(&mut net, &img, 0)
-            .unwrap();
+        let target = TargetMode::LeastLikely.resolve(&mut net, &img, 0).unwrap();
         let probs = net.predict(&Tensor::stack(std::slice::from_ref(&img)));
         let row = probs.row(0);
         for (i, &p) in row.data().iter().enumerate() {

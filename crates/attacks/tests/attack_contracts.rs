@@ -81,7 +81,10 @@ fn result_success_flag_matches_the_model() {
         let x = Tensor::stack(std::slice::from_ref(&r.adversarial));
         let (pred, conf) = net.classify(&x);
         assert_eq!(pred, r.prediction, "{name} reported a stale prediction");
-        assert!((conf - r.confidence).abs() < 1e-6, "{name} stale confidence");
+        assert!(
+            (conf - r.confidence).abs() < 1e-6,
+            "{name} stale confidence"
+        );
         assert_eq!(r.success, pred != labels[0], "{name} wrong success flag");
     }
 }
@@ -129,7 +132,11 @@ fn cw2_finds_perturbations_much_smaller_than_the_image() {
             ratios.push(r.adversarial.sub(img).norm_l2() / img.norm_l2());
         }
     }
-    assert!(ratios.len() >= 6, "CW2 succeeded only {} times", ratios.len());
+    assert!(
+        ratios.len() >= 6,
+        "CW2 succeeded only {} times",
+        ratios.len()
+    );
     let mean_ratio: f32 = ratios.iter().sum::<f32>() / ratios.len() as f32;
     assert!(
         mean_ratio < 0.9,

@@ -3,12 +3,13 @@
 //! the paper claims is low (Section IV-C) and its limitation discussion
 //! worries about (Section VI).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dv_core::{DeepValidator, ValidatorConfig};
 use dv_nn::layers::{Conv2d, Dense, Flatten, MaxPool2, Relu};
 use dv_nn::optim::Adam;
 use dv_nn::train::{fit, TrainConfig};
 use dv_nn::Network;
+use dv_runtime::Pool;
 use dv_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -58,6 +59,21 @@ fn bench_discrepancy(c: &mut Criterion) {
     group.bench_function("deep_validation_query", |b| {
         b.iter(|| black_box(validator.discrepancy(&mut net, black_box(&image))))
     });
+    group.finish();
+
+    // Batch scoring on a pinned one-thread pool vs a multi-thread pool:
+    // `discrepancies` fans image chunks out across dv-runtime workers
+    // with cloned networks, producing bit-identical reports either way.
+    let batch: Vec<Tensor> = (0..32).map(|_| image.clone()).collect();
+    let mut group = c.benchmark_group("discrepancy_batch32_threads");
+    group.sample_size(10);
+    let max_threads = std::thread::available_parallelism().map_or(4, |n| n.get().max(4));
+    for &threads in &[1usize, max_threads] {
+        let pool = Pool::new(threads);
+        group.bench_function(BenchmarkId::new("threads", threads), |b| {
+            pool.install(|| b.iter(|| black_box(validator.discrepancies(&mut net, &batch))));
+        });
+    }
     group.finish();
 }
 

@@ -4,6 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dv_ocsvm::{OcsvmParams, OneClassSvm};
+use dv_runtime::Pool;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
@@ -33,6 +34,23 @@ fn bench_fit(c: &mut Criterion) {
     group.bench_function("d64_n200", |b| {
         b.iter(|| black_box(svm.decision(black_box(&query))))
     });
+    group.finish();
+
+    // The same fit on a pinned one-thread pool vs a multi-thread pool:
+    // the Gram construction is the dominant cost, so this isolates the
+    // dv-runtime speedup (results are bit-identical either way).
+    let mut group = c.benchmark_group("ocsvm_fit_threads");
+    group.sample_size(10);
+    let data = blob(200, 64, 11);
+    let max_threads = std::thread::available_parallelism().map_or(4, |n| n.get().max(4));
+    for &threads in &[1usize, max_threads] {
+        let pool = Pool::new(threads);
+        group.bench_with_input(BenchmarkId::new("threads", threads), &data, |b, data| {
+            pool.install(|| {
+                b.iter(|| black_box(OneClassSvm::fit(black_box(data), &OcsvmParams::default())))
+            })
+        });
+    }
     group.finish();
 }
 

@@ -19,10 +19,7 @@ fn bench_transforms(c: &mut Criterion) {
         ("rotation", Transform::Rotation { deg: 40.0 }),
         ("shear", Transform::Shear { sh: 0.3, sv: 0.2 }),
         ("scale", Transform::Scale { sx: 0.6, sy: 0.6 }),
-        (
-            "translation",
-            Transform::Translation { tx: 4.0, ty: 3.0 },
-        ),
+        ("translation", Transform::Translation { tx: 4.0, ty: 3.0 }),
         ("complement", Transform::Complement),
         (
             "combined",

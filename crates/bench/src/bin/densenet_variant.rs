@@ -60,7 +60,10 @@ fn main() {
     let sizes = Sizes::for_spec(spec);
     let dataset = spec.generate(41, sizes.n_train, sizes.n_test);
     let mut net = densenet_model(171);
-    let cache_name = format!("densenet-{}x{}e{}", sizes.n_train, sizes.n_test, sizes.epochs);
+    let cache_name = format!(
+        "densenet-{}x{}e{}",
+        sizes.n_train, sizes.n_test, sizes.epochs
+    );
     model_cached(&cache_name, &mut net, |net| {
         eprintln!("training DenseNet variant ({} params)...", net.num_params());
         let mut opt = Adadelta::new();
@@ -77,7 +80,10 @@ fn main() {
             &cfg,
             &mut rng,
         ) {
-            eprintln!("  epoch {}: loss {:.4}, acc {:.4}", h.epoch, h.loss, h.accuracy);
+            eprintln!(
+                "  epoch {}: loss {:.4}, acc {:.4}",
+                h.epoch, h.loss, h.accuracy
+            );
         }
     });
     let stats = evaluate(&mut net, &dataset.test.images, &dataset.test.labels);

@@ -58,16 +58,14 @@ fn main() {
             }
         }
         let success_rate = sccs.len() as f32 / seeds.len() as f32;
-        let rate = |d: &mut dyn Detector,
-                    net: &mut dv_nn::Network,
-                    images: &[Tensor],
-                    threshold: f32| {
-            if images.is_empty() {
-                None
-            } else {
-                Some(detection_rate(&d.score_all(net, images), threshold))
-            }
-        };
+        let rate =
+            |d: &mut dyn Detector, net: &mut dv_nn::Network, images: &[Tensor], threshold: f32| {
+                if images.is_empty() {
+                    None
+                } else {
+                    Some(detection_rate(&d.score_all(net, images), threshold))
+                }
+            };
         let dv_scc = rate(&mut dv, &mut exp.net, &sccs, dv_threshold);
         let dv_fcc = rate(&mut dv, &mut exp.net, &fccs, dv_threshold);
         let fs_scc = rate(&mut fs, &mut exp.net, &sccs, fs_threshold);

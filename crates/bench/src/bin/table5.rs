@@ -40,9 +40,7 @@ fn main() {
             t5.row(vec![
                 spec.name().to_owned(),
                 o.kind.label().to_owned(),
-                o.chosen
-                    .as_ref()
-                    .map_or("-".to_owned(), |t| t.describe()),
+                o.chosen.as_ref().map_or("-".to_owned(), |t| t.describe()),
                 if o.chosen.is_some() {
                     format!("{:.3}", o.success_rate)
                 } else {

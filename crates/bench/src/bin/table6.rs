@@ -47,36 +47,37 @@ fn run_dataset(spec: DatasetSpec) {
     let mut table = TextTable::new(headers.iter().map(String::as_str).collect());
 
     // Per-kind and overall AUC for an arbitrary score extractor.
-    let auc_row = |score: &dyn Fn(usize) -> f32, clean: &[f32]| -> (Vec<Option<f64>>, Option<f64>) {
-        let mut per_kind = Vec::new();
-        for kind in &kinds {
-            let pos: Vec<f32> = eval_set
+    let auc_row =
+        |score: &dyn Fn(usize) -> f32, clean: &[f32]| -> (Vec<Option<f64>>, Option<f64>) {
+            let mut per_kind = Vec::new();
+            for kind in &kinds {
+                let pos: Vec<f32> = eval_set
+                    .corner
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| c.successful && c.kind == *kind)
+                    .map(|(i, _)| score(i))
+                    .collect();
+                per_kind.push(if pos.is_empty() {
+                    None
+                } else {
+                    Some(roc_auc(clean, &pos))
+                });
+            }
+            let all_pos: Vec<f32> = eval_set
                 .corner
                 .iter()
                 .enumerate()
-                .filter(|(_, c)| c.successful && c.kind == *kind)
+                .filter(|(_, c)| c.successful)
                 .map(|(i, _)| score(i))
                 .collect();
-            per_kind.push(if pos.is_empty() {
+            let overall = if all_pos.is_empty() {
                 None
             } else {
-                Some(roc_auc(clean, &pos))
-            });
-        }
-        let all_pos: Vec<f32> = eval_set
-            .corner
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| c.successful)
-            .map(|(i, _)| score(i))
-            .collect();
-        let overall = if all_pos.is_empty() {
-            None
-        } else {
-            Some(roc_auc(clean, &all_pos))
+                Some(roc_auc(clean, &all_pos))
+            };
+            (per_kind, overall)
         };
-        (per_kind, overall)
-    };
 
     let mut best_per_kind: Vec<Option<f64>> = vec![None; kinds.len()];
     let mut best_overall_single: Option<f64> = None;
@@ -118,7 +119,11 @@ fn run_dataset(spec: DatasetSpec) {
     cells.push(fmt_score(joint_overall));
     table.row(cells);
 
-    println!("--- {} (stands in for {}) ---", spec.name(), spec.stands_in_for());
+    println!(
+        "--- {} (stands in for {}) ---",
+        spec.name(),
+        spec.stands_in_for()
+    );
     println!("{}", table.render());
 
     // Detection-rate summary the paper quotes in prose ("when constraining

@@ -174,6 +174,8 @@ fn main() {
     ]);
 
     println!("{}", table.render());
-    println!("paper (MNIST): overall SAEs DV 0.9755 vs FS 0.9971; overall AEs DV 0.9572 vs FS 0.9400");
+    println!(
+        "paper (MNIST): overall SAEs DV 0.9755 vs FS 0.9971; overall AEs DV 0.9572 vs FS 0.9400"
+    );
     println!("(shape: both strong on SAEs with FS slightly ahead; DV ahead once FAEs count too)");
 }

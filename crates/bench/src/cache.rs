@@ -54,7 +54,10 @@ pub fn model_cached(name: &str, net: &mut Network, train: impl FnOnce(&mut Netwo
 pub fn validator_cached(name: &str, fit: impl FnOnce() -> DeepValidator) -> DeepValidator {
     let path = cache_dir().join(format!("{name}.validator.dvt"));
     if path.exists() {
-        match File::open(&path).map_err(dv_tensor::io::DecodeError::Io).and_then(|f| read_named(BufReader::new(f))) {
+        match File::open(&path)
+            .map_err(dv_tensor::io::DecodeError::Io)
+            .and_then(|f| read_named(BufReader::new(f)))
+        {
             Ok(entries) => return DeepValidator::from_named_tensors(&entries),
             Err(e) => eprintln!("warning: discarding stale validator cache {path:?}: {e}"),
         }
@@ -80,7 +83,10 @@ pub fn tensors_cached(
 ) -> BTreeMap<String, Tensor> {
     let path = cache_dir().join(format!("{name}.dvt"));
     if path.exists() {
-        match File::open(&path).map_err(dv_tensor::io::DecodeError::Io).and_then(|f| read_named(BufReader::new(f))) {
+        match File::open(&path)
+            .map_err(dv_tensor::io::DecodeError::Io)
+            .and_then(|f| read_named(BufReader::new(f)))
+        {
             Ok(entries) => return entries,
             Err(e) => eprintln!("warning: discarding stale cache {path:?}: {e}"),
         }

@@ -110,8 +110,8 @@ mod tests {
             batch_size: 16,
         };
         fit(&mut net, &mut opt, &images, &labels, &cfg, &mut rng);
-        let v = DeepValidator::fit(&mut net, &images, &labels, &ValidatorConfig::default())
-            .unwrap();
+        let v =
+            DeepValidator::fit(&mut net, &images, &labels, &ValidatorConfig::default()).unwrap();
         (net, v, images)
     }
 
@@ -131,10 +131,7 @@ mod tests {
         let report = v.discrepancy(&mut net, &images[0]);
         for layer in 0..v.num_validated_layers() {
             let mut adapter = SingleValidatorDetector::new(v.clone(), layer);
-            assert_eq!(
-                adapter.score(&mut net, &images[0]),
-                report.per_layer[layer]
-            );
+            assert_eq!(adapter.score(&mut net, &images[0]), report.per_layer[layer]);
         }
     }
 

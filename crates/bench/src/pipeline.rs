@@ -97,9 +97,19 @@ impl Experiment {
         let sizes = Sizes::for_spec(spec);
         let dataset = spec.generate(41, sizes.n_train, sizes.n_test);
         let mut net = model_for(spec, 17);
-        let cache_name = format!("{}-{}x{}e{}", spec.name(), sizes.n_train, sizes.n_test, sizes.epochs);
+        let cache_name = format!(
+            "{}-{}x{}e{}",
+            spec.name(),
+            sizes.n_train,
+            sizes.n_test,
+            sizes.epochs
+        );
         let hit = model_cached(&cache_name, &mut net, |net| {
-            eprintln!("[{}] training model ({} params)...", spec.name(), net.num_params());
+            eprintln!(
+                "[{}] training model ({} params)...",
+                spec.name(),
+                net.num_params()
+            );
             // Adadelta with the paper's hyperparameters (lr 1.0, rho 0.95).
             let mut opt = Adadelta::new();
             let cfg = TrainConfig {
@@ -141,23 +151,33 @@ impl Experiment {
     /// The seed set: the first `n_seeds` correctly classified test images
     /// (the paper fixes 200 correctly classified seeds per model).
     pub fn seeds(&mut self) -> (Vec<Tensor>, Vec<usize>) {
+        let test = &self.dataset.test;
+        let net = &mut self.net;
         let mut images = Vec::new();
         let mut labels = Vec::new();
-        for (img, &label) in self
-            .dataset
-            .test
-            .images
-            .iter()
-            .zip(&self.dataset.test.labels)
-        {
-            if images.len() >= self.sizes.n_seeds {
-                break;
+        // Classify one seed-sized batch at a time (each batch fans out
+        // across the dv-runtime pool) and stop as soon as the quota is
+        // met, so the scan still terminates early like the original
+        // per-image loop and picks the exact same seed prefix.
+        let chunk = self.sizes.n_seeds.max(1);
+        let mut start = 0;
+        'scan: while start < test.images.len() {
+            let end = (start + chunk).min(test.images.len());
+            let preds = dv_nn::train::predict_labels(net, &test.images[start..end]);
+            for ((img, &label), &pred) in test.images[start..end]
+                .iter()
+                .zip(&test.labels[start..end])
+                .zip(&preds)
+            {
+                if pred == label {
+                    images.push(img.clone());
+                    labels.push(label);
+                    if images.len() >= self.sizes.n_seeds {
+                        break 'scan;
+                    }
+                }
             }
-            let (pred, _) = self.net.classify(&Tensor::stack(std::slice::from_ref(img)));
-            if pred == label {
-                images.push(img.clone());
-                labels.push(label);
-            }
+            start = end;
         }
         (images, labels)
     }
@@ -185,16 +205,40 @@ impl Experiment {
         let net = &mut self.net;
         let encoded = tensors_cached(&cache_name, || {
             eprintln!("[{}] grid-searching corner cases...", spec.name());
-            let mut outcomes = Vec::new();
-            for space in SearchSpace::catalogue(spec.is_grayscale()) {
-                let outcome = grid_search(
-                    net,
-                    &seeds,
-                    &seed_labels,
-                    &space,
-                    TARGET_SUCCESS_RATE,
-                    MIN_SUCCESS_RATE,
-                );
+            let spaces = SearchSpace::catalogue(spec.is_grayscale());
+            let mut outcomes = if dv_runtime::current_threads() <= 1 {
+                spaces
+                    .iter()
+                    .map(|space| {
+                        grid_search(
+                            net,
+                            &seeds,
+                            &seed_labels,
+                            space,
+                            TARGET_SUCCESS_RATE,
+                            MIN_SUCCESS_RATE,
+                        )
+                    })
+                    .collect::<Vec<_>>()
+            } else {
+                // Each transformation family searches independently; fan
+                // them out with one cloned network per family (searches
+                // mutate cached forward state). `par_map` keeps catalogue
+                // order, so the outcome list matches the sequential loop.
+                let net: &Network = net;
+                dv_runtime::par_map(&spaces, |space| {
+                    let mut worker = net.clone();
+                    grid_search(
+                        &mut worker,
+                        &seeds,
+                        &seed_labels,
+                        space,
+                        TARGET_SUCCESS_RATE,
+                        MIN_SUCCESS_RATE,
+                    )
+                })
+            };
+            for outcome in &outcomes {
                 eprintln!(
                     "[{}]   {}: success rate {:.3} ({})",
                     spec.name(),
@@ -205,7 +249,6 @@ impl Experiment {
                         .as_ref()
                         .map_or("discarded".to_owned(), |t| t.describe())
                 );
-                outcomes.push(outcome);
             }
             if let Some(combined) = combined_transform(spec, &outcomes) {
                 let (rate, conf) =
@@ -240,10 +283,10 @@ impl Experiment {
             let Some(transform) = &outcome.chosen else {
                 continue;
             };
-            let items: Vec<(Tensor, usize)> = seeds
-                .iter()
-                .zip(&seed_labels)
-                .map(|(img, &l)| (transform.apply(img), l))
+            let items: Vec<(Tensor, usize)> = transform
+                .apply_batch(&seeds)
+                .into_iter()
+                .zip(seed_labels.iter().copied())
                 .collect();
             set.extend_corner(&mut self.net, outcome.kind, items);
         }
@@ -274,10 +317,7 @@ impl Experiment {
 /// The per-dataset combined transformation of Table V: complement+scale
 /// for the grayscale dataset, brightness+scale for the color datasets,
 /// parameterized by the single-transformation search results.
-pub fn combined_transform(
-    spec: DatasetSpec,
-    outcomes: &[SearchOutcome],
-) -> Option<Transform> {
+pub fn combined_transform(spec: DatasetSpec, outcomes: &[SearchOutcome]) -> Option<Transform> {
     let chosen = |kind: TransformKind| -> Option<Transform> {
         outcomes
             .iter()
@@ -307,7 +347,7 @@ pub fn combined_transform(
 }
 
 fn apply_all(t: &Transform, images: &[Tensor]) -> Vec<Tensor> {
-    images.iter().map(|img| t.apply(img)).collect()
+    t.apply_batch(images)
 }
 
 // --- search-outcome (de)serialization for the cache ---------------------
@@ -326,7 +366,10 @@ fn encode_outcomes(outcomes: &[SearchOutcome]) -> std::collections::BTreeMap<Str
             v.extend(encode_transform(t));
         }
         let n = v.len();
-        out.insert(format!("outcome.{}", o.kind.label()), Tensor::from_vec(v, &[n]));
+        out.insert(
+            format!("outcome.{}", o.kind.label()),
+            Tensor::from_vec(v, &[n]),
+        );
     }
     out
 }
@@ -447,10 +490,7 @@ mod tests {
         assert_eq!(decoded[0].kind, TransformKind::Contrast);
         assert!(decoded[0].chosen.is_none());
         assert_eq!(decoded[1].kind, TransformKind::Rotation);
-        assert_eq!(
-            decoded[1].chosen,
-            Some(Transform::Rotation { deg: 50.0 })
-        );
+        assert_eq!(decoded[1].chosen, Some(Transform::Rotation { deg: 50.0 }));
         assert!((decoded[1].success_rate - 0.62).abs() < 1e-6);
     }
 

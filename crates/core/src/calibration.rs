@@ -39,10 +39,7 @@ impl JointCalibration {
             }
         }
         let means = per_layer.iter().map(|v| mean(v)).collect();
-        let stds = per_layer
-            .iter()
-            .map(|v| std_dev(v).max(1e-6))
-            .collect();
+        let stds = per_layer.iter().map(|v| std_dev(v).max(1e-6)).collect();
         Self { means, stds }
     }
 

@@ -35,7 +35,10 @@ impl fmt::Display for ValidatorError {
         match self {
             ValidatorError::BadTrainingSet(what) => write!(f, "bad training set: {what}"),
             ValidatorError::NoCorrectSamples { class } => {
-                write!(f, "class {class} has no correctly classified training images")
+                write!(
+                    f,
+                    "class {class} has no correctly classified training images"
+                )
             }
             ValidatorError::Svm(e) => write!(f, "one-class SVM fit failed: {e}"),
         }
@@ -109,28 +112,56 @@ impl DeepValidator {
         let probe_indices = config.layers.indices(total_probes);
         let reducer = FeatureReducer::new(config.max_spatial);
 
-        // Sweep the training set once: keep reduced representations of the
-        // correctly classified images, grouped per (validated probe, class),
-        // respecting the per-class cap.
+        // Sweep the training set: predicted class plus reduced probe
+        // representations for every image. Batches run in parallel on the
+        // dv-runtime pool (one cloned network per batch); on a
+        // single-thread pool the original sequential sweep runs on `net`
+        // directly. Both paths compute identical per-image values.
+        let batches: Vec<(usize, usize)> = (0..images.len())
+            .step_by(SWEEP_BATCH)
+            .map(|s| (s, (s + SWEEP_BATCH).min(images.len())))
+            .collect();
+        let sweep_batch = |worker: &mut Network, &(start, end): &(usize, usize)| {
+            let x = Tensor::stack(&images[start..end]);
+            let (logits, probes) = worker.forward_probed(&x);
+            (0..end - start)
+                .map(|bi| {
+                    let predicted = logits.row(bi).argmax();
+                    let image_reps: Vec<Vec<f32>> = probe_indices
+                        .iter()
+                        .map(|&p| reducer.reduce(&probes[p].index_outer(bi)))
+                        .collect();
+                    (predicted, image_reps)
+                })
+                .collect::<Vec<_>>()
+        };
+        let per_image: Vec<(usize, Vec<Vec<f32>>)> = if dv_runtime::current_threads() <= 1 {
+            batches
+                .iter()
+                .flat_map(|range| sweep_batch(net, range))
+                .collect()
+        } else {
+            let net: &Network = net;
+            dv_runtime::par_map(&batches, |range| sweep_batch(&mut net.clone(), range))
+                .into_iter()
+                .flatten()
+                .collect()
+        };
+
+        // Keep the correctly classified images, grouped per
+        // (validated probe, class), respecting the per-class cap —
+        // sequential so the cap semantics stay order-deterministic.
         let mut reps: Vec<Vec<Vec<Vec<f32>>>> =
             vec![vec![Vec::new(); num_classes]; probe_indices.len()];
         let mut kept_per_class = vec![0usize; num_classes];
-        for chunk_start in (0..images.len()).step_by(SWEEP_BATCH) {
-            let chunk_end = (chunk_start + SWEEP_BATCH).min(images.len());
-            let batch: Vec<Tensor> = images[chunk_start..chunk_end].to_vec();
-            let x = Tensor::stack(&batch);
-            let (logits, probes) = net.forward_probed(&x);
-            for (bi, global) in (chunk_start..chunk_end).enumerate() {
-                let label = labels[global];
-                let predicted = logits.row(bi).argmax();
-                if predicted != label || kept_per_class[label] >= config.max_per_class {
-                    continue;
-                }
-                kept_per_class[label] += 1;
-                for (v, &p) in probe_indices.iter().enumerate() {
-                    let rep = probes[p].index_outer(bi);
-                    reps[v][label].push(reducer.reduce(&rep));
-                }
+        for (global, (predicted, image_reps)) in per_image.into_iter().enumerate() {
+            let label = labels[global];
+            if predicted != label || kept_per_class[label] >= config.max_per_class {
+                continue;
+            }
+            kept_per_class[label] += 1;
+            for (v, rep) in image_reps.into_iter().enumerate() {
+                reps[v][label].push(rep);
             }
         }
         for (class, &count) in kept_per_class.iter().enumerate() {
@@ -139,18 +170,28 @@ impl DeepValidator {
             }
         }
 
-        // Fit SVM(i, k) for every validated layer and class.
+        // Fit SVM(i, k) for every validated layer and class: the
+        // (layer, class) grid fans out across the pool. Results come back
+        // in grid order, so the first error is the same one the
+        // sequential nested loop would have hit.
         let params = OcsvmParams {
             nu: config.nu,
             kernel: config.kernel,
             tol: config.tol,
             max_iter: config.max_iter,
         };
+        let pairs: Vec<(usize, usize)> = (0..probe_indices.len())
+            .flat_map(|v| (0..num_classes).map(move |k| (v, k)))
+            .collect();
+        let reps_ref = &reps;
+        let mut fitted =
+            dv_runtime::par_map(&pairs, |&(v, k)| OneClassSvm::fit(&reps_ref[v][k], &params))
+                .into_iter();
         let mut svms = Vec::with_capacity(probe_indices.len());
-        for layer_reps in &reps {
+        for _ in 0..probe_indices.len() {
             let mut layer_svms = Vec::with_capacity(num_classes);
-            for class_reps in layer_reps {
-                layer_svms.push(OneClassSvm::fit(class_reps, &params)?);
+            for _ in 0..num_classes {
+                layer_svms.push(fitted.next().expect("par_map preserves arity")?);
             }
             svms.push(layer_svms);
         }
@@ -173,24 +214,42 @@ impl DeepValidator {
         let row = logits.row(0);
         let predicted = row.argmax();
         let confidence = dv_tensor::stats::softmax(&row).max();
-        let per_layer = self
-            .probe_indices
-            .iter()
-            .map(|&p| {
-                let rep = self.reducer.reduce(&probes[p].index_outer(0));
-                // Eq. 2: discrepancy is the negated signed distance.
-                -(self.svms_for_probe(p)[predicted].decision(&rep) as f32)
-            })
-            .collect();
+        // Joint scoring: the per-layer SVM evaluations are independent,
+        // so they fan out across the pool (order-preserving par_map; a
+        // single-thread pool maps inline sequentially).
+        let per_layer = dv_runtime::par_map(&self.probe_indices, |&p| {
+            let rep = self.reducer.reduce(&probes[p].index_outer(0));
+            // Eq. 2: discrepancy is the negated signed distance.
+            -(self.svms_for_probe(p)[predicted].decision(&rep) as f32)
+        });
         DiscrepancyReport::new(predicted, confidence, per_layer)
     }
 
     /// Estimates discrepancies for many inputs.
+    ///
+    /// Contiguous chunks of images run in parallel, one cloned network
+    /// per chunk; reports come back in input order and are identical to
+    /// the sequential loop (which is what a single-thread pool runs).
     pub fn discrepancies(&self, net: &mut Network, images: &[Tensor]) -> Vec<DiscrepancyReport> {
-        images
-            .iter()
-            .map(|img| self.discrepancy(net, img))
-            .collect()
+        let threads = dv_runtime::current_threads();
+        if threads <= 1 || images.len() <= 1 {
+            return images
+                .iter()
+                .map(|img| self.discrepancy(net, img))
+                .collect();
+        }
+        let net: &Network = net;
+        let chunks: Vec<&[Tensor]> = images.chunks(images.len().div_ceil(threads)).collect();
+        dv_runtime::par_map(&chunks, |chunk| {
+            let mut worker = net.clone();
+            chunk
+                .iter()
+                .map(|img| self.discrepancy(&mut worker, img))
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
     }
 
     /// Number of validated layers (rows of the paper's Table VI per
@@ -355,7 +414,7 @@ mod tests {
             let class = i % 3;
             let mut img = Tensor::zeros(&[1, 12, 12]);
             let cx = 2 + class * 4;
-            let cy = rng.gen_range(3..9);
+            let cy = rng.gen_range(3usize..9);
             for dy in 0..3 {
                 for dx in 0..3 {
                     img.set(&[0, cy + dy - 1, cx + dx - 1], rng.gen_range(0.7..1.0));
@@ -396,8 +455,8 @@ mod tests {
     #[test]
     fn fit_produces_one_svm_per_layer_and_class() {
         let (mut net, images, labels) = trained_setup();
-        let v = DeepValidator::fit(&mut net, &images, &labels, &ValidatorConfig::default())
-            .unwrap();
+        let v =
+            DeepValidator::fit(&mut net, &images, &labels, &ValidatorConfig::default()).unwrap();
         assert_eq!(v.num_validated_layers(), 2);
         assert_eq!(v.num_classes(), 3);
         assert_eq!(v.num_svms(), 6);
@@ -406,8 +465,8 @@ mod tests {
     #[test]
     fn clean_inputs_score_below_garbage_inputs() {
         let (mut net, images, labels) = trained_setup();
-        let v = DeepValidator::fit(&mut net, &images, &labels, &ValidatorConfig::default())
-            .unwrap();
+        let v =
+            DeepValidator::fit(&mut net, &images, &labels, &ValidatorConfig::default()).unwrap();
         let clean: f32 = images[..20]
             .iter()
             .map(|img| v.discrepancy(&mut net, img).joint)
@@ -445,8 +504,8 @@ mod tests {
     #[test]
     fn report_prediction_matches_network() {
         let (mut net, images, labels) = trained_setup();
-        let v = DeepValidator::fit(&mut net, &images, &labels, &ValidatorConfig::default())
-            .unwrap();
+        let v =
+            DeepValidator::fit(&mut net, &images, &labels, &ValidatorConfig::default()).unwrap();
         for img in images.iter().take(5) {
             let report = v.discrepancy(&mut net, img);
             let (label, conf) = net.classify(&Tensor::stack(std::slice::from_ref(img)));
@@ -458,8 +517,8 @@ mod tests {
     #[test]
     fn named_tensor_round_trip_preserves_scores() {
         let (mut net, images, labels) = trained_setup();
-        let v = DeepValidator::fit(&mut net, &images, &labels, &ValidatorConfig::default())
-            .unwrap();
+        let v =
+            DeepValidator::fit(&mut net, &images, &labels, &ValidatorConfig::default()).unwrap();
         let entries = v.to_named_tensors();
         let v2 = DeepValidator::from_named_tensors(&entries);
         for img in images.iter().take(5) {

@@ -7,7 +7,7 @@ use dv_nn::train::{fit, TrainConfig};
 use dv_nn::Network;
 use dv_tensor::Tensor;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 
 /// Two well-separated image classes plus a generator for off-manifold
 /// probes.
@@ -57,13 +57,17 @@ fn algorithm1_filters_misclassified_training_images() {
     for l in poisoned_labels.iter_mut().take(20) {
         *l = 1 - *l;
     }
-    let with_poison =
-        DeepValidator::fit(&mut net, &images, &poisoned_labels, &ValidatorConfig::default())
-            .unwrap();
+    let with_poison = DeepValidator::fit(
+        &mut net,
+        &images,
+        &poisoned_labels,
+        &ValidatorConfig::default(),
+    )
+    .unwrap();
     let without_block = DeepValidator::fit(
         &mut net,
-        &images[20..].to_vec(),
-        &labels[20..].to_vec(),
+        &images[20..],
+        &labels[20..],
         &ValidatorConfig::default(),
     )
     .unwrap();
@@ -114,10 +118,7 @@ fn algorithm2_indexes_svms_by_the_predicted_class() {
 #[test]
 fn per_layer_vector_length_tracks_layer_selection() {
     let (mut net, images, labels) = setup();
-    for (selection, expect) in [
-        (LayerSelection::All, 2usize),
-        (LayerSelection::LastK(1), 1),
-    ] {
+    for (selection, expect) in [(LayerSelection::All, 2usize), (LayerSelection::LastK(1), 1)] {
         let config = ValidatorConfig {
             layers: selection,
             ..ValidatorConfig::default()
@@ -145,8 +146,9 @@ fn max_per_class_caps_reference_set_sizes() {
     )
     .unwrap();
     let mut rng = StdRng::seed_from_u64(4);
-    let garbage = Tensor::rand_uniform(&mut rng, &[1, 5, 5], 0.0, 1.0)
-        .map(|v| if v > 0.5 { 1.0 } else { 0.0 });
+    let garbage =
+        Tensor::rand_uniform(&mut rng, &[1, 5, 5], 0.0, 1.0)
+            .map(|v| if v > 0.5 { 1.0 } else { 0.0 });
     let g = small.discrepancy(&mut net, &garbage);
     let c = small.discrepancy(&mut net, &images[1]);
     assert!(

@@ -1,0 +1,82 @@
+//! End-to-end thread-count parity: Algorithm 1 (fit) and Algorithm 2
+//! (discrepancy scoring) must produce bit-identical detectors and scores
+//! whether the `dv-runtime` pool runs sequentially or on four threads.
+
+use dv_core::{DeepValidator, ValidatorConfig};
+use dv_nn::layers::{Dense, Flatten, Relu};
+use dv_nn::optim::Adam;
+use dv_nn::train::{fit, TrainConfig};
+use dv_nn::Network;
+use dv_runtime::Pool;
+use dv_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn setup() -> (Network, Vec<Tensor>, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut images = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..120 {
+        let class = i % 2;
+        let level = if class == 0 { 0.2 } else { 0.8 };
+        images.push(Tensor::rand_uniform(
+            &mut rng,
+            &[1, 5, 5],
+            level - 0.1,
+            level + 0.1,
+        ));
+        labels.push(class);
+    }
+    let mut net = Network::new(&[1, 5, 5]);
+    net.push(Flatten::new())
+        .push(Dense::new(&mut rng, 25, 16))
+        .push_probe(Relu::new())
+        .push(Dense::new(&mut rng, 16, 16))
+        .push_probe(Relu::new())
+        .push(Dense::new(&mut rng, 16, 2));
+    let mut opt = Adam::new(0.02);
+    let cfg = TrainConfig {
+        epochs: 10,
+        batch_size: 16,
+    };
+    // Train inside a single-thread pool so both parity arms start from
+    // the same weights regardless of the ambient global pool.
+    Pool::new(1).install(|| fit(&mut net, &mut opt, &images, &labels, &cfg, &mut rng));
+    (net, images, labels)
+}
+
+#[test]
+fn validator_fit_and_scores_are_bit_identical_across_thread_counts() {
+    let (net, images, labels) = setup();
+    let run = |threads: usize| {
+        let mut net = net.clone();
+        let pool = Pool::new(threads);
+        pool.install(|| {
+            let validator =
+                DeepValidator::fit(&mut net, &images, &labels, &ValidatorConfig::default())
+                    .expect("fit failed");
+            let reports = validator.discrepancies(&mut net, &images[..16]);
+            (validator.num_svms(), reports)
+        })
+    };
+    let (svms1, reports1) = run(1);
+    let (svms4, reports4) = run(4);
+    assert_eq!(svms1, svms4, "SVM ensemble size differs");
+    assert_eq!(reports1.len(), reports4.len());
+    for (i, (a, b)) in reports1.iter().zip(&reports4).enumerate() {
+        assert_eq!(a.predicted, b.predicted, "prediction differs on image {i}");
+        assert_eq!(
+            a.joint.to_bits(),
+            b.joint.to_bits(),
+            "joint discrepancy differs on image {i}"
+        );
+        assert_eq!(a.per_layer.len(), b.per_layer.len());
+        for (x, y) in a.per_layer.iter().zip(&b.per_layer) {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "per-layer score differs on image {i}"
+            );
+        }
+    }
+}

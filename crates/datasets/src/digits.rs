@@ -44,8 +44,8 @@ pub fn synth_digits(seed: u64, n_train: usize, n_test: usize) -> Dataset {
 fn sample_digit(label: usize, rng: &mut StdRng) -> Tensor {
     let intensity = rng.gen_range(0.75..1.0);
     let scale = rng.gen_range(2.6..3.4);
-    let cx = 13.5 + rng.gen_range(-1.5..1.5);
-    let cy = 13.5 + rng.gen_range(-1.5..1.5);
+    let cx = 13.5 + rng.gen_range(-1.5f32..1.5);
+    let cy = 13.5 + rng.gen_range(-1.5f32..1.5);
     let base = render_digit(label, 28, cx, cy, scale, intensity);
 
     // Handwriting-like geometric jitter: small rotation and shear.

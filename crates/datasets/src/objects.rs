@@ -49,7 +49,7 @@ pub fn synth_objects(seed: u64, n_train: usize, n_test: usize) -> Dataset {
 
 fn sample_object(label: usize, rng: &mut StdRng) -> Tensor {
     // Background: smooth field in a hue offset from the class hue.
-    let bg_hue = (CLASS_HUES[label] + rng.gen_range(0.3..0.7)).rem_euclid(1.0);
+    let bg_hue = (CLASS_HUES[label] + rng.gen_range(0.3f32..0.7)).rem_euclid(1.0);
     let bg_v = smooth_field(rng, SIZE, SIZE, 0.1, 0.55);
     let bg_rgb = hsv_to_rgb(bg_hue, rng.gen_range(0.2..0.5), 1.0);
     let mut bg = Tensor::zeros(&[3, SIZE, SIZE]);
@@ -60,11 +60,11 @@ fn sample_object(label: usize, rng: &mut StdRng) -> Tensor {
     }
 
     // Foreground: class shape mask with jittered geometry and class hue.
-    let cx = 15.5 + rng.gen_range(-3.0..3.0);
-    let cy = 15.5 + rng.gen_range(-3.0..3.0);
+    let cx = 15.5 + rng.gen_range(-3.0f32..3.0);
+    let cy = 15.5 + rng.gen_range(-3.0f32..3.0);
     let r = rng.gen_range(7.0..11.0f32);
     let mask = shape_mask(label, cx, cy, r);
-    let hue = (CLASS_HUES[label] + rng.gen_range(-0.04..0.04)).rem_euclid(1.0);
+    let hue = (CLASS_HUES[label] + rng.gen_range(-0.04f32..0.04)).rem_euclid(1.0);
     let color = hsv_to_rgb(hue, rng.gen_range(0.6..0.95), rng.gen_range(0.7..1.0));
     let img = composite_mask(&bg, &mask, color);
 
@@ -92,8 +92,9 @@ fn shape_mask(label: usize, cx: f32, cy: f32, r: f32) -> Tensor {
                     d <= r && d >= r * 0.55
                 }
                 // Cross / plus.
-                4 => (dx.abs() <= r * 0.3 && dy.abs() <= r)
-                    || (dy.abs() <= r * 0.3 && dx.abs() <= r),
+                4 => {
+                    (dx.abs() <= r * 0.3 && dy.abs() <= r) || (dy.abs() <= r * 0.3 && dx.abs() <= r)
+                }
                 // Horizontal stripes clipped to a disc.
                 5 => (dx * dx + dy * dy).sqrt() <= r && (dy * 0.9).rem_euclid(4.0) < 2.0,
                 // Vertical stripes clipped to a disc.

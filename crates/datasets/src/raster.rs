@@ -62,10 +62,10 @@ pub fn smooth_field<R: Rng + ?Sized>(rng: &mut R, h: usize, w: usize, lo: f32, h
     assert!(lo <= hi, "field bounds inverted");
     let mut waves = Vec::new();
     for _ in 0..3 {
-        let fx = rng.gen_range(0.5..2.5) / w as f32 * std::f32::consts::TAU;
-        let fy = rng.gen_range(0.5..2.5) / h as f32 * std::f32::consts::TAU;
+        let fx = rng.gen_range(0.5f32..2.5) / w as f32 * std::f32::consts::TAU;
+        let fy = rng.gen_range(0.5f32..2.5) / h as f32 * std::f32::consts::TAU;
         let phase = rng.gen_range(0.0..std::f32::consts::TAU);
-        let amp = rng.gen_range(0.3..1.0);
+        let amp = rng.gen_range(0.3f32..1.0);
         waves.push((fx, fy, phase, amp));
     }
     let mut data = vec![0.0f32; h * w];

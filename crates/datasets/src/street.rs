@@ -57,7 +57,7 @@ fn sample_street_digit(label: usize, rng: &mut StdRng) -> Tensor {
 
     // Foreground color: hue pushed away from the background hue so the
     // digit stays legible, value contrast enforced.
-    let fg_hue = (bg_hue + rng.gen_range(0.33..0.67)).rem_euclid(1.0);
+    let fg_hue = (bg_hue + rng.gen_range(0.33f32..0.67)).rem_euclid(1.0);
     let fg_rgb = hsv_to_rgb(fg_hue, rng.gen_range(0.5..1.0), rng.gen_range(0.75..1.0));
 
     // Distractor glyph fragments from the neighbors of a house number.
@@ -65,15 +65,22 @@ fn sample_street_digit(label: usize, rng: &mut StdRng) -> Tensor {
         if rng.gen_bool(0.7) {
             let d: usize = rng.gen_range(0..10);
             let off = rng.gen_range(13.0..17.0f32);
-            let mask = render_digit(d, SIZE, 15.5 + side * off, 15.5 + rng.gen_range(-2.0..2.0), 3.0, 0.8);
+            let mask = render_digit(
+                d,
+                SIZE,
+                15.5 + side * off,
+                15.5 + rng.gen_range(-2.0f32..2.0),
+                3.0,
+                0.8,
+            );
             let color = hsv_to_rgb(rng.gen(), rng.gen_range(0.4..0.9), rng.gen_range(0.6..1.0));
             img = composite_mask(&img, &mask, color);
         }
     }
 
     // The labeled digit itself, roughly centered.
-    let cx = 15.5 + rng.gen_range(-2.0..2.0);
-    let cy = 15.5 + rng.gen_range(-2.0..2.0);
+    let cx = 15.5 + rng.gen_range(-2.0f32..2.0);
+    let cy = 15.5 + rng.gen_range(-2.0f32..2.0);
     let scale = rng.gen_range(3.0..3.8);
     let mask = render_digit(label, SIZE, cx, cy, scale, 1.0);
     img = composite_mask(&img, &mask, fg_rgb);
@@ -106,10 +113,10 @@ mod tests {
             }
             acc / (c * h * (w - 1)) as f32
         };
-        let street_rough: f32 = street.train.images.iter().map(&roughness).sum::<f32>()
-            / street.train.len() as f32;
-        let digit_rough: f32 = digits.train.images.iter().map(roughness).sum::<f32>()
-            / digits.train.len() as f32;
+        let street_rough: f32 =
+            street.train.images.iter().map(&roughness).sum::<f32>() / street.train.len() as f32;
+        let digit_rough: f32 =
+            digits.train.images.iter().map(roughness).sum::<f32>() / digits.train.len() as f32;
         assert!(
             street_rough > digit_rough,
             "street {street_rough} not rougher than digits {digit_rough}"

@@ -178,8 +178,7 @@ mod tests {
         for i in 0..120 {
             let class = i % 2;
             let center = if class == 0 { 0.2 } else { 0.8 };
-            let img =
-                Tensor::rand_uniform(&mut rng, &[1, 4, 4], center - 0.15, center + 0.15);
+            let img = Tensor::rand_uniform(&mut rng, &[1, 4, 4], center - 0.15, center + 0.15);
             images.push(img);
             labels.push(class);
         }
@@ -217,16 +216,18 @@ mod tests {
         let garbage: f32 = (0..10)
             .map(|_| {
                 // Patterned noise unlike either training blob.
-                let img = Tensor::rand_uniform(&mut rng, &[1, 4, 4], 0.0, 1.0)
-                    .map(|v| if v > 0.5 { 1.0 } else { 0.0 });
+                let img = Tensor::rand_uniform(&mut rng, &[1, 4, 4], 0.0, 1.0).map(|v| {
+                    if v > 0.5 {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                });
                 kde.score(&mut net, &img)
             })
             .sum::<f32>()
             / 10.0;
-        assert!(
-            garbage > clean,
-            "garbage {garbage} not above clean {clean}"
-        );
+        assert!(garbage > clean, "garbage {garbage} not above clean {clean}");
     }
 
     #[test]

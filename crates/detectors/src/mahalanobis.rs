@@ -232,8 +232,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let garbage: f32 = (0..10)
             .map(|_| {
-                let img = Tensor::rand_uniform(&mut rng, &[1, 4, 4], 0.0, 1.0)
-                    .map(|v| if v > 0.5 { 1.0 } else { 0.0 });
+                let img = Tensor::rand_uniform(&mut rng, &[1, 4, 4], 0.0, 1.0).map(|v| {
+                    if v > 0.5 {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                });
                 d.score(&mut net, &img)
             })
             .sum::<f32>()

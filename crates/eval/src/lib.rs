@@ -25,6 +25,6 @@ pub mod search;
 pub mod table;
 
 pub use auc::{centroid_threshold, detection_rate, roc_auc, threshold_at_fpr};
-pub use pr::{average_precision, pr_curve, PrPoint};
 pub use evalset::{CornerCase, EvaluationSet};
+pub use pr::{average_precision, pr_curve, PrPoint};
 pub use search::{grid_search, SearchOutcome, SearchSpace};

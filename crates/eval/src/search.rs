@@ -174,7 +174,7 @@ pub fn grid_search(
     assert_eq!(seeds.len(), seed_labels.len(), "seed/label mismatch");
     let mut best: Option<(Transform, f32, f32)> = None;
     for step in space.steps() {
-        let transformed: Vec<Tensor> = seeds.iter().map(|s| step.apply(s)).collect();
+        let transformed = step.apply_batch(seeds);
         let (rate, confidence) = success_rate(net, &transformed, seed_labels);
         best = Some((step.clone(), rate, confidence));
         if rate >= target_rate {

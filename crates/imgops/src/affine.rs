@@ -95,10 +95,7 @@ impl Affine {
     /// Applies the transform to a point.
     pub fn apply(&self, a: f32, b: f32) -> (f32, f32) {
         let m = &self.m;
-        (
-            m[0] * a + m[1] * b + m[2],
-            m[3] * a + m[4] * b + m[5],
-        )
+        (m[0] * a + m[1] * b + m[2], m[3] * a + m[4] * b + m[5])
     }
 
     /// The inverse transform.

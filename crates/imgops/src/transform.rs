@@ -141,6 +141,23 @@ impl Transform {
         }
     }
 
+    /// Applies the transformation to every image, fanning the per-image
+    /// work out across the `dv-runtime` pool.
+    ///
+    /// [`apply`](Transform::apply) is a pure function of one image, so the
+    /// result is element-for-element identical to the sequential map that
+    /// runs on a single-thread pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`apply`](Transform::apply).
+    pub fn apply_batch(&self, images: &[Tensor]) -> Vec<Tensor> {
+        if dv_runtime::current_threads() <= 1 || images.len() <= 1 {
+            return images.iter().map(|img| self.apply(img)).collect();
+        }
+        dv_runtime::par_map(images, |img| self.apply(img))
+    }
+
     /// The evaluation category this transform belongs to.
     pub fn kind(&self) -> TransformKind {
         match self {
@@ -265,7 +282,10 @@ mod tests {
             Transform::Scale { sx: 0.6, sy: 0.6 },
             Transform::Translation { tx: 4.0, ty: 3.0 },
             Transform::Complement,
-            Transform::Compose(vec![Transform::Complement, Transform::Scale { sx: 0.8, sy: 0.8 }]),
+            Transform::Compose(vec![
+                Transform::Complement,
+                Transform::Scale { sx: 0.8, sy: 0.8 },
+            ]),
         ] {
             assert!(!t.describe().is_empty());
         }

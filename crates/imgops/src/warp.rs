@@ -141,10 +141,7 @@ mod tests {
         let img = Tensor::ones(&[1, 16, 16]);
         let out = warp_centered(&img, &Affine::scale(0.5, 0.5));
         let ratio = out.sum() / img.sum();
-        assert!(
-            (0.15..0.4).contains(&ratio),
-            "mass ratio {ratio} not ~0.25"
-        );
+        assert!((0.15..0.4).contains(&ratio), "mass ratio {ratio} not ~0.25");
     }
 
     #[test]

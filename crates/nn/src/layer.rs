@@ -15,8 +15,11 @@ use dv_tensor::Tensor;
 /// image.
 ///
 /// Layers are used strictly sequentially: `backward` may only be called
-/// after a `forward` with the same batch.
-pub trait Layer {
+/// after a `forward` with the same batch. `Send + Sync` lets whole
+/// networks cross thread boundaries; concurrent inference goes through
+/// [`clone_box`](Layer::clone_box)d copies (one per worker), never through
+/// shared `&mut` state.
+pub trait Layer: Send + Sync {
     /// Computes the layer output for a batch.
     ///
     /// `train` distinguishes training-time behaviour (none of the current
@@ -61,6 +64,11 @@ pub trait Layer {
     /// Implementations may panic if the name is unknown or the shape
     /// differs from the existing parameter.
     fn load_param(&mut self, name: &str, value: Tensor);
+
+    /// Deep copy behind the trait object, so [`Network`](crate::Network)
+    /// can be cloned for data-parallel inference. Typically implemented as
+    /// `Box::new(self.clone())`.
+    fn clone_box(&self) -> Box<dyn Layer>;
 }
 
 /// Splits a batched tensor `[N, ...]` into its batch size and per-item

@@ -30,7 +30,10 @@ impl Dropout {
     ///
     /// Panics if `p` is outside `[0, 1)`.
     pub fn new(p: f32, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "drop probability must be in [0, 1)"
+        );
         Self {
             p,
             rng: StdRng::seed_from_u64(seed),
@@ -40,6 +43,10 @@ impl Dropout {
 }
 
 impl Layer for Dropout {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         if !train || self.p == 0.0 {
             self.cached_mask = None;
@@ -132,6 +139,10 @@ impl BatchNorm2d {
 }
 
 impl Layer for BatchNorm2d {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     // Channel statistics walk several parallel per-channel buffers at
     // once; index loops are the clear formulation here.
     #[allow(clippy::needless_range_loop)]
@@ -200,11 +211,7 @@ impl Layer for BatchNorm2d {
                 }
             }
         }
-        self.cached = if train {
-            Some((x_hat, inv_std))
-        } else {
-            None
-        };
+        self.cached = if train { Some((x_hat, inv_std)) } else { None };
         out
     }
 
@@ -246,8 +253,7 @@ impl Layer for BatchNorm2d {
                 let mean_dy = sum_dy[ch] / m;
                 let mean_dy_xh = sum_dy_xh[ch] / m;
                 for i in base..base + h * w {
-                    grad_in.data_mut()[i] =
-                        scale * (g_out[i] - mean_dy - xh[i] * mean_dy_xh);
+                    grad_in.data_mut()[i] = scale * (g_out[i] - mean_dy - xh[i] * mean_dy_xh);
                 }
             }
         }
@@ -304,6 +310,7 @@ impl Layer for BatchNorm2d {
 /// previous stage's output, each producing `growth` new channels. The
 /// block output is the full concatenation (input + all features), so
 /// channels grow from `C` to `C + layers * growth`.
+#[derive(Clone)]
 pub struct DenseBlock {
     convs: Vec<Conv2d>,
     relus: Vec<Relu>,
@@ -326,7 +333,10 @@ impl DenseBlock {
         growth: usize,
         layers: usize,
     ) -> Self {
-        assert!(layers > 0 && growth > 0, "layers and growth must be positive");
+        assert!(
+            layers > 0 && growth > 0,
+            "layers and growth must be positive"
+        );
         let mut convs = Vec::with_capacity(layers);
         let mut relus = Vec::with_capacity(layers);
         for i in 0..layers {
@@ -364,8 +374,7 @@ impl DenseBlock {
         let plane = h * w;
         for img in 0..n {
             let dst = &mut out.data_mut()[img * (ca + cb) * plane..];
-            dst[..ca * plane]
-                .copy_from_slice(&a.data()[img * ca * plane..(img + 1) * ca * plane]);
+            dst[..ca * plane].copy_from_slice(&a.data()[img * ca * plane..(img + 1) * ca * plane]);
             dst[ca * plane..(ca + cb) * plane]
                 .copy_from_slice(&b.data()[img * cb * plane..(img + 1) * cb * plane]);
         }
@@ -393,6 +402,10 @@ impl DenseBlock {
 }
 
 impl Layer for DenseBlock {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         let mut state = input.clone();
         self.cached_stage_inputs.clear();

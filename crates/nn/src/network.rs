@@ -252,6 +252,18 @@ impl Network {
     }
 }
 
+impl Clone for Network {
+    /// Deep copy (parameters and caches) via [`Layer::clone_box`], used to
+    /// give each inference worker its own mutable network.
+    fn clone(&self) -> Self {
+        Self {
+            input_dims: self.input_dims.clone(),
+            layers: self.layers.iter().map(|l| l.clone_box()).collect(),
+            probe_points: self.probe_points.clone(),
+        }
+    }
+}
+
 impl std::fmt::Debug for Network {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let names: Vec<&str> = self.layers.iter().map(|l| l.name()).collect();

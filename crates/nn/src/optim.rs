@@ -227,7 +227,10 @@ mod tests {
         // Adadelta's first updates are ~sqrt(eps)-sized, so it needs more
         // iterations than SGD/Adam on this quadratic.
         let end = run_quadratic(&mut opt, 5000);
-        assert!(end < start * 0.1, "adadelta stalled: {end} vs start {start}");
+        assert!(
+            end < start * 0.1,
+            "adadelta stalled: {end} vs start {start}"
+        );
     }
 
     #[test]

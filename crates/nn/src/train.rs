@@ -109,10 +109,8 @@ pub fn evaluate(net: &mut Network, images: &[Tensor], labels: &[usize]) -> EvalS
     assert!(!images.is_empty(), "evaluation set is empty");
     let mut correct = 0usize;
     let mut conf_sum = 0.0f32;
-    for (img, &y) in images.iter().zip(labels) {
-        let x = Tensor::stack(std::slice::from_ref(img));
-        let (label, conf) = net.classify(&x);
-        if label == y {
+    for ((label, conf), &y) in classify_all(net, images).iter().zip(labels) {
+        if *label == y {
             correct += 1;
         }
         conf_sum += conf;
@@ -125,10 +123,38 @@ pub fn evaluate(net: &mut Network, images: &[Tensor], labels: &[usize]) -> EvalS
 
 /// Predicted labels for a set of per-item images.
 pub fn predict_labels(net: &mut Network, images: &[Tensor]) -> Vec<usize> {
-    images
-        .iter()
-        .map(|img| net.classify(&Tensor::stack(std::slice::from_ref(img))).0)
+    classify_all(net, images)
+        .into_iter()
+        .map(|(label, _)| label)
         .collect()
+}
+
+/// Classifies every image, fanning contiguous chunks out across the
+/// `dv-runtime` pool with one cloned network per chunk (layers cache
+/// forward state, so workers cannot share one `&mut Network`). Inference
+/// is deterministic per image and results are reassembled in input order,
+/// so the output is identical to the sequential loop, which is exactly
+/// what runs when the pool has a single thread.
+fn classify_all(net: &mut Network, images: &[Tensor]) -> Vec<(usize, f32)> {
+    let threads = dv_runtime::current_threads();
+    if threads <= 1 || images.len() <= 1 {
+        return images
+            .iter()
+            .map(|img| net.classify(&Tensor::stack(std::slice::from_ref(img))))
+            .collect();
+    }
+    let net: &Network = net;
+    let chunks: Vec<&[Tensor]> = images.chunks(images.len().div_ceil(threads)).collect();
+    dv_runtime::par_map(&chunks, |chunk| {
+        let mut worker = net.clone();
+        chunk
+            .iter()
+            .map(|img| worker.classify(&Tensor::stack(std::slice::from_ref(img))))
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 #[cfg(test)]
@@ -175,11 +201,7 @@ mod tests {
         let history = fit(&mut net, &mut opt, &images, &labels, &cfg, &mut rng);
         assert!(history.last().unwrap().loss < history[0].loss);
         let stats = evaluate(&mut net, &images, &labels);
-        assert!(
-            stats.accuracy > 0.95,
-            "accuracy only {}",
-            stats.accuracy
-        );
+        assert!(stats.accuracy > 0.95, "accuracy only {}", stats.accuracy);
         assert!(stats.mean_confidence > 0.5);
     }
 
@@ -195,12 +217,8 @@ mod tests {
         };
         fit(&mut net, &mut opt, &images, &labels, &cfg, &mut rng);
         let preds = predict_labels(&mut net, &images);
-        let acc = preds
-            .iter()
-            .zip(&labels)
-            .filter(|(p, y)| p == y)
-            .count() as f32
-            / labels.len() as f32;
+        let acc =
+            preds.iter().zip(&labels).filter(|(p, y)| p == y).count() as f32 / labels.len() as f32;
         let stats = evaluate(&mut net, &images, &labels);
         assert!((acc - stats.accuracy).abs() < 1e-6);
     }

@@ -20,7 +20,7 @@ fn check_loss_input_gradient(net: &mut Network, input_dims: &[usize], label: usi
     net.zero_grads();
     let analytic = net.backward(&out.grad_logits);
 
-    let eps = 1e-2f32;
+    let eps = 1e-3f32;
     for flat in (0..x.numel()).step_by(stride) {
         let mut xp = x.clone();
         xp.data_mut()[flat] += eps;
@@ -105,7 +105,7 @@ fn parameter_gradients_of_full_network_match_finite_differences() {
         .map(|(_, g)| (*g).clone())
         .collect();
 
-    let eps = 1e-2f32;
+    let eps = 1e-3f32;
     for (pi, flat) in [(0usize, 0usize), (0, 7), (1, 1), (2, 10), (3, 2)] {
         let analytic = grads[pi].data()[flat];
         {

@@ -85,11 +85,7 @@ impl ResolvedKernel {
     pub fn eval(&self, a: &[f32], b: &[f32]) -> f64 {
         debug_assert_eq!(a.len(), b.len(), "kernel arguments differ in length");
         match self {
-            ResolvedKernel::Linear => a
-                .iter()
-                .zip(b)
-                .map(|(&x, &y)| x as f64 * y as f64)
-                .sum(),
+            ResolvedKernel::Linear => a.iter().zip(b).map(|(&x, &y)| x as f64 * y as f64).sum(),
             ResolvedKernel::Rbf { gamma } => {
                 let sq: f64 = a
                     .iter()
@@ -105,14 +101,29 @@ impl ResolvedKernel {
     }
 
     /// The full symmetric kernel (Gram) matrix of a dataset, row-major.
+    ///
+    /// Rows of the upper triangle are computed in parallel on the
+    /// [`dv_runtime`] pool. Each entry is evaluated exactly once with a
+    /// fixed accumulation order, so the matrix is bit-identical for any
+    /// thread count (`DV_THREADS=1` runs the plain sequential loop).
     pub fn gram(&self, data: &[Vec<f32>]) -> Vec<f64> {
         let n = data.len();
         let mut q = vec![0.0f64; n * n];
-        for i in 0..n {
+        if n == 0 {
+            return q;
+        }
+        // Row i owns the disjoint chunk q[i*n..(i+1)*n] and fills its
+        // upper-triangle part q[i*n + i..n].
+        dv_runtime::par_chunks_mut(&mut q, n, |i, row| {
             for j in i..n {
-                let v = self.eval(&data[i], &data[j]);
-                q[i * n + j] = v;
-                q[j * n + i] = v;
+                row[j] = self.eval(&data[i], &data[j]);
+            }
+        });
+        // Mirror into the lower triangle (cheap copies, O(n^2) vs the
+        // O(n^2 d) kernel evaluations above).
+        for i in 0..n {
+            for j in i + 1..n {
+                q[j * n + i] = q[i * n + j];
             }
         }
         q

@@ -39,6 +39,6 @@ pub mod kernel;
 pub mod smo;
 pub mod svm;
 
-pub use kernel::{Gamma, Kernel};
 pub use kernel::ResolvedKernel;
+pub use kernel::{Gamma, Kernel};
 pub use svm::{FitError, OcsvmParams, OneClassSvm, SvmParts};

@@ -51,7 +51,10 @@ impl fmt::Display for FitError {
         match self {
             FitError::EmptyTrainingSet => write!(f, "training set is empty"),
             FitError::RaggedRows { expected, got } => {
-                write!(f, "row dimensionality {got} differs from first row {expected}")
+                write!(
+                    f,
+                    "row dimensionality {got} differs from first row {expected}"
+                )
             }
             FitError::InvalidNu(nu) => write!(f, "nu {nu} outside (0, 1]"),
         }
@@ -332,7 +335,10 @@ mod tests {
         let ragged = vec![vec![1.0, 2.0], vec![1.0]];
         assert!(matches!(
             OneClassSvm::fit(&ragged, &OcsvmParams::default()).unwrap_err(),
-            FitError::RaggedRows { expected: 2, got: 1 }
+            FitError::RaggedRows {
+                expected: 2,
+                got: 1
+            }
         ));
         let data = vec![vec![1.0]];
         assert_eq!(

@@ -6,12 +6,7 @@ use proptest::prelude::*;
 /// A deterministic 2-D grid cluster scaled by `spread`.
 fn cluster(n: usize, spread: f32) -> Vec<Vec<f32>> {
     (0..n)
-        .map(|i| {
-            vec![
-                (i % 7) as f32 * 0.1 * spread,
-                (i % 5) as f32 * 0.1 * spread,
-            ]
-        })
+        .map(|i| vec![(i % 7) as f32 * 0.1 * spread, (i % 5) as f32 * 0.1 * spread])
         .collect()
 }
 

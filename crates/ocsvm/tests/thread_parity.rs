@@ -1,0 +1,72 @@
+//! Thread-count parity regressions: the Gram matrix and the fitted
+//! detector must be bit-identical whether the `dv-runtime` pool has one
+//! thread (the exact sequential path) or several.
+
+use dv_ocsvm::{Gamma, Kernel, OcsvmParams, OneClassSvm, ResolvedKernel};
+use dv_runtime::Pool;
+
+/// Deterministic pseudo-random rows without an RNG dependency.
+fn rows(n: usize, d: usize) -> Vec<Vec<f32>> {
+    (0..n)
+        .map(|i| {
+            (0..d)
+                .map(|j| ((i * 31 + j * 17 + 3) % 97) as f32 / 97.0)
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn gram_is_symmetric_and_bit_identical_across_thread_counts() {
+    let n = 64;
+    let data = rows(n, 12);
+    let kernel = ResolvedKernel::Rbf { gamma: 0.7 };
+    let q1 = Pool::new(1).install(|| kernel.gram(&data));
+    let q4 = Pool::new(4).install(|| kernel.gram(&data));
+    assert_eq!(q1.len(), n * n);
+    for i in 0..n {
+        for j in 0..n {
+            assert_eq!(
+                q1[i * n + j].to_bits(),
+                q1[j * n + i].to_bits(),
+                "asymmetry at ({i}, {j})"
+            );
+        }
+    }
+    for (idx, (a, b)) in q1.iter().zip(&q4).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "1-vs-4-thread mismatch at {idx}");
+    }
+}
+
+#[test]
+fn linear_gram_is_bit_identical_across_thread_counts() {
+    let data = rows(37, 5);
+    let kernel = ResolvedKernel::Linear;
+    let q1 = Pool::new(1).install(|| kernel.gram(&data));
+    let q8 = Pool::new(8).install(|| kernel.gram(&data));
+    assert!(q1.iter().zip(&q8).all(|(a, b)| a.to_bits() == b.to_bits()));
+}
+
+#[test]
+fn fitted_detector_outputs_match_across_thread_counts() {
+    let data = rows(48, 6);
+    let params = OcsvmParams {
+        nu: 0.2,
+        kernel: Kernel::Rbf(Gamma::Scale),
+        ..OcsvmParams::default()
+    };
+    let fit_with = |threads: usize| {
+        Pool::new(threads).install(|| OneClassSvm::fit(&data, &params).expect("fit failed"))
+    };
+    let svm1 = fit_with(1);
+    let svm4 = fit_with(4);
+    assert_eq!(svm1.rho().to_bits(), svm4.rho().to_bits());
+    assert_eq!(svm1.num_support_vectors(), svm4.num_support_vectors());
+    for (idx, row) in data.iter().enumerate() {
+        assert_eq!(
+            svm1.decision(row).to_bits(),
+            svm4.decision(row).to_bits(),
+            "decision mismatch on row {idx}"
+        );
+    }
+}

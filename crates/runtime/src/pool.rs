@@ -1,0 +1,471 @@
+//! The work-stealing pool and its scoped parallel primitives.
+
+use std::cell::{Cell, RefCell};
+use std::mem::MaybeUninit;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crate::stats::{Stats, StatsSnapshot};
+
+/// One participant's contiguous slice of the job's index space.
+///
+/// The owner claims chunks from the front (`next`), thieves take the back
+/// half (`end`); both under the mutex, so no index runs twice.
+struct Range {
+    next: usize,
+    end: usize,
+}
+
+type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+/// A single `par_for` submission shared between the caller and workers.
+struct Job {
+    ranges: Vec<Mutex<Range>>,
+    /// Indices claimed but not yet retired; 0 means every index ran.
+    remaining: AtomicUsize,
+    /// Set by the first panicking chunk; later chunks are skipped.
+    poisoned: AtomicBool,
+    panic: Mutex<Option<PanicPayload>>,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+    /// Borrow of the caller's closure with its lifetime erased. Sound to
+    /// call because a chunk can only be claimed while `remaining > 0`,
+    /// which holds the submitting `run` call (and thus the closure) on
+    /// its stack until the chunk is retired.
+    func: &'static (dyn Fn(usize) + Sync),
+}
+
+impl Job {
+    fn new(n: usize, participants: usize, func: &'static (dyn Fn(usize) + Sync)) -> Self {
+        // Split 0..n into one contiguous range per participant.
+        let per = n / participants;
+        let extra = n % participants;
+        let mut ranges = Vec::with_capacity(participants);
+        let mut start = 0usize;
+        for slot in 0..participants {
+            let len = per + usize::from(slot < extra);
+            ranges.push(Mutex::new(Range {
+                next: start,
+                end: start + len,
+            }));
+            start += len;
+        }
+        debug_assert_eq!(start, n);
+        Self {
+            ranges,
+            remaining: AtomicUsize::new(n),
+            poisoned: AtomicBool::new(false),
+            panic: Mutex::new(None),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+            func,
+        }
+    }
+}
+
+struct PoolState {
+    job: Option<Arc<Job>>,
+    /// Bumped on both publish and clear so sleeping workers can tell a new
+    /// job from the one they already drained.
+    epoch: u64,
+}
+
+/// State shared between the pool handle and its worker threads.
+struct Shared {
+    state: Mutex<PoolState>,
+    work_cv: Condvar,
+    shutdown: AtomicBool,
+    stats: Stats,
+    /// Worker threads plus the submitting thread.
+    participants: usize,
+}
+
+thread_local! {
+    /// True while this thread is executing chunks of some job; nested
+    /// parallel calls then run inline instead of deadlocking the pool.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+    /// Stack of pools scoped in by [`Pool::install`].
+    static INSTALLED: RefCell<Vec<Arc<Shared>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A work-stealing thread pool. See the crate docs for the design.
+pub struct Pool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Creates a pool with `threads` participants (min 1). `threads - 1`
+    /// worker threads are spawned; the submitting thread is the last
+    /// participant, so `Pool::new(1)` spawns nothing and runs everything
+    /// sequentially on the caller.
+    pub fn new(threads: usize) -> Self {
+        let participants = threads.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                job: None,
+                epoch: 0,
+            }),
+            work_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            stats: Stats::default(),
+            participants,
+        });
+        let workers = (1..participants)
+            .map(|slot| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("dv-runtime-{slot}"))
+                    .spawn(move || worker_loop(&shared, slot))
+                    .expect("spawn dv-runtime worker")
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// Number of participants (workers + the submitting thread).
+    pub fn threads(&self) -> usize {
+        self.shared.participants
+    }
+
+    /// Cumulative scheduling counters for this pool.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Runs `f` with this pool scoped in: the free functions [`par_for`],
+    /// [`par_map`] and [`par_chunks_mut`] use it instead of the global
+    /// pool for the duration of the call.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        INSTALLED.with(|s| s.borrow_mut().push(Arc::clone(&self.shared)));
+        // Pop on unwind too, so a panicking scope does not leak the pool.
+        struct Guard;
+        impl Drop for Guard {
+            fn drop(&mut self) {
+                INSTALLED.with(|s| {
+                    s.borrow_mut().pop();
+                });
+            }
+        }
+        let _guard = Guard;
+        f()
+    }
+
+    /// Calls `f(i)` for every `i in 0..n`, each exactly once, in parallel.
+    pub fn par_for<F: Fn(usize) + Sync>(&self, n: usize, f: F) {
+        par_for_in(&self.shared, n, &f);
+    }
+
+    /// Maps `f` over `items` in parallel; output order matches input order.
+    pub fn par_map<T: Sync, U: Send, F: Fn(&T) -> U + Sync>(&self, items: &[T], f: F) -> Vec<U> {
+        par_map_in(&self.shared, items, &f)
+    }
+
+    /// Splits `data` into consecutive chunks of `chunk` elements (the last
+    /// may be shorter) and calls `f(chunk_index, chunk)` in parallel.
+    pub fn par_chunks_mut<T: Send, F: Fn(usize, &mut [T]) + Sync>(
+        &self,
+        data: &mut [T],
+        chunk: usize,
+        f: F,
+    ) {
+        par_chunks_mut_in(&self.shared, data, chunk, &f);
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Take the lock so no worker can be between the shutdown check and
+        // the condvar wait when we notify.
+        drop(self.shared.state.lock().unwrap());
+        self.shared.work_cv.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+static GLOBAL: OnceLock<Pool> = OnceLock::new();
+
+/// See [`crate::global`].
+pub(crate) fn global() -> &'static Pool {
+    GLOBAL.get_or_init(|| {
+        let env = std::env::var("DV_THREADS").ok();
+        let threads = crate::parse_thread_env(env.as_deref())
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        Pool::new(threads)
+    })
+}
+
+fn with_current<R>(f: impl FnOnce(&Arc<Shared>) -> R) -> R {
+    let installed = INSTALLED.with(|s| s.borrow().last().cloned());
+    match installed {
+        Some(shared) => f(&shared),
+        None => f(&global().shared),
+    }
+}
+
+/// Thread count of the currently scoped pool (installed or global).
+pub fn current_threads() -> usize {
+    with_current(|s| s.participants)
+}
+
+/// [`Pool::par_for`] on the currently scoped pool.
+pub fn par_for<F: Fn(usize) + Sync>(n: usize, f: F) {
+    with_current(|s| par_for_in(s, n, &f));
+}
+
+/// [`Pool::par_map`] on the currently scoped pool.
+pub fn par_map<T: Sync, U: Send, F: Fn(&T) -> U + Sync>(items: &[T], f: F) -> Vec<U> {
+    with_current(|s| par_map_in(s, items, &f))
+}
+
+/// [`Pool::par_chunks_mut`] on the currently scoped pool.
+pub fn par_chunks_mut<T: Send, F: Fn(usize, &mut [T]) + Sync>(data: &mut [T], chunk: usize, f: F) {
+    with_current(|s| par_chunks_mut_in(s, data, chunk, &f));
+}
+
+fn par_for_in(shared: &Arc<Shared>, n: usize, f: &(dyn Fn(usize) + Sync)) {
+    if shared.participants <= 1 || n <= 1 || IN_WORKER.get() {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    run(shared, n, f);
+}
+
+fn par_map_in<T: Sync, U: Send>(
+    shared: &Arc<Shared>,
+    items: &[T],
+    f: &(dyn Fn(&T) -> U + Sync),
+) -> Vec<U> {
+    let n = items.len();
+    if shared.participants <= 1 || n <= 1 || IN_WORKER.get() {
+        return items.iter().map(f).collect();
+    }
+    let mut out: Vec<MaybeUninit<U>> = (0..n).map(|_| MaybeUninit::uninit()).collect();
+    let slots = SendPtr(out.as_mut_ptr());
+    run(shared, n, &|i| {
+        let value = f(&items[i]);
+        // SAFETY: each index is executed exactly once, so each slot is
+        // written exactly once, and slots are disjoint.
+        unsafe { (*slots.get().add(i)).write(value) };
+    });
+    // SAFETY: `run` returned without panicking, so all n slots were
+    // written; retiring chunks synchronizes-with the job-done handshake.
+    unsafe {
+        let ptr = out.as_mut_ptr() as *mut U;
+        let cap = out.capacity();
+        std::mem::forget(out);
+        Vec::from_raw_parts(ptr, n, cap)
+    }
+}
+
+fn par_chunks_mut_in<T: Send>(
+    shared: &Arc<Shared>,
+    data: &mut [T],
+    chunk: usize,
+    f: &(dyn Fn(usize, &mut [T]) + Sync),
+) {
+    assert!(chunk > 0, "chunk size must be positive");
+    let total = data.len();
+    if total == 0 {
+        return;
+    }
+    let nchunks = total.div_ceil(chunk);
+    let base = SendPtr(data.as_mut_ptr());
+    par_for_in(shared, nchunks, &|ci| {
+        let start = ci * chunk;
+        let len = chunk.min(total - start);
+        // SAFETY: chunks are disjoint sub-slices of `data`, one per index,
+        // and `data` is exclusively borrowed for the whole call.
+        let slice = unsafe { std::slice::from_raw_parts_mut(base.get().add(start), len) };
+        f(ci, slice);
+    });
+}
+
+/// A raw pointer that may cross threads; all uses are disjoint-by-index.
+/// Accessed only through [`SendPtr::get`] so closures capture the wrapper
+/// (which is `Sync`), not the raw pointer field (which is not).
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+impl<T> SendPtr<T> {
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// Submits a job, participates until the index space drains, waits for
+/// stragglers, then re-raises any captured panic.
+fn run(shared: &Arc<Shared>, n: usize, f: &(dyn Fn(usize) + Sync)) {
+    let job = {
+        let mut state = shared.state.lock().unwrap();
+        if state.job.is_some() {
+            // Another thread is already driving this pool; run inline
+            // rather than queueing (callers stay latency-predictable).
+            drop(state);
+            for i in 0..n {
+                f(i);
+            }
+            return;
+        }
+        // SAFETY: lifetime erasure only — `Job.func` documents why the
+        // borrow outlives every dereference.
+        let f_static: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f) };
+        let job = Arc::new(Job::new(n, shared.participants, f_static));
+        state.job = Some(Arc::clone(&job));
+        state.epoch = state.epoch.wrapping_add(1);
+        job
+    };
+    shared.work_cv.notify_all();
+
+    participate(shared, &job, 0);
+
+    let mut done = job.done.lock().unwrap();
+    while !*done {
+        done = job.done_cv.wait(done).unwrap();
+    }
+    drop(done);
+
+    {
+        let mut state = shared.state.lock().unwrap();
+        state.job = None;
+        state.epoch = state.epoch.wrapping_add(1);
+    }
+
+    let payload = job.panic.lock().unwrap().take();
+    if let Some(payload) = payload {
+        resume_unwind(payload);
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>, slot: usize) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut state = shared.state.lock().unwrap();
+            loop {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if state.epoch != seen_epoch {
+                    seen_epoch = state.epoch;
+                    if let Some(job) = state.job.clone() {
+                        break job;
+                    }
+                    // Epoch moved because a job was cleared; keep waiting.
+                }
+                let idle_from = Instant::now();
+                state = shared.work_cv.wait(state).unwrap();
+                shared.stats.add_idle(idle_from.elapsed());
+            }
+        };
+        participate(shared, &job, slot);
+    }
+}
+
+/// Executes chunks of `job` on the current thread until none can be
+/// claimed or stolen.
+fn participate(shared: &Shared, job: &Job, slot: usize) {
+    let was_worker = IN_WORKER.replace(true);
+    let busy_from = Instant::now();
+    let mut executed = 0u64;
+
+    loop {
+        let chunk = claim_front(&job.ranges[slot]).or_else(|| steal(shared, job, slot));
+        let Some((start, end)) = chunk else { break };
+        let len = end - start;
+
+        if !job.poisoned.load(Ordering::Relaxed) {
+            // A claimed chunk implies `remaining > 0`, so the submitting
+            // thread is still inside `run` and the closure behind `func`
+            // is alive until this chunk is retired below.
+            let func = job.func;
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                for i in start..end {
+                    if job.poisoned.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    func(i);
+                }
+            }));
+            if let Err(payload) = result {
+                job.poisoned.store(true, Ordering::Relaxed);
+                let mut first = job.panic.lock().unwrap();
+                if first.is_none() {
+                    *first = Some(payload);
+                }
+            }
+        }
+
+        executed += len as u64;
+        // AcqRel: the final decrement acquires every earlier participant's
+        // writes before the done handshake publishes them to the caller.
+        if job.remaining.fetch_sub(len, Ordering::AcqRel) == len {
+            let mut done = job.done.lock().unwrap();
+            *done = true;
+            job.done_cv.notify_all();
+        }
+    }
+
+    shared.stats.add_busy(busy_from.elapsed());
+    shared.stats.add_tasks(executed);
+    IN_WORKER.set(was_worker);
+}
+
+/// Claims a chunk from the front of `range`: a quarter of what is left,
+/// min 1 — large early chunks amortize locking, small late ones balance.
+fn claim_front(range: &Mutex<Range>) -> Option<(usize, usize)> {
+    let mut r = range.lock().unwrap();
+    let len = r.end.saturating_sub(r.next);
+    if len == 0 {
+        return None;
+    }
+    let take = (len / 4).max(1);
+    let start = r.next;
+    r.next += take;
+    Some((start, start + take))
+}
+
+/// Steals the back half of the largest victim range into this slot's own
+/// (empty) range, then claims from it.
+fn steal(shared: &Shared, job: &Job, slot: usize) -> Option<(usize, usize)> {
+    loop {
+        let mut best: Option<(usize, usize)> = None; // (victim, len)
+        for (victim, range) in job.ranges.iter().enumerate() {
+            if victim == slot {
+                continue;
+            }
+            let r = range.lock().unwrap();
+            let len = r.end.saturating_sub(r.next);
+            if len > 0 && best.is_none_or(|(_, blen)| len > blen) {
+                best = Some((victim, len));
+            }
+        }
+        let (victim, _) = best?;
+        let stolen = {
+            let mut r = job.ranges[victim].lock().unwrap();
+            let len = r.end.saturating_sub(r.next);
+            if len == 0 {
+                continue; // lost the race; rescan
+            }
+            let take = len.div_ceil(2);
+            r.end -= take;
+            (r.end, r.end + take)
+        };
+        shared.stats.add_steal();
+        {
+            let mut own = job.ranges[slot].lock().unwrap();
+            debug_assert!(own.next >= own.end, "stealing with local work left");
+            own.next = stolen.0;
+            own.end = stolen.1;
+        }
+        return claim_front(&job.ranges[slot]);
+    }
+}

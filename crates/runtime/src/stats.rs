@@ -1,0 +1,55 @@
+//! Lightweight per-pool scheduling counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Internal atomic counters, updated by participants as jobs drain.
+#[derive(Default)]
+pub(crate) struct Stats {
+    tasks: AtomicU64,
+    steals: AtomicU64,
+    busy_ns: AtomicU64,
+    idle_ns: AtomicU64,
+}
+
+impl Stats {
+    pub(crate) fn add_tasks(&self, n: u64) {
+        self.tasks.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_steal(&self) {
+        self.steals.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_busy(&self, d: Duration) {
+        self.busy_ns
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_idle(&self, d: Duration) {
+        self.idle_ns
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            tasks: self.tasks.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            busy_ns: self.busy_ns.load(Ordering::Relaxed),
+            idle_ns: self.idle_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a pool's cumulative counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Total indices executed across all jobs.
+    pub tasks: u64,
+    /// Successful steals (a participant took work from a victim's range).
+    pub steals: u64,
+    /// Nanoseconds participants spent inside jobs (claiming + executing).
+    pub busy_ns: u64,
+    /// Nanoseconds workers spent parked waiting for a job.
+    pub idle_ns: u64,
+}

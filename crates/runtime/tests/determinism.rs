@@ -1,0 +1,153 @@
+//! Satellite tests: dv-runtime primitives are deterministic, order-preserving
+//! and panic-propagating regardless of thread count.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use dv_runtime::{split_seed, Pool};
+
+/// Tiny local splitmix64 so tests do not depend on the workspace RNG.
+fn seq_rng(seed: u64) -> impl FnMut() -> u64 {
+    let mut state = seed;
+    move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[test]
+fn par_map_preserves_input_order() {
+    let pool = Pool::new(4);
+    let items: Vec<usize> = (0..1000).collect();
+    let mapped = pool.par_map(&items, |&x| x * 3 + 1);
+    let expected: Vec<usize> = items.iter().map(|&x| x * 3 + 1).collect();
+    assert_eq!(mapped, expected);
+}
+
+#[test]
+fn par_for_runs_every_index_exactly_once() {
+    let pool = Pool::new(4);
+    let counts: Vec<AtomicUsize> = (0..257).map(|_| AtomicUsize::new(0)).collect();
+    pool.par_for(counts.len(), |i| {
+        counts[i].fetch_add(1, Ordering::Relaxed);
+    });
+    for (i, c) in counts.iter().enumerate() {
+        assert_eq!(c.load(Ordering::Relaxed), 1, "index {i}");
+    }
+}
+
+#[test]
+fn par_chunks_mut_covers_all_chunks() {
+    let pool = Pool::new(3);
+    let mut data = vec![0u32; 101];
+    pool.par_chunks_mut(&mut data, 7, |ci, chunk| {
+        for v in chunk.iter_mut() {
+            *v = ci as u32 + 1;
+        }
+    });
+    for (i, &v) in data.iter().enumerate() {
+        assert_eq!(v, (i / 7) as u32 + 1, "element {i}");
+    }
+}
+
+#[test]
+fn par_map_propagates_panics() {
+    let pool = Pool::new(4);
+    let items: Vec<usize> = (0..64).collect();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        pool.par_map(&items, |&x| {
+            assert!(x != 17, "boom at {x}");
+            x
+        })
+    }));
+    let payload = result.expect_err("panic must propagate to the caller");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(msg.contains("boom at 17"), "unexpected payload: {msg}");
+
+    // The pool must stay usable after a poisoned job.
+    let ok = pool.par_map(&items, |&x| x + 1);
+    assert_eq!(ok[63], 64);
+}
+
+#[test]
+fn rng_splitting_reproduces_sequential_stream() {
+    // Each task draws from an RNG seeded by split_seed(base, task): the
+    // parallel result must be bit-identical to the sequential loop.
+    const BASE: u64 = 0xDEAD_BEEF_CAFE_F00D;
+    let sequential: Vec<u64> = (0..512)
+        .map(|task| {
+            let mut draw = seq_rng(split_seed(BASE, task));
+            (0..8).map(|_| draw()).fold(0u64, u64::wrapping_add)
+        })
+        .collect();
+
+    for threads in [1, 2, 4, 8] {
+        let pool = Pool::new(threads);
+        let tasks: Vec<u64> = (0..512).collect();
+        let parallel = pool.par_map(&tasks, |&task| {
+            let mut draw = seq_rng(split_seed(BASE, task));
+            (0..8).map(|_| draw()).fold(0u64, u64::wrapping_add)
+        });
+        assert_eq!(parallel, sequential, "threads={threads}");
+    }
+}
+
+#[test]
+fn single_thread_pool_runs_on_caller_thread() {
+    let pool = Pool::new(1);
+    assert_eq!(pool.threads(), 1);
+    let caller = std::thread::current().id();
+    pool.par_for(100, |_| {
+        assert_eq!(std::thread::current().id(), caller);
+    });
+    assert_eq!(pool.stats().steals, 0);
+}
+
+#[test]
+fn nested_parallelism_falls_back_inline() {
+    let pool = Pool::new(4);
+    let outer: Vec<usize> = (0..16).collect();
+    let sums = pool.par_map(&outer, |&o| {
+        let inner: Vec<usize> = (0..32).map(|i| i + o).collect();
+        // Nested call: must complete (inline) rather than deadlock.
+        pool.par_map(&inner, |&x| x * 2).iter().sum::<usize>()
+    });
+    for (o, s) in sums.iter().enumerate() {
+        let expect: usize = (0..32).map(|i| (i + o) * 2).sum();
+        assert_eq!(*s, expect);
+    }
+}
+
+#[test]
+fn install_scopes_free_functions() {
+    let one = Pool::new(1);
+    let four = Pool::new(4);
+    assert_eq!(one.install(dv_runtime::current_threads), 1);
+    assert_eq!(four.install(dv_runtime::current_threads), 4);
+    // Nested installs: innermost wins, outer restored after.
+    four.install(|| {
+        assert_eq!(dv_runtime::current_threads(), 4);
+        one.install(|| assert_eq!(dv_runtime::current_threads(), 1));
+        assert_eq!(dv_runtime::current_threads(), 4);
+    });
+
+    let items: Vec<u64> = (0..300).collect();
+    let a = one.install(|| dv_runtime::par_map(&items, |&x| x.wrapping_mul(x)));
+    let b = four.install(|| dv_runtime::par_map(&items, |&x| x.wrapping_mul(x)));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn stats_count_executed_tasks() {
+    let pool = Pool::new(4);
+    pool.par_for(1024, |_| {});
+    pool.par_for(512, |_| {});
+    let stats = pool.stats();
+    assert_eq!(stats.tasks, 1536);
+}

@@ -81,27 +81,34 @@ pub fn im2col(image: &Tensor, geom: &Conv2dGeom) -> Tensor {
     let cols = oh * ow;
     let mut out = vec![0.0f32; geom.col_rows() * cols];
     let data = image.data();
-    let (h, w) = (geom.in_h as isize, geom.in_w as isize);
-    for c in 0..geom.in_channels {
+    let fill_row = |row: usize, dst: &mut [f32]| {
+        let (h, w) = (geom.in_h as isize, geom.in_w as isize);
+        let kx = row % k;
+        let ky = (row / k) % k;
+        let c = row / (k * k);
         let chan = &data[c * geom.in_h * geom.in_w..(c + 1) * geom.in_h * geom.in_w];
-        for ky in 0..k {
-            for kx in 0..k {
-                let row = (c * k + ky) * k + kx;
-                let dst = &mut out[row * cols..(row + 1) * cols];
-                for oy in 0..oh {
-                    let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
-                    if iy < 0 || iy >= h {
-                        continue;
-                    }
-                    for ox in 0..ow {
-                        let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
-                        if ix < 0 || ix >= w {
-                            continue;
-                        }
-                        dst[oy * ow + ox] = chan[iy as usize * geom.in_w + ix as usize];
-                    }
-                }
+        for oy in 0..oh {
+            let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
+            if iy < 0 || iy >= h {
+                continue;
             }
+            for ox in 0..ow {
+                let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
+                if ix < 0 || ix >= w {
+                    continue;
+                }
+                dst[oy * ow + ox] = chan[iy as usize * geom.in_w + ix as usize];
+            }
+        }
+    };
+    // Each row (c, ky, kx) of the column matrix is an independent strided
+    // copy into its own chunk, so large lowerings fan rows out across the
+    // pool; small ones stay sequential to dodge fork/join overhead.
+    if out.len() >= 1 << 14 && geom.col_rows() > 1 {
+        dv_runtime::par_chunks_mut(&mut out, cols, fill_row);
+    } else {
+        for (row, dst) in out.chunks_mut(cols).enumerate() {
+            fill_row(row, dst);
         }
     }
     Tensor::from_vec(out, &[geom.col_rows(), cols])

@@ -103,7 +103,9 @@ pub fn read_tensor<R: Read>(mut r: R) -> Result<Tensor, DecodeError> {
     for _ in 0..ndim {
         let d = read_u64(&mut r)?;
         if d == 0 || d > u32::MAX as u64 {
-            return Err(DecodeError::Malformed(format!("dimension {d} out of range")));
+            return Err(DecodeError::Malformed(format!(
+                "dimension {d} out of range"
+            )));
         }
         numel = numel.saturating_mul(d);
         dims.push(d as usize);

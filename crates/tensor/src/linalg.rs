@@ -51,7 +51,10 @@ pub fn cholesky(a: &Tensor) -> Result<Tensor, NotPositiveDefinite> {
             }
         }
     }
-    Ok(Tensor::from_vec(l.iter().map(|&x| x as f32).collect(), &[n, n]))
+    Ok(Tensor::from_vec(
+        l.iter().map(|&x| x as f32).collect(),
+        &[n, n],
+    ))
 }
 
 /// Solves `A x = b` for symmetric positive definite `A` via Cholesky.

@@ -1,14 +1,20 @@
 //! Dense matrix multiplication with the transposed variants backprop needs.
 //!
-//! The kernels are cache-blocked scalar loops: on the single-core CPU budget
-//! of this reproduction they are within a small factor of a tuned BLAS for
-//! the matrix sizes the CNNs produce (hundreds by hundreds), and they keep
-//! the crate free of unsafe code and external dependencies.
+//! The kernels are cache-blocked scalar loops: they are within a small
+//! factor of a tuned BLAS for the matrix sizes the CNNs produce (hundreds
+//! by hundreds), and they keep the crate free of external dependencies.
+//! Large products additionally split their output row-blocks across the
+//! `dv-runtime` pool; every output element keeps its sequential
+//! accumulation order, so results are bit-identical at any thread count.
 
 use crate::tensor::Tensor;
 
 /// Loop-blocking tile edge, sized so three tiles fit comfortably in L1.
 const BLOCK: usize = 64;
+
+/// Minimum `m * k * n` before a product is worth scheduling on the pool;
+/// below this the fork/join overhead outweighs the work.
+const PAR_FLOPS: usize = 1 << 15;
 
 /// `C = A * B` for `A: [m, k]`, `B: [k, n]`.
 ///
@@ -32,33 +38,59 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let mut out = vec![0.0f32; m * n];
     let ad = a.data();
     let bd = b.data();
-    // i-k-j loop order with blocking: the innermost loop is a contiguous
-    // axpy over a row of B, which auto-vectorizes well.
-    for i0 in (0..m).step_by(BLOCK) {
-        let i1 = (i0 + BLOCK).min(m);
-        for k0 in (0..k).step_by(BLOCK) {
-            let k1 = (k0 + BLOCK).min(k);
-            for i in i0..i1 {
-                let crow = &mut out[i * n..(i + 1) * n];
-                for kk in k0..k1 {
-                    let aik = ad[i * k + kk];
-                    if aik == 0.0 {
-                        continue;
-                    }
-                    let brow = &bd[kk * n..(kk + 1) * n];
-                    for (c, &bv) in crow.iter_mut().zip(brow) {
-                        *c += aik * bv;
-                    }
-                }
-            }
+    if m > BLOCK && m * k * n >= PAR_FLOPS {
+        // One task per row-block: blocks own disjoint slices of `out` and
+        // run the identical per-row loops, so the product is bit-exact.
+        dv_runtime::par_chunks_mut(&mut out, BLOCK * n, |bi, rows| {
+            let i0 = bi * BLOCK;
+            matmul_block(ad, bd, i0, (i0 + BLOCK).min(m), k, n, rows);
+        });
+    } else {
+        for i0 in (0..m).step_by(BLOCK) {
+            let i1 = (i0 + BLOCK).min(m);
+            matmul_block(ad, bd, i0, i1, k, n, &mut out[i0 * n..i1 * n]);
         }
     }
     Tensor::from_vec(out, &[m, n])
 }
 
+/// Computes output rows `i0..i1` of `A * B` into `rows` (their slice of
+/// the output). i-k-j loop order with blocking: the innermost loop is a
+/// contiguous axpy over a row of B, which auto-vectorizes well.
+fn matmul_block(
+    ad: &[f32],
+    bd: &[f32],
+    i0: usize,
+    i1: usize,
+    k: usize,
+    n: usize,
+    rows: &mut [f32],
+) {
+    for k0 in (0..k).step_by(BLOCK) {
+        let k1 = (k0 + BLOCK).min(k);
+        for i in i0..i1 {
+            let crow = &mut rows[(i - i0) * n..(i - i0 + 1) * n];
+            for kk in k0..k1 {
+                let aik = ad[i * k + kk];
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = &bd[kk * n..(kk + 1) * n];
+                for (c, &bv) in crow.iter_mut().zip(brow) {
+                    *c += aik * bv;
+                }
+            }
+        }
+    }
+}
+
 /// `C = A^T * B` for `A: [k, m]`, `B: [k, n]` (result `[m, n]`).
 ///
 /// Used in backprop for weight gradients without materializing `A^T`.
+/// Stays sequential: its k-outer loop scatters into every output row, so
+/// a row-parallel split would need either a transpose (extra memory
+/// traffic) or per-row k-strided reads (cache-hostile); gradient sizes
+/// here do not repay either.
 ///
 /// # Panics
 ///
@@ -100,19 +132,31 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
     let mut out = vec![0.0f32; m * n];
     let ad = a.data();
     let bd = b.data();
-    for i in 0..m {
-        let arow = &ad[i * k..(i + 1) * k];
-        let crow = &mut out[i * n..(i + 1) * n];
-        for (j, c) in crow.iter_mut().enumerate() {
-            let brow = &bd[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (av, bv) in arow.iter().zip(brow) {
-                acc += av * bv;
-            }
-            *c = acc;
+    if m > 1 && m * k * n >= PAR_FLOPS {
+        // Row-parallel: each output row is an independent set of dot
+        // products with an unchanged accumulation order (bit-exact).
+        dv_runtime::par_chunks_mut(&mut out, n, |i, crow| {
+            matmul_nt_row(ad, bd, i, k, crow);
+        });
+    } else {
+        for i in 0..m {
+            matmul_nt_row(ad, bd, i, k, &mut out[i * n..(i + 1) * n]);
         }
     }
     Tensor::from_vec(out, &[m, n])
+}
+
+/// Computes output row `i` of `A * B^T` into `crow`.
+fn matmul_nt_row(ad: &[f32], bd: &[f32], i: usize, k: usize, crow: &mut [f32]) {
+    let arow = &ad[i * k..(i + 1) * k];
+    for (j, c) in crow.iter_mut().enumerate() {
+        let brow = &bd[j * k..(j + 1) * k];
+        let mut acc = 0.0f32;
+        for (av, bv) in arow.iter().zip(brow) {
+            acc += av * bv;
+        }
+        *c = acc;
+    }
 }
 
 /// Matrix-vector product `y = A * x` for `A: [m, k]`, `x: [k]`.

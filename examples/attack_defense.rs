@@ -39,7 +39,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         batch_size: 32,
     };
     println!("training the victim model...");
-    fit(&mut net, &mut opt, &ds.train.images, &ds.train.labels, &cfg, &mut rng);
+    fit(
+        &mut net,
+        &mut opt,
+        &ds.train.images,
+        &ds.train.labels,
+        &cfg,
+        &mut rng,
+    );
 
     println!("fitting Deep Validation on clean training data only...");
     let validator = DeepValidator::fit(
@@ -67,7 +74,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
 
     let attacks: Vec<(&str, Box<dyn Attack>)> = vec![
-        ("FGSM (eps 0.3)", Box::new(Fgsm::new(0.3, TargetMode::Untargeted))),
+        (
+            "FGSM (eps 0.3)",
+            Box::new(Fgsm::new(0.3, TargetMode::Untargeted)),
+        ),
         (
             "BIM (eps 0.3, 10 steps)",
             Box::new(Bim::new(0.3, 0.06, 10, TargetMode::Untargeted)),

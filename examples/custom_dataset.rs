@@ -37,9 +37,8 @@ fn load_my_dataset(n: usize, seed: u64) -> (Vec<Tensor>, Vec<usize>) {
             }
         }
         // Sensor noise everywhere.
-        let mut img = img;
         for v in img.data_mut() {
-            *v = (*v + rng.gen_range(-0.05..0.05)).clamp(0.0, 1.0);
+            *v = (*v + rng.gen_range(-0.05f32..0.05)).clamp(0.0, 1.0);
         }
         images.push(img);
         labels.push(class);
@@ -67,7 +66,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         batch_size: 32,
     };
     println!("training on the custom dataset...");
-    fit(&mut net, &mut opt, &train_images, &train_labels, &cfg, &mut rng);
+    fit(
+        &mut net,
+        &mut opt,
+        &train_images,
+        &train_labels,
+        &cfg,
+        &mut rng,
+    );
     let stats = evaluate(&mut net, &test_images, &test_labels);
     println!("test accuracy {:.3}", stats.accuracy);
 
@@ -95,7 +101,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         out.push(("dead rows".to_owned(), dead));
         out.push(("inverted".to_owned(), img.map(|v| 1.0 - v)));
-        out.push(("saturated".to_owned(), img.map(|v| (v * 3.0).clamp(0.0, 1.0))));
+        out.push((
+            "saturated".to_owned(),
+            img.map(|v| (v * 3.0).clamp(0.0, 1.0)),
+        ));
         out
     };
 

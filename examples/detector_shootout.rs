@@ -39,7 +39,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         batch_size: 32,
     };
     println!("training...");
-    fit(&mut net, &mut opt, &ds.train.images, &ds.train.labels, &cfg, &mut rng);
+    fit(
+        &mut net,
+        &mut opt,
+        &ds.train.images,
+        &ds.train.labels,
+        &cfg,
+        &mut rng,
+    );
 
     // Corner cases: three transformation kinds applied to correctly
     // classified seeds, keeping only the error-inducing ones (SCCs).

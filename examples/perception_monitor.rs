@@ -41,7 +41,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         batch_size: 32,
     };
     println!("training the perception model...");
-    fit(&mut net, &mut opt, &ds.train.images, &ds.train.labels, &cfg, &mut rng);
+    fit(
+        &mut net,
+        &mut opt,
+        &ds.train.images,
+        &ds.train.labels,
+        &cfg,
+        &mut rng,
+    );
 
     println!("fitting the runtime monitor (Deep Validation)...");
     let validator = DeepValidator::fit(

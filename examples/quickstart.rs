@@ -18,7 +18,11 @@ use rand::SeedableRng;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A small labeled corpus (a stand-in for MNIST).
     let ds = DatasetSpec::SynthDigits.generate(7, 800, 200);
-    println!("dataset: {} train / {} test images", ds.train.len(), ds.test.len());
+    println!(
+        "dataset: {} train / {} test images",
+        ds.train.len(),
+        ds.test.len()
+    );
 
     // 2. A compact CNN with probe points after each activation block —
     //    the probes are where Deep Validation attaches.
@@ -42,7 +46,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         batch_size: 32,
     };
     println!("training...");
-    fit(&mut net, &mut opt, &ds.train.images, &ds.train.labels, &cfg, &mut rng);
+    fit(
+        &mut net,
+        &mut opt,
+        &ds.train.images,
+        &ds.train.labels,
+        &cfg,
+        &mut rng,
+    );
     let stats = evaluate(&mut net, &ds.test.images, &ds.test.labels);
     println!(
         "test accuracy {:.3}, mean confidence {:.3}",
@@ -74,10 +85,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (label, transform) in [
         ("rotated 50 deg", Transform::Rotation { deg: 50.0 }),
         ("complemented", Transform::Complement),
-        (
-            "scaled to 60%",
-            Transform::Scale { sx: 0.6, sy: 0.6 },
-        ),
+        ("scaled to 60%", Transform::Scale { sx: 0.6, sy: 0.6 }),
     ] {
         let corner = transform.apply(seed);
         let report = validator.discrepancy(&mut net, &corner);
@@ -101,6 +109,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let x = Tensor::stack(std::slice::from_ref(seed));
     let (pred, _) = net.classify(&x);
-    println!("clean input flagged: {} (prediction {pred})", clean.is_flagged(threshold));
+    println!(
+        "clean input flagged: {} (prediction {pred})",
+        clean.is_flagged(threshold)
+    );
     Ok(())
 }

@@ -2,9 +2,7 @@
 //! all three detector families rank anomalous inputs above clean ones.
 
 use deep_validation::attacks::{Attack, Bim, Fgsm, TargetMode};
-use deep_validation::bench::detector_adapters::{
-    JointValidatorDetector, SingleValidatorDetector,
-};
+use deep_validation::bench::detector_adapters::{JointValidatorDetector, SingleValidatorDetector};
 use deep_validation::core::{DeepValidator, ValidatorConfig};
 use deep_validation::datasets::DatasetSpec;
 use deep_validation::detectors::{Detector, FeatureSqueezing, KdeDetector};
@@ -38,7 +36,14 @@ fn trained() -> (Network, deep_validation::datasets::Dataset) {
         epochs: 3,
         batch_size: 32,
     };
-    fit(&mut net, &mut opt, &ds.train.images, &ds.train.labels, &cfg, &mut rng);
+    fit(
+        &mut net,
+        &mut opt,
+        &ds.train.images,
+        &ds.train.labels,
+        &cfg,
+        &mut rng,
+    );
     (net, ds)
 }
 
@@ -111,7 +116,12 @@ fn fgsm_is_weaker_than_bim_on_the_same_budget() {
             }
         }
     }
-    assert!(fooled[1] >= fooled[0], "BIM {} < FGSM {}", fooled[1], fooled[0]);
+    assert!(
+        fooled[1] >= fooled[0],
+        "BIM {} < FGSM {}",
+        fooled[1],
+        fooled[0]
+    );
 }
 
 #[test]

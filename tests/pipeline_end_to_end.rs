@@ -14,10 +14,7 @@ static INIT: Once = Once::new();
 fn init() {
     INIT.call_once(|| {
         std::env::set_var("DV_FAST", "1");
-        std::env::set_var(
-            "DV_CACHE",
-            std::env::temp_dir().join("dv-itest-cache"),
-        );
+        std::env::set_var("DV_CACHE", std::env::temp_dir().join("dv-itest-cache"));
     });
 }
 

@@ -11,11 +11,10 @@ use deep_validation::tensor::Tensor;
 use proptest::prelude::*;
 
 fn small_image() -> impl Strategy<Value = Tensor> {
-    (1usize..=3, 3usize..=8, 3usize..=8)
-        .prop_flat_map(|(c, h, w)| {
-            proptest::collection::vec(0.0f32..=1.0, c * h * w)
-                .prop_map(move |data| Tensor::from_vec(data, &[c, h, w]))
-        })
+    (1usize..=3, 3usize..=8, 3usize..=8).prop_flat_map(|(c, h, w)| {
+        proptest::collection::vec(0.0f32..=1.0, c * h * w)
+            .prop_map(move |data| Tensor::from_vec(data, &[c, h, w]))
+    })
 }
 
 proptest! {
