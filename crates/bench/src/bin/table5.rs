@@ -12,8 +12,16 @@ fn main() {
     println!("== Table IV: transformations and search space ==\n");
     let mut t4 = TextTable::new(vec!["Transformation", "Grid (weakest..strongest)", "Steps"]);
     for space in SearchSpace::catalogue(true) {
-        let first = space.steps().first().unwrap().describe();
-        let last = space.steps().last().unwrap().describe();
+        let first = space
+            .steps()
+            .first()
+            .expect("every catalogued search space defines at least one step")
+            .describe();
+        let last = space
+            .steps()
+            .last()
+            .expect("every catalogued search space defines at least one step")
+            .describe();
         t4.row(vec![
             space.kind().label().to_owned(),
             format!("{first} .. {last}"),

@@ -370,6 +370,7 @@ impl DeepValidator {
                     .collect();
                 let alpha: Vec<f64> = alpha_t.data().iter().map(|&a| a as f64).collect();
                 let rho = meta_t.data()[0] as f64;
+                // dv-lint: allow(float-eq, reason = "kernel discriminant is a stored constant 0.0/1.0 round-tripped verbatim, not a computed value")
                 let kernel = if meta_t.data()[1] == 0.0 {
                     ResolvedKernel::Rbf {
                         gamma: meta_t.data()[2] as f64,

@@ -36,6 +36,7 @@ impl Affine {
     /// Panics if the last row is not `(0, 0, 1)`.
     pub fn from_rows(m: [f32; 9]) -> Self {
         assert!(
+            // dv-lint: allow(float-eq, reason = "structural check: the caller must pass the exact constants (0, 0, 1), not computed values")
             m[6] == 0.0 && m[7] == 0.0 && m[8] == 1.0,
             "affine matrices must have last row (0, 0, 1)"
         );
@@ -61,6 +62,7 @@ impl Affine {
     ///
     /// Panics if either factor is zero (the matrix would be singular).
     pub fn scale(sx: f32, sy: f32) -> Self {
+        // dv-lint: allow(float-eq, reason = "singularity guard: exactly 0.0 is the only non-invertible scale")
         assert!(sx != 0.0 && sy != 0.0, "scale factors must be non-zero");
         Self::from_rows([sx, 0.0, 0.0, 0.0, sy, 0.0, 0.0, 0.0, 1.0])
     }

@@ -1,0 +1,102 @@
+//! Diagnostics and run reports.
+
+use std::fmt;
+
+/// One rule violation, pointing at a workspace-relative file and line.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    pub rule: &'static str,
+    pub path: String,
+    pub line: u32,
+    pub msg: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.msg
+        )
+    }
+}
+
+/// A violation that was silenced by an inline allow directive.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    pub rule: String,
+    pub path: String,
+    pub line: u32,
+    pub reason: String,
+}
+
+impl fmt::Display for Suppression {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] allowed: {}",
+            self.path, self.line, self.rule, self.reason
+        )
+    }
+}
+
+/// Aggregate result of a lint run over one or more files.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub diags: Vec<Diagnostic>,
+    pub suppressions: Vec<Suppression>,
+    /// Allow directives that matched no violation (stale allows), as
+    /// `(path, line, rule)`.
+    pub unused_allows: Vec<(String, u32, String)>,
+    pub files_scanned: usize,
+}
+
+impl Report {
+    pub fn merge(&mut self, other: Report) {
+        self.diags.extend(other.diags);
+        self.suppressions.extend(other.suppressions);
+        self.unused_allows.extend(other.unused_allows);
+        self.files_scanned += other.files_scanned;
+    }
+
+    pub fn is_clean(&self) -> bool {
+        self.diags.is_empty()
+    }
+
+    /// Render the full human-readable report (violations, suppression
+    /// summary, stale-allow warnings, one-line tally).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diags {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        if !self.suppressions.is_empty() {
+            out.push_str(&format!(
+                "\n{} suppression(s) in effect:\n",
+                self.suppressions.len()
+            ));
+            for s in &self.suppressions {
+                out.push_str(&format!("  {s}\n"));
+            }
+        }
+        if !self.unused_allows.is_empty() {
+            out.push_str(&format!(
+                "\nwarning: {} unused allow directive(s):\n",
+                self.unused_allows.len()
+            ));
+            for (path, line, rule) in &self.unused_allows {
+                out.push_str(&format!(
+                    "  {path}:{line}: allow({rule}) matched no violation\n"
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "\ndv-lint: {} violation(s), {} suppression(s), {} file(s) scanned\n",
+            self.diags.len(),
+            self.suppressions.len(),
+            self.files_scanned
+        ));
+        out
+    }
+}

@@ -1,0 +1,176 @@
+//! Inline suppression directives.
+//!
+//! A violation may be silenced with a comment of the form
+//!
+//! ```text
+//! // dv-lint: allow(no-unwrap, reason = "index bounds checked two lines up")
+//! ```
+//!
+//! placed either on the offending line (trailing comment) or on the line
+//! directly above it. The `reason` is mandatory: a directive without one is
+//! itself reported as a `bad-directive` violation, so every suppression in
+//! the tree documents *why* the invariant is safe to relax at that site.
+//! Used directives are echoed in the run summary; unused ones are reported
+//! as warnings so stale allows get cleaned up instead of rotting.
+
+use crate::lexer::Comment;
+
+/// A parsed `dv-lint: allow(...)` directive.
+#[derive(Debug, Clone)]
+pub struct Directive {
+    pub rule: String,
+    pub reason: Option<String>,
+    /// Line the directive's comment ends on; it covers this line and the next.
+    pub line: u32,
+    pub used: bool,
+}
+
+/// Marker that introduces a directive inside a comment.
+const MARKER: &str = "dv-lint:";
+
+/// Extract every directive from a file's comments. Malformed directives
+/// (unknown verb, missing parentheses) are returned as errors with their
+/// line so the engine can flag them instead of silently ignoring them.
+pub fn parse_directives(comments: &[Comment<'_>]) -> (Vec<Directive>, Vec<(u32, String)>) {
+    let mut out = Vec::new();
+    let mut errors = Vec::new();
+    for c in comments {
+        // Doc comments (`///…` and `//!…` lex with a leading `/` or `!`)
+        // merely *document* the directive syntax; only plain comments act.
+        if c.text.starts_with('/') || c.text.starts_with('!') {
+            continue;
+        }
+        let Some(pos) = c.text.find(MARKER) else {
+            continue;
+        };
+        let body = c.text[pos + MARKER.len()..].trim();
+        match parse_allow(body) {
+            Ok((rule, reason)) => out.push(Directive {
+                rule,
+                reason,
+                line: c.end_line,
+                used: false,
+            }),
+            Err(msg) => errors.push((c.line, msg)),
+        }
+    }
+    (out, errors)
+}
+
+/// Parse `allow(<rule>, reason = "...")` after the `dv-lint:` marker.
+fn parse_allow(body: &str) -> Result<(String, Option<String>), String> {
+    let Some(rest) = body.strip_prefix("allow") else {
+        return Err(format!(
+            "unknown dv-lint directive {body:?}; expected `allow(<rule>, reason = \"...\")`"
+        ));
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return Err("malformed allow directive: missing `(`".to_string());
+    };
+    let Some(close) = rest.rfind(')') else {
+        return Err("malformed allow directive: missing `)`".to_string());
+    };
+    let inner = &rest[..close];
+    let (rule_part, reason_part) = match inner.find(',') {
+        Some(comma) => (&inner[..comma], Some(inner[comma + 1..].trim())),
+        None => (inner, None),
+    };
+    let rule = rule_part.trim();
+    if rule.is_empty()
+        || !rule
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+    {
+        return Err(format!("malformed allow directive: bad rule name {rule:?}"));
+    }
+    let reason = match reason_part {
+        None => None,
+        Some(r) => {
+            let Some(r) = r.strip_prefix("reason") else {
+                return Err(format!(
+                    "malformed allow directive: expected `reason = \"...\"`, got {r:?}"
+                ));
+            };
+            let r = r.trim_start();
+            let Some(r) = r.strip_prefix('=') else {
+                return Err("malformed allow directive: missing `=` after `reason`".to_string());
+            };
+            let r = r.trim();
+            let unquoted = r
+                .strip_prefix('"')
+                .and_then(|r| r.strip_suffix('"'))
+                .ok_or_else(|| {
+                    "malformed allow directive: reason must be a quoted string".to_string()
+                })?;
+            if unquoted.trim().is_empty() {
+                return Err("allow directive has an empty reason".to_string());
+            }
+            Some(unquoted.to_string())
+        }
+    };
+    Ok((rule.to_string(), reason))
+}
+
+/// Find a directive that suppresses `rule` at `line`, marking it used.
+/// A directive covers its own line (trailing comment) and the next line.
+pub fn find_suppression<'d>(
+    directives: &'d mut [Directive],
+    rule: &str,
+    line: u32,
+) -> Option<&'d mut Directive> {
+    directives
+        .iter_mut()
+        .find(|d| d.rule == rule && (d.line == line || d.line + 1 == line))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> (Vec<Directive>, Vec<(u32, String)>) {
+        let lx = lex(src);
+        parse_directives(&lx.comments)
+    }
+
+    #[test]
+    fn full_directive_parses() {
+        let (ds, errs) =
+            parse("// dv-lint: allow(no-unwrap, reason = \"len checked above\")\nx.unwrap();");
+        assert!(errs.is_empty(), "{errs:?}");
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].rule, "no-unwrap");
+        assert_eq!(ds[0].reason.as_deref(), Some("len checked above"));
+        assert_eq!(ds[0].line, 1);
+    }
+
+    #[test]
+    fn reasonless_directive_parses_without_reason() {
+        let (ds, errs) = parse("// dv-lint: allow(float-eq)\n");
+        assert!(errs.is_empty());
+        assert_eq!(ds[0].reason, None);
+    }
+
+    #[test]
+    fn empty_reason_is_error() {
+        let (ds, errs) = parse("// dv-lint: allow(float-eq, reason = \"  \")\n");
+        assert!(ds.is_empty());
+        assert_eq!(errs.len(), 1);
+    }
+
+    #[test]
+    fn unknown_verb_is_error() {
+        let (_, errs) = parse("// dv-lint: deny(no-unwrap)\n");
+        assert_eq!(errs.len(), 1);
+    }
+
+    #[test]
+    fn suppression_covers_same_and_next_line() {
+        let (mut ds, _) = parse("// dv-lint: allow(no-unwrap, reason = \"x\")\n");
+        assert!(find_suppression(&mut ds, "no-unwrap", 1).is_some());
+        assert!(find_suppression(&mut ds, "no-unwrap", 2).is_some());
+        assert!(find_suppression(&mut ds, "no-unwrap", 3).is_none());
+        assert!(find_suppression(&mut ds, "float-eq", 2).is_none());
+    }
+}

@@ -1,0 +1,480 @@
+//! Hand-rolled Rust lexer for `dv-lint`.
+//!
+//! The linter's rules only care about *code* tokens: identifiers,
+//! punctuation, and literals. Everything that could produce a false match —
+//! comments, string/char literals, raw strings — is either lexed into a
+//! dedicated token kind or captured into a side list of comments, so a rule
+//! that scans for `unwrap` never trips over `"unwrap"` in a string or a doc
+//! comment discussing unwrapping.
+//!
+//! This is not a full Rust lexer (no shebang handling, no `c"..."`
+//! C-string literals) but it covers everything the 2021-edition workspace
+//! uses, including nested block comments, raw strings with hash fences,
+//! byte strings, and the `'a` lifetime vs `'a'` char-literal ambiguity.
+
+/// Classification of a code token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `HashMap`, `foo`).
+    Ident,
+    /// Integer literal, including tuple-index-style bare digits.
+    Int,
+    /// Float literal (`1.0`, `2.`, `1e-5`, `3f64`).
+    Float,
+    /// String literal of any flavour; `text` keeps the quotes.
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// Lifetime or loop label (`'a`, `'outer`).
+    Lifetime,
+    /// Punctuation; multi-character operators are merged (`==`, `::`, …).
+    Punct,
+}
+
+/// One code token with its 1-based source line.
+#[derive(Debug, Clone, Copy)]
+pub struct Tok<'a> {
+    pub kind: TokKind,
+    pub text: &'a str,
+    pub line: u32,
+}
+
+/// One comment (line or block). `text` excludes the `//`/`/*` delimiters.
+#[derive(Debug, Clone, Copy)]
+pub struct Comment<'a> {
+    pub text: &'a str,
+    /// Line the comment starts on.
+    pub line: u32,
+    /// Line the comment ends on (same as `line` for `//` comments).
+    pub end_line: u32,
+}
+
+/// Result of lexing one source file.
+pub struct Lexed<'a> {
+    pub toks: Vec<Tok<'a>>,
+    pub comments: Vec<Comment<'a>>,
+    /// `code_lines[line]` is true when any code token starts on `line`
+    /// (1-based; index 0 unused).
+    pub code_lines: Vec<bool>,
+}
+
+impl<'a> Lexed<'a> {
+    /// True when `line` holds at least one code token.
+    pub fn has_code(&self, line: u32) -> bool {
+        self.code_lines.get(line as usize).copied().unwrap_or(false)
+    }
+}
+
+/// Operators that must be merged so rules see `==` rather than `=`, `=`.
+/// Longest-match-first; three-character operators precede two-character ones.
+const MULTI_PUNCT: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "==", "!=", "<=", ">=", "::", "->", "=>", "..", "&&", "||", "<<",
+    ">>", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+];
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+fn count_newlines(s: &str) -> u32 {
+    s.bytes().filter(|&b| b == b'\n').count() as u32
+}
+
+/// Lex `src` into tokens and comments. Never panics on malformed input —
+/// unterminated literals and comments simply run to end of file, which is
+/// the right behaviour for a linter that must not crash mid-scan.
+pub fn lex(src: &str) -> Lexed<'_> {
+    let b = src.as_bytes();
+    let total_lines = count_newlines(src) as usize + 2;
+    let mut lx = Lexed {
+        toks: Vec::new(),
+        comments: Vec::new(),
+        code_lines: vec![false; total_lines],
+    };
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    macro_rules! push_tok {
+        ($kind:expr, $start:expr, $end:expr, $line:expr) => {{
+            lx.toks.push(Tok {
+                kind: $kind,
+                text: &src[$start..$end],
+                line: $line,
+            });
+            if let Some(slot) = lx.code_lines.get_mut($line as usize) {
+                *slot = true;
+            }
+        }};
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                // Line comment (plain, doc `///`, or inner doc `//!`).
+                let start = i + 2;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                lx.comments.push(Comment {
+                    text: &src[start..i],
+                    line,
+                    end_line: line,
+                });
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                // Block comment; Rust block comments nest.
+                let start_line = line;
+                let start = i + 2;
+                let mut depth = 1u32;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                let end = if depth == 0 { i - 2 } else { i };
+                lx.comments.push(Comment {
+                    text: &src[start..end],
+                    line: start_line,
+                    end_line: line,
+                });
+            }
+            b'"' => {
+                let (end, nl) = scan_string(b, i);
+                push_tok!(TokKind::Str, i, end, line);
+                line += nl;
+                i = end;
+            }
+            b'\'' => {
+                let (end, kind) = scan_quote(b, i);
+                push_tok!(kind, i, end, line);
+                i = end;
+            }
+            b'r' | b'b' => {
+                if let Some((end, nl)) = scan_raw_or_byte_string(b, i) {
+                    push_tok!(TokKind::Str, i, end, line);
+                    line += nl;
+                    i = end;
+                } else if c == b'b' && b.get(i + 1) == Some(&b'\'') {
+                    // Byte char literal b'x' — always a literal, never a lifetime.
+                    let (end, _) = scan_quote(b, i + 1);
+                    push_tok!(TokKind::Char, i, end, line);
+                    i = end;
+                } else if c == b'r'
+                    && b.get(i + 1) == Some(&b'#')
+                    && b.get(i + 2).is_some_and(|&n| is_ident_start(n))
+                {
+                    // Raw identifier r#type.
+                    let start = i;
+                    i += 3;
+                    while i < b.len() && is_ident_continue(b[i]) {
+                        i += 1;
+                    }
+                    push_tok!(TokKind::Ident, start, i, line);
+                } else {
+                    let start = i;
+                    while i < b.len() && is_ident_continue(b[i]) {
+                        i += 1;
+                    }
+                    push_tok!(TokKind::Ident, start, i, line);
+                }
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                while i < b.len() && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                push_tok!(TokKind::Ident, start, i, line);
+            }
+            c if c.is_ascii_digit() => {
+                let (end, kind) = scan_number(b, i);
+                push_tok!(kind, i, end, line);
+                i = end;
+            }
+            _ => {
+                let rest = &src[i..];
+                let mut matched = None;
+                for op in MULTI_PUNCT {
+                    if rest.starts_with(op) {
+                        matched = Some(op.len());
+                        break;
+                    }
+                }
+                let len = matched.unwrap_or(1);
+                push_tok!(TokKind::Punct, i, i + len, line);
+                i += len;
+            }
+        }
+    }
+    lx
+}
+
+/// Scan a `"…"` string starting at the opening quote; returns (end index
+/// one past the closing quote, newline count inside).
+fn scan_string(b: &[u8], start: usize) -> (usize, u32) {
+    let mut i = start + 1;
+    let mut nl = 0u32;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                nl += 1;
+                i += 1;
+            }
+            b'"' => return (i + 1, nl),
+            _ => i += 1,
+        }
+    }
+    (i, nl)
+}
+
+/// Scan from a `'`: decide lifetime vs char literal and return
+/// (end index, token kind).
+fn scan_quote(b: &[u8], start: usize) -> (usize, TokKind) {
+    let next = match b.get(start + 1) {
+        Some(&n) => n,
+        None => return (start + 1, TokKind::Punct),
+    };
+    if next == b'\\' {
+        // Escaped char literal: consume to the closing quote.
+        let mut i = start + 2;
+        while i < b.len() {
+            match b[i] {
+                b'\\' => i += 2,
+                b'\'' => return (i + 1, TokKind::Char),
+                _ => i += 1,
+            }
+        }
+        (i, TokKind::Char)
+    } else if is_ident_start(next) {
+        // Could be 'a' (char) or 'a / 'static (lifetime): consume the
+        // identifier, then look for a closing quote.
+        let mut i = start + 2;
+        while i < b.len() && is_ident_continue(b[i]) {
+            i += 1;
+        }
+        if b.get(i) == Some(&b'\'') {
+            (i + 1, TokKind::Char)
+        } else {
+            (i, TokKind::Lifetime)
+        }
+    } else {
+        // '1', '(', ' ' … — a one-character char literal.
+        let mut i = start + 2;
+        if b.get(i) == Some(&b'\'') {
+            i += 1;
+        }
+        (i, TokKind::Char)
+    }
+}
+
+/// Scan `r"…"`, `r#"…"#`, `b"…"`, `br##"…"##` starting at the `r`/`b`.
+/// Returns None when the prefix is not actually a string.
+fn scan_raw_or_byte_string(b: &[u8], start: usize) -> Option<(usize, u32)> {
+    let mut i = start;
+    if b[i] == b'b' {
+        i += 1;
+    }
+    let raw = b.get(i) == Some(&b'r');
+    if raw {
+        i += 1;
+    }
+    let mut hashes = 0usize;
+    while raw && b.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if b.get(i) != Some(&b'"') {
+        return None;
+    }
+    if !raw && i == start {
+        // Plain `"` is handled by the caller's `"` arm; only `b"`/`r"` land here.
+        return None;
+    }
+    i += 1;
+    let mut nl = 0u32;
+    while i < b.len() {
+        if b[i] == b'\n' {
+            nl += 1;
+            i += 1;
+        } else if !raw && b[i] == b'\\' {
+            i += 2;
+        } else if b[i] == b'"' {
+            let mut j = i + 1;
+            let mut seen = 0usize;
+            while seen < hashes && b.get(j) == Some(&b'#') {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return Some((j, nl));
+            }
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    Some((i, nl))
+}
+
+/// Scan a numeric literal; distinguishes ints from floats so the float-eq
+/// rule never fires on `x.0 == y.0` tuple indexing or integer compares.
+fn scan_number(b: &[u8], start: usize) -> (usize, TokKind) {
+    let mut i = start;
+    // Radix-prefixed literals are always integers.
+    if b[i] == b'0' && matches!(b.get(i + 1), Some(b'x') | Some(b'o') | Some(b'b')) {
+        i += 2;
+        while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+            i += 1;
+        }
+        return (i, TokKind::Int);
+    }
+    let mut float = false;
+    while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+        i += 1;
+    }
+    if b.get(i) == Some(&b'.') {
+        let after = b.get(i + 1).copied();
+        let is_fraction = match after {
+            Some(n) if n.is_ascii_digit() => true,
+            // `1..n` is a range and `1.max(2)` is a method call, but a
+            // trailing `1.` (followed by whitespace/puncts) is a float.
+            Some(b'.') => false,
+            Some(n) if is_ident_start(n) => false,
+            _ => true,
+        };
+        if is_fraction {
+            float = true;
+            i += 1;
+            while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+                i += 1;
+            }
+        }
+    }
+    if matches!(b.get(i), Some(b'e') | Some(b'E')) {
+        let mut j = i + 1;
+        if matches!(b.get(j), Some(b'+') | Some(b'-')) {
+            j += 1;
+        }
+        if b.get(j).is_some_and(|d| d.is_ascii_digit()) {
+            float = true;
+            i = j;
+            while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+                i += 1;
+            }
+        }
+    }
+    // Type suffix: f32/f64 force float; u8/i64/usize stay int.
+    if b.get(i).is_some_and(|&c| is_ident_start(c)) {
+        let suffix_start = i;
+        while i < b.len() && is_ident_continue(b[i]) {
+            i += 1;
+        }
+        let suffix = &b[suffix_start..i];
+        if suffix == b"f32" || suffix == b"f64" {
+            float = true;
+        }
+    }
+    (i, if float { TokKind::Float } else { TokKind::Int })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .toks
+            .iter()
+            .map(|t| (t.kind, t.text.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_not_code() {
+        let lx = lex("let s = \"unwrap()\"; // unwrap()\n/* unsafe */ let t = 1;");
+        assert!(lx
+            .toks
+            .iter()
+            .all(|t| t.text != "unwrap" && t.text != "unsafe"));
+        assert_eq!(lx.comments.len(), 2);
+    }
+
+    #[test]
+    fn float_vs_int_vs_range() {
+        let ks = kinds("1.0 1. 1..2 0.5e-3 3f64 7u32 x.0");
+        let floats: Vec<_> = ks.iter().filter(|(k, _)| *k == TokKind::Float).collect();
+        assert_eq!(floats.len(), 4, "{ks:?}");
+        assert!(ks.iter().any(|(k, t)| *k == TokKind::Int && t == "7u32"));
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let ks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }");
+        assert_eq!(
+            ks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(ks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn raw_strings_swallow_contents() {
+        let lx = lex("let s = r#\"panic!() unsafe\"#; let b = b\"unwrap\";");
+        assert!(lx
+            .toks
+            .iter()
+            .all(|t| t.text != "panic" && t.text != "unsafe" && t.text != "unwrap"));
+    }
+
+    #[test]
+    fn multi_char_puncts_merge() {
+        let ks = kinds("a == b != c :: d");
+        let puncts: Vec<_> = ks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Punct)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(puncts, vec!["==", "!=", "::"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lx = lex("/* outer /* inner */ still comment */ let x = 1;");
+        assert_eq!(lx.comments.len(), 1);
+        assert_eq!(
+            lx.toks.iter().filter(|t| t.kind == TokKind::Ident).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_in_literals() {
+        let lx = lex("let a = \"two\nlines\";\nlet b = 1;");
+        let b_tok = lx
+            .toks
+            .iter()
+            .find(|t| t.text == "b")
+            .expect("token `b` must be lexed from the snippet");
+        assert_eq!(b_tok.line, 3);
+    }
+}

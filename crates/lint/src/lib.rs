@@ -1,0 +1,243 @@
+//! `dv-lint`: dependency-free static analysis for the Deep Validation
+//! workspace.
+//!
+//! The validation pipeline guarantees bit-identical discrepancy scores at
+//! any `DV_THREADS` setting. That guarantee is easy to break silently — one
+//! `HashMap` iteration feeding a sum, one stray `thread::spawn` — so this
+//! tool makes the invariants machine-checked on every commit instead of
+//! sampled by parity tests. It walks every library `.rs` file in the
+//! workspace with a hand-rolled lexer (no syn, no regex, no deps) and runs
+//! the rule set described in [`rules`].
+//!
+//! Scan policy:
+//! * scanned: `crates/*/src/**`, top-level `src/`, `examples/`
+//! * skipped: `tests/`, `benches/` (test code), `compat/` (vendored API
+//!   stand-ins for external crates), `target/`, fixture directories
+//! * `#[cfg(test)]` regions inside scanned files are skipped per-rule
+//!
+//! Violations can be suppressed inline with
+//! `// dv-lint: allow(<rule>, reason = "...")`; suppressions are recorded
+//! and reported in the run summary (see [`directives`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![allow(missing_docs)] // item-level docs live on the public structs that need them
+
+pub mod diag;
+pub mod directives;
+pub mod lexer;
+pub mod rules;
+pub mod test_regions;
+
+use std::path::{Path, PathBuf};
+
+use diag::{Report, Suppression};
+use directives::{find_suppression, parse_directives};
+use rules::{check_file, FileCtx, BAD_DIRECTIVE};
+
+/// Directory names never descended into during a workspace walk.
+const SKIP_DIRS: &[&str] = &[
+    "target",
+    "tests",
+    "benches",
+    "compat",
+    "fixtures",
+    "fixtures_allowed",
+];
+
+/// Top-level workspace directories that contain library code to scan.
+const SCAN_ROOTS: &[&str] = &["crates", "src", "examples"];
+
+/// Lint one in-memory source file. `rel_path` is the display path and
+/// `crate_dir` the crate bucket used for rule scoping ("runtime", "bench",
+/// "tensor", …, or "root").
+pub fn lint_source(rel_path: &str, crate_dir: &str, src: &str) -> Report {
+    let lexed = lexer::lex(src);
+    let ranges = test_regions::test_line_ranges(&lexed.toks);
+    let ctx = FileCtx {
+        rel_path,
+        crate_dir,
+        lexed: &lexed,
+        test_ranges: &ranges,
+    };
+
+    let mut raw = Vec::new();
+    check_file(&ctx, &mut raw);
+
+    let (mut dirs, dir_errors) = parse_directives(&lexed.comments);
+    let mut report = Report {
+        files_scanned: 1,
+        ..Report::default()
+    };
+
+    for (line, msg) in dir_errors {
+        report.diags.push(diag::Diagnostic {
+            rule: BAD_DIRECTIVE,
+            path: rel_path.to_string(),
+            line,
+            msg,
+        });
+    }
+
+    for d in raw {
+        match find_suppression(&mut dirs, d.rule, d.line) {
+            Some(dir) => {
+                dir.used = true;
+                match &dir.reason {
+                    Some(reason) => report.suppressions.push(Suppression {
+                        rule: d.rule.to_string(),
+                        path: rel_path.to_string(),
+                        line: d.line,
+                        reason: reason.clone(),
+                    }),
+                    None => {
+                        // A reasonless allow suppresses nothing: the original
+                        // violation stands and the directive is flagged too.
+                        report.diags.push(diag::Diagnostic {
+                            rule: BAD_DIRECTIVE,
+                            path: rel_path.to_string(),
+                            line: dir.line,
+                            msg: format!(
+                                "allow({}) without a reason; write `allow({}, reason = \"...\")`",
+                                dir.rule, dir.rule
+                            ),
+                        });
+                        report.diags.push(d);
+                    }
+                }
+            }
+            None => report.diags.push(d),
+        }
+    }
+
+    for dir in dirs.iter().filter(|d| !d.used) {
+        report
+            .unused_allows
+            .push((rel_path.to_string(), dir.line, dir.rule.clone()));
+    }
+    report
+}
+
+/// Lint an explicit list of files. Paths are displayed relative to `root`
+/// when possible.
+pub fn lint_files(root: &Path, files: &[PathBuf]) -> std::io::Result<Report> {
+    let mut report = Report::default();
+    for f in files {
+        let src = std::fs::read_to_string(f)?;
+        let rel = f
+            .strip_prefix(root)
+            .unwrap_or(f)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let crate_dir = crate_bucket(&rel);
+        report.merge(lint_source(&rel, &crate_dir, &src));
+    }
+    report
+        .diags
+        .sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    report
+        .suppressions
+        .sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Ok(report)
+}
+
+/// Lint the whole workspace under `root` using the default scan policy.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
+    let mut files = Vec::new();
+    for top in SCAN_ROOTS {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs_files(&dir, &mut files)?;
+        }
+    }
+    // Directory iteration order is OS-dependent; sort so diagnostics come
+    // out in the same order on every machine (the tool practices the
+    // determinism it preaches).
+    files.sort();
+    lint_files(root, &files)
+}
+
+/// Which rule-scoping bucket does a workspace-relative path belong to?
+fn crate_bucket(rel: &str) -> String {
+    let mut parts = rel.split('/');
+    if parts.next() == Some("crates") {
+        if let Some(name) = parts.next() {
+            return name.to_string();
+        }
+    }
+    "root".to_string()
+}
+
+/// Recursively collect `.rs` files, skipping [`SKIP_DIRS`] and hidden
+/// directories.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name.starts_with('.') || SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Locate the workspace root by walking up from `start` until a directory
+/// containing a `Cargo.toml` with a `[workspace]` table is found.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut cur = Some(start.to_path_buf());
+    while let Some(dir) = cur {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        cur = dir.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suppression_with_reason_silences_and_records() {
+        let src = "// dv-lint: allow(no-unwrap, reason = \"demo\")\nfn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        let r = lint_source("x.rs", "core", src);
+        assert!(r.is_clean(), "{:?}", r.diags);
+        assert_eq!(r.suppressions.len(), 1);
+        assert_eq!(r.suppressions[0].reason, "demo");
+    }
+
+    #[test]
+    fn reasonless_suppression_leaves_violation_and_flags_directive() {
+        let src = "// dv-lint: allow(no-unwrap)\nfn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        let r = lint_source("x.rs", "core", src);
+        assert_eq!(r.diags.len(), 2, "{:?}", r.diags);
+        assert!(r.diags.iter().any(|d| d.rule == BAD_DIRECTIVE));
+        assert!(r.diags.iter().any(|d| d.rule == rules::NO_UNWRAP));
+    }
+
+    #[test]
+    fn unused_allow_is_reported_not_fatal() {
+        let src = "// dv-lint: allow(float-eq, reason = \"stale\")\nfn f() {}\n";
+        let r = lint_source("x.rs", "core", src);
+        assert!(r.is_clean());
+        assert_eq!(r.unused_allows.len(), 1);
+    }
+
+    #[test]
+    fn crate_bucket_parses_paths() {
+        assert_eq!(crate_bucket("crates/tensor/src/matmul.rs"), "tensor");
+        assert_eq!(crate_bucket("src/lib.rs"), "root");
+        assert_eq!(crate_bucket("examples/quickstart.rs"), "root");
+    }
+}

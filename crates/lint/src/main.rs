@@ -1,0 +1,96 @@
+//! CLI for `dv-lint`.
+//!
+//! ```text
+//! cargo run -p dv-lint --release              # lint the whole workspace
+//! cargo run -p dv-lint --release -- FILE...   # lint specific files/dirs
+//! ```
+//!
+//! Exit codes: 0 clean (suppressions allowed), 1 violations found,
+//! 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "dv-lint: determinism & safety invariants checker\n\n\
+             usage: dv-lint [FILE|DIR ...]\n\n\
+             With no arguments, lints the enclosing cargo workspace\n\
+             (crates/*/src, src/, examples/; tests, benches and vendored\n\
+             compat shims are out of scope). Rules: {}\n\n\
+             Suppress a finding with:\n  \
+             // dv-lint: allow(<rule>, reason = \"...\")",
+            dv_lint::rules::ALL_RULES.join(", ")
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let cwd = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("dv-lint: cannot determine current directory: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = match dv_lint::find_workspace_root(&cwd) {
+        Some(r) => r,
+        None => {
+            eprintln!(
+                "dv-lint: no Cargo.toml with [workspace] found above {}",
+                cwd.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let result = if args.is_empty() {
+        dv_lint::lint_workspace(&root)
+    } else {
+        let mut files = Vec::new();
+        for a in &args {
+            let p = PathBuf::from(a);
+            let p = if p.is_absolute() { p } else { cwd.join(p) };
+            if p.is_dir() {
+                if let Err(e) = collect_dir(&p, &mut files) {
+                    eprintln!("dv-lint: cannot read {}: {e}", p.display());
+                    return ExitCode::from(2);
+                }
+            } else {
+                files.push(p);
+            }
+        }
+        files.sort();
+        dv_lint::lint_files(&root, &files)
+    };
+
+    match result {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("dv-lint: I/O error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Explicitly-named directories are walked without the workspace skip list:
+/// naming a path opts it in, which is how the fixture suites get linted.
+fn collect_dir(dir: &std::path::Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_dir(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

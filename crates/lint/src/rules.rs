@@ -1,0 +1,431 @@
+//! The rule set.
+//!
+//! Each rule enforces one invariant the workspace's bit-identity and safety
+//! guarantees rest on (see DESIGN.md, "Determinism & safety invariants"):
+//!
+//! | id                       | invariant |
+//! |--------------------------|-----------|
+//! | `hash-order` (R1)        | no `HashMap`/`HashSet` in library code — iteration order is nondeterministic and breaks bit-identical accumulation; use `BTreeMap`/`BTreeSet` or sorted keys |
+//! | `thread-discipline` (R2) | no `thread::spawn`, `Mutex`/`RwLock`, or `Ordering::Relaxed` outside `crates/runtime` — all parallelism goes through the pool's fixed-order `par_for`/`par_map` |
+//! | `safety-comment` (R3)    | every `unsafe` is immediately preceded by a `// SAFETY:` comment stating the aliasing/lifetime argument |
+//! | `no-unwrap` (R4)         | no `.unwrap()`, empty `.expect("")`, or message-less `panic!()` in non-test library code — propagate `Result` or name the violated invariant |
+//! | `float-eq` (R5a)         | no `==`/`!=` against float literals in numeric code — exact float compares are almost always a tolerance bug |
+//! | `wall-clock` (R5b)       | no `Instant::now`/`SystemTime::now` in numeric kernels — wall-clock reads make kernel behaviour timing-dependent |
+//!
+//! Rules see only the lexed token stream (comments and string literals are
+//! already stripped), and skip `#[cfg(test)]` regions, so test code may use
+//! the full std vocabulary.
+
+use crate::diag::Diagnostic;
+use crate::lexer::{Comment, Lexed, Tok, TokKind};
+
+pub const HASH_ORDER: &str = "hash-order";
+pub const THREAD_DISCIPLINE: &str = "thread-discipline";
+pub const SAFETY_COMMENT: &str = "safety-comment";
+pub const NO_UNWRAP: &str = "no-unwrap";
+pub const FLOAT_EQ: &str = "float-eq";
+pub const WALL_CLOCK: &str = "wall-clock";
+pub const BAD_DIRECTIVE: &str = "bad-directive";
+
+/// All suppressible rule ids, in report order.
+pub const ALL_RULES: &[&str] = &[
+    HASH_ORDER,
+    THREAD_DISCIPLINE,
+    SAFETY_COMMENT,
+    NO_UNWRAP,
+    FLOAT_EQ,
+    WALL_CLOCK,
+];
+
+/// Per-file context handed to each rule.
+pub struct FileCtx<'a> {
+    /// Workspace-relative display path.
+    pub rel_path: &'a str,
+    /// Directory name under `crates/` ("tensor", "runtime", …) or "root"
+    /// for the top-level `src/` and `examples/`.
+    pub crate_dir: &'a str,
+    pub lexed: &'a Lexed<'a>,
+    /// Inclusive line ranges covered by `#[cfg(test)]` / `#[test]` items.
+    pub test_ranges: &'a [(u32, u32)],
+}
+
+impl FileCtx<'_> {
+    fn in_test(&self, line: u32) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|&(lo, hi)| (lo..=hi).contains(&line))
+    }
+
+    fn diag(&self, rule: &'static str, line: u32, msg: String) -> Diagnostic {
+        Diagnostic {
+            rule,
+            path: self.rel_path.to_string(),
+            line,
+            msg,
+        }
+    }
+}
+
+/// Does `rule` apply to files of `crate_dir`? The runtime crate owns the
+/// threading primitives the rest of the workspace must not touch, and the
+/// bench crate's whole job is timing, so each is carved out of exactly the
+/// rules it exists to implement.
+pub fn rule_applies(rule: &str, crate_dir: &str) -> bool {
+    match rule {
+        THREAD_DISCIPLINE => crate_dir != "runtime",
+        WALL_CLOCK => crate_dir != "runtime" && crate_dir != "bench",
+        _ => true,
+    }
+}
+
+/// Run every applicable rule over one file.
+pub fn check_file(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if rule_applies(HASH_ORDER, ctx.crate_dir) {
+        check_hash_order(ctx, out);
+    }
+    if rule_applies(THREAD_DISCIPLINE, ctx.crate_dir) {
+        check_thread_discipline(ctx, out);
+    }
+    if rule_applies(SAFETY_COMMENT, ctx.crate_dir) {
+        check_safety_comment(ctx, out);
+    }
+    if rule_applies(NO_UNWRAP, ctx.crate_dir) {
+        check_no_unwrap(ctx, out);
+    }
+    if rule_applies(FLOAT_EQ, ctx.crate_dir) {
+        check_float_eq(ctx, out);
+    }
+    if rule_applies(WALL_CLOCK, ctx.crate_dir) {
+        check_wall_clock(ctx, out);
+    }
+}
+
+fn is_ident(t: &Tok<'_>, text: &str) -> bool {
+    t.kind == TokKind::Ident && t.text == text
+}
+
+fn is_punct(t: &Tok<'_>, text: &str) -> bool {
+    t.kind == TokKind::Punct && t.text == text
+}
+
+/// R1: any `HashMap`/`HashSet` mention in non-test library code.
+fn check_hash_order(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    for t in ctx.lexed.toks.iter() {
+        if t.kind == TokKind::Ident
+            && (t.text == "HashMap" || t.text == "HashSet")
+            && !ctx.in_test(t.line)
+        {
+            out.push(ctx.diag(
+                HASH_ORDER,
+                t.line,
+                format!(
+                    "{} has nondeterministic iteration order, which breaks bit-identical \
+                     accumulation; use BTreeMap/BTreeSet or iterate over sorted keys",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// R2: ad-hoc parallelism primitives outside `crates/runtime`.
+fn check_thread_discipline(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    let toks = &ctx.lexed.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.in_test(t.line) {
+            continue;
+        }
+        let offence = if is_ident(t, "spawn")
+            && i >= 2
+            && is_punct(&toks[i - 1], "::")
+            && is_ident(&toks[i - 2], "thread")
+        {
+            Some("thread::spawn bypasses the deterministic pool")
+        } else if t.kind == TokKind::Ident && (t.text == "Mutex" || t.text == "RwLock") {
+            Some("lock-guarded accumulation is order-dependent")
+        } else if is_ident(t, "Relaxed")
+            && i >= 2
+            && is_punct(&toks[i - 1], "::")
+            && is_ident(&toks[i - 2], "Ordering")
+        {
+            Some("Ordering::Relaxed permits unsynchronised reordering")
+        } else {
+            None
+        };
+        if let Some(why) = offence {
+            out.push(ctx.diag(
+                THREAD_DISCIPLINE,
+                t.line,
+                format!(
+                    "{why}; all parallelism outside crates/runtime must go through the pool's \
+                     fixed-order par_for/par_map"
+                ),
+            ));
+        }
+    }
+}
+
+/// R3: `unsafe` without an immediately preceding `// SAFETY:` comment.
+///
+/// "Immediately preceding" means: the line above the `unsafe` token is part
+/// of a contiguous run of comment-only lines, and at least one line of that
+/// run starts with `SAFETY:`. This accepts multi-line SAFETY arguments and
+/// rejects a SAFETY comment separated from its block by code.
+fn check_safety_comment(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    for t in ctx.lexed.toks.iter() {
+        if !is_ident(t, "unsafe") || ctx.in_test(t.line) {
+            continue;
+        }
+        if !has_safety_comment_above(ctx.lexed, t.line) {
+            out.push(
+                ctx.diag(
+                    SAFETY_COMMENT,
+                    t.line,
+                    "unsafe block/impl must be immediately preceded by a `// SAFETY:` comment \
+                 stating the aliasing/lifetime argument"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+}
+
+fn has_safety_comment_above(lexed: &Lexed<'_>, unsafe_line: u32) -> bool {
+    // Walk upward through comment-only lines.
+    let mut line = unsafe_line.saturating_sub(1);
+    while line >= 1 {
+        let comments_here: Vec<&Comment<'_>> = lexed
+            .comments
+            .iter()
+            .filter(|c| (c.line..=c.end_line).contains(&line))
+            .collect();
+        if comments_here.is_empty() || lexed.has_code(line) {
+            return false;
+        }
+        if comments_here
+            .iter()
+            .any(|c| c.text.trim_start().starts_with("SAFETY:"))
+        {
+            return true;
+        }
+        line -= 1;
+    }
+    false
+}
+
+/// R4: `.unwrap()`, empty `.expect("")`, or message-less `panic!()`.
+fn check_no_unwrap(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    let toks = &ctx.lexed.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || ctx.in_test(t.line) {
+            continue;
+        }
+        match t.text {
+            "unwrap" => {
+                let dotted = i >= 1 && is_punct(&toks[i - 1], ".");
+                let called = matches!((toks.get(i + 1), toks.get(i + 2)), (Some(a), Some(b)) if is_punct(a, "(") && is_punct(b, ")"));
+                if dotted && called {
+                    out.push(
+                        ctx.diag(
+                            NO_UNWRAP,
+                            t.line,
+                            "unwrap() hides which invariant failed; propagate Result or use \
+                         expect(\"...\") naming the violated invariant"
+                                .to_string(),
+                        ),
+                    );
+                }
+            }
+            "expect" => {
+                let dotted = i >= 1 && is_punct(&toks[i - 1], ".");
+                let empty_msg = matches!(
+                    (toks.get(i + 1), toks.get(i + 2), toks.get(i + 3)),
+                    (Some(a), Some(s), Some(b))
+                        if is_punct(a, "(")
+                            && s.kind == TokKind::Str
+                            && str_is_blank(s.text)
+                            && is_punct(b, ")")
+                );
+                if dotted && empty_msg {
+                    out.push(
+                        ctx.diag(
+                            NO_UNWRAP,
+                            t.line,
+                            "expect(\"\") is unwrap() in disguise; name the violated invariant in \
+                         the message"
+                                .to_string(),
+                        ),
+                    );
+                }
+            }
+            "panic" => {
+                let bang = matches!(toks.get(i + 1), Some(b) if is_punct(b, "!"));
+                if !bang {
+                    continue;
+                }
+                let bare = matches!((toks.get(i + 2), toks.get(i + 3)), (Some(a), Some(b)) if is_punct(a, "(") && is_punct(b, ")"));
+                let empty = matches!(
+                    (toks.get(i + 2), toks.get(i + 3), toks.get(i + 4)),
+                    (Some(a), Some(s), Some(b))
+                        if is_punct(a, "(")
+                            && s.kind == TokKind::Str
+                            && str_is_blank(s.text)
+                            && is_punct(b, ")")
+                );
+                if bare || empty {
+                    out.push(
+                        ctx.diag(
+                            NO_UNWRAP,
+                            t.line,
+                            "message-less panic!() gives no diagnostic; state which invariant \
+                         failed, or propagate Result"
+                                .to_string(),
+                        ),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Is a string literal (quotes included) empty or whitespace-only?
+fn str_is_blank(text: &str) -> bool {
+    text.trim_matches('"').trim().is_empty()
+}
+
+/// R5a: `==`/`!=` with a float literal operand.
+fn check_float_eq(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    let toks = &ctx.lexed.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Punct || (t.text != "==" && t.text != "!=") || ctx.in_test(t.line) {
+            continue;
+        }
+        // The literal may sit behind a unary minus: `x == -1.0`.
+        let next_is_float = match toks.get(i + 1) {
+            Some(n) if n.kind == TokKind::Float => true,
+            Some(n) if is_punct(n, "-") => {
+                matches!(toks.get(i + 2), Some(m) if m.kind == TokKind::Float)
+            }
+            _ => false,
+        };
+        let prev_is_float = i >= 1 && toks[i - 1].kind == TokKind::Float;
+        if prev_is_float || next_is_float {
+            out.push(ctx.diag(
+                FLOAT_EQ,
+                t.line,
+                format!(
+                    "exact float `{}` comparison is almost always a tolerance bug; compare \
+                     with an epsilon, match on bit patterns, or allow with the reason the \
+                     exact value is structural",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// R5b: wall-clock reads in numeric kernels.
+fn check_wall_clock(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    let toks = &ctx.lexed.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident
+            || (t.text != "Instant" && t.text != "SystemTime")
+            || ctx.in_test(t.line)
+        {
+            continue;
+        }
+        let now_follows = matches!(
+            (toks.get(i + 1), toks.get(i + 2)),
+            (Some(a), Some(b)) if is_punct(a, "::") && is_ident(b, "now")
+        );
+        if now_follows {
+            out.push(ctx.diag(
+                WALL_CLOCK,
+                t.line,
+                format!(
+                    "{}::now() makes kernel behaviour timing-dependent; timing belongs in \
+                     crates/bench or crates/runtime",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::test_regions::test_line_ranges;
+
+    fn run(src: &str, crate_dir: &str) -> Vec<Diagnostic> {
+        let lexed = lex(src);
+        let ranges = test_line_ranges(&lexed.toks);
+        let ctx = FileCtx {
+            rel_path: "mem.rs",
+            crate_dir,
+            lexed: &lexed,
+            test_ranges: &ranges,
+        };
+        let mut out = Vec::new();
+        check_file(&ctx, &mut out);
+        out
+    }
+
+    #[test]
+    fn unwrap_flagged_only_outside_tests() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n\
+                   #[cfg(test)]\nmod tests {\n    fn g(x: Option<u8>) -> u8 { x.unwrap() }\n}\n";
+        let diags = run(src, "tensor");
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].line, 1);
+        assert_eq!(diags[0].rule, NO_UNWRAP);
+    }
+
+    #[test]
+    fn message_bearing_panic_is_fine_but_bare_is_not() {
+        let diags = run(
+            "fn f() { panic!(\"bad shape {0}\", 1); }\nfn g() { panic!(); }\n",
+            "nn",
+        );
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].line, 2);
+    }
+
+    #[test]
+    fn runtime_is_exempt_from_thread_discipline() {
+        let src = "fn f() { let m = std::sync::Mutex::new(0); let _ = m; }\n";
+        assert!(run(src, "runtime").is_empty());
+        assert_eq!(run(src, "core").len(), 1);
+    }
+
+    #[test]
+    fn float_eq_catches_negated_literals_not_int_compares() {
+        let diags = run(
+            "fn f(x: f32) -> bool { x == -1.0 }\nfn g(n: usize) -> bool { n == 0 }\n",
+            "eval",
+        );
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, FLOAT_EQ);
+    }
+
+    #[test]
+    fn safety_comment_multiline_block_accepted() {
+        let good = "// SAFETY: the two halves are disjoint,\n// so no aliasing occurs.\nfn f() { let _ = unsafe { 1 + 1 }; }\n";
+        assert!(run(good, "tensor").is_empty());
+        let bad = "// not a safety argument\nfn f() { let _ = unsafe { 1 + 1 }; }\n";
+        assert_eq!(run(bad, "tensor").len(), 1);
+        let separated =
+            "// SAFETY: stale argument\nfn g() {}\nfn f() { let _ = unsafe { 1 + 1 }; }\n";
+        assert_eq!(run(separated, "tensor").len(), 1);
+    }
+
+    #[test]
+    fn wall_clock_exempts_bench_and_runtime() {
+        let src = "fn f() { let _ = std::time::Instant::now(); }\n";
+        assert!(run(src, "bench").is_empty());
+        assert!(run(src, "runtime").is_empty());
+        assert_eq!(run(src, "detectors").len(), 1);
+    }
+}

@@ -1,0 +1,177 @@
+//! Detection of `#[cfg(test)]` / `#[test]` regions.
+//!
+//! Rules must not fire inside test code: tests legitimately unwrap, compare
+//! floats exactly, and spawn threads to provoke races. This module scans the
+//! token stream for test-gating attributes and returns the inclusive line
+//! ranges of the items they cover, computed by brace matching.
+
+use crate::lexer::{Tok, TokKind};
+
+/// Inclusive `(start_line, end_line)` ranges covered by test-gated items.
+pub fn test_line_ranges(toks: &[Tok<'_>]) -> Vec<(u32, u32)> {
+    let mut ranges: Vec<(u32, u32)> = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !is_punct(toks, i, "#") {
+            i += 1;
+            continue;
+        }
+        let attr_line = toks[i].line;
+        let inner = is_punct(toks, i + 1, "!");
+        let open = if inner { i + 2 } else { i + 1 };
+        if !is_punct(toks, open, "[") {
+            i += 1;
+            continue;
+        }
+        let (idents, after) = attr_contents(toks, open);
+        let gated = is_test_attr(&idents);
+        if gated && inner {
+            // `#![cfg(test)]`: the entire file is test code.
+            ranges.push((1, u32::MAX));
+            return ranges;
+        }
+        if !gated {
+            i = after;
+            continue;
+        }
+        // Skip any further attributes between this one and the item.
+        let mut j = after;
+        while is_punct(toks, j, "#") && is_punct(toks, j + 1, "[") {
+            let (_, next) = attr_contents(toks, j + 1);
+            j = next;
+        }
+        // Find the item body: the first `{` opens it; a `;` first means a
+        // bodiless item (`mod tests;`), which this workspace does not use
+        // for test modules — treat its single line as the region.
+        let mut k = j;
+        let mut body_open = None;
+        while k < toks.len() {
+            if is_punct(toks, k, "{") {
+                body_open = Some(k);
+                break;
+            }
+            if is_punct(toks, k, ";") {
+                break;
+            }
+            k += 1;
+        }
+        match body_open {
+            Some(open_idx) => {
+                let close_idx = matching_brace(toks, open_idx);
+                let end_line = toks.get(close_idx).map_or(u32::MAX, |t| t.line);
+                ranges.push((attr_line, end_line));
+                i = close_idx + 1;
+            }
+            None => {
+                ranges.push((attr_line, toks.get(k).map_or(attr_line, |t| t.line)));
+                i = k + 1;
+            }
+        }
+    }
+    ranges
+}
+
+fn is_punct(toks: &[Tok<'_>], i: usize, text: &str) -> bool {
+    toks.get(i)
+        .is_some_and(|t| t.kind == TokKind::Punct && t.text == text)
+}
+
+/// Collect the identifiers inside an attribute starting at its `[`;
+/// returns them plus the index one past the closing `]`.
+fn attr_contents<'a>(toks: &[Tok<'a>], open: usize) -> (Vec<&'a str>, usize) {
+    let mut idents = Vec::new();
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind == TokKind::Punct {
+            match t.text {
+                "[" => depth += 1,
+                "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return (idents, i + 1);
+                    }
+                }
+                _ => {}
+            }
+        } else if t.kind == TokKind::Ident {
+            idents.push(t.text);
+        }
+        i += 1;
+    }
+    (idents, i)
+}
+
+/// Is this attribute a test gate? `#[test]`, `#[cfg(test)]`, and
+/// `#[cfg(any(test, ...))]` qualify; `#[cfg(not(test))]` gates *production*
+/// code and must not be treated as a test region.
+fn is_test_attr(idents: &[&str]) -> bool {
+    let has_test = idents.contains(&"test");
+    let has_not = idents.contains(&"not");
+    if !has_test || has_not {
+        return false;
+    }
+    idents == ["test"] || idents.contains(&"cfg")
+}
+
+/// Index of the `}` matching the `{` at `open_idx` (or `toks.len()` when
+/// unbalanced, covering to end of file).
+fn matching_brace(toks: &[Tok<'_>], open_idx: usize) -> usize {
+    let mut depth = 0i32;
+    for (i, t) in toks.iter().enumerate().skip(open_idx) {
+        if t.kind == TokKind::Punct {
+            match t.text {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    toks.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn ranges(src: &str) -> Vec<(u32, u32)> {
+        test_line_ranges(&lex(src).toks)
+    }
+
+    #[test]
+    fn cfg_test_mod_covers_braces() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn prod2() {}\n";
+        assert_eq!(ranges(src), vec![(2, 5)]);
+    }
+
+    #[test]
+    fn bare_test_fn_covered() {
+        let src = "#[test]\nfn t() {\n    assert!(true);\n}\n";
+        assert_eq!(ranges(src), vec![(1, 4)]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_production() {
+        let src = "#[cfg(not(test))]\nfn prod() {}\n";
+        assert!(ranges(src).is_empty());
+    }
+
+    #[test]
+    fn derive_attrs_between_gate_and_item_are_skipped() {
+        let src = "#[cfg(test)]\n#[derive(Debug)]\nstruct T {\n    x: u8,\n}\n";
+        assert_eq!(ranges(src), vec![(1, 5)]);
+    }
+
+    #[test]
+    fn inner_cfg_test_covers_whole_file() {
+        let src = "#![cfg(test)]\nfn anything() {}\n";
+        assert_eq!(ranges(src), vec![(1, u32::MAX)]);
+    }
+}

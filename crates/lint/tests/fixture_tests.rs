@@ -1,0 +1,159 @@
+//! Fixture-based rule tests: every known-bad snippet in `tests/fixtures/`
+//! must produce exactly the expected diagnostics, every allowlisted variant
+//! in `tests/fixtures_allowed/` must pass with its suppressions recorded,
+//! and the CLI must exit non-zero on each bad fixture.
+
+use std::path::{Path, PathBuf};
+
+use dv_lint::{lint_files, rules};
+
+fn fixture_dir(sub: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join(sub)
+}
+
+fn lint_one(path: &Path) -> dv_lint::diag::Report {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint must sit two levels below the workspace root")
+        .to_path_buf();
+    lint_files(&root, &[path.to_path_buf()]).expect("fixture file must be readable")
+}
+
+/// Assert the fixture yields exactly `expected` as (rule, line) pairs.
+fn assert_diags(fixture: &str, expected: &[(&str, u32)]) {
+    let report = lint_one(&fixture_dir("fixtures").join(fixture));
+    let got: Vec<(String, u32)> = report
+        .diags
+        .iter()
+        .map(|d| (d.rule.to_string(), d.line))
+        .collect();
+    let want: Vec<(String, u32)> = expected.iter().map(|(r, l)| (r.to_string(), *l)).collect();
+    assert_eq!(
+        got,
+        want,
+        "unexpected diagnostics for {fixture}:\n{}",
+        report.render()
+    );
+}
+
+/// Assert the allowed fixture is clean and records `n` suppressions, all
+/// carrying reasons, with no stale allows.
+fn assert_allowed(fixture: &str, n: usize) {
+    let report = lint_one(&fixture_dir("fixtures_allowed").join(fixture));
+    assert!(
+        report.is_clean(),
+        "expected {fixture} to pass:\n{}",
+        report.render()
+    );
+    assert_eq!(
+        report.suppressions.len(),
+        n,
+        "suppression count for {fixture}:\n{}",
+        report.render()
+    );
+    assert!(report
+        .suppressions
+        .iter()
+        .all(|s| !s.reason.trim().is_empty()));
+    assert!(
+        report.unused_allows.is_empty(),
+        "stale allows in {fixture}:\n{}",
+        report.render()
+    );
+}
+
+#[test]
+fn r1_hash_order_fixture() {
+    assert_diags(
+        "r1_hash_order.rs",
+        &[(rules::HASH_ORDER, 4), (rules::HASH_ORDER, 6)],
+    );
+}
+
+#[test]
+fn r2_thread_discipline_fixture() {
+    assert_diags(
+        "r2_thread_discipline.rs",
+        &[
+            (rules::THREAD_DISCIPLINE, 5),
+            (rules::THREAD_DISCIPLINE, 8),
+            (rules::THREAD_DISCIPLINE, 15),
+            (rules::THREAD_DISCIPLINE, 24),
+        ],
+    );
+}
+
+#[test]
+fn r3_safety_comment_fixture() {
+    assert_diags("r3_safety_comment.rs", &[(rules::SAFETY_COMMENT, 7)]);
+}
+
+#[test]
+fn r4_no_unwrap_fixture() {
+    assert_diags(
+        "r4_no_unwrap.rs",
+        &[
+            (rules::NO_UNWRAP, 6),
+            (rules::NO_UNWRAP, 10),
+            (rules::NO_UNWRAP, 14),
+        ],
+    );
+}
+
+#[test]
+fn r5_float_eq_fixture() {
+    assert_diags("r5_float_eq.rs", &[(rules::FLOAT_EQ, 6)]);
+}
+
+#[test]
+fn r5_wall_clock_fixture() {
+    assert_diags("r5_wall_clock.rs", &[(rules::WALL_CLOCK, 7)]);
+}
+
+#[test]
+fn allowed_variants_pass_with_recorded_suppressions() {
+    assert_allowed("r1_hash_order_allowed.rs", 2);
+    assert_allowed("r2_thread_discipline_allowed.rs", 2);
+    assert_allowed("r3_safety_comment_allowed.rs", 0);
+    assert_allowed("r4_no_unwrap_allowed.rs", 1);
+    assert_allowed("r5_float_eq_allowed.rs", 1);
+    assert_allowed("r5_wall_clock_allowed.rs", 1);
+}
+
+#[test]
+fn cli_exits_nonzero_on_every_bad_fixture_and_zero_on_allowed() {
+    let bin = env!("CARGO_BIN_EXE_dv-lint");
+    let bad_dir = fixture_dir("fixtures");
+    let mut bad: Vec<PathBuf> = std::fs::read_dir(&bad_dir)
+        .expect("fixtures dir must exist")
+        .map(|e| e.expect("fixtures dir must be readable").path())
+        .collect();
+    bad.sort();
+    assert!(bad.len() >= 6, "expected at least one bad fixture per rule");
+    for f in bad {
+        let out = std::process::Command::new(bin)
+            .arg(&f)
+            .output()
+            .expect("dv-lint binary must run");
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "expected exit 1 for {}:\n{}",
+            f.display(),
+            String::from_utf8_lossy(&out.stdout)
+        );
+    }
+    let out = std::process::Command::new(bin)
+        .arg(fixture_dir("fixtures_allowed"))
+        .output()
+        .expect("dv-lint binary must run");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "expected exit 0 for allowed fixtures:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}

@@ -1,0 +1,12 @@
+// Known-bad for R1 (hash-order): HashMap iteration feeding a numeric
+// accumulation. Iteration order varies run-to-run, so the sum's rounding
+// error — and therefore the discrepancy score — is not bit-identical.
+use std::collections::HashMap;
+
+pub fn total_discrepancy(per_layer: &HashMap<String, f64>) -> f64 {
+    let mut total = 0.0;
+    for (_, v) in per_layer.iter() {
+        total += v;
+    }
+    total
+}

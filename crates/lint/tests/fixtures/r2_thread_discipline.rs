@@ -1,0 +1,26 @@
+// Known-bad for R2 (thread-discipline): ad-hoc parallelism outside
+// crates/runtime. Completion order of spawned threads and lock acquisition
+// order both vary run-to-run, breaking fixed-order accumulation.
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+pub fn racy_sum(chunks: Vec<Vec<f64>>) -> f64 {
+    let acc = Mutex::new(0.0f64);
+    let count = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for chunk in &chunks {
+            s.spawn(|| {
+                let partial: f64 = chunk.iter().sum();
+                *acc.lock().expect("accumulator lock poisoned") += partial;
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+    });
+    let total = *acc.lock().expect("accumulator lock poisoned");
+    total
+}
+
+pub fn fire_and_forget() {
+    let handle = std::thread::spawn(|| 1 + 1);
+    let _ = handle.join();
+}

@@ -1,0 +1,8 @@
+// Known-bad for R3 (safety-comment): unsafe without a SAFETY argument.
+// The comment below does not state the aliasing/lifetime reasoning, so the
+// next editor has no way to re-verify the block.
+
+pub fn first_byte(v: &[u8]) -> u8 {
+    // fast path, trust me
+    unsafe { *v.as_ptr() }
+}

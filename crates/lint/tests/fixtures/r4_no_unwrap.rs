@@ -1,0 +1,15 @@
+// Known-bad for R4 (no-unwrap): panics that name no invariant. When one of
+// these fires in production the operator learns nothing about which
+// per-layer specification was violated.
+
+pub fn parse_threshold(s: &str) -> f64 {
+    s.parse().unwrap()
+}
+
+pub fn first_score(scores: &[f64]) -> f64 {
+    *scores.first().expect("")
+}
+
+pub fn unreachable_branch() {
+    panic!();
+}

@@ -1,0 +1,7 @@
+// Known-bad for R5a (float-eq): exact float comparison in numeric code.
+// After a reduction-order change the value may differ by one ulp and this
+// branch silently flips.
+
+pub fn converged(loss: f64) -> bool {
+    loss == 0.0
+}

@@ -1,0 +1,16 @@
+// Known-bad for R5b (wall-clock): a wall-clock read inside a numeric
+// kernel. Behaviour now depends on scheduling, so two runs over identical
+// inputs can take different branches.
+use std::time::Instant;
+
+pub fn score_with_deadline(xs: &[f64]) -> f64 {
+    let t0 = Instant::now();
+    let mut acc = 0.0;
+    for x in xs {
+        if t0.elapsed().as_millis() > 5 {
+            break;
+        }
+        acc += x;
+    }
+    acc
+}

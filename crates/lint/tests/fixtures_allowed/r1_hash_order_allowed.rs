@@ -1,0 +1,9 @@
+// Allowed variant for R1: the map is used for membership only, never
+// iterated into an accumulation, and each suppression says so.
+// dv-lint: allow(hash-order, reason = "membership probe only; iteration order never observed")
+use std::collections::HashMap;
+
+// dv-lint: allow(hash-order, reason = "lookup by key; no iteration")
+pub fn count_known(keys: &[String], known: &HashMap<String, u32>) -> usize {
+    keys.iter().filter(|k| known.contains_key(*k)).count()
+}

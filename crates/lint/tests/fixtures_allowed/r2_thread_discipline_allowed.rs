@@ -1,0 +1,17 @@
+// Allowed variant for R2: a Mutex that guards a debug log, not a numeric
+// accumulator, with the justification recorded inline.
+// dv-lint: allow(thread-discipline, reason = "guards a diagnostics log; no numeric state behind the lock")
+use std::sync::Mutex;
+
+pub struct DebugLog {
+    // dv-lint: allow(thread-discipline, reason = "guards a diagnostics log; no numeric state behind the lock")
+    lines: Mutex<Vec<String>>,
+}
+
+impl DebugLog {
+    pub fn push(&self, line: String) {
+        if let Ok(mut guard) = self.lines.lock() {
+            guard.push(line);
+        }
+    }
+}

@@ -1,0 +1,9 @@
+// Passing variant for R3: the unsafe block carries a SAFETY argument the
+// reviewer can check, so no suppression is needed at all.
+
+pub fn first_byte(v: &[u8]) -> u8 {
+    assert!(!v.is_empty(), "first_byte requires a non-empty slice");
+    // SAFETY: the assert above guarantees v has at least one element, so
+    // v.as_ptr() points to a valid, initialised byte for the read below.
+    unsafe { *v.as_ptr() }
+}

@@ -1,0 +1,15 @@
+// Allowed variant for R4: one justified unwrap plus the preferred forms —
+// Result propagation and a message-bearing expect.
+
+pub fn parse_threshold(s: &str) -> Result<f64, std::num::ParseFloatError> {
+    s.parse()
+}
+
+pub fn first_score(scores: &[f64]) -> f64 {
+    *scores.first().expect("score vector is validated non-empty at construction")
+}
+
+pub fn constant_lookup() -> u32 {
+    // dv-lint: allow(no-unwrap, reason = "parsing a compile-time constant; cannot fail")
+    "42".parse().unwrap()
+}

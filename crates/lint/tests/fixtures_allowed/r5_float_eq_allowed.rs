@@ -1,0 +1,15 @@
+// Allowed variant for R5a: an exact zero test used as a structural
+// sparsity check — skipping multiplies by stored zeros — with the
+// justification inline.
+
+pub fn sparse_dot(a: &[f64], b: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        // dv-lint: allow(float-eq, reason = "structural sparsity skip: exact stored zero, not a computed value")
+        if *x == 0.0 {
+            continue;
+        }
+        acc += x * y;
+    }
+    acc
+}

@@ -1,0 +1,8 @@
+// Allowed variant for R5b: a wall-clock read that only annotates a report
+// header and never influences numeric control flow.
+
+pub fn report_header() -> String {
+    // dv-lint: allow(wall-clock, reason = "timestamp decorates the report header; no numeric branch depends on it")
+    let elapsed = std::time::Instant::now().elapsed();
+    format!("generated after {:?}", elapsed)
+}

@@ -1,0 +1,41 @@
+//! The linter's strongest test: the real workspace must be clean.
+//!
+//! This runs on every `cargo test`, so the determinism & safety invariants
+//! are machine-checked even before the CI lint job sees a commit.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_zero_violations() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint must sit two levels below the workspace root");
+    let report = dv_lint::lint_workspace(root).expect("workspace sources must be readable");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}); scan roots moved?",
+        report.files_scanned
+    );
+    assert!(
+        report.is_clean(),
+        "dv-lint found violations in the workspace:\n{}",
+        report.render()
+    );
+    // Every suppression in the tree must carry a reason (the engine already
+    // rejects reasonless allows; this documents the guarantee end-to-end).
+    for s in &report.suppressions {
+        assert!(
+            !s.reason.trim().is_empty(),
+            "reasonless suppression at {}:{}",
+            s.path,
+            s.line
+        );
+    }
+    // And none of them may be stale.
+    assert!(
+        report.unused_allows.is_empty(),
+        "stale allow directives:\n{}",
+        report.render()
+    );
+}

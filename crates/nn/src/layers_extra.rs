@@ -48,6 +48,7 @@ impl Layer for Dropout {
     }
 
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        // dv-lint: allow(float-eq, reason = "p is a user-set constant; exactly 0.0 means dropout disabled")
         if !train || self.p == 0.0 {
             self.cached_mask = None;
             return input.clone();

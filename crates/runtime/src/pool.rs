@@ -181,7 +181,12 @@ impl Drop for Pool {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         // Take the lock so no worker can be between the shutdown check and
         // the condvar wait when we notify.
-        drop(self.shared.state.lock().unwrap());
+        drop(
+            self.shared
+                .state
+                .lock()
+                .expect("pool state lock poisoned at shutdown: a pool-internal panic escaped"),
+        );
         self.shared.work_cv.notify_all();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
@@ -293,7 +298,13 @@ fn par_chunks_mut_in<T: Send>(
 /// Accessed only through [`SendPtr::get`] so closures capture the wrapper
 /// (which is `Sync`), not the raw pointer field (which is not).
 struct SendPtr<T>(*mut T);
+// SAFETY: the wrapper only ever hands the pointer to per-index closures
+// whose index sets are disjoint, so moving it across threads cannot create
+// two writers to the same location.
 unsafe impl<T> Send for SendPtr<T> {}
+// SAFETY: shared references to SendPtr expose only `get`, and every caller
+// derives disjoint-by-index addresses from it; no `&SendPtr` access aliases
+// another thread's writes.
 unsafe impl<T> Sync for SendPtr<T> {}
 impl<T> SendPtr<T> {
     fn get(&self) -> *mut T {
@@ -305,7 +316,9 @@ impl<T> SendPtr<T> {
 /// stragglers, then re-raises any captured panic.
 fn run(shared: &Arc<Shared>, n: usize, f: &(dyn Fn(usize) + Sync)) {
     let job = {
-        let mut state = shared.state.lock().unwrap();
+        let mut state = shared.state.lock().expect(
+            "pool state lock poisoned: chunk panics are caught, so the pool itself panicked",
+        );
         if state.job.is_some() {
             // Another thread is already driving this pool; run inline
             // rather than queueing (callers stay latency-predictable).
@@ -327,19 +340,31 @@ fn run(shared: &Arc<Shared>, n: usize, f: &(dyn Fn(usize) + Sync)) {
 
     participate(shared, &job, 0);
 
-    let mut done = job.done.lock().unwrap();
+    let mut done = job
+        .done
+        .lock()
+        .expect("job done lock poisoned: the done flag is only toggled, never panics");
     while !*done {
-        done = job.done_cv.wait(done).unwrap();
+        done = job
+            .done_cv
+            .wait(done)
+            .expect("job done lock poisoned while waiting for stragglers");
     }
     drop(done);
 
     {
-        let mut state = shared.state.lock().unwrap();
+        let mut state = shared.state.lock().expect(
+            "pool state lock poisoned: chunk panics are caught, so the pool itself panicked",
+        );
         state.job = None;
         state.epoch = state.epoch.wrapping_add(1);
     }
 
-    let payload = job.panic.lock().unwrap().take();
+    let payload = job
+        .panic
+        .lock()
+        .expect("panic slot lock poisoned: the slot only stores the first payload")
+        .take();
     if let Some(payload) = payload {
         resume_unwind(payload);
     }
@@ -349,7 +374,9 @@ fn worker_loop(shared: &Arc<Shared>, slot: usize) {
     let mut seen_epoch = 0u64;
     loop {
         let job = {
-            let mut state = shared.state.lock().unwrap();
+            let mut state = shared.state.lock().expect(
+                "pool state lock poisoned: chunk panics are caught, so the pool itself panicked",
+            );
             loop {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
@@ -362,7 +389,10 @@ fn worker_loop(shared: &Arc<Shared>, slot: usize) {
                     // Epoch moved because a job was cleared; keep waiting.
                 }
                 let idle_from = Instant::now();
-                state = shared.work_cv.wait(state).unwrap();
+                state = shared
+                    .work_cv
+                    .wait(state)
+                    .expect("pool state lock poisoned while a worker slept");
                 shared.stats.add_idle(idle_from.elapsed());
             }
         };
@@ -397,7 +427,10 @@ fn participate(shared: &Shared, job: &Job, slot: usize) {
             }));
             if let Err(payload) = result {
                 job.poisoned.store(true, Ordering::Relaxed);
-                let mut first = job.panic.lock().unwrap();
+                let mut first = job
+                    .panic
+                    .lock()
+                    .expect("panic slot lock poisoned: the slot only stores the first payload");
                 if first.is_none() {
                     *first = Some(payload);
                 }
@@ -408,7 +441,10 @@ fn participate(shared: &Shared, job: &Job, slot: usize) {
         // AcqRel: the final decrement acquires every earlier participant's
         // writes before the done handshake publishes them to the caller.
         if job.remaining.fetch_sub(len, Ordering::AcqRel) == len {
-            let mut done = job.done.lock().unwrap();
+            let mut done = job
+                .done
+                .lock()
+                .expect("job done lock poisoned: the done flag is only toggled, never panics");
             *done = true;
             job.done_cv.notify_all();
         }
@@ -422,7 +458,9 @@ fn participate(shared: &Shared, job: &Job, slot: usize) {
 /// Claims a chunk from the front of `range`: a quarter of what is left,
 /// min 1 — large early chunks amortize locking, small late ones balance.
 fn claim_front(range: &Mutex<Range>) -> Option<(usize, usize)> {
-    let mut r = range.lock().unwrap();
+    let mut r = range
+        .lock()
+        .expect("range lock poisoned: range arithmetic cannot panic while held");
     let len = r.end.saturating_sub(r.next);
     if len == 0 {
         return None;
@@ -442,7 +480,9 @@ fn steal(shared: &Shared, job: &Job, slot: usize) -> Option<(usize, usize)> {
             if victim == slot {
                 continue;
             }
-            let r = range.lock().unwrap();
+            let r = range
+                .lock()
+                .expect("range lock poisoned: range arithmetic cannot panic while held");
             let len = r.end.saturating_sub(r.next);
             if len > 0 && best.is_none_or(|(_, blen)| len > blen) {
                 best = Some((victim, len));
@@ -450,7 +490,9 @@ fn steal(shared: &Shared, job: &Job, slot: usize) -> Option<(usize, usize)> {
         }
         let (victim, _) = best?;
         let stolen = {
-            let mut r = job.ranges[victim].lock().unwrap();
+            let mut r = job.ranges[victim]
+                .lock()
+                .expect("victim range lock poisoned: range arithmetic cannot panic while held");
             let len = r.end.saturating_sub(r.next);
             if len == 0 {
                 continue; // lost the race; rescan
@@ -461,7 +503,9 @@ fn steal(shared: &Shared, job: &Job, slot: usize) -> Option<(usize, usize)> {
         };
         shared.stats.add_steal();
         {
-            let mut own = job.ranges[slot].lock().unwrap();
+            let mut own = job.ranges[slot]
+                .lock()
+                .expect("own range lock poisoned: range arithmetic cannot panic while held");
             debug_assert!(own.next >= own.end, "stealing with local work left");
             own.next = stolen.0;
             own.end = stolen.1;

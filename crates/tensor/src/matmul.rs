@@ -72,6 +72,7 @@ fn matmul_block(
             let crow = &mut rows[(i - i0) * n..(i - i0 + 1) * n];
             for kk in k0..k1 {
                 let aik = ad[i * k + kk];
+                // dv-lint: allow(float-eq, reason = "structural sparsity skip: exact stored zero contributes nothing to the accumulation")
                 if aik == 0.0 {
                     continue;
                 }
@@ -106,6 +107,7 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
         let arow = &ad[kk * m..(kk + 1) * m];
         let brow = &bd[kk * n..(kk + 1) * n];
         for (i, &av) in arow.iter().enumerate() {
+            // dv-lint: allow(float-eq, reason = "structural sparsity skip: exact stored zero contributes nothing to the accumulation")
             if av == 0.0 {
                 continue;
             }
