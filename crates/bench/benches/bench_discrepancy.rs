@@ -45,7 +45,7 @@ fn fixture() -> (Network, DeepValidator, Tensor) {
     };
     fit(&mut net, &mut opt, &images, &labels, &cfg, &mut rng);
     let validator =
-        DeepValidator::fit(&mut net, &images, &labels, &ValidatorConfig::default()).unwrap();
+        DeepValidator::fit(&net, &images, &labels, &ValidatorConfig::default()).unwrap();
     (net, validator, images[0].clone())
 }
 
@@ -71,7 +71,7 @@ fn bench_discrepancy(c: &mut Criterion) {
     for &threads in &[1usize, max_threads] {
         let pool = Pool::new(threads);
         group.bench_function(BenchmarkId::new("threads", threads), |b| {
-            pool.install(|| b.iter(|| black_box(validator.discrepancies(&mut net, &batch))));
+            pool.install(|| b.iter(|| black_box(validator.discrepancies(&net, &batch))));
         });
     }
     group.finish();

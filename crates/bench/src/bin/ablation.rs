@@ -76,7 +76,7 @@ fn main() {
     for (label, config) in configs {
         let t0 = Instant::now();
         let validator = DeepValidator::fit(
-            &mut exp.net,
+            &exp.net,
             &exp.dataset.train.images,
             &exp.dataset.train.labels,
             &config,

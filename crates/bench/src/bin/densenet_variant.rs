@@ -109,7 +109,7 @@ fn main() {
     let mut eval_set = EvaluationSet::new();
     for space in SearchSpace::catalogue(false) {
         let outcome = grid_search(
-            &mut net,
+            &net,
             &seeds,
             &seed_labels,
             &space,
@@ -131,7 +131,7 @@ fn main() {
                 .zip(&seed_labels)
                 .map(|(img, &l)| (t.apply(img), l))
                 .collect();
-            eval_set.extend_corner(&mut net, outcome.kind, items);
+            eval_set.extend_corner(&net, outcome.kind, items);
         }
     }
     eval_set.extend_clean(
@@ -150,13 +150,8 @@ fn main() {
         layers: LayerSelection::LastK(6),
         ..ValidatorConfig::default()
     };
-    let validator = DeepValidator::fit(
-        &mut net,
-        &dataset.train.images,
-        &dataset.train.labels,
-        &config,
-    )
-    .expect("validator fit failed");
+    let validator = DeepValidator::fit(&net, &dataset.train.images, &dataset.train.labels, &config)
+        .expect("validator fit failed");
 
     let clean: Vec<f32> = eval_set
         .clean

@@ -58,10 +58,12 @@ fn run(spec: DatasetSpec) {
     headers.push("Overall".to_owned());
     let mut table = TextTable::new(headers.iter().map(String::as_str).collect());
 
+    // All detectors share one immutable plan for their forward passes.
+    let plan = exp.net.plan();
     let detectors: Vec<&mut dyn Detector> =
         vec![&mut dv, &mut fs, &mut kde, &mut maha, &mut odin, &mut conf];
     for detector in detectors {
-        let clean = detector.score_all(&mut exp.net, &eval_set.clean);
+        let clean = detector.score_all_with_plan(&mut exp.net, &plan, &eval_set.clean);
         let mut cells = vec![detector.name().to_owned()];
         for kind in &kinds {
             let images: Vec<_> = eval_set
@@ -72,7 +74,10 @@ fn run(spec: DatasetSpec) {
             let cell = if images.is_empty() {
                 None
             } else {
-                Some(roc_auc(&clean, &detector.score_all(&mut exp.net, &images)))
+                Some(roc_auc(
+                    &clean,
+                    &detector.score_all_with_plan(&mut exp.net, &plan, &images),
+                ))
             };
             cells.push(fmt_score(cell));
         }
@@ -84,7 +89,10 @@ fn run(spec: DatasetSpec) {
         let overall = if all.is_empty() {
             None
         } else {
-            Some(roc_auc(&clean, &detector.score_all(&mut exp.net, &all)))
+            Some(roc_auc(
+                &clean,
+                &detector.score_all_with_plan(&mut exp.net, &plan, &all),
+            ))
         };
         cells.push(fmt_score(overall));
         eprintln!("[{}] {} done", spec.name(), detector.name());

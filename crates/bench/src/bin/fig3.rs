@@ -17,16 +17,19 @@ fn main() {
         let eval_set = exp.build_eval_set(&outcomes);
         let validator = exp.fit_validator();
 
+        // One shared plan and one reusable workspace score every image.
+        let plan = exp.net.plan();
+        let mut sw = dv_core::ScoreWorkspace::new();
         let clean: Vec<f32> = eval_set
             .clean
             .iter()
-            .map(|img| validator.discrepancy(&mut exp.net, img).joint)
+            .map(|img| validator.score(&plan, img, &mut sw).joint)
             .collect();
         let sccs: Vec<f32> = eval_set
             .corner
             .iter()
             .filter(|c| c.successful)
-            .map(|c| validator.discrepancy(&mut exp.net, &c.image).joint)
+            .map(|c| validator.score(&plan, &c.image, &mut sw).joint)
             .collect();
         if sccs.is_empty() {
             eprintln!("[{}] no SCCs", spec.name());

@@ -1,0 +1,236 @@
+//! Measures steady-state single-image inference cost and writes
+//! `BENCH_inference.json`: per-image wall-clock and heap-allocation
+//! counts for the legacy mutable forward path (`Network::forward_probed`
+//! per call) vs the shared [`InferencePlan`] + reusable workspace path,
+//! with a bit-identity check between the two arms.
+//!
+//! The whole binary runs on a tiny synthetic CNN so it doubles as a CI
+//! smoke test for the plan runner (`cargo run --release -p dv-bench
+//! --bin inference_latency`).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use dv_core::{DeepValidator, ScoreWorkspace, ValidatorConfig};
+use dv_nn::layers::{Conv2d, Dense, Flatten, MaxPool2, Relu};
+use dv_nn::optim::Adam;
+use dv_nn::train::{fit, TrainConfig};
+use dv_nn::{InferencePlan, Network};
+use dv_runtime::Pool;
+use dv_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Counts every heap allocation so the steady-state arms can prove they
+/// stopped allocating.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: every method delegates directly to the system allocator with
+// the caller's layout; the atomic counters are side tables that never
+// touch the returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: forwards the caller's layout contract to `System.alloc`.
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    // SAFETY: forwards the caller's pointer/layout contract to
+    // `System.dealloc`.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn count_allocs<R>(f: impl FnOnce() -> R) -> (u64, u64, R) {
+    let before = ALLOCS.load(Ordering::SeqCst);
+    let bytes_before = ALLOC_BYTES.load(Ordering::SeqCst);
+    let r = f();
+    (
+        ALLOCS.load(Ordering::SeqCst) - before,
+        ALLOC_BYTES.load(Ordering::SeqCst) - bytes_before,
+        r,
+    )
+}
+
+/// Minimum wall-clock over `reps` sweeps of `f`, in microseconds.
+fn time_us(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e6);
+    }
+    best
+}
+
+fn conv_fixture() -> (Network, Vec<Tensor>, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(3);
+    // Vertical stripes whose position encodes the class (same fixture as
+    // the runtime_speedup benchmark).
+    let mut images = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..96 {
+        let class = i % 4;
+        let mut img = Tensor::zeros(&[1, 12, 12]);
+        let cx = 2 + class * 3;
+        for y in 2..10 {
+            img.set(&[0, y, cx], rng.gen_range(0.7f32..1.0));
+        }
+        images.push(img);
+        labels.push(class);
+    }
+    let mut net = Network::new(&[1, 12, 12]);
+    net.push(Conv2d::new(&mut rng, 1, 6, 3))
+        .push_probe(Relu::new())
+        .push(MaxPool2::new())
+        .push(Flatten::new())
+        .push(Dense::new(&mut rng, 6 * 5 * 5, 32))
+        .push_probe(Relu::new())
+        .push(Dense::new(&mut rng, 32, 4));
+    let mut opt = Adam::new(0.01);
+    let cfg = TrainConfig {
+        epochs: 6,
+        batch_size: 32,
+    };
+    Pool::new(1).install(|| fit(&mut net, &mut opt, &images, &labels, &cfg, &mut rng));
+    (net, images, labels)
+}
+
+struct Arm {
+    name: &'static str,
+    per_image_us: f64,
+    allocs_per_image: f64,
+    alloc_bytes_per_image: f64,
+}
+
+fn measure_mutable(
+    net: &mut Network,
+    validator: &DeepValidator,
+    images: &[Tensor],
+) -> (Arm, Vec<f32>) {
+    let joints: Vec<f32> = images
+        .iter()
+        .map(|img| validator.discrepancy(net, img).joint)
+        .collect();
+    let n = images.len() as f64;
+    let us = time_us(5, || {
+        for img in images {
+            std::hint::black_box(validator.discrepancy(net, img).joint);
+        }
+    });
+    let (allocs, bytes, ()) = count_allocs(|| {
+        for img in images {
+            std::hint::black_box(validator.discrepancy(net, img).joint);
+        }
+    });
+    (
+        Arm {
+            name: "mutable_forward_probed",
+            per_image_us: us / n,
+            allocs_per_image: allocs as f64 / n,
+            alloc_bytes_per_image: bytes as f64 / n,
+        },
+        joints,
+    )
+}
+
+fn measure_plan(
+    plan: &InferencePlan,
+    validator: &DeepValidator,
+    images: &[Tensor],
+) -> (Arm, Vec<f32>) {
+    let mut sw = ScoreWorkspace::new();
+    let mut per_layer = Vec::new();
+    // Warm up: the first image grows every buffer to its steady size.
+    validator.score_into(plan, &images[0], &mut sw, &mut per_layer);
+    let joints: Vec<f32> = images
+        .iter()
+        .map(|img| validator.score(plan, img, &mut sw).joint)
+        .collect();
+    let n = images.len() as f64;
+    let us = time_us(5, || {
+        for img in images {
+            validator.score_into(plan, img, &mut sw, &mut per_layer);
+            std::hint::black_box(&per_layer);
+        }
+    });
+    let (allocs, bytes, ()) = count_allocs(|| {
+        for img in images {
+            validator.score_into(plan, img, &mut sw, &mut per_layer);
+            std::hint::black_box(&per_layer);
+        }
+    });
+    (
+        Arm {
+            name: "plan_workspace",
+            per_image_us: us / n,
+            allocs_per_image: allocs as f64 / n,
+            alloc_bytes_per_image: bytes as f64 / n,
+        },
+        joints,
+    )
+}
+
+fn main() {
+    let (mut net, images, labels) = conv_fixture();
+    let validator = Pool::new(1).install(|| {
+        DeepValidator::fit(&net, &images, &labels, &ValidatorConfig::default())
+            .expect("validator fit failed")
+    });
+    let plan = net.plan();
+
+    // Allocation counts must not include pool bookkeeping, so both arms
+    // run inline on one thread; latency on this single-image path is
+    // sequential either way.
+    let pool = Pool::new(1);
+    let ((mutable, joints_a), (planned, joints_b)) = pool.install(|| {
+        (
+            measure_mutable(&mut net, &validator, &images),
+            measure_plan(&plan, &validator, &images),
+        )
+    });
+
+    let identical = joints_a
+        .iter()
+        .zip(&joints_b)
+        .all(|(a, b)| a.to_bits() == b.to_bits());
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"images\": {},\n", images.len()));
+    json.push_str(&format!("  \"identical\": {identical},\n"));
+    json.push_str("  \"paths\": [\n");
+    let arms = [&mutable, &planned];
+    for (i, arm) in arms.iter().enumerate() {
+        eprintln!(
+            "  {:<24} {:8.2} us/image  {:7.1} allocs/image  {:9.0} bytes/image",
+            arm.name, arm.per_image_us, arm.allocs_per_image, arm.alloc_bytes_per_image
+        );
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"per_image_us\": {:.3}, \"allocs_per_image\": {:.2}, \"alloc_bytes_per_image\": {:.0}}}{}\n",
+            arm.name,
+            arm.per_image_us,
+            arm.allocs_per_image,
+            arm.alloc_bytes_per_image,
+            if i + 1 < arms.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"speedup\": {:.3}\n",
+        mutable.per_image_us / planned.per_image_us
+    ));
+    json.push_str("}\n");
+    std::fs::write("BENCH_inference.json", &json).expect("cannot write BENCH_inference.json");
+    println!("{json}");
+    eprintln!("wrote BENCH_inference.json");
+    assert!(identical, "plan path diverged from the mutable path");
+}

@@ -145,9 +145,9 @@ fn main() {
     ));
 
     let validator = {
-        let mut fit_net = net.clone();
+        let fit_net = net.clone();
         Pool::new(1).install(|| {
-            DeepValidator::fit(&mut fit_net, &images, &labels, &ValidatorConfig::default())
+            DeepValidator::fit(&fit_net, &images, &labels, &ValidatorConfig::default())
                 .expect("validator fit failed")
         })
     };
@@ -155,10 +155,7 @@ fn main() {
         "batch_discrepancy_n96",
         threads,
         3,
-        || {
-            let mut worker = net.clone();
-            validator.discrepancies(&mut worker, &images)
-        },
+        || validator.discrepancies(&net, &images),
         |a, b| {
             a.iter()
                 .zip(b)

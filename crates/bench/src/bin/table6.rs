@@ -32,7 +32,7 @@ fn run_dataset(spec: DatasetSpec) {
 
     // One discrepancy pass per image gives all single validators and the
     // joint validator at once.
-    let clean_reports = validator.discrepancies(&mut exp.net, &eval_set.clean);
+    let clean_reports = validator.discrepancies(&exp.net, &eval_set.clean);
     let corner_reports: Vec<_> = eval_set
         .corner
         .iter()

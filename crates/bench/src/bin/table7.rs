@@ -50,9 +50,10 @@ fn main() {
             ("Feature Squeezing", &mut fs),
             ("Kernel Density Estimation", &mut kde),
         ];
+        let plan = exp.net.plan();
         for (label, detector) in methods.iter_mut() {
-            let clean = detector.score_all(&mut exp.net, &eval_set.clean);
-            let pos = detector.score_all(&mut exp.net, &scc_images);
+            let clean = detector.score_all_with_plan(&mut exp.net, &plan, &eval_set.clean);
+            let pos = detector.score_all_with_plan(&mut exp.net, &plan, &scc_images);
             let auc = roc_auc(&clean, &pos);
             eprintln!("[{}]   {label}: {auc:.4}", spec.name());
             table.row(vec![

@@ -1,20 +1,24 @@
 //! Adapters plugging Deep Validation into the [`Detector`] interface of
 //! `dv-detectors`, so all three methods share one evaluation path.
 
-use dv_core::DeepValidator;
+use dv_core::{DeepValidator, ScoreWorkspace};
 use dv_detectors::Detector;
-use dv_nn::Network;
-use dv_tensor::Tensor;
+use dv_nn::{InferencePlan, Network};
+use dv_tensor::{Tensor, Workspace};
 
 /// The joint validator as a [`Detector`]: score = joint discrepancy.
 pub struct JointValidatorDetector {
     validator: DeepValidator,
+    sw: ScoreWorkspace,
 }
 
 impl JointValidatorDetector {
     /// Wraps a fitted validator.
     pub fn new(validator: DeepValidator) -> Self {
-        Self { validator }
+        Self {
+            validator,
+            sw: ScoreWorkspace::new(),
+        }
     }
 
     /// Borrow the wrapped validator.
@@ -31,6 +35,18 @@ impl Detector for JointValidatorDetector {
     fn score(&mut self, net: &mut Network, image: &Tensor) -> f32 {
         self.validator.discrepancy(net, image).joint
     }
+
+    fn score_with_plan(
+        &mut self,
+        _net: &mut Network,
+        plan: &InferencePlan,
+        _ws: &mut Workspace,
+        image: &Tensor,
+    ) -> f32 {
+        // Scoring reuses the adapter's own workspace (the validator needs
+        // a reduction buffer on top of the plan workspace).
+        self.validator.score(plan, image, &mut self.sw).joint
+    }
 }
 
 /// One single validator (the paper's per-layer rows of Table VI) as a
@@ -39,6 +55,7 @@ pub struct SingleValidatorDetector {
     validator: DeepValidator,
     layer: usize,
     name: String,
+    sw: ScoreWorkspace,
 }
 
 impl SingleValidatorDetector {
@@ -58,6 +75,7 @@ impl SingleValidatorDetector {
             validator,
             layer,
             name,
+            sw: ScoreWorkspace::new(),
         }
     }
 }
@@ -69,6 +87,16 @@ impl Detector for SingleValidatorDetector {
 
     fn score(&mut self, net: &mut Network, image: &Tensor) -> f32 {
         self.validator.discrepancy(net, image).per_layer[self.layer]
+    }
+
+    fn score_with_plan(
+        &mut self,
+        _net: &mut Network,
+        plan: &InferencePlan,
+        _ws: &mut Workspace,
+        image: &Tensor,
+    ) -> f32 {
+        self.validator.score(plan, image, &mut self.sw).per_layer[self.layer]
     }
 }
 
@@ -110,8 +138,7 @@ mod tests {
             batch_size: 16,
         };
         fit(&mut net, &mut opt, &images, &labels, &cfg, &mut rng);
-        let v =
-            DeepValidator::fit(&mut net, &images, &labels, &ValidatorConfig::default()).unwrap();
+        let v = DeepValidator::fit(&net, &images, &labels, &ValidatorConfig::default()).unwrap();
         (net, v, images)
     }
 
@@ -132,6 +159,27 @@ mod tests {
         for layer in 0..v.num_validated_layers() {
             let mut adapter = SingleValidatorDetector::new(v.clone(), layer);
             assert_eq!(adapter.score(&mut net, &images[0]), report.per_layer[layer]);
+        }
+    }
+
+    #[test]
+    fn plan_path_matches_mutable_path_bit_for_bit() {
+        let (mut net, v, images) = setup();
+        let plan = net.plan();
+        let mut ws = Workspace::new();
+        let mut joint = JointValidatorDetector::new(v.clone());
+        for img in images.iter().take(5) {
+            let a = joint.score(&mut net, img);
+            let b = joint.score_with_plan(&mut net, &plan, &mut ws, img);
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for layer in 0..v.num_validated_layers() {
+            let mut single = SingleValidatorDetector::new(v.clone(), layer);
+            for img in images.iter().take(3) {
+                let a = single.score(&mut net, img);
+                let b = single.score_with_plan(&mut net, &plan, &mut ws, img);
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
         }
     }
 

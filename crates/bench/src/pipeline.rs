@@ -3,13 +3,13 @@
 
 use dv_core::{DeepValidator, LayerSelection, ValidatorConfig};
 use dv_datasets::{Dataset, DatasetSpec};
-use dv_eval::search::{grid_search, SearchOutcome, SearchSpace};
+use dv_eval::search::{grid_search_with_plan, SearchOutcome, SearchSpace};
 use dv_eval::EvaluationSet;
 use dv_imgops::{Transform, TransformKind};
 use dv_nn::optim::Adadelta;
 use dv_nn::train::{evaluate, fit, EvalStats, TrainConfig};
 use dv_nn::Network;
-use dv_tensor::Tensor;
+use dv_tensor::{Tensor, Workspace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -206,38 +206,22 @@ impl Experiment {
         let encoded = tensors_cached(&cache_name, || {
             eprintln!("[{}] grid-searching corner cases...", spec.name());
             let spaces = SearchSpace::catalogue(spec.is_grayscale());
-            let mut outcomes = if dv_runtime::current_threads() <= 1 {
-                spaces
-                    .iter()
-                    .map(|space| {
-                        grid_search(
-                            net,
-                            &seeds,
-                            &seed_labels,
-                            space,
-                            TARGET_SUCCESS_RATE,
-                            MIN_SUCCESS_RATE,
-                        )
-                    })
-                    .collect::<Vec<_>>()
-            } else {
-                // Each transformation family searches independently; fan
-                // them out with one cloned network per family (searches
-                // mutate cached forward state). `par_map` keeps catalogue
-                // order, so the outcome list matches the sequential loop.
-                let net: &Network = net;
-                dv_runtime::par_map(&spaces, |space| {
-                    let mut worker = net.clone();
-                    grid_search(
-                        &mut worker,
-                        &seeds,
-                        &seed_labels,
-                        space,
-                        TARGET_SUCCESS_RATE,
-                        MIN_SUCCESS_RATE,
-                    )
-                })
-            };
+            // Each transformation family searches independently against
+            // one shared immutable plan (no network cloning); `par_map`
+            // keeps catalogue order, so the outcome list matches a
+            // sequential loop at any thread count.
+            let plan = net.plan();
+            let plan_ref = &plan;
+            let mut outcomes = dv_runtime::par_map(&spaces, |space| {
+                grid_search_with_plan(
+                    plan_ref,
+                    &seeds,
+                    &seed_labels,
+                    space,
+                    TARGET_SUCCESS_RATE,
+                    MIN_SUCCESS_RATE,
+                )
+            });
             for outcome in &outcomes {
                 eprintln!(
                     "[{}]   {}: success rate {:.3} ({})",
@@ -251,8 +235,12 @@ impl Experiment {
                 );
             }
             if let Some(combined) = combined_transform(spec, &outcomes) {
-                let (rate, conf) =
-                    dv_eval::search::success_rate(net, &apply_all(&combined, &seeds), &seed_labels);
+                let (rate, conf) = dv_eval::search::success_rate_with_plan(
+                    plan_ref,
+                    &mut Workspace::new(),
+                    &apply_all(&combined, &seeds),
+                    &seed_labels,
+                );
                 eprintln!(
                     "[{}]   Combined ({}): success rate {rate:.3}",
                     spec.name(),
@@ -279,6 +267,9 @@ impl Experiment {
     pub fn build_eval_set(&mut self, outcomes: &[SearchOutcome]) -> EvaluationSet {
         let (seeds, seed_labels) = self.seeds();
         let mut set = EvaluationSet::new();
+        // One plan and one workspace classify every corner-case batch.
+        let plan = self.net.plan();
+        let mut ws = Workspace::new();
         for outcome in outcomes {
             let Some(transform) = &outcome.chosen else {
                 continue;
@@ -288,7 +279,7 @@ impl Experiment {
                 .into_iter()
                 .zip(seed_labels.iter().copied())
                 .collect();
-            set.extend_corner(&mut self.net, outcome.kind, items);
+            set.extend_corner_with_plan(&plan, &mut ws, outcome.kind, items);
         }
         let clean = self.clean_negatives(set.corner.len().max(seeds.len()));
         set.extend_clean(clean);

@@ -32,7 +32,7 @@
 //! let mut net = get_network();
 //! let (images, labels) = get_data();
 //! let validator =
-//!     DeepValidator::fit(&mut net, &images, &labels, &ValidatorConfig::default()).unwrap();
+//!     DeepValidator::fit(&net, &images, &labels, &ValidatorConfig::default()).unwrap();
 //! let report = validator.discrepancy(&mut net, &images[0]);
 //! println!("joint discrepancy: {}", report.joint);
 //! ```
@@ -50,4 +50,4 @@ pub use calibration::JointCalibration;
 pub use config::{LayerSelection, ValidatorConfig};
 pub use reducer::FeatureReducer;
 pub use report::DiscrepancyReport;
-pub use validator::{DeepValidator, ValidatorError};
+pub use validator::{DeepValidator, ScoreWorkspace, ValidatorError};

@@ -4,9 +4,9 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use dv_nn::Network;
+use dv_nn::{InferencePlan, Network};
 use dv_ocsvm::{FitError, OcsvmParams, OneClassSvm, ResolvedKernel, SvmParts};
-use dv_tensor::Tensor;
+use dv_tensor::{Tensor, Workspace};
 
 use crate::config::ValidatorConfig;
 use crate::reducer::FeatureReducer;
@@ -60,6 +60,48 @@ impl From<FitError> for ValidatorError {
     }
 }
 
+/// Reusable per-worker scratch for the allocation-free scoring path:
+/// the inference-plan [`Workspace`] plus the reduced-representation
+/// buffer. After the first image through a given plan everything is
+/// warm and [`DeepValidator::score_into`] touches the heap zero times.
+#[derive(Debug, Default)]
+pub struct ScoreWorkspace {
+    ws: Workspace,
+    rep: Vec<f32>,
+}
+
+impl ScoreWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Index of the maximum element, first on ties — the exact semantics of
+/// `Tensor::argmax`, applied to a borrowed logits row.
+fn argmax_row(row: &[f32]) -> usize {
+    let mut best = 0;
+    for (i, &x) in row.iter().enumerate() {
+        if x > row[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Max softmax probability of a logits row, streaming the exact
+/// arithmetic of `stats::softmax(row).max()` (max-subtract, `exp`,
+/// sequential sum, scale by `1/z`, `f32::max` fold) without
+/// materializing the probability vector.
+fn softmax_max(row: &[f32]) -> f32 {
+    let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let z: f32 = row.iter().map(|&x| (x - m).exp()).sum();
+    let inv = 1.0 / z;
+    row.iter()
+        .map(|&x| (x - m).exp() * inv)
+        .fold(f32::NEG_INFINITY, f32::max)
+}
+
 /// A fitted Deep Validation detector: one one-class SVM per
 /// `(validated layer, class)` pair plus the feature reduction used to
 /// build them.
@@ -87,7 +129,7 @@ impl DeepValidator {
     /// misaligned, a class ends up with no correct samples, or an SVM fit
     /// fails.
     pub fn fit(
-        net: &mut Network,
+        net: &Network,
         images: &[Tensor],
         labels: &[usize],
         config: &ValidatorConfig,
@@ -113,36 +155,52 @@ impl DeepValidator {
         let reducer = FeatureReducer::new(config.max_spatial);
 
         // Sweep the training set: predicted class plus reduced probe
-        // representations for every image. Batches run in parallel on the
-        // dv-runtime pool (one cloned network per batch); on a
-        // single-thread pool the original sequential sweep runs on `net`
-        // directly. Both paths compute identical per-image values.
+        // representations for every image. All batches run through one
+        // shared immutable inference plan — nothing is cloned per worker;
+        // each batch brings only a scratch workspace. Sequential and
+        // parallel paths compute identical per-image values, and only the
+        // validated probes are materialized (tap mask).
+        let plan = net.plan();
         let batches: Vec<(usize, usize)> = (0..images.len())
             .step_by(SWEEP_BATCH)
             .map(|s| (s, (s + SWEEP_BATCH).min(images.len())))
             .collect();
-        let sweep_batch = |worker: &mut Network, &(start, end): &(usize, usize)| {
+        let plan_ref = &plan;
+        let probe_ref = &probe_indices;
+        let sweep_batch = |ws: &mut Workspace, &(start, end): &(usize, usize)| {
             let x = Tensor::stack(&images[start..end]);
-            let (logits, probes) = worker.forward_probed(&x);
+            let out = plan_ref.forward_probed_into(&x, probe_ref, ws);
+            let classes = out.num_classes();
             (0..end - start)
                 .map(|bi| {
-                    let predicted = logits.row(bi).argmax();
-                    let image_reps: Vec<Vec<f32>> = probe_indices
+                    let predicted = argmax_row(&out.logits()[bi * classes..(bi + 1) * classes]);
+                    let image_reps: Vec<Vec<f32>> = probe_ref
                         .iter()
-                        .map(|&p| reducer.reduce(&probes[p].index_outer(bi)))
+                        .enumerate()
+                        .map(|(t, &p)| {
+                            let dims = plan_ref.probe_item_dims(p);
+                            let item: usize = dims.iter().product();
+                            let mut rep = Vec::new();
+                            reducer.reduce_into(
+                                dims,
+                                &out.probe(t)[bi * item..(bi + 1) * item],
+                                &mut rep,
+                            );
+                            rep
+                        })
                         .collect();
                     (predicted, image_reps)
                 })
                 .collect::<Vec<_>>()
         };
         let per_image: Vec<(usize, Vec<Vec<f32>>)> = if dv_runtime::current_threads() <= 1 {
+            let mut ws = Workspace::new();
             batches
                 .iter()
-                .flat_map(|range| sweep_batch(net, range))
+                .flat_map(|range| sweep_batch(&mut ws, range))
                 .collect()
         } else {
-            let net: &Network = net;
-            dv_runtime::par_map(&batches, |range| sweep_batch(&mut net.clone(), range))
+            dv_runtime::par_map(&batches, |range| sweep_batch(&mut Workspace::new(), range))
                 .into_iter()
                 .flatten()
                 .collect()
@@ -203,48 +261,118 @@ impl DeepValidator {
         })
     }
 
-    /// Algorithm 2: estimates the discrepancy of one `[C, H, W]` input.
+    /// Algorithm 2: estimates the discrepancy of one `[C, H, W]` input
+    /// through the mutable training-path network.
+    ///
+    /// Only the validated probes are materialized
+    /// (`forward_probed_masked`). For the allocation-free serving path,
+    /// build a plan once and use [`score`](DeepValidator::score).
     ///
     /// # Panics
     ///
     /// Panics if the image shape does not match the network input.
     pub fn discrepancy(&self, net: &mut Network, image: &Tensor) -> DiscrepancyReport {
         let x = Tensor::stack(std::slice::from_ref(image));
-        let (logits, probes) = net.forward_probed(&x);
+        let (logits, probes) = net.forward_probed_masked(&x, &self.probe_indices);
         let row = logits.row(0);
         let predicted = row.argmax();
         let confidence = dv_tensor::stats::softmax(&row).max();
         // Joint scoring: the per-layer SVM evaluations are independent,
         // so they fan out across the pool (order-preserving par_map; a
         // single-thread pool maps inline sequentially).
-        let per_layer = dv_runtime::par_map(&self.probe_indices, |&p| {
-            let rep = self.reducer.reduce(&probes[p].index_outer(0));
+        let tapped: Vec<(usize, usize)> = self.probe_indices.iter().copied().enumerate().collect();
+        let per_layer = dv_runtime::par_map(&tapped, |&(t, p)| {
+            let rep = self.reducer.reduce(&probes[t].index_outer(0));
             // Eq. 2: discrepancy is the negated signed distance.
             -(self.svms_for_probe(p)[predicted].decision(&rep) as f32)
         });
         DiscrepancyReport::new(predicted, confidence, per_layer)
     }
 
-    /// Estimates discrepancies for many inputs.
+    /// Algorithm 2 on the shared-immutable serving path: scores one
+    /// `[C, H, W]` image through `plan`, reusing `sw` for every scratch
+    /// buffer. Bit-identical to [`discrepancy`](DeepValidator::discrepancy).
     ///
-    /// Contiguous chunks of images run in parallel, one cloned network
-    /// per chunk; reports come back in input order and are identical to
-    /// the sequential loop (which is what a single-thread pool runs).
-    pub fn discrepancies(&self, net: &mut Network, images: &[Tensor]) -> Vec<DiscrepancyReport> {
+    /// # Panics
+    ///
+    /// Panics if the image shape does not match the plan input.
+    pub fn score(
+        &self,
+        plan: &InferencePlan,
+        image: &Tensor,
+        sw: &mut ScoreWorkspace,
+    ) -> DiscrepancyReport {
+        let mut per_layer = Vec::with_capacity(self.probe_indices.len());
+        let (predicted, confidence) = self.score_into(plan, image, sw, &mut per_layer);
+        DiscrepancyReport::new(predicted, confidence, per_layer)
+    }
+
+    /// [`score`](DeepValidator::score) without constructing a report:
+    /// fills `per_layer` (cleared first) and returns
+    /// `(predicted, confidence)`. With a warmed-up `sw` and `per_layer`
+    /// this path performs zero heap allocations per image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image shape does not match the plan input.
+    pub fn score_into(
+        &self,
+        plan: &InferencePlan,
+        image: &Tensor,
+        sw: &mut ScoreWorkspace,
+        per_layer: &mut Vec<f32>,
+    ) -> (usize, f32) {
+        // Disjoint field borrows: the plan output borrows `sw.ws`, the
+        // reduced representation lands in `sw.rep`.
+        let ScoreWorkspace { ws, rep } = sw;
+        let out = plan.forward_probed_into(image, &self.probe_indices, ws);
+        assert_eq!(out.batch(), 1, "score expects a single image");
+        let row = out.logits();
+        let predicted = argmax_row(row);
+        let confidence = softmax_max(row);
+        // Sequential per-layer loop: same values as the order-preserving
+        // par_map in `discrepancy`, without allocating a result vector.
+        per_layer.clear();
+        for (t, &p) in self.probe_indices.iter().enumerate() {
+            self.reducer
+                .reduce_into(plan.probe_item_dims(p), out.probe(t), rep);
+            per_layer.push(-(self.svms_for_probe(p)[predicted].decision(rep) as f32));
+        }
+        (predicted, confidence)
+    }
+
+    /// Estimates discrepancies for many inputs through one shared
+    /// immutable plan compiled from `net`.
+    ///
+    /// Contiguous chunks of images run in parallel; every worker scores
+    /// against the same `&InferencePlan` with its own [`ScoreWorkspace`]
+    /// (nothing is cloned). Reports come back in input order and are
+    /// bit-identical to the sequential loop at any thread count.
+    pub fn discrepancies(&self, net: &Network, images: &[Tensor]) -> Vec<DiscrepancyReport> {
+        self.discrepancies_with_plan(&net.plan(), images)
+    }
+
+    /// [`discrepancies`](DeepValidator::discrepancies) against an
+    /// already-compiled plan (build once, reuse across calls).
+    pub fn discrepancies_with_plan(
+        &self,
+        plan: &InferencePlan,
+        images: &[Tensor],
+    ) -> Vec<DiscrepancyReport> {
         let threads = dv_runtime::current_threads();
         if threads <= 1 || images.len() <= 1 {
+            let mut sw = ScoreWorkspace::new();
             return images
                 .iter()
-                .map(|img| self.discrepancy(net, img))
+                .map(|img| self.score(plan, img, &mut sw))
                 .collect();
         }
-        let net: &Network = net;
         let chunks: Vec<&[Tensor]> = images.chunks(images.len().div_ceil(threads)).collect();
         dv_runtime::par_map(&chunks, |chunk| {
-            let mut worker = net.clone();
+            let mut sw = ScoreWorkspace::new();
             chunk
                 .iter()
-                .map(|img| self.discrepancy(&mut worker, img))
+                .map(|img| self.score(plan, img, &mut sw))
                 .collect::<Vec<_>>()
         })
         .into_iter()
@@ -455,9 +583,8 @@ mod tests {
 
     #[test]
     fn fit_produces_one_svm_per_layer_and_class() {
-        let (mut net, images, labels) = trained_setup();
-        let v =
-            DeepValidator::fit(&mut net, &images, &labels, &ValidatorConfig::default()).unwrap();
+        let (net, images, labels) = trained_setup();
+        let v = DeepValidator::fit(&net, &images, &labels, &ValidatorConfig::default()).unwrap();
         assert_eq!(v.num_validated_layers(), 2);
         assert_eq!(v.num_classes(), 3);
         assert_eq!(v.num_svms(), 6);
@@ -466,8 +593,7 @@ mod tests {
     #[test]
     fn clean_inputs_score_below_garbage_inputs() {
         let (mut net, images, labels) = trained_setup();
-        let v =
-            DeepValidator::fit(&mut net, &images, &labels, &ValidatorConfig::default()).unwrap();
+        let v = DeepValidator::fit(&net, &images, &labels, &ValidatorConfig::default()).unwrap();
         let clean: f32 = images[..20]
             .iter()
             .map(|img| v.discrepancy(&mut net, img).joint)
@@ -495,7 +621,7 @@ mod tests {
             layers: LayerSelection::LastK(1),
             ..ValidatorConfig::default()
         };
-        let v = DeepValidator::fit(&mut net, &images, &labels, &cfg).unwrap();
+        let v = DeepValidator::fit(&net, &images, &labels, &cfg).unwrap();
         assert_eq!(v.num_validated_layers(), 1);
         assert_eq!(v.validated_probes(), &[1]);
         let report = v.discrepancy(&mut net, &images[0]);
@@ -505,8 +631,7 @@ mod tests {
     #[test]
     fn report_prediction_matches_network() {
         let (mut net, images, labels) = trained_setup();
-        let v =
-            DeepValidator::fit(&mut net, &images, &labels, &ValidatorConfig::default()).unwrap();
+        let v = DeepValidator::fit(&net, &images, &labels, &ValidatorConfig::default()).unwrap();
         for img in images.iter().take(5) {
             let report = v.discrepancy(&mut net, img);
             let (label, conf) = net.classify(&Tensor::stack(std::slice::from_ref(img)));
@@ -518,8 +643,7 @@ mod tests {
     #[test]
     fn named_tensor_round_trip_preserves_scores() {
         let (mut net, images, labels) = trained_setup();
-        let v =
-            DeepValidator::fit(&mut net, &images, &labels, &ValidatorConfig::default()).unwrap();
+        let v = DeepValidator::fit(&net, &images, &labels, &ValidatorConfig::default()).unwrap();
         let entries = v.to_named_tensors();
         let v2 = DeepValidator::from_named_tensors(&entries);
         for img in images.iter().take(5) {
@@ -537,9 +661,8 @@ mod tests {
 
     #[test]
     fn mismatched_labels_are_rejected() {
-        let (mut net, images, _) = trained_setup();
-        let err =
-            DeepValidator::fit(&mut net, &images, &[0], &ValidatorConfig::default()).unwrap_err();
+        let (net, images, _) = trained_setup();
+        let err = DeepValidator::fit(&net, &images, &[0], &ValidatorConfig::default()).unwrap_err();
         assert!(matches!(err, ValidatorError::BadTrainingSet(_)));
     }
 
@@ -549,8 +672,8 @@ mod tests {
         // so some class ends up with zero correct samples.
         let mut rng = StdRng::seed_from_u64(5);
         let (images, labels) = toy_data(&mut rng, 60);
-        let mut net = toy_net(6);
-        match DeepValidator::fit(&mut net, &images, &labels, &ValidatorConfig::default()) {
+        let net = toy_net(6);
+        match DeepValidator::fit(&net, &images, &labels, &ValidatorConfig::default()) {
             Err(ValidatorError::NoCorrectSamples { .. }) | Ok(_) => {}
             Err(other) => panic!("unexpected error {other:?}"),
         }

@@ -57,15 +57,10 @@ fn algorithm1_filters_misclassified_training_images() {
     for l in poisoned_labels.iter_mut().take(20) {
         *l = 1 - *l;
     }
-    let with_poison = DeepValidator::fit(
-        &mut net,
-        &images,
-        &poisoned_labels,
-        &ValidatorConfig::default(),
-    )
-    .unwrap();
+    let with_poison =
+        DeepValidator::fit(&net, &images, &poisoned_labels, &ValidatorConfig::default()).unwrap();
     let without_block = DeepValidator::fit(
-        &mut net,
+        &net,
         &images[20..],
         &labels[20..],
         &ValidatorConfig::default(),
@@ -99,7 +94,7 @@ fn algorithm2_indexes_svms_by_the_predicted_class() {
     // matter which class it is assigned to.
     let (mut net, images, labels) = setup();
     let validator =
-        DeepValidator::fit(&mut net, &images, &labels, &ValidatorConfig::default()).unwrap();
+        DeepValidator::fit(&net, &images, &labels, &ValidatorConfig::default()).unwrap();
 
     let clean = validator.discrepancy(&mut net, &images[0]);
     assert_eq!(clean.predicted, labels[0]);
@@ -123,7 +118,7 @@ fn per_layer_vector_length_tracks_layer_selection() {
             layers: selection,
             ..ValidatorConfig::default()
         };
-        let v = DeepValidator::fit(&mut net, &images, &labels, &config).unwrap();
+        let v = DeepValidator::fit(&net, &images, &labels, &config).unwrap();
         let report = v.discrepancy(&mut net, &images[0]);
         assert_eq!(report.per_layer.len(), expect);
         assert_eq!(v.num_validated_layers(), expect);
@@ -136,7 +131,7 @@ fn max_per_class_caps_reference_set_sizes() {
     // a working detector.
     let (mut net, images, labels) = setup();
     let small = DeepValidator::fit(
-        &mut net,
+        &net,
         &images,
         &labels,
         &ValidatorConfig {

@@ -1,0 +1,168 @@
+//! The serving path (shared immutable [`InferencePlan`] + reusable
+//! [`ScoreWorkspace`]) must be bit-identical to the mutable training
+//! path (`DeepValidator::discrepancy`), with workspace reuse and thread
+//! count both invisible in the output.
+
+use dv_core::{DeepValidator, ScoreWorkspace, ValidatorConfig};
+use dv_nn::layers::{Conv2d, Dense, Flatten, MaxPool2, Relu};
+use dv_nn::optim::Adam;
+use dv_nn::train::{fit, TrainConfig};
+use dv_nn::Network;
+use dv_runtime::Pool;
+use dv_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A conv net with two probes over a 2-class stripe problem, trained
+/// under a single-thread pool for reproducible weights.
+fn trained_setup() -> (Network, Vec<Tensor>, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut images = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..80 {
+        let class = i % 2;
+        let mut img = Tensor::zeros(&[1, 6, 6]);
+        let cx = if class == 0 { 1 } else { 4 };
+        for y in 0..6 {
+            img.set(&[0, y, cx], rng.gen_range(0.7f32..1.0));
+        }
+        images.push(img);
+        labels.push(class);
+    }
+    let mut net = Network::new(&[1, 6, 6]);
+    net.push(Conv2d::new(&mut rng, 1, 3, 3))
+        .push_probe(Relu::new())
+        .push(MaxPool2::new())
+        .push(Flatten::new())
+        .push(Dense::new(&mut rng, 3 * 2 * 2, 8))
+        .push_probe(Relu::new())
+        .push(Dense::new(&mut rng, 8, 2));
+    let mut opt = Adam::new(0.01);
+    let cfg = TrainConfig {
+        epochs: 8,
+        batch_size: 16,
+    };
+    Pool::new(1).install(|| fit(&mut net, &mut opt, &images, &labels, &cfg, &mut rng));
+    (net, images, labels)
+}
+
+fn fit_validator(net: &Network, images: &[Tensor], labels: &[usize]) -> DeepValidator {
+    Pool::new(1).install(|| {
+        DeepValidator::fit(net, images, labels, &ValidatorConfig::default())
+            .expect("validator fit failed")
+    })
+}
+
+/// `score` through a shared plan with one reused workspace matches
+/// `discrepancy` through the mutable network, bit for bit, on every
+/// field of the report.
+#[test]
+fn plan_score_matches_mutable_discrepancy_bit_for_bit() {
+    let (mut net, images, labels) = trained_setup();
+    let validator = fit_validator(&net, &images, &labels);
+    let plan = net.plan();
+    let mut sw = ScoreWorkspace::new();
+    Pool::new(1).install(|| {
+        for (i, img) in images.iter().enumerate() {
+            let a = validator.discrepancy(&mut net, img);
+            let b = validator.score(&plan, img, &mut sw);
+            assert_eq!(a.predicted, b.predicted, "prediction differs on image {i}");
+            assert_eq!(
+                a.confidence.to_bits(),
+                b.confidence.to_bits(),
+                "confidence differs on image {i}"
+            );
+            assert_eq!(
+                a.joint.to_bits(),
+                b.joint.to_bits(),
+                "joint discrepancy differs on image {i}"
+            );
+            assert_eq!(a.per_layer.len(), b.per_layer.len());
+            for (l, (x, y)) in a.per_layer.iter().zip(&b.per_layer).enumerate() {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "per-layer score differs on image {i} layer {l}"
+                );
+            }
+        }
+    });
+}
+
+/// Reusing one `ScoreWorkspace` across many images gives the same
+/// results as a fresh workspace per image: warmup state never leaks
+/// into the scores.
+#[test]
+fn workspace_reuse_is_invisible_in_scores() {
+    let (net, images, labels) = trained_setup();
+    let validator = fit_validator(&net, &images, &labels);
+    let plan = net.plan();
+    Pool::new(1).install(|| {
+        let mut reused = ScoreWorkspace::new();
+        for (i, img) in images.iter().take(24).enumerate() {
+            let a = validator.score(&plan, img, &mut reused);
+            let b = validator.score(&plan, img, &mut ScoreWorkspace::new());
+            assert_eq!(
+                a.joint.to_bits(),
+                b.joint.to_bits(),
+                "reused workspace changed the joint score on image {i}"
+            );
+            for (x, y) in a.per_layer.iter().zip(&b.per_layer) {
+                assert_eq!(x.to_bits(), y.to_bits(), "per-layer differs on image {i}");
+            }
+        }
+    });
+}
+
+/// `score_into` fills the caller's buffer with exactly the same values
+/// `score` reports, after clearing whatever was in it.
+#[test]
+fn score_into_matches_score() {
+    let (net, images, labels) = trained_setup();
+    let validator = fit_validator(&net, &images, &labels);
+    let plan = net.plan();
+    Pool::new(1).install(|| {
+        let mut sw = ScoreWorkspace::new();
+        let mut per_layer = vec![f32::NAN; 7]; // stale garbage to be cleared
+        for img in images.iter().take(10) {
+            let report = validator.score(&plan, img, &mut sw);
+            let (predicted, confidence) = validator.score_into(&plan, img, &mut sw, &mut per_layer);
+            assert_eq!(report.predicted, predicted);
+            assert_eq!(report.confidence.to_bits(), confidence.to_bits());
+            assert_eq!(report.per_layer.len(), per_layer.len());
+            for (x, y) in report.per_layer.iter().zip(&per_layer) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    });
+}
+
+/// One shared plan scored through `discrepancies_with_plan` is
+/// bit-identical whether the pool runs one worker or four.
+#[test]
+fn batch_scoring_through_shared_plan_is_thread_count_invariant() {
+    let (net, images, labels) = trained_setup();
+    let validator = fit_validator(&net, &images, &labels);
+    let plan = net.plan();
+    let run = |threads: usize| {
+        Pool::new(threads).install(|| validator.discrepancies_with_plan(&plan, &images[..32]))
+    };
+    let seq = run(1);
+    let par = run(4);
+    assert_eq!(seq.len(), par.len());
+    for (i, (a, b)) in seq.iter().zip(&par).enumerate() {
+        assert_eq!(a.predicted, b.predicted, "prediction differs on image {i}");
+        assert_eq!(
+            a.joint.to_bits(),
+            b.joint.to_bits(),
+            "joint discrepancy differs on image {i}"
+        );
+        for (x, y) in a.per_layer.iter().zip(&b.per_layer) {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "per-layer score differs on image {i}"
+            );
+        }
+    }
+}

@@ -49,13 +49,12 @@ fn setup() -> (Network, Vec<Tensor>, Vec<usize>) {
 fn validator_fit_and_scores_are_bit_identical_across_thread_counts() {
     let (net, images, labels) = setup();
     let run = |threads: usize| {
-        let mut net = net.clone();
+        let net = net.clone();
         let pool = Pool::new(threads);
         pool.install(|| {
-            let validator =
-                DeepValidator::fit(&mut net, &images, &labels, &ValidatorConfig::default())
-                    .expect("fit failed");
-            let reports = validator.discrepancies(&mut net, &images[..16]);
+            let validator = DeepValidator::fit(&net, &images, &labels, &ValidatorConfig::default())
+                .expect("fit failed");
+            let reports = validator.discrepancies(&net, &images[..16]);
             (validator.num_svms(), reports)
         })
     };

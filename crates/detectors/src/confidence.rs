@@ -6,8 +6,8 @@
 //! It is included because confidence thresholding is what practitioners
 //! reach for first.
 
-use dv_nn::Network;
-use dv_tensor::Tensor;
+use dv_nn::{InferencePlan, Network};
+use dv_tensor::{Tensor, Workspace};
 
 use crate::detector::Detector;
 
@@ -30,6 +30,17 @@ impl Detector for MaxConfidence {
     fn score(&mut self, net: &mut Network, image: &Tensor) -> f32 {
         let x = Tensor::stack(std::slice::from_ref(image));
         let (_, confidence) = net.classify(&x);
+        1.0 - confidence
+    }
+
+    fn score_with_plan(
+        &mut self,
+        _net: &mut Network,
+        plan: &InferencePlan,
+        ws: &mut Workspace,
+        image: &Tensor,
+    ) -> f32 {
+        let (_, confidence) = plan.classify(image, ws);
         1.0 - confidence
     }
 }

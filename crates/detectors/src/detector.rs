@@ -1,7 +1,7 @@
 //! The common scoring interface all detectors implement.
 
-use dv_nn::Network;
-use dv_tensor::Tensor;
+use dv_nn::{InferencePlan, Network};
+use dv_tensor::{Tensor, Workspace};
 
 /// An anomaly detector over a classifier's inputs.
 ///
@@ -10,6 +10,12 @@ use dv_tensor::Tensor;
 /// downstream from clean-data quantiles. Detectors take `&mut self`
 /// because scoring may reuse internal buffers, and `&mut Network` because
 /// inference mutates layer caches.
+///
+/// Detectors whose scoring is a pure forward pass also override
+/// [`score_with_plan`](Detector::score_with_plan), which serves from a
+/// shared immutable [`InferencePlan`] and a reusable [`Workspace`]
+/// instead of mutating the network; the default falls back to
+/// [`score`](Detector::score). Both paths produce identical values.
 pub trait Detector {
     /// Short name for tables, e.g. `"feature-squeezing"`.
     fn name(&self) -> &str;
@@ -21,6 +27,59 @@ pub trait Detector {
     fn score_all(&mut self, net: &mut Network, images: &[Tensor]) -> Vec<f32> {
         images.iter().map(|img| self.score(net, img)).collect()
     }
+
+    /// [`score`](Detector::score) against a compiled plan. `plan` must be
+    /// compiled from `net`; detectors that need the training path (e.g.
+    /// gradients) still receive `net` and may fall back to it.
+    fn score_with_plan(
+        &mut self,
+        net: &mut Network,
+        plan: &InferencePlan,
+        ws: &mut Workspace,
+        image: &Tensor,
+    ) -> f32 {
+        let _ = (plan, ws);
+        self.score(net, image)
+    }
+
+    /// Scores a whole set against a compiled plan, reusing one workspace.
+    fn score_all_with_plan(
+        &mut self,
+        net: &mut Network,
+        plan: &InferencePlan,
+        images: &[Tensor],
+    ) -> Vec<f32> {
+        let mut ws = Workspace::new();
+        images
+            .iter()
+            .map(|img| self.score_with_plan(net, plan, &mut ws, img))
+            .collect()
+    }
+}
+
+/// Flattened activation of the plan's last probe point plus the predicted
+/// label, for a single image — the plan-path twin of the detectors'
+/// `last_hidden` helpers, bit-identical to them.
+pub(crate) fn last_hidden_plan(
+    plan: &InferencePlan,
+    ws: &mut Workspace,
+    image: &Tensor,
+) -> (Vec<f32>, usize) {
+    assert!(
+        plan.num_probes() > 0,
+        "network must declare at least one probe point"
+    );
+    let last = plan.num_probes() - 1;
+    let out = plan.forward_probed_into(image, &[last], ws);
+    let row = out.logits();
+    // First-on-ties argmax, the exact semantics of `Tensor::argmax`.
+    let mut best = 0;
+    for (i, &x) in row.iter().enumerate() {
+        if x > row[best] {
+            best = i;
+        }
+    }
+    (out.probe(0).to_vec(), best)
 }
 
 #[cfg(test)]

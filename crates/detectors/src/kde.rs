@@ -6,11 +6,11 @@
 //! the *predicted* class: inputs that land in low-density regions of
 //! their predicted class are suspicious.
 
-use dv_nn::Network;
+use dv_nn::{InferencePlan, Network};
 use dv_tensor::stats::log_sum_exp;
-use dv_tensor::Tensor;
+use dv_tensor::{Tensor, Workspace};
 
-use crate::detector::Detector;
+use crate::detector::{last_hidden_plan, Detector};
 
 /// Per-class Gaussian KDE over last-hidden-layer activations.
 #[derive(Debug, Clone)]
@@ -121,13 +121,29 @@ impl Detector for KdeDetector {
         let (feat, predicted) = last_hidden(net, image);
         -(self.log_density(predicted, &feat) as f32)
     }
+
+    fn score_with_plan(
+        &mut self,
+        _net: &mut Network,
+        plan: &InferencePlan,
+        ws: &mut Workspace,
+        image: &Tensor,
+    ) -> f32 {
+        let (feat, predicted) = last_hidden_plan(plan, ws, image);
+        -(self.log_density(predicted, &feat) as f32)
+    }
 }
 
 /// Flattened activation of the network's last probe point plus the
-/// predicted label, for a single image.
+/// predicted label, for a single image. Taps only the last probe so the
+/// untapped activations are never cloned.
 fn last_hidden(net: &mut Network, image: &Tensor) -> (Vec<f32>, usize) {
+    assert!(
+        net.num_probes() > 0,
+        "network must declare at least one probe point"
+    );
     let x = Tensor::stack(std::slice::from_ref(image));
-    let (logits, probes) = net.forward_probed(&x);
+    let (logits, probes) = net.forward_probed_masked(&x, &[net.num_probes() - 1]);
     let last = probes
         .last()
         .expect("network must declare at least one probe point");

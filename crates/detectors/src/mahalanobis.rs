@@ -7,11 +7,11 @@
 //! Mahalanobis distance to any class mean: inputs far from every class
 //! in feature space are out-of-distribution.
 
-use dv_nn::Network;
+use dv_nn::{InferencePlan, Network};
 use dv_tensor::linalg::{cholesky, quad_form_inv, NotPositiveDefinite};
-use dv_tensor::Tensor;
+use dv_tensor::{Tensor, Workspace};
 
-use crate::detector::Detector;
+use crate::detector::{last_hidden_plan, Detector};
 
 /// Class-conditional Gaussian detector with tied covariance.
 #[derive(Debug, Clone)]
@@ -160,17 +160,35 @@ impl Detector for MahalanobisDetector {
 
     fn score(&mut self, net: &mut Network, image: &Tensor) -> f32 {
         let (feat, _) = last_hidden(net, image);
-        let min_dist = (0..self.means.len())
-            .map(|k| self.distance_sq(k, &feat))
-            .fold(f64::INFINITY, f64::min);
-        min_dist as f32
+        self.min_distance(&feat)
+    }
+
+    fn score_with_plan(
+        &mut self,
+        _net: &mut Network,
+        plan: &InferencePlan,
+        ws: &mut Workspace,
+        image: &Tensor,
+    ) -> f32 {
+        let (feat, _) = last_hidden_plan(plan, ws, image);
+        self.min_distance(&feat)
     }
 }
 
-/// Flattened last-probe activation plus the predicted label.
+impl MahalanobisDetector {
+    fn min_distance(&self, feat: &[f32]) -> f32 {
+        (0..self.means.len())
+            .map(|k| self.distance_sq(k, feat))
+            .fold(f64::INFINITY, f64::min) as f32
+    }
+}
+
+/// Flattened last-probe activation plus the predicted label. Taps only
+/// the last probe so the untapped activations are never cloned.
 fn last_hidden(net: &mut Network, image: &Tensor) -> (Vec<f32>, usize) {
+    assert!(net.num_probes() > 0, "network declares no probe points");
     let x = Tensor::stack(std::slice::from_ref(image));
-    let (logits, probes) = net.forward_probed(&x);
+    let (logits, probes) = net.forward_probed_masked(&x, &[net.num_probes() - 1]);
     let last = probes.last().expect("network declares no probe points");
     (last.index_outer(0).data().to_vec(), logits.row(0).argmax())
 }

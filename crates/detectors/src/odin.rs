@@ -8,9 +8,9 @@
 //! respond much more strongly to the nudge. The anomaly score is
 //! `1 - max softmax(logits(x') / T)`.
 
-use dv_nn::Network;
+use dv_nn::{InferencePlan, Network};
 use dv_tensor::stats::softmax;
-use dv_tensor::Tensor;
+use dv_tensor::{Tensor, Workspace};
 
 use crate::detector::Detector;
 
@@ -47,6 +47,37 @@ impl OdinDetector {
     pub fn temperature(&self) -> f32 {
         self.temperature
     }
+
+    /// Pass 1 plus input preprocessing: one signed-gradient step that
+    /// *increases* the predicted class's temperature-scaled softmax
+    /// probability. Needs the mutable network — the gradient runs through
+    /// the layer caches of the forward pass.
+    /// `d(-log p_y)/d(logits) = (softmax - onehot) / T`.
+    fn preprocess(&self, net: &mut Network, image: &Tensor) -> Tensor {
+        let x = Tensor::stack(std::slice::from_ref(image));
+        let logits = net.forward(&x, false);
+        let scaled = logits.row(0).scale(1.0 / self.temperature);
+        let probs = softmax(&scaled);
+        let predicted = probs.argmax();
+
+        if self.epsilon > 0.0 {
+            let classes = probs.numel();
+            let mut grad_logits = Tensor::zeros(&[1, classes]);
+            for c in 0..classes {
+                let indicator = if c == predicted { 1.0 } else { 0.0 };
+                grad_logits.set(&[0, c], (probs.data()[c] - indicator) / self.temperature);
+            }
+            net.zero_grads();
+            let grad_x = net.backward(&grad_logits).index_outer(0);
+            // Step against the loss gradient (toward higher confidence).
+            image
+                .zip(&grad_x, |v, g| v - self.epsilon * g.signum())
+                .clamp(0.0, 1.0)
+        } else {
+            // dv-lint: allow(tensor-clone, reason = "epsilon == 0 disables the perturbation; returning the input unchanged needs one owned copy and skips the whole backward pass")
+            image.clone()
+        }
+    }
 }
 
 impl Default for OdinDetector {
@@ -61,36 +92,26 @@ impl Detector for OdinDetector {
     }
 
     fn score(&mut self, net: &mut Network, image: &Tensor) -> f32 {
-        // Pass 1: predicted label under temperature scaling.
-        let x = Tensor::stack(std::slice::from_ref(image));
-        let logits = net.forward(&x, false);
-        let scaled = logits.row(0).scale(1.0 / self.temperature);
-        let probs = softmax(&scaled);
-        let predicted = probs.argmax();
-
-        // Input preprocessing: one signed-gradient step that *increases*
-        // the predicted class's temperature-scaled softmax probability.
-        // d(-log p_y)/d(logits) = (softmax - onehot) / T.
-        let perturbed = if self.epsilon > 0.0 {
-            let classes = probs.numel();
-            let mut grad_logits = Tensor::zeros(&[1, classes]);
-            for c in 0..classes {
-                let indicator = if c == predicted { 1.0 } else { 0.0 };
-                grad_logits.set(&[0, c], (probs.data()[c] - indicator) / self.temperature);
-            }
-            net.zero_grads();
-            let grad_x = net.backward(&grad_logits).index_outer(0);
-            // Step against the loss gradient (toward higher confidence).
-            image
-                .zip(&grad_x, |v, g| v - self.epsilon * g.signum())
-                .clamp(0.0, 1.0)
-        } else {
-            image.clone()
-        };
+        let perturbed = self.preprocess(net, image);
 
         // Pass 2: final score on the preprocessed input.
         let xp = Tensor::stack(std::slice::from_ref(&perturbed));
         let logits = net.forward(&xp, false);
+        let probs = softmax(&logits.row(0).scale(1.0 / self.temperature));
+        1.0 - probs.max()
+    }
+
+    fn score_with_plan(
+        &mut self,
+        net: &mut Network,
+        plan: &InferencePlan,
+        ws: &mut Workspace,
+        image: &Tensor,
+    ) -> f32 {
+        // Preprocessing still runs through the mutable network (it needs
+        // the backward pass); only the final forward is served by the plan.
+        let perturbed = self.preprocess(net, image);
+        let logits = plan.forward(&perturbed, ws);
         let probs = softmax(&logits.row(0).scale(1.0 / self.temperature));
         1.0 - probs.max()
     }

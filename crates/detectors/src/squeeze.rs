@@ -6,8 +6,8 @@
 //! barely affected by squeezing; adversarial (and, the conjecture went,
 //! corner-case) inputs are not.
 
-use dv_nn::Network;
-use dv_tensor::Tensor;
+use dv_nn::{InferencePlan, Network};
+use dv_tensor::{Tensor, Workspace};
 
 use crate::detector::Detector;
 
@@ -139,6 +139,23 @@ impl Detector for FeatureSqueezing {
             let squeezed = squeezer.apply(image);
             let xs = Tensor::stack(std::slice::from_ref(&squeezed));
             let p = net.predict(&xs).row(0);
+            best = best.max(base.sub(&p).norm_l1());
+        }
+        best
+    }
+
+    fn score_with_plan(
+        &mut self,
+        _net: &mut Network,
+        plan: &InferencePlan,
+        ws: &mut Workspace,
+        image: &Tensor,
+    ) -> f32 {
+        let base = plan.predict(image, ws).row(0);
+        let mut best = 0.0f32;
+        for squeezer in &self.squeezers {
+            let squeezed = squeezer.apply(image);
+            let p = plan.predict(&squeezed, ws).row(0);
             best = best.max(base.sub(&p).norm_l1());
         }
         best

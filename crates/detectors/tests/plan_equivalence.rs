@@ -1,0 +1,86 @@
+//! Every detector must produce bit-identical scores through the mutable
+//! network path (`score`) and the shared-plan path (`score_with_plan`).
+
+use dv_detectors::{
+    Detector, FeatureSqueezing, KdeDetector, MahalanobisDetector, MaxConfidence, OdinDetector,
+};
+use dv_nn::layers::{Conv2d, Dense, Flatten, MaxPool2, Relu};
+use dv_nn::optim::Adam;
+use dv_nn::train::{fit, TrainConfig};
+use dv_nn::Network;
+use dv_tensor::{Tensor, Workspace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn setup() -> (Network, Vec<Tensor>, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut images = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..80 {
+        let class = i % 2;
+        let level = if class == 0 { 0.2 } else { 0.8 };
+        images.push(Tensor::rand_uniform(
+            &mut rng,
+            &[1, 6, 6],
+            level - 0.15,
+            level + 0.15,
+        ));
+        labels.push(class);
+    }
+    let mut net = Network::new(&[1, 6, 6]);
+    net.push(Conv2d::new(&mut rng, 1, 3, 3))
+        .push_probe(Relu::new())
+        .push(MaxPool2::new())
+        .push(Flatten::new())
+        .push(Dense::new(&mut rng, 3 * 2 * 2, 8))
+        .push_probe(Relu::new())
+        .push(Dense::new(&mut rng, 8, 2));
+    let mut opt = Adam::new(0.02);
+    let cfg = TrainConfig {
+        epochs: 8,
+        batch_size: 16,
+    };
+    fit(&mut net, &mut opt, &images, &labels, &cfg, &mut rng);
+    (net, images, labels)
+}
+
+fn assert_paths_match(d: &mut dyn Detector, net: &mut Network, images: &[Tensor]) {
+    let plan = net.plan();
+    let mut ws = Workspace::new();
+    for img in images {
+        let mutable = d.score(net, img);
+        let planned = d.score_with_plan(net, &plan, &mut ws, img);
+        assert_eq!(
+            mutable.to_bits(),
+            planned.to_bits(),
+            "{}: mutable path {mutable} != plan path {planned}",
+            d.name()
+        );
+    }
+    let all_mutable = d.score_all(net, images);
+    let all_planned = d.score_all_with_plan(net, &plan, images);
+    for (a, b) in all_mutable.iter().zip(&all_planned) {
+        assert_eq!(a.to_bits(), b.to_bits(), "{}: score_all mismatch", d.name());
+    }
+}
+
+#[test]
+fn all_detectors_match_between_paths() {
+    let (mut net, images, labels) = setup();
+    let probe = &images[..12];
+
+    let mut conf = MaxConfidence::new();
+    assert_paths_match(&mut conf, &mut net, probe);
+
+    let mut fs = FeatureSqueezing::mnist_default();
+    assert_paths_match(&mut fs, &mut net, probe);
+
+    let mut odin = OdinDetector::defaults();
+    assert_paths_match(&mut odin, &mut net, probe);
+
+    let mut kde = KdeDetector::fit(&mut net, &images, &labels, 40, None).unwrap();
+    assert_paths_match(&mut kde, &mut net, probe);
+
+    let mut maha = MahalanobisDetector::fit(&mut net, &images, &labels, 40, 0.01).unwrap();
+    assert_paths_match(&mut maha, &mut net, probe);
+}

@@ -8,8 +8,8 @@
 //! true positives in the main tables.
 
 use dv_imgops::TransformKind;
-use dv_nn::Network;
-use dv_tensor::Tensor;
+use dv_nn::{InferencePlan, Network};
+use dv_tensor::{Tensor, Workspace};
 
 /// One synthesized corner case.
 #[derive(Debug, Clone)]
@@ -49,13 +49,26 @@ impl EvaluationSet {
     /// SCC/FCC flag per image.
     pub fn extend_corner(
         &mut self,
-        net: &mut Network,
+        net: &Network,
+        kind: TransformKind,
+        images: impl IntoIterator<Item = (Tensor, usize)>,
+    ) {
+        let plan = net.plan();
+        let mut ws = Workspace::new();
+        self.extend_corner_with_plan(&plan, &mut ws, kind, images);
+    }
+
+    /// [`extend_corner`](EvaluationSet::extend_corner) against an
+    /// already-compiled plan, reusing `ws` across images.
+    pub fn extend_corner_with_plan(
+        &mut self,
+        plan: &InferencePlan,
+        ws: &mut Workspace,
         kind: TransformKind,
         images: impl IntoIterator<Item = (Tensor, usize)>,
     ) {
         for (image, true_label) in images {
-            let x = Tensor::stack(std::slice::from_ref(&image));
-            let (pred, _) = net.classify(&x);
+            let (pred, _) = plan.classify(&image, ws);
             self.corner.push(CornerCase {
                 image,
                 true_label,
@@ -115,7 +128,7 @@ mod tests {
         // One labeled with the predicted class (FCC), one with the other
         // class (SCC).
         set.extend_corner(
-            &mut net,
+            &net,
             TransformKind::Rotation,
             vec![(img.clone(), pred), (img, 1 - pred)],
         );
@@ -127,11 +140,11 @@ mod tests {
 
     #[test]
     fn kinds_reports_present_kinds_in_order() {
-        let mut net = tiny_net();
+        let net = tiny_net();
         let mut set = EvaluationSet::new();
         let img = Tensor::ones(&[1, 2, 2]);
-        set.extend_corner(&mut net, TransformKind::Scale, vec![(img.clone(), 0)]);
-        set.extend_corner(&mut net, TransformKind::Brightness, vec![(img, 0)]);
+        set.extend_corner(&net, TransformKind::Scale, vec![(img.clone(), 0)]);
+        set.extend_corner(&net, TransformKind::Brightness, vec![(img, 0)]);
         assert_eq!(
             set.kinds(),
             vec![TransformKind::Brightness, TransformKind::Scale]

@@ -8,9 +8,8 @@
 //! minimum (~30%) are discarded, reproducing the `-` cells of Table V.
 
 use dv_imgops::{Transform, TransformKind};
-use dv_nn::train::predict_labels;
-use dv_nn::Network;
-use dv_tensor::Tensor;
+use dv_nn::{InferencePlan, Network};
+use dv_tensor::{Tensor, Workspace};
 
 /// An ordered parameter grid for one transformation, weakest first.
 #[derive(Debug, Clone)]
@@ -163,7 +162,22 @@ pub struct SearchOutcome {
 ///
 /// Panics if `seeds` is empty or misaligned with `seed_labels`.
 pub fn grid_search(
-    net: &mut Network,
+    net: &Network,
+    seeds: &[Tensor],
+    seed_labels: &[usize],
+    space: &SearchSpace,
+    target_rate: f32,
+    min_rate: f32,
+) -> SearchOutcome {
+    let plan = net.plan();
+    grid_search_with_plan(&plan, seeds, seed_labels, space, target_rate, min_rate)
+}
+
+/// [`grid_search`] against an already-compiled plan, so concurrent
+/// searches (one per transformation family) can share one immutable plan
+/// instead of cloning the network.
+pub fn grid_search_with_plan(
+    plan: &InferencePlan,
     seeds: &[Tensor],
     seed_labels: &[usize],
     space: &SearchSpace,
@@ -172,10 +186,13 @@ pub fn grid_search(
 ) -> SearchOutcome {
     assert!(!seeds.is_empty(), "no seed images");
     assert_eq!(seeds.len(), seed_labels.len(), "seed/label mismatch");
+    // One workspace serves the whole grid walk.
+    let mut ws = Workspace::new();
     let mut best: Option<(Transform, f32, f32)> = None;
     for step in space.steps() {
         let transformed = step.apply_batch(seeds);
-        let (rate, confidence) = success_rate(net, &transformed, seed_labels);
+        let (rate, confidence) = success_rate_with_plan(plan, &mut ws, &transformed, seed_labels);
+        // dv-lint: allow(tensor-clone, reason = "clones the small transform descriptor once per grid step, never per image")
         best = Some((step.clone(), rate, confidence));
         if rate >= target_rate {
             break;
@@ -201,14 +218,26 @@ pub fn grid_search(
 
 /// Success rate (`1 - accuracy`) and mean confidence on misclassified
 /// images for a transformed seed set.
-pub fn success_rate(net: &mut Network, images: &[Tensor], labels: &[usize]) -> (f32, f32) {
-    let predictions = predict_labels(net, images);
+pub fn success_rate(net: &Network, images: &[Tensor], labels: &[usize]) -> (f32, f32) {
+    let plan = net.plan();
+    let mut ws = Workspace::new();
+    success_rate_with_plan(&plan, &mut ws, images, labels)
+}
+
+/// [`success_rate`] against an already-compiled plan, reusing `ws` so
+/// repeated sweeps (e.g. a grid walk) allocate nothing per image.
+pub fn success_rate_with_plan(
+    plan: &InferencePlan,
+    ws: &mut Workspace,
+    images: &[Tensor],
+    labels: &[usize],
+) -> (f32, f32) {
     let mut wrong = 0usize;
     let mut conf_sum = 0.0f32;
-    for ((img, &label), &pred) in images.iter().zip(labels).zip(&predictions) {
+    for (img, &label) in images.iter().zip(labels) {
+        let (pred, conf) = plan.classify(img, ws);
         if pred != label {
             wrong += 1;
-            let (_, conf) = net.classify(&Tensor::stack(std::slice::from_ref(img)));
             conf_sum += conf;
         }
     }
@@ -297,7 +326,7 @@ mod tests {
         }
         assert!(seeds.len() >= 10);
         let outcome = grid_search(
-            &mut net,
+            &net,
             &seeds,
             &seed_labels,
             &SearchSpace::brightness(),
@@ -316,7 +345,7 @@ mod tests {
 
     #[test]
     fn search_stops_at_first_success_not_at_grid_end() {
-        let (mut net, images, labels) = brightness_sensitive_model();
+        let (net, images, labels) = brightness_sensitive_model();
         let mut seeds = Vec::new();
         let mut seed_labels = Vec::new();
         for (img, &l) in images.iter().zip(&labels) {
@@ -326,7 +355,7 @@ mod tests {
             }
         }
         let outcome = grid_search(
-            &mut net,
+            &net,
             &seeds,
             &seed_labels,
             &SearchSpace::brightness(),
@@ -344,14 +373,14 @@ mod tests {
         // translation cannot reach a 30% success rate... but translation
         // moves content out of frame, changing brightness. Use a tiny
         // translation grid that cannot possibly disturb the mean much.
-        let (mut net, images, labels) = brightness_sensitive_model();
+        let (net, images, labels) = brightness_sensitive_model();
         let seeds: Vec<Tensor> = images[..20].to_vec();
         let seed_labels: Vec<usize> = labels[..20].to_vec();
         let space = SearchSpace::new(
             TransformKind::Translation,
             vec![Transform::Translation { tx: 0.25, ty: 0.0 }],
         );
-        let outcome = grid_search(&mut net, &seeds, &seed_labels, &space, 0.6, 0.3);
+        let outcome = grid_search(&net, &seeds, &seed_labels, &space, 0.6, 0.3);
         assert!(outcome.chosen.is_none(), "tiny translation should fail");
         assert!(outcome.success_rate < 0.3);
     }
@@ -367,7 +396,7 @@ mod tests {
                 seed_labels.push(l);
             }
         }
-        let (rate, conf) = success_rate(&mut net, &seeds, &seed_labels);
+        let (rate, conf) = success_rate(&net, &seeds, &seed_labels);
         assert_eq!(rate, 0.0);
         assert_eq!(conf, 0.0);
     }

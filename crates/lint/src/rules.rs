@@ -11,6 +11,7 @@
 //! | `no-unwrap` (R4)         | no `.unwrap()`, empty `.expect("")`, or message-less `panic!()` in non-test library code — propagate `Result` or name the violated invariant |
 //! | `float-eq` (R5a)         | no `==`/`!=` against float literals in numeric code — exact float compares are almost always a tolerance bug |
 //! | `wall-clock` (R5b)       | no `Instant::now`/`SystemTime::now` in numeric kernels — wall-clock reads make kernel behaviour timing-dependent |
+//! | `tensor-clone` (R6)      | no `.clone()` in the inference crates (`core`, `detectors`, `eval`) — the serving path is allocation-free (`InferencePlan` + workspace); a clone is a per-image heap hit unless proven cold with a reasoned allow |
 //!
 //! Rules see only the lexed token stream (comments and string literals are
 //! already stripped), and skip `#[cfg(test)]` regions, so test code may use
@@ -25,6 +26,7 @@ pub const SAFETY_COMMENT: &str = "safety-comment";
 pub const NO_UNWRAP: &str = "no-unwrap";
 pub const FLOAT_EQ: &str = "float-eq";
 pub const WALL_CLOCK: &str = "wall-clock";
+pub const TENSOR_CLONE: &str = "tensor-clone";
 pub const BAD_DIRECTIVE: &str = "bad-directive";
 
 /// All suppressible rule ids, in report order.
@@ -35,6 +37,7 @@ pub const ALL_RULES: &[&str] = &[
     NO_UNWRAP,
     FLOAT_EQ,
     WALL_CLOCK,
+    TENSOR_CLONE,
 ];
 
 /// Per-file context handed to each rule.
@@ -74,6 +77,10 @@ pub fn rule_applies(rule: &str, crate_dir: &str) -> bool {
     match rule {
         THREAD_DISCIPLINE => crate_dir != "runtime",
         WALL_CLOCK => crate_dir != "runtime" && crate_dir != "bench",
+        // The inference crates promise an allocation-free serving path;
+        // everywhere else (tensor kernels, training, experiment drivers)
+        // owned copies are part of the job.
+        TENSOR_CLONE => matches!(crate_dir, "core" | "detectors" | "eval"),
         _ => true,
     }
 }
@@ -97,6 +104,9 @@ pub fn check_file(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
     }
     if rule_applies(WALL_CLOCK, ctx.crate_dir) {
         check_wall_clock(ctx, out);
+    }
+    if rule_applies(TENSOR_CLONE, ctx.crate_dir) {
+        check_tensor_clone(ctx, out);
     }
 }
 
@@ -353,6 +363,40 @@ fn check_wall_clock(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// R6: `.clone()` calls in the inference crates.
+///
+/// The serving path runs through a shared `&InferencePlan` and reusable
+/// workspaces precisely so nothing is copied per image; a `.clone()` in
+/// `core`/`detectors`/`eval` library code is either a per-image heap
+/// allocation (a regression) or a cold fit/setup-time copy (fine, but it
+/// must say so in a reasoned allow). Lexically this cannot see types, so
+/// every clone — tensor or not — needs the justification.
+fn check_tensor_clone(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    let toks = &ctx.lexed.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if !is_ident(t, "clone") || ctx.in_test(t.line) {
+            continue;
+        }
+        let dotted = i >= 1 && is_punct(&toks[i - 1], ".");
+        let called = matches!(
+            (toks.get(i + 1), toks.get(i + 2)),
+            (Some(a), Some(b)) if is_punct(a, "(") && is_punct(b, ")")
+        );
+        if dotted && called {
+            out.push(
+                ctx.diag(
+                    TENSOR_CLONE,
+                    t.line,
+                    "clone() on the inference path is a per-image heap allocation; score \
+                 through a shared InferencePlan + workspace, hoist the copy to fit/setup \
+                 time, or allow with the reason the clone is cold"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -419,6 +463,26 @@ mod tests {
         let separated =
             "// SAFETY: stale argument\nfn g() {}\nfn f() { let _ = unsafe { 1 + 1 }; }\n";
         assert_eq!(run(separated, "tensor").len(), 1);
+    }
+
+    #[test]
+    fn tensor_clone_fires_only_in_inference_crates() {
+        let src = "fn f(x: &Tensor) -> Tensor { x.clone() }\n";
+        for dir in ["core", "detectors", "eval"] {
+            let diags = run(src, dir);
+            assert_eq!(diags.len(), 1, "{dir}: {diags:?}");
+            assert_eq!(diags[0].rule, TENSOR_CLONE);
+        }
+        for dir in ["tensor", "nn", "attacks", "bench", "root"] {
+            assert!(run(src, dir).is_empty(), "{dir} should be exempt");
+        }
+    }
+
+    #[test]
+    fn tensor_clone_skips_tests_derives_and_non_call_mentions() {
+        let src = "#[derive(Debug, Clone)]\nstruct S;\n\
+                   #[cfg(test)]\nmod tests {\n    fn g(x: &Tensor) -> Tensor { x.clone() }\n}\n";
+        assert!(run(src, "core").is_empty());
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! The [`Layer`] trait: one component in the paper's composition
 //! `f(x) = f_L(f_{L-1}(... f_1(x)))`.
 
-use dv_tensor::Tensor;
+use dv_tensor::{SlotAllocator, Tensor};
+
+use crate::plan::PlanOp;
 
 /// One differentiable network component operating on batches.
 ///
@@ -69,6 +71,11 @@ pub trait Layer: Send + Sync {
     /// can be cloned for data-parallel inference. Typically implemented as
     /// `Box::new(self.clone())`.
     fn clone_box(&self) -> Box<dyn Layer>;
+
+    /// Compiles this layer's inference-time behaviour into an immutable
+    /// [`PlanOp`], reserving any workspace scratch slots it needs from
+    /// `slots`. Parameters are copied, so the plan outlives the network.
+    fn plan_op(&self, slots: &mut SlotAllocator) -> Box<dyn PlanOp>;
 }
 
 /// Splits a batched tensor `[N, ...]` into its batch size and per-item

@@ -3,10 +3,11 @@
 
 use dv_tensor::conv::{col2im, im2col, Conv2dGeom};
 use dv_tensor::matmul::{matmul, matmul_nt, matmul_tn};
-use dv_tensor::Tensor;
+use dv_tensor::{SlotAllocator, Tensor};
 use rand::Rng;
 
 use crate::layer::{batch_dims, Layer};
+use crate::plan::{Conv2dOp, DenseOp, IdentityOp, MaxPool2Op, PlanOp, ReluOp};
 
 /// 2-D convolution with square kernels, stride 1 and optional zero padding.
 ///
@@ -180,6 +181,18 @@ impl Layer for Conv2d {
         );
         *slot = value;
     }
+
+    fn plan_op(&self, slots: &mut SlotAllocator) -> Box<dyn PlanOp> {
+        Box::new(Conv2dOp {
+            weight: self.weight.clone(),
+            bias: self.bias.clone(),
+            in_channels: self.in_channels,
+            out_channels: self.out_channels,
+            kernel: self.kernel,
+            pad: self.pad,
+            cols_slot: slots.alloc(),
+        })
+    }
 }
 
 /// Fully connected layer: `y = x W^T + b`.
@@ -299,6 +312,15 @@ impl Layer for Dense {
         );
         *slot = value;
     }
+
+    fn plan_op(&self, _slots: &mut SlotAllocator) -> Box<dyn PlanOp> {
+        Box::new(DenseOp {
+            weight: self.weight.clone(),
+            bias: self.bias.clone(),
+            in_features: self.in_features,
+            out_features: self.out_features,
+        })
+    }
 }
 
 /// Rectified linear unit, applied elementwise.
@@ -352,6 +374,10 @@ impl Layer for Relu {
 
     fn load_param(&mut self, name: &str, _value: Tensor) {
         panic!("relu has no parameter named {name:?}");
+    }
+
+    fn plan_op(&self, _slots: &mut SlotAllocator) -> Box<dyn PlanOp> {
+        Box::new(ReluOp)
     }
 }
 
@@ -445,6 +471,10 @@ impl Layer for MaxPool2 {
     fn load_param(&mut self, name: &str, _value: Tensor) {
         panic!("maxpool2 has no parameter named {name:?}");
     }
+
+    fn plan_op(&self, _slots: &mut SlotAllocator) -> Box<dyn PlanOp> {
+        Box::new(MaxPool2Op)
+    }
 }
 
 /// Flattens `[N, C, H, W]` (or any batched shape) to `[N, D]`.
@@ -499,6 +529,10 @@ impl Layer for Flatten {
 
     fn load_param(&mut self, name: &str, _value: Tensor) {
         panic!("flatten has no parameter named {name:?}");
+    }
+
+    fn plan_op(&self, _slots: &mut SlotAllocator) -> Box<dyn PlanOp> {
+        Box::new(IdentityOp { label: "flatten" })
     }
 }
 

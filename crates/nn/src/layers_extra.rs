@@ -6,12 +6,13 @@
 //! built with true dense blocks (see `dv-bench`'s model notes), and
 //! [`Dropout`]/[`BatchNorm2d`] round out the standard CNN toolbox.
 
-use dv_tensor::Tensor;
+use dv_tensor::{SlotAllocator, Tensor};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::layer::Layer;
 use crate::layers::{Conv2d, Relu};
+use crate::plan::{BatchNorm2dOp, DenseBlockOp, IdentityOp, PlanOp};
 
 /// Inverted dropout: during training each activation is zeroed with
 /// probability `p` and survivors are scaled by `1/(1-p)`; at inference
@@ -92,6 +93,11 @@ impl Layer for Dropout {
 
     fn load_param(&mut self, name: &str, _value: Tensor) {
         panic!("dropout has no parameter named {name:?}");
+    }
+
+    fn plan_op(&self, _slots: &mut SlotAllocator) -> Box<dyn PlanOp> {
+        // Inference-mode dropout is the identity.
+        Box::new(IdentityOp { label: "dropout" })
     }
 }
 
@@ -304,6 +310,22 @@ impl Layer for BatchNorm2d {
         );
         *slot = value;
     }
+
+    fn plan_op(&self, _slots: &mut SlotAllocator) -> Box<dyn PlanOp> {
+        // Freeze the running statistics, precomputing 1/sqrt(var + eps)
+        // with the same formula as the inference forward.
+        Box::new(BatchNorm2dOp {
+            means: self.running_mean.data().to_vec(),
+            inv_std: self
+                .running_var
+                .data()
+                .iter()
+                .map(|&v| 1.0 / (v + self.eps).sqrt())
+                .collect(),
+            gamma: self.gamma.data().to_vec(),
+            beta: self.beta.data().to_vec(),
+        })
+    }
 }
 
 /// A DenseNet-style densely connected block: `layers` conv+ReLU stages,
@@ -498,6 +520,16 @@ impl Layer for DenseBlock {
             .unwrap_or_else(|| panic!("bad dense block parameter {name:?}"));
         assert!(idx < self.convs.len(), "stage {idx} out of range");
         self.convs[idx].load_param(param, value);
+    }
+
+    fn plan_op(&self, slots: &mut SlotAllocator) -> Box<dyn PlanOp> {
+        Box::new(DenseBlockOp {
+            stages: self.convs.iter().map(|c| c.plan_op(slots)).collect(),
+            in_channels: self.in_channels,
+            growth: self.growth,
+            state_slots: [slots.alloc(), slots.alloc()],
+            feat_slot: slots.alloc(),
+        })
     }
 }
 

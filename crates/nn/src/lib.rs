@@ -48,7 +48,9 @@ pub mod layers_extra;
 pub mod loss;
 pub mod network;
 pub mod optim;
+pub mod plan;
 pub mod train;
 
 pub use layer::Layer;
 pub use network::Network;
+pub use plan::{InferencePlan, PlanOp, PlanOutput};

@@ -11,9 +11,10 @@ use std::path::Path;
 
 use dv_tensor::io::{read_named, write_named, DecodeError};
 use dv_tensor::stats::softmax;
-use dv_tensor::Tensor;
+use dv_tensor::{SlotAllocator, Tensor};
 
 use crate::layer::Layer;
+use crate::plan::InferencePlan;
 
 /// A sequential stack of layers with declared probe points.
 ///
@@ -134,16 +135,67 @@ impl Network {
     ///
     /// Panics on input shape mismatch.
     pub fn forward_probed(&mut self, input: &Tensor) -> (Tensor, Vec<Tensor>) {
+        let all: Vec<usize> = (0..self.probe_points.len()).collect();
+        self.forward_probed_masked(input, &all)
+    }
+
+    /// Forward pass capturing only the probe points selected by `taps`
+    /// (strictly ascending indices into the probe list). A validator
+    /// monitoring a subset of layers pays for exactly those clones and no
+    /// others.
+    ///
+    /// Returns `(logits, probes)` with `probes` in `taps` order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on input shape mismatch or an out-of-range/unsorted tap.
+    pub fn forward_probed_masked(
+        &mut self,
+        input: &Tensor,
+        taps: &[usize],
+    ) -> (Tensor, Vec<Tensor>) {
         self.check_input(input);
+        for w in taps.windows(2) {
+            assert!(w[0] < w[1], "taps must be strictly ascending");
+        }
+        if let Some(&last) = taps.last() {
+            assert!(last < self.probe_points.len(), "tap {last} out of range");
+        }
         let mut x = input.clone();
-        let mut probes = Vec::with_capacity(self.probe_points.len());
+        let mut probes = Vec::with_capacity(taps.len());
+        let mut v = 0usize;
         for (i, layer) in self.layers.iter_mut().enumerate() {
             x = layer.forward(&x, false);
             if self.probe_points.contains(&i) {
-                probes.push(x.clone());
+                if taps.contains(&v) {
+                    probes.push(x.clone());
+                }
+                v += 1;
             }
         }
         (x, probes)
+    }
+
+    /// Compiles the network into a shared-immutable [`InferencePlan`]:
+    /// parameters are copied out of the layers and every op pre-reserves
+    /// its workspace scratch, so the plan serves inference from `&self`
+    /// across any number of workers with no per-image allocation.
+    pub fn plan(&self) -> InferencePlan {
+        let mut slots = SlotAllocator::new();
+        let ops = self.layers.iter().map(|l| l.plan_op(&mut slots)).collect();
+        let mut dims = self.input_dims.clone();
+        let mut out_dims = Vec::with_capacity(self.layers.len());
+        for layer in &self.layers {
+            dims = layer.output_shape(&dims);
+            out_dims.push(dims.clone());
+        }
+        InferencePlan::from_parts(
+            self.input_dims.clone(),
+            ops,
+            out_dims,
+            self.probe_points.clone(),
+            slots.count(),
+        )
     }
 
     /// Backward pass from a logits gradient; returns the input gradient.
@@ -398,5 +450,83 @@ mod tests {
         let mut net = tiny_cnn(8);
         // conv: 4*9 + 4; dense1: 36*10 + 10; dense2: 10*3 + 3.
         assert_eq!(net.num_params(), 36 + 4 + 360 + 10 + 30 + 3);
+    }
+
+    #[test]
+    fn masked_probes_select_a_subset() {
+        let mut net = tiny_cnn(9);
+        let mut rng = StdRng::seed_from_u64(11);
+        let x = Tensor::randn(&mut rng, &[2, 1, 8, 8], 1.0);
+        let (logits_all, all) = net.forward_probed(&x);
+        let (logits_one, one) = net.forward_probed_masked(&x, &[1]);
+        assert_eq!(logits_all.data(), logits_one.data());
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].data(), all[1].data());
+        let (_, none) = net.forward_probed_masked(&x, &[]);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn masked_probes_reject_unsorted_taps() {
+        let mut net = tiny_cnn(10);
+        let _ = net.forward_probed_masked(&Tensor::zeros(&[1, 1, 8, 8]), &[1, 0]);
+    }
+
+    #[test]
+    fn plan_matches_network_bit_for_bit() {
+        use dv_tensor::Workspace;
+        let mut net = tiny_cnn(11);
+        let plan = net.plan();
+        let mut ws = Workspace::new();
+        let mut rng = StdRng::seed_from_u64(13);
+        let x = Tensor::randn(&mut rng, &[3, 1, 8, 8], 1.0);
+
+        let (logits, probes) = net.forward_probed(&x);
+        let out = plan.forward_probed_into(&x, &[0, 1], &mut ws);
+        assert_eq!(out.logits(), logits.data());
+        assert_eq!(out.probe(0), probes[0].data());
+        assert_eq!(out.probe(1), probes[1].data());
+
+        let single = x.index_outer(0);
+        let batched = Tensor::stack(std::slice::from_ref(&single));
+        let (want_label, want_conf) = net.classify(&batched);
+        // Unbatched [C, H, W] input is accepted as a batch of one.
+        let (label, conf) = plan.classify(&single, &mut ws);
+        assert_eq!(label, want_label);
+        assert_eq!(conf.to_bits(), want_conf.to_bits());
+        assert_eq!(plan.predict(&x, &mut ws).data(), net.predict(&x).data());
+    }
+
+    #[test]
+    fn plan_covers_extra_layers_bit_for_bit() {
+        use crate::layers_extra::{BatchNorm2d, DenseBlock, Dropout};
+        use dv_tensor::Workspace;
+        let mut rng = StdRng::seed_from_u64(14);
+        let mut net = Network::new(&[2, 6, 6]);
+        let block = DenseBlock::new(&mut rng, 2, 3, 2);
+        let block_out = block.out_channels();
+        net.push(BatchNorm2d::new(2))
+            .push_probe(block)
+            .push(Dropout::new(0.3, 5))
+            .push(MaxPool2::new())
+            .push(Flatten::new())
+            .push_probe(Dense::new(&mut rng, block_out * 9, 4));
+        // A few training batches so batchnorm's running stats are non-trivial.
+        for _ in 0..3 {
+            let x = Tensor::randn(&mut rng, &[4, 2, 6, 6], 1.0);
+            let _ = net.forward(&x, true);
+        }
+        let plan = net.plan();
+        let mut ws = Workspace::new();
+        let x = Tensor::randn(&mut rng, &[2, 2, 6, 6], 1.0);
+        let (logits, probes) = net.forward_probed(&x);
+        let out = plan.forward_probed_into(&x, &[0, 1], &mut ws);
+        assert_eq!(out.logits(), logits.data());
+        assert_eq!(out.probe(0), probes[0].data());
+        assert_eq!(out.probe(1), probes[1].data());
+        // A reused workspace must give the same bits as a fresh one.
+        let again = plan.forward(&x, &mut ws);
+        assert_eq!(again.data(), logits.data());
     }
 }

@@ -76,11 +76,38 @@ pub fn im2col(image: &Tensor, geom: &Conv2dGeom) -> Tensor {
         &[geom.in_channels, geom.in_h, geom.in_w],
         "im2col input shape mismatch"
     );
+    let cols = geom.col_cols();
+    let mut out = vec![0.0f32; geom.col_rows() * cols];
+    im2col_into(image.data(), geom, &mut out);
+    Tensor::from_vec(out, &[geom.col_rows(), cols])
+}
+
+/// [`im2col`] into a caller-provided buffer: `data` is the flat `[C, H, W]`
+/// image, `out` receives the `[C*k*k, out_h*out_w]` column matrix. The
+/// buffer is zeroed first (padding taps must read as zero).
+///
+/// Same per-row fill loops and parallel split as [`im2col`], so the
+/// lowering is bit-identical; this is the allocation-free entry point the
+/// inference plan's convolutions use.
+///
+/// # Panics
+///
+/// Panics if either slice length disagrees with `geom`.
+pub fn im2col_into(data: &[f32], geom: &Conv2dGeom, out: &mut [f32]) {
+    assert_eq!(
+        data.len(),
+        geom.in_channels * geom.in_h * geom.in_w,
+        "im2col_into image length mismatch"
+    );
     let (oh, ow) = (geom.out_h(), geom.out_w());
     let k = geom.kernel;
     let cols = oh * ow;
-    let mut out = vec![0.0f32; geom.col_rows() * cols];
-    let data = image.data();
+    assert_eq!(
+        out.len(),
+        geom.col_rows() * cols,
+        "im2col_into out length mismatch"
+    );
+    out.fill(0.0);
     let fill_row = |row: usize, dst: &mut [f32]| {
         let (h, w) = (geom.in_h as isize, geom.in_w as isize);
         let kx = row % k;
@@ -105,13 +132,12 @@ pub fn im2col(image: &Tensor, geom: &Conv2dGeom) -> Tensor {
     // copy into its own chunk, so large lowerings fan rows out across the
     // pool; small ones stay sequential to dodge fork/join overhead.
     if out.len() >= 1 << 14 && geom.col_rows() > 1 {
-        dv_runtime::par_chunks_mut(&mut out, cols, fill_row);
+        dv_runtime::par_chunks_mut(out, cols, fill_row);
     } else {
         for (row, dst) in out.chunks_mut(cols).enumerate() {
             fill_row(row, dst);
         }
     }
-    Tensor::from_vec(out, &[geom.col_rows(), cols])
 }
 
 /// Adjoint of [`im2col`]: scatters a column-matrix gradient back to an image.

@@ -32,6 +32,10 @@ pub mod matmul;
 pub mod shape;
 pub mod stats;
 pub mod tensor;
+pub mod view;
+pub mod workspace;
 
 pub use shape::Shape;
 pub use tensor::Tensor;
+pub use view::{TensorView, TensorViewMut};
+pub use workspace::{SlotAllocator, Workspace};

@@ -36,12 +36,30 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (kb, n) = dims2(b, "matmul rhs");
     assert_eq!(k, kb, "matmul inner dims differ: {k} vs {kb}");
     let mut out = vec![0.0f32; m * n];
-    let ad = a.data();
-    let bd = b.data();
+    matmul_into(a.data(), m, k, b.data(), n, &mut out);
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// `C = A * B` into a caller-provided buffer: `a` is `[m, k]` row-major,
+/// `b` is `[k, n]`, `out` receives `[m, n]`. The buffer is zeroed first,
+/// so its previous contents do not matter.
+///
+/// Identical loop structure, accumulation order and parallel split as
+/// [`matmul`], so results are bit-for-bit the same — this is the
+/// allocation-free entry point the inference plan uses.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the stated dimensions.
+pub fn matmul_into(ad: &[f32], m: usize, k: usize, bd: &[f32], n: usize, out: &mut [f32]) {
+    assert_eq!(ad.len(), m * k, "matmul_into lhs length mismatch");
+    assert_eq!(bd.len(), k * n, "matmul_into rhs length mismatch");
+    assert_eq!(out.len(), m * n, "matmul_into out length mismatch");
+    out.fill(0.0);
     if m > BLOCK && m * k * n >= PAR_FLOPS {
         // One task per row-block: blocks own disjoint slices of `out` and
         // run the identical per-row loops, so the product is bit-exact.
-        dv_runtime::par_chunks_mut(&mut out, BLOCK * n, |bi, rows| {
+        dv_runtime::par_chunks_mut(out, BLOCK * n, |bi, rows| {
             let i0 = bi * BLOCK;
             matmul_block(ad, bd, i0, (i0 + BLOCK).min(m), k, n, rows);
         });
@@ -51,7 +69,6 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
             matmul_block(ad, bd, i0, i1, k, n, &mut out[i0 * n..i1 * n]);
         }
     }
-    Tensor::from_vec(out, &[m, n])
 }
 
 /// Computes output rows `i0..i1` of `A * B` into `rows` (their slice of
@@ -132,12 +149,28 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
     let (n, kb) = dims2(b, "matmul_nt rhs");
     assert_eq!(k, kb, "matmul_nt inner dims differ: {k} vs {kb}");
     let mut out = vec![0.0f32; m * n];
-    let ad = a.data();
-    let bd = b.data();
+    matmul_nt_into(a.data(), m, k, b.data(), n, &mut out);
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// `C = A * B^T` into a caller-provided buffer: `a` is `[m, k]`, `b` is
+/// `[n, k]`, `out` receives `[m, n]`. Every element is assigned, so the
+/// buffer's previous contents do not matter.
+///
+/// Same loops, accumulation order and parallel split as [`matmul_nt`]
+/// (bit-identical results); used by the inference plan's dense layers.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the stated dimensions.
+pub fn matmul_nt_into(ad: &[f32], m: usize, k: usize, bd: &[f32], n: usize, out: &mut [f32]) {
+    assert_eq!(ad.len(), m * k, "matmul_nt_into lhs length mismatch");
+    assert_eq!(bd.len(), n * k, "matmul_nt_into rhs length mismatch");
+    assert_eq!(out.len(), m * n, "matmul_nt_into out length mismatch");
     if m > 1 && m * k * n >= PAR_FLOPS {
         // Row-parallel: each output row is an independent set of dot
         // products with an unchanged accumulation order (bit-exact).
-        dv_runtime::par_chunks_mut(&mut out, n, |i, crow| {
+        dv_runtime::par_chunks_mut(out, n, |i, crow| {
             matmul_nt_row(ad, bd, i, k, crow);
         });
     } else {
@@ -145,7 +178,6 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
             matmul_nt_row(ad, bd, i, k, &mut out[i * n..(i + 1) * n]);
         }
     }
-    Tensor::from_vec(out, &[m, n])
 }
 
 /// Computes output row `i` of `A * B^T` into `crow`.

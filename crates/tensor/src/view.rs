@@ -1,0 +1,146 @@
+//! Borrowed tensor views for the allocation-free inference path.
+//!
+//! A [`TensorView`] is `(dims, &[f32])`: the shape lives wherever the
+//! caller keeps it (an inference plan, a [`Tensor`]) and the data is a
+//! borrowed slice, typically a region of a [`Workspace`](crate::Workspace)
+//! buffer. Views never own memory, so handing them through a layer stack
+//! costs nothing.
+
+use crate::tensor::Tensor;
+
+/// Immutable borrowed view: a shape plus a matching flat `f32` slice.
+#[derive(Clone, Copy, Debug)]
+pub struct TensorView<'a> {
+    dims: &'a [usize],
+    data: &'a [f32],
+}
+
+impl<'a> TensorView<'a> {
+    /// Builds a view over `data` with logical shape `dims`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not equal the product of `dims`.
+    pub fn new(dims: &'a [usize], data: &'a [f32]) -> Self {
+        let numel: usize = dims.iter().product();
+        assert_eq!(
+            data.len(),
+            numel,
+            "view data length {} does not match shape {:?}",
+            data.len(),
+            dims
+        );
+        Self { dims, data }
+    }
+
+    /// The logical shape.
+    pub fn dims(&self) -> &'a [usize] {
+        self.dims
+    }
+
+    /// The flat row-major data.
+    pub fn data(&self) -> &'a [f32] {
+        self.data
+    }
+
+    /// Number of elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Copies the view into an owned [`Tensor`] (allocates).
+    pub fn to_tensor(&self) -> Tensor {
+        Tensor::from_vec(self.data.to_vec(), self.dims)
+    }
+}
+
+/// Mutable borrowed view: a shape plus a matching flat mutable slice.
+#[derive(Debug)]
+pub struct TensorViewMut<'a> {
+    dims: &'a [usize],
+    data: &'a mut [f32],
+}
+
+impl<'a> TensorViewMut<'a> {
+    /// Builds a mutable view over `data` with logical shape `dims`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not equal the product of `dims`.
+    pub fn new(dims: &'a [usize], data: &'a mut [f32]) -> Self {
+        let numel: usize = dims.iter().product();
+        assert_eq!(
+            data.len(),
+            numel,
+            "view data length {} does not match shape {:?}",
+            data.len(),
+            dims
+        );
+        Self { dims, data }
+    }
+
+    /// The logical shape.
+    pub fn dims(&self) -> &'a [usize] {
+        self.dims
+    }
+
+    /// The flat row-major data, immutably.
+    pub fn data(&self) -> &[f32] {
+        self.data
+    }
+
+    /// The flat row-major data, mutably.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        self.data
+    }
+
+    /// Reborrows as an immutable view.
+    pub fn as_view(&self) -> TensorView<'_> {
+        TensorView {
+            dims: self.dims,
+            data: self.data,
+        }
+    }
+}
+
+impl Tensor {
+    /// Borrows this tensor as a [`TensorView`].
+    pub fn view(&self) -> TensorView<'_> {
+        TensorView {
+            dims: self.shape().dims(),
+            data: self.data(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn view_round_trips_tensor() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let v = t.view();
+        assert_eq!(v.dims(), &[2, 2]);
+        assert_eq!(v.numel(), 4);
+        assert_eq!(v.to_tensor(), t);
+    }
+
+    #[test]
+    fn mut_view_writes_through() {
+        let mut buf = vec![0.0f32; 3];
+        let dims = [3usize];
+        let mut v = TensorViewMut::new(&dims, &mut buf);
+        v.data_mut()[1] = 5.0;
+        assert_eq!(v.as_view().data(), &[0.0, 5.0, 0.0]);
+        assert_eq!(buf, vec![0.0, 5.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn mismatched_view_panics() {
+        let buf = [1.0f32; 3];
+        let dims = [2usize, 2];
+        let _ = TensorView::new(&dims, &buf);
+    }
+}

@@ -50,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("fitting Deep Validation on clean training data only...");
     let validator = DeepValidator::fit(
-        &mut net,
+        &net,
         &ds.train.images,
         &ds.train.labels,
         &ValidatorConfig::default(),

@@ -79,7 +79,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Fit the validator on the same training data the model saw.
     let validator = DeepValidator::fit(
-        &mut net,
+        &net,
         &train_images,
         &train_labels,
         &ValidatorConfig::default(),

@@ -74,7 +74,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The three detectors under identical conditions.
     let validator = DeepValidator::fit(
-        &mut net,
+        &net,
         &ds.train.images,
         &ds.train.labels,
         &ValidatorConfig::default(),

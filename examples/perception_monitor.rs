@@ -52,7 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("fitting the runtime monitor (Deep Validation)...");
     let validator = DeepValidator::fit(
-        &mut net,
+        &net,
         &ds.train.images,
         &ds.train.labels,
         &ValidatorConfig::default(),

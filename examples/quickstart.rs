@@ -63,7 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 4. Fit Deep Validation on the same training data (Algorithm 1).
     println!("fitting Deep Validation...");
     let validator = DeepValidator::fit(
-        &mut net,
+        &net,
         &ds.train.images,
         &ds.train.labels,
         &ValidatorConfig::default(),

@@ -54,7 +54,7 @@ fn attacks_reduce_accuracy_and_are_detected() {
     assert!(stats.accuracy > 0.7, "model too weak: {}", stats.accuracy);
 
     let validator = DeepValidator::fit(
-        &mut net,
+        &net,
         &ds.train.images,
         &ds.train.labels,
         &ValidatorConfig::default(),
@@ -128,7 +128,7 @@ fn fgsm_is_weaker_than_bim_on_the_same_budget() {
 fn all_detector_families_rank_corner_cases_above_clean() {
     let (mut net, ds) = trained();
     let validator = DeepValidator::fit(
-        &mut net,
+        &net,
         &ds.train.images,
         &ds.train.labels,
         &ValidatorConfig::default(),
