@@ -23,13 +23,23 @@ fn main() {
         let clean: Vec<f32> = eval_set
             .clean
             .iter()
-            .map(|img| validator.score(&plan, img, &mut sw).joint)
+            .map(|img| {
+                validator
+                    .score(&plan, img, &mut sw)
+                    .expect("eval-set images are well-formed")
+                    .joint
+            })
             .collect();
         let sccs: Vec<f32> = eval_set
             .corner
             .iter()
             .filter(|c| c.successful)
-            .map(|c| validator.score(&plan, &c.image, &mut sw).joint)
+            .map(|c| {
+                validator
+                    .score(&plan, &c.image, &mut sw)
+                    .expect("corner-case images are well-formed")
+                    .joint
+            })
             .collect();
         if sccs.is_empty() {
             eprintln!("[{}] no SCCs", spec.name());

@@ -151,22 +151,31 @@ fn measure_plan(
     let mut sw = ScoreWorkspace::new();
     let mut per_layer = Vec::new();
     // Warm up: the first image grows every buffer to its steady size.
-    validator.score_into(plan, &images[0], &mut sw, &mut per_layer);
+    validator
+        .score_into(plan, &images[0], &mut sw, &mut per_layer)
+        .expect("fixture images are well-formed");
     let joints: Vec<f32> = images
         .iter()
-        .map(|img| validator.score(plan, img, &mut sw).joint)
+        .map(|img| {
+            validator
+                .score(plan, img, &mut sw)
+                .expect("fixture images are well-formed")
+                .joint
+        })
         .collect();
     let n = images.len() as f64;
     let us = time_us(5, || {
         for img in images {
-            validator.score_into(plan, img, &mut sw, &mut per_layer);
+            let ok = validator.score_into(plan, img, &mut sw, &mut per_layer);
             std::hint::black_box(&per_layer);
+            std::hint::black_box(&ok);
         }
     });
     let (allocs, bytes, ()) = count_allocs(|| {
         for img in images {
-            validator.score_into(plan, img, &mut sw, &mut per_layer);
+            let ok = validator.score_into(plan, img, &mut sw, &mut per_layer);
             std::hint::black_box(&per_layer);
+            std::hint::black_box(&ok);
         }
     });
     (

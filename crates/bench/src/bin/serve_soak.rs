@@ -1,0 +1,393 @@
+//! Fault-injection soak harness for the dv-serve frontend. Writes
+//! `BENCH_serving.json` with three phases:
+//!
+//! - **identity**: with injection disabled and a generous deadline,
+//!   every served response must be bit-identical to the direct
+//!   `score_into` path (the acceptance gate for the serving frontend).
+//! - **soak**: a sustained request stream under injected worker panics,
+//!   latency spikes, and client-side NaN poisoning; asserts zero lost or
+//!   hung requests (every outcome terminal, accounting exact) and
+//!   reports latency quantiles, shed/degrade/crash counters, and
+//!   crash-to-recovered times.
+//! - **sweep**: degrade-rate vs deadline curve with injection off — how
+//!   the full/reduced/confidence rung mix shifts as the per-request
+//!   deadline tightens.
+//!
+//! `--quick` shrinks the request counts for the CI smoke run.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dv_core::{DeepValidator, ScoreWorkspace, ValidatorConfig};
+use dv_nn::layers::{Conv2d, Dense, Flatten, MaxPool2, Relu};
+use dv_nn::optim::Adam;
+use dv_nn::train::{fit, TrainConfig};
+use dv_nn::{InferencePlan, Network};
+use dv_runtime::Pool;
+use dv_serve::{FaultPlan, Rejected, ScoreError, ServeConfig, ServedVia, Server, ShutdownPolicy};
+use dv_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Silence the panic spew from *injected* worker faults; forward every
+/// other panic to the default hook so genuine failures stay loud.
+fn quiet_injected_panics() {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|s| s.contains("injected fault"));
+        if !injected {
+            prev(info);
+        }
+    }));
+}
+
+/// Same 4-class stripe fixture as the `inference_latency` benchmark: big
+/// enough that tight deadlines genuinely exercise the degradation
+/// ladder.
+fn conv_fixture() -> (Network, Vec<Tensor>, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut images = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..96 {
+        let class = i % 4;
+        let mut img = Tensor::zeros(&[1, 12, 12]);
+        let cx = 2 + class * 3;
+        for y in 2..10 {
+            img.set(&[0, y, cx], rng.gen_range(0.7f32..1.0));
+        }
+        images.push(img);
+        labels.push(class);
+    }
+    let mut net = Network::new(&[1, 12, 12]);
+    net.push(Conv2d::new(&mut rng, 1, 6, 3))
+        .push_probe(Relu::new())
+        .push(MaxPool2::new())
+        .push(Flatten::new())
+        .push(Dense::new(&mut rng, 6 * 5 * 5, 32))
+        .push_probe(Relu::new())
+        .push(Dense::new(&mut rng, 32, 4));
+    let mut opt = Adam::new(0.01);
+    let cfg = TrainConfig {
+        epochs: 6,
+        batch_size: 32,
+    };
+    Pool::new(1).install(|| fit(&mut net, &mut opt, &images, &labels, &cfg, &mut rng));
+    (net, images, labels)
+}
+
+fn base_cfg() -> ServeConfig {
+    ServeConfig {
+        workers: 2,
+        queue_capacity: 64,
+        deadline: Duration::from_secs(1),
+        shutdown: ShutdownPolicy::Drain,
+        reduced_taps: 1,
+        faults: None,
+    }
+}
+
+/// Phase A: injection off, generous deadline — every response must be
+/// bit-identical to the direct scoring path.
+fn phase_identity(
+    validator: &Arc<DeepValidator>,
+    plan: &Arc<InferencePlan>,
+    images: &[Tensor],
+) -> bool {
+    let mut cfg = base_cfg();
+    cfg.queue_capacity = images.len();
+    let server = Server::start(Arc::clone(validator), Arc::clone(plan), cfg);
+    let pendings: Vec<_> = images
+        .iter()
+        .map(|img| {
+            server
+                .try_submit(img.clone())
+                .expect("queue is sized to hold the whole fixture burst")
+        })
+        .collect();
+
+    let mut sw = ScoreWorkspace::new();
+    let mut per_layer = Vec::new();
+    let mut identical = true;
+    for (img, pending) in images.iter().zip(pendings) {
+        let resp = pending
+            .wait()
+            .expect("fault-free serving with a 1s deadline never fails");
+        let (p, c) = validator
+            .score_into(plan, img, &mut sw, &mut per_layer)
+            .expect("fixture images are well-formed");
+        let joint = per_layer.iter().sum::<f32>();
+        identical &= resp.via == ServedVia::FullJoint
+            && resp.predicted == p
+            && resp.confidence.to_bits() == c.to_bits()
+            && resp.per_layer.len() == per_layer.len()
+            && resp
+                .per_layer
+                .iter()
+                .zip(&per_layer)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+            && resp.joint.map(f32::to_bits) == Some(joint.to_bits());
+    }
+    let m = server.shutdown();
+    identical && m.terminal_outcomes() == m.submitted
+}
+
+struct SoakReport {
+    requests: u64,
+    wall_s: f64,
+    snapshot: dv_serve::MetricsSnapshot,
+    lost_or_hung: u64,
+}
+
+/// Phase B: sustained stream under injected panics, latency spikes and
+/// client-side NaN poisoning. Every accepted request must resolve to a
+/// terminal outcome; the counter accounting must be exact.
+fn phase_soak(
+    validator: &Arc<DeepValidator>,
+    plan: &Arc<InferencePlan>,
+    images: &[Tensor],
+    requests: u64,
+) -> SoakReport {
+    let mut cfg = base_cfg();
+    cfg.queue_capacity = 32;
+    cfg.deadline = Duration::from_millis(20);
+    cfg.faults = Some(FaultPlan {
+        seed: 2024,
+        panic_per_mille: 20,
+        spike_per_mille: 50,
+        spike: Duration::from_millis(2),
+    });
+    let server = Server::start(Arc::clone(validator), Arc::clone(plan), cfg);
+
+    let t0 = Instant::now();
+    let mut pendings = Vec::new();
+    for i in 0..requests {
+        let img = if i % 50 == 7 {
+            // Client-side fault: a NaN-poisoned input slips into the
+            // stream and must come back as a typed BadInput, not a crash.
+            let mut bad = images[(i as usize) % images.len()].clone();
+            bad.set(&[0, 0, 0], f32::NAN);
+            bad
+        } else {
+            images[(i as usize) % images.len()].clone()
+        };
+        // Bounded retry under backpressure: yield briefly, then drop the
+        // request on the floor (counted by the server as rejected).
+        let mut attempt = 0;
+        loop {
+            match server.try_submit(img.clone()) {
+                Ok(p) => {
+                    pendings.push(p);
+                    break;
+                }
+                Err(Rejected::QueueFull) if attempt < 50 => {
+                    attempt += 1;
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                Err(_) => break,
+            }
+        }
+    }
+
+    let mut lost_or_hung = 0u64;
+    for pending in pendings {
+        match pending.wait_timeout(Duration::from_secs(10)) {
+            Ok(outcome) => {
+                debug_assert!(matches!(
+                    outcome,
+                    Ok(_)
+                        | Err(ScoreError::DeadlineExpired
+                            | ScoreError::BadInput(_)
+                            | ScoreError::WorkerCrashed
+                            | ScoreError::Shutdown)
+                ));
+            }
+            Err(_still_pending) => lost_or_hung += 1,
+        }
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    let snapshot = server.shutdown();
+    if snapshot.terminal_outcomes() != snapshot.submitted {
+        lost_or_hung += snapshot.submitted - snapshot.terminal_outcomes().min(snapshot.submitted);
+    }
+    SoakReport {
+        requests,
+        wall_s,
+        snapshot,
+        lost_or_hung,
+    }
+}
+
+struct SweepPoint {
+    deadline_us: u64,
+    submitted: u64,
+    full: u64,
+    reduced: u64,
+    confidence: u64,
+    expired: u64,
+}
+
+/// Phase C: injection off, deadlines swept from comfortable to brutal;
+/// a single worker with bursty submission forces queueing, so tighter
+/// deadlines push responses down the degradation ladder.
+fn phase_sweep(
+    validator: &Arc<DeepValidator>,
+    plan: &Arc<InferencePlan>,
+    images: &[Tensor],
+    per_deadline: u64,
+) -> Vec<SweepPoint> {
+    const DEADLINES_US: &[u64] = &[100, 200, 300, 500, 750, 1_000, 2_500, 5_000, 20_000];
+    let mut points = Vec::new();
+    for &deadline_us in DEADLINES_US {
+        let mut cfg = base_cfg();
+        cfg.workers = 1;
+        cfg.queue_capacity = images.len().max(per_deadline as usize);
+        cfg.deadline = Duration::from_micros(deadline_us);
+        let server = Server::start(Arc::clone(validator), Arc::clone(plan), cfg);
+        let pendings: Vec<_> = (0..per_deadline)
+            .filter_map(|i| {
+                server
+                    .try_submit(images[(i as usize) % images.len()].clone())
+                    .ok()
+            })
+            .collect();
+        for pending in pendings {
+            // Outcomes are tallied by the server; the wait only proves
+            // each request terminates.
+            let _ = pending.wait();
+        }
+        let m = server.shutdown();
+        points.push(SweepPoint {
+            deadline_us,
+            submitted: m.submitted,
+            full: m.served_full,
+            reduced: m.served_reduced,
+            confidence: m.served_confidence,
+            expired: m.expired,
+        });
+    }
+    points
+}
+
+fn main() {
+    quiet_injected_panics();
+    let quick = std::env::args().any(|a| a == "--quick");
+    let soak_requests: u64 = if quick { 400 } else { 4000 };
+    let sweep_requests: u64 = if quick { 64 } else { 256 };
+
+    let (net, images, labels) = conv_fixture();
+    let validator = Arc::new(Pool::new(1).install(|| {
+        DeepValidator::fit(&net, &images, &labels, &ValidatorConfig::default())
+            .expect("validator fit failed")
+    }));
+    let plan = Arc::new(net.plan());
+
+    eprintln!("phase A: identity (injection off)");
+    let identical = phase_identity(&validator, &plan, &images);
+
+    eprintln!("phase B: soak ({soak_requests} requests under injected faults)");
+    let soak = phase_soak(&validator, &plan, &images, soak_requests);
+
+    eprintln!("phase C: deadline sweep ({sweep_requests} requests per deadline)");
+    let sweep = phase_sweep(&validator, &plan, &images, sweep_requests);
+
+    let s = &soak.snapshot;
+    eprintln!(
+        "  soak: {} submitted, {} served (full {} / reduced {} / confidence {}), \
+         {} expired, {} bad-input, {} crashes, {} respawns, {} rejected",
+        s.submitted,
+        s.served(),
+        s.served_full,
+        s.served_reduced,
+        s.served_confidence,
+        s.expired,
+        s.bad_input,
+        s.worker_crashes,
+        s.worker_respawns,
+        s.rejected_queue_full,
+    );
+    eprintln!(
+        "  latency p50/p95/p99: {}/{}/{} us; recovery mean/max: {:.0}/{} us ({} recoveries)",
+        s.latency_p50_us,
+        s.latency_p95_us,
+        s.latency_p99_us,
+        s.recovery_mean_us,
+        s.recovery_max_us,
+        s.recovery_count,
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!("  \"identity\": {identical},\n"));
+    json.push_str("  \"soak\": {\n");
+    json.push_str(&format!("    \"requests\": {},\n", soak.requests));
+    json.push_str(&format!("    \"wall_s\": {:.3},\n", soak.wall_s));
+    json.push_str(&format!("    \"submitted\": {},\n", s.submitted));
+    json.push_str(&format!(
+        "    \"rejected_queue_full\": {},\n",
+        s.rejected_queue_full
+    ));
+    json.push_str(&format!("    \"served_full\": {},\n", s.served_full));
+    json.push_str(&format!("    \"served_reduced\": {},\n", s.served_reduced));
+    json.push_str(&format!(
+        "    \"served_confidence\": {},\n",
+        s.served_confidence
+    ));
+    json.push_str(&format!("    \"expired\": {},\n", s.expired));
+    json.push_str(&format!("    \"bad_input\": {},\n", s.bad_input));
+    json.push_str(&format!("    \"worker_crashes\": {},\n", s.worker_crashes));
+    json.push_str(&format!(
+        "    \"worker_respawns\": {},\n",
+        s.worker_respawns
+    ));
+    json.push_str(&format!("    \"shed_shutdown\": {},\n", s.shed_shutdown));
+    json.push_str(&format!(
+        "    \"deadline_missed\": {},\n",
+        s.deadline_missed
+    ));
+    json.push_str(&format!("    \"latency_p50_us\": {},\n", s.latency_p50_us));
+    json.push_str(&format!("    \"latency_p95_us\": {},\n", s.latency_p95_us));
+    json.push_str(&format!("    \"latency_p99_us\": {},\n", s.latency_p99_us));
+    json.push_str(&format!("    \"recovery_count\": {},\n", s.recovery_count));
+    json.push_str(&format!(
+        "    \"recovery_mean_us\": {:.1},\n",
+        s.recovery_mean_us
+    ));
+    json.push_str(&format!(
+        "    \"recovery_max_us\": {},\n",
+        s.recovery_max_us
+    ));
+    json.push_str(&format!("    \"lost_or_hung\": {}\n", soak.lost_or_hung));
+    json.push_str("  },\n");
+    json.push_str("  \"deadline_sweep\": [\n");
+    for (i, p) in sweep.iter().enumerate() {
+        let served = (p.full + p.reduced + p.confidence).max(1) as f64;
+        json.push_str(&format!(
+            "    {{\"deadline_us\": {}, \"submitted\": {}, \"full\": {}, \"reduced\": {}, \
+             \"confidence\": {}, \"expired\": {}, \"degrade_rate\": {:.4}}}{}\n",
+            p.deadline_us,
+            p.submitted,
+            p.full,
+            p.reduced,
+            p.confidence,
+            p.expired,
+            (p.reduced + p.confidence) as f64 / served,
+            if i + 1 < sweep.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n");
+    json.push_str("}\n");
+    std::fs::write("BENCH_serving.json", &json).expect("cannot write BENCH_serving.json");
+    println!("{json}");
+    eprintln!("wrote BENCH_serving.json");
+
+    assert!(identical, "served responses diverged from score_into");
+    assert_eq!(soak.lost_or_hung, 0, "soak lost or hung requests");
+    assert_eq!(
+        s.terminal_outcomes(),
+        s.submitted,
+        "soak accounting does not balance"
+    );
+}

@@ -45,7 +45,10 @@ impl Detector for JointValidatorDetector {
     ) -> f32 {
         // Scoring reuses the adapter's own workspace (the validator needs
         // a reduction buffer on top of the plan workspace).
-        self.validator.score(plan, image, &mut self.sw).joint
+        self.validator
+            .score(plan, image, &mut self.sw)
+            .expect("eval harness feeds well-formed images")
+            .joint
     }
 }
 
@@ -96,7 +99,10 @@ impl Detector for SingleValidatorDetector {
         _ws: &mut Workspace,
         image: &Tensor,
     ) -> f32 {
-        self.validator.score(plan, image, &mut self.sw).per_layer[self.layer]
+        self.validator
+            .score(plan, image, &mut self.sw)
+            .expect("eval harness feeds well-formed images")
+            .per_layer[self.layer]
     }
 }
 

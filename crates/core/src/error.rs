@@ -1,0 +1,100 @@
+//! Typed errors for the serving-path scoring API.
+//!
+//! A deployed validator vets *every* input the classifier sees, including
+//! malformed ones — a wrong-shaped frame from a misconfigured camera or a
+//! NaN-poisoned buffer from an upstream bug must come back as a typed
+//! error the frontend can report, never as a panic that takes down a
+//! scoring worker. [`ScoreError`] is that contract: `dv-core` produces
+//! [`ScoreError::BadInput`] from its own validation, and the `dv-serve`
+//! frontend reuses the same enum for its request-lifecycle outcomes
+//! (worker crash, deadline expiry, shutdown shedding), so a caller
+//! matches one type for every way a request can fail.
+
+use std::fmt;
+
+/// Why an input was rejected before scoring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BadInput {
+    /// The image shape does not match the plan's expected input item
+    /// shape (a leading batch axis of 1 is accepted).
+    WrongShape {
+        /// The plan's input item dims.
+        expected: Vec<usize>,
+        /// The offending image dims.
+        got: Vec<usize>,
+    },
+    /// A pixel is NaN or infinite; scoring it would silently poison
+    /// every downstream activation and SVM decision.
+    NonFinite {
+        /// Flat index of the first non-finite pixel.
+        index: usize,
+    },
+}
+
+impl fmt::Display for BadInput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BadInput::WrongShape { expected, got } => {
+                write!(
+                    f,
+                    "input shape {got:?} does not match plan input {expected:?}"
+                )
+            }
+            BadInput::NonFinite { index } => {
+                write!(f, "non-finite pixel at flat index {index}")
+            }
+        }
+    }
+}
+
+/// A scoring request's typed failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScoreError {
+    /// The input failed validation; see [`BadInput`].
+    BadInput(BadInput),
+    /// The worker serving this request panicked; only this request is
+    /// affected and the worker is respawned (produced by `dv-serve`).
+    WorkerCrashed,
+    /// The request's deadline passed before scoring could begin
+    /// (produced by `dv-serve`).
+    DeadlineExpired,
+    /// The server shut down with a shedding policy while this request
+    /// was still queued (produced by `dv-serve`).
+    Shutdown,
+}
+
+impl fmt::Display for ScoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScoreError::BadInput(b) => write!(f, "bad input: {b}"),
+            ScoreError::WorkerCrashed => write!(f, "scoring worker crashed on this request"),
+            ScoreError::DeadlineExpired => write!(f, "deadline expired before scoring began"),
+            ScoreError::Shutdown => write!(f, "server shut down while the request was queued"),
+        }
+    }
+}
+
+impl std::error::Error for ScoreError {}
+
+impl From<BadInput> for ScoreError {
+    fn from(b: BadInput) -> Self {
+        ScoreError::BadInput(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure() {
+        let e = ScoreError::BadInput(BadInput::NonFinite { index: 7 });
+        assert!(e.to_string().contains("index 7"));
+        let e = ScoreError::BadInput(BadInput::WrongShape {
+            expected: vec![1, 12, 12],
+            got: vec![3, 4],
+        });
+        assert!(e.to_string().contains("[1, 12, 12]"));
+        assert!(ScoreError::WorkerCrashed.to_string().contains("crashed"));
+    }
+}

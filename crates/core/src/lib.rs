@@ -42,12 +42,14 @@
 
 pub mod calibration;
 pub mod config;
+pub mod error;
 pub mod reducer;
 pub mod report;
 pub mod validator;
 
 pub use calibration::JointCalibration;
 pub use config::{LayerSelection, ValidatorConfig};
+pub use error::{BadInput, ScoreError};
 pub use reducer::FeatureReducer;
 pub use report::DiscrepancyReport;
-pub use validator::{DeepValidator, ScoreWorkspace, ValidatorError};
+pub use validator::{validate_plan_input, DeepValidator, ScoreWorkspace, ValidatorError};

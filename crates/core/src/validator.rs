@@ -9,6 +9,7 @@ use dv_ocsvm::{FitError, OcsvmParams, OneClassSvm, ResolvedKernel, SvmParts};
 use dv_tensor::{Tensor, Workspace};
 
 use crate::config::ValidatorConfig;
+use crate::error::{BadInput, ScoreError};
 use crate::reducer::FeatureReducer;
 use crate::report::DiscrepancyReport;
 
@@ -68,6 +69,8 @@ impl From<FitError> for ValidatorError {
 pub struct ScoreWorkspace {
     ws: Workspace,
     rep: Vec<f32>,
+    /// Scratch tap list for masked (degraded) scoring.
+    taps: Vec<usize>,
 }
 
 impl ScoreWorkspace {
@@ -75,6 +78,49 @@ impl ScoreWorkspace {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Clears every buffer's contents while keeping capacity. A workspace
+    /// whose last request was aborted mid-forward (deadline, unwind) may
+    /// hold stale tapped activations; reset guarantees the next score
+    /// starts from a state indistinguishable from a fresh workspace —
+    /// without giving up the allocation-free steady state.
+    pub fn reset(&mut self) {
+        self.ws.reset();
+        self.rep.clear();
+        self.taps.clear();
+    }
+
+    /// Read-only view of the underlying activation arena (diagnostics
+    /// and tests; the serving path never needs it).
+    pub fn workspace(&self) -> &Workspace {
+        &self.ws
+    }
+}
+
+/// Validates one image against a plan's input contract: the shape must
+/// be the plan's input item shape (a leading batch axis of 1 is
+/// accepted), and every pixel must be finite. This is the typed-error
+/// front door that keeps malformed requests from panicking a scoring
+/// worker.
+///
+/// # Errors
+///
+/// Returns [`BadInput`] naming the first violated property.
+pub fn validate_plan_input(plan: &InferencePlan, image: &Tensor) -> Result<(), BadInput> {
+    let dims = image.shape().dims();
+    let item = plan.input_dims();
+    let shape_ok =
+        dims == item || (dims.len() == item.len() + 1 && dims[0] == 1 && &dims[1..] == item);
+    if !shape_ok {
+        return Err(BadInput::WrongShape {
+            expected: item.to_vec(),
+            got: dims.to_vec(),
+        });
+    }
+    if let Some(index) = image.data().iter().position(|x| !x.is_finite()) {
+        return Err(BadInput::NonFinite { index });
+    }
+    Ok(())
 }
 
 /// Index of the maximum element, first on ties — the exact semantics of
@@ -293,40 +339,44 @@ impl DeepValidator {
     /// `[C, H, W]` image through `plan`, reusing `sw` for every scratch
     /// buffer. Bit-identical to [`discrepancy`](DeepValidator::discrepancy).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the image shape does not match the plan input.
+    /// Returns [`ScoreError::BadInput`] if the image shape does not match
+    /// the plan input or a pixel is non-finite.
     pub fn score(
         &self,
         plan: &InferencePlan,
         image: &Tensor,
         sw: &mut ScoreWorkspace,
-    ) -> DiscrepancyReport {
+    ) -> Result<DiscrepancyReport, ScoreError> {
         let mut per_layer = Vec::with_capacity(self.probe_indices.len());
-        let (predicted, confidence) = self.score_into(plan, image, sw, &mut per_layer);
-        DiscrepancyReport::new(predicted, confidence, per_layer)
+        let (predicted, confidence) = self.score_into(plan, image, sw, &mut per_layer)?;
+        Ok(DiscrepancyReport::new(predicted, confidence, per_layer))
     }
 
     /// [`score`](DeepValidator::score) without constructing a report:
     /// fills `per_layer` (cleared first) and returns
     /// `(predicted, confidence)`. With a warmed-up `sw` and `per_layer`
-    /// this path performs zero heap allocations per image.
+    /// this path performs zero heap allocations per image on the success
+    /// path (the error path allocates only to describe the bad input).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the image shape does not match the plan input.
+    /// Returns [`ScoreError::BadInput`] if the image shape does not match
+    /// the plan input or a pixel is non-finite.
     pub fn score_into(
         &self,
         plan: &InferencePlan,
         image: &Tensor,
         sw: &mut ScoreWorkspace,
         per_layer: &mut Vec<f32>,
-    ) -> (usize, f32) {
+    ) -> Result<(usize, f32), ScoreError> {
+        validate_plan_input(plan, image)?;
         // Disjoint field borrows: the plan output borrows `sw.ws`, the
         // reduced representation lands in `sw.rep`.
-        let ScoreWorkspace { ws, rep } = sw;
+        let ScoreWorkspace { ws, rep, .. } = sw;
         let out = plan.forward_probed_into(image, &self.probe_indices, ws);
-        assert_eq!(out.batch(), 1, "score expects a single image");
+        debug_assert_eq!(out.batch(), 1, "score expects a single image");
         let row = out.logits();
         let predicted = argmax_row(row);
         let confidence = softmax_max(row);
@@ -338,7 +388,56 @@ impl DeepValidator {
                 .reduce_into(plan.probe_item_dims(p), out.probe(t), rep);
             per_layer.push(-(self.svms_for_probe(p)[predicted].decision(rep) as f32));
         }
-        (predicted, confidence)
+        Ok((predicted, confidence))
+    }
+
+    /// Degraded-mode scoring: like
+    /// [`score_into`](DeepValidator::score_into) but evaluates only the
+    /// validated probes whose positions are listed in `keep` (ascending
+    /// indices into [`validated_probes`](DeepValidator::validated_probes)).
+    /// The forward pass taps only those probes, so a deadline-squeezed
+    /// server pays for exactly the layers it reports. Entries of
+    /// `per_layer` are the same bits full scoring would produce for those
+    /// positions; an empty `keep` degrades to prediction + confidence
+    /// only.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScoreError::BadInput`] if the image shape does not match
+    /// the plan input or a pixel is non-finite.
+    pub fn score_masked_into(
+        &self,
+        plan: &InferencePlan,
+        image: &Tensor,
+        keep: &[usize],
+        sw: &mut ScoreWorkspace,
+        per_layer: &mut Vec<f32>,
+    ) -> Result<(usize, f32), ScoreError> {
+        validate_plan_input(plan, image)?;
+        debug_assert!(
+            keep.windows(2).all(|w| w[0] < w[1]),
+            "keep positions must be strictly ascending"
+        );
+        debug_assert!(
+            keep.iter().all(|&v| v < self.probe_indices.len()),
+            "keep positions must index the validated probe list"
+        );
+        let ScoreWorkspace { ws, rep, taps } = sw;
+        taps.clear();
+        taps.extend(keep.iter().map(|&v| self.probe_indices[v]));
+        let out = plan.forward_probed_into(image, taps, ws);
+        debug_assert_eq!(out.batch(), 1, "score expects a single image");
+        let row = out.logits();
+        let predicted = argmax_row(row);
+        let confidence = softmax_max(row);
+        per_layer.clear();
+        for (t, &v) in keep.iter().enumerate() {
+            let p = self.probe_indices[v];
+            self.reducer
+                .reduce_into(plan.probe_item_dims(p), out.probe(t), rep);
+            per_layer.push(-(self.svms_for_probe(p)[predicted].decision(rep) as f32));
+        }
+        Ok((predicted, confidence))
     }
 
     /// Estimates discrepancies for many inputs through one shared
@@ -364,7 +463,10 @@ impl DeepValidator {
             let mut sw = ScoreWorkspace::new();
             return images
                 .iter()
-                .map(|img| self.score(plan, img, &mut sw))
+                .map(|img| {
+                    self.score(plan, img, &mut sw)
+                        .expect("eval-set images match the plan input and are finite")
+                })
                 .collect();
         }
         let chunks: Vec<&[Tensor]> = images.chunks(images.len().div_ceil(threads)).collect();
@@ -372,7 +474,10 @@ impl DeepValidator {
             let mut sw = ScoreWorkspace::new();
             chunk
                 .iter()
-                .map(|img| self.score(plan, img, &mut sw))
+                .map(|img| {
+                    self.score(plan, img, &mut sw)
+                        .expect("eval-set images match the plan input and are finite")
+                })
                 .collect::<Vec<_>>()
         })
         .into_iter()

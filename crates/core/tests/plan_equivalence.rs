@@ -65,7 +65,9 @@ fn plan_score_matches_mutable_discrepancy_bit_for_bit() {
     Pool::new(1).install(|| {
         for (i, img) in images.iter().enumerate() {
             let a = validator.discrepancy(&mut net, img);
-            let b = validator.score(&plan, img, &mut sw);
+            let b = validator
+                .score(&plan, img, &mut sw)
+                .expect("fixture images are well-formed");
             assert_eq!(a.predicted, b.predicted, "prediction differs on image {i}");
             assert_eq!(
                 a.confidence.to_bits(),
@@ -100,8 +102,12 @@ fn workspace_reuse_is_invisible_in_scores() {
     Pool::new(1).install(|| {
         let mut reused = ScoreWorkspace::new();
         for (i, img) in images.iter().take(24).enumerate() {
-            let a = validator.score(&plan, img, &mut reused);
-            let b = validator.score(&plan, img, &mut ScoreWorkspace::new());
+            let a = validator
+                .score(&plan, img, &mut reused)
+                .expect("fixture images are well-formed");
+            let b = validator
+                .score(&plan, img, &mut ScoreWorkspace::new())
+                .expect("fixture images are well-formed");
             assert_eq!(
                 a.joint.to_bits(),
                 b.joint.to_bits(),
@@ -125,8 +131,12 @@ fn score_into_matches_score() {
         let mut sw = ScoreWorkspace::new();
         let mut per_layer = vec![f32::NAN; 7]; // stale garbage to be cleared
         for img in images.iter().take(10) {
-            let report = validator.score(&plan, img, &mut sw);
-            let (predicted, confidence) = validator.score_into(&plan, img, &mut sw, &mut per_layer);
+            let report = validator
+                .score(&plan, img, &mut sw)
+                .expect("fixture images are well-formed");
+            let (predicted, confidence) = validator
+                .score_into(&plan, img, &mut sw, &mut per_layer)
+                .expect("fixture images are well-formed");
             assert_eq!(report.predicted, predicted);
             assert_eq!(report.confidence.to_bits(), confidence.to_bits());
             assert_eq!(report.per_layer.len(), per_layer.len());

@@ -1,0 +1,225 @@
+//! Satellite regression tests for the serving-hardening surface:
+//! `ScoreWorkspace::reset` must leave no stale tapped activations behind
+//! (so an aborted or unwound request can never leak into the next
+//! score), and malformed inputs must come back as typed
+//! [`ScoreError::BadInput`] values instead of panics.
+
+use dv_core::{BadInput, DeepValidator, ScoreError, ScoreWorkspace, ValidatorConfig};
+use dv_nn::layers::{Conv2d, Dense, Flatten, MaxPool2, Relu};
+use dv_nn::optim::Adam;
+use dv_nn::train::{fit, TrainConfig};
+use dv_nn::Network;
+use dv_runtime::Pool;
+use dv_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Same two-probe conv fixture as `plan_equivalence.rs`: a 2-class
+/// stripe problem trained under a single-thread pool.
+fn trained_setup() -> (Network, Vec<Tensor>, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut images = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..80 {
+        let class = i % 2;
+        let mut img = Tensor::zeros(&[1, 6, 6]);
+        let cx = if class == 0 { 1 } else { 4 };
+        for y in 0..6 {
+            img.set(&[0, y, cx], rng.gen_range(0.7f32..1.0));
+        }
+        images.push(img);
+        labels.push(class);
+    }
+    let mut net = Network::new(&[1, 6, 6]);
+    net.push(Conv2d::new(&mut rng, 1, 3, 3))
+        .push_probe(Relu::new())
+        .push(MaxPool2::new())
+        .push(Flatten::new())
+        .push(Dense::new(&mut rng, 3 * 2 * 2, 8))
+        .push_probe(Relu::new())
+        .push(Dense::new(&mut rng, 8, 2));
+    let mut opt = Adam::new(0.01);
+    let cfg = TrainConfig {
+        epochs: 8,
+        batch_size: 16,
+    };
+    Pool::new(1).install(|| fit(&mut net, &mut opt, &images, &labels, &cfg, &mut rng));
+    (net, images, labels)
+}
+
+fn fit_validator(net: &Network, images: &[Tensor], labels: &[usize]) -> DeepValidator {
+    Pool::new(1).install(|| {
+        DeepValidator::fit(net, images, labels, &ValidatorConfig::default())
+            .expect("validator fit failed")
+    })
+}
+
+/// `reset` empties every probe buffer a score filled, and scoring after
+/// a reset is bit-identical to scoring with a brand-new workspace — the
+/// recovery guarantee a serving worker relies on after an aborted
+/// request.
+#[test]
+fn reset_clears_stale_probe_activations() {
+    let (net, images, labels) = trained_setup();
+    let validator = fit_validator(&net, &images, &labels);
+    let plan = net.plan();
+    Pool::new(1).install(|| {
+        let mut sw = ScoreWorkspace::new();
+        let poisoned = validator
+            .score(&plan, &images[0], &mut sw)
+            .expect("fixture images are well-formed");
+        // A full score leaves tapped activations in the probe buffers.
+        let filled = (0..sw.workspace().num_probes())
+            .filter(|&i| !sw.workspace().probe(i).is_empty())
+            .count();
+        assert!(filled > 0, "scoring should populate probe buffers");
+
+        sw.reset();
+        for i in 0..sw.workspace().num_probes() {
+            assert!(
+                sw.workspace().probe(i).is_empty(),
+                "probe buffer {i} still holds stale activations after reset"
+            );
+        }
+
+        // Scoring through the reset workspace matches a fresh one bit
+        // for bit (and matches the pre-reset report).
+        let after = validator
+            .score(&plan, &images[1], &mut sw)
+            .expect("fixture images are well-formed");
+        let fresh = validator
+            .score(&plan, &images[1], &mut ScoreWorkspace::new())
+            .expect("fixture images are well-formed");
+        assert_eq!(after.predicted, fresh.predicted);
+        assert_eq!(after.joint.to_bits(), fresh.joint.to_bits());
+        for (a, b) in after.per_layer.iter().zip(&fresh.per_layer) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // And the original image still scores identically post-reset.
+        let again = validator
+            .score(&plan, &images[0], &mut sw)
+            .expect("fixture images are well-formed");
+        assert_eq!(again.joint.to_bits(), poisoned.joint.to_bits());
+    });
+}
+
+/// Wrong-shaped inputs return `BadInput::WrongShape` (with both shapes
+/// named) instead of panicking a worker.
+#[test]
+fn wrong_shape_is_a_typed_error() {
+    let (net, images, labels) = trained_setup();
+    let validator = fit_validator(&net, &images, &labels);
+    let plan = net.plan();
+    let mut sw = ScoreWorkspace::new();
+    let bad = Tensor::zeros(&[1, 5, 5]);
+    let err = Pool::new(1)
+        .install(|| validator.score(&plan, &bad, &mut sw))
+        .unwrap_err();
+    match err {
+        ScoreError::BadInput(BadInput::WrongShape { expected, got }) => {
+            assert_eq!(expected, vec![1, 6, 6]);
+            assert_eq!(got, vec![1, 5, 5]);
+        }
+        other => panic!("expected WrongShape, got {other:?}"),
+    }
+}
+
+/// A batch axis of 1 is accepted; any other batch size is rejected.
+#[test]
+fn unit_batch_axis_is_accepted() {
+    let (net, images, labels) = trained_setup();
+    let validator = fit_validator(&net, &images, &labels);
+    let plan = net.plan();
+    Pool::new(1).install(|| {
+        let mut sw = ScoreWorkspace::new();
+        let batched = Tensor::stack(std::slice::from_ref(&images[0]));
+        let a = validator
+            .score(&plan, &batched, &mut sw)
+            .expect("unit batch axis is valid");
+        let b = validator
+            .score(&plan, &images[0], &mut sw)
+            .expect("fixture images are well-formed");
+        assert_eq!(a.joint.to_bits(), b.joint.to_bits());
+
+        let two = Tensor::stack(&images[..2]);
+        assert!(matches!(
+            validator.score(&plan, &two, &mut sw),
+            Err(ScoreError::BadInput(BadInput::WrongShape { .. }))
+        ));
+    });
+}
+
+/// NaN-poisoned pixels return `BadInput::NonFinite` naming the first
+/// offending flat index.
+#[test]
+fn non_finite_pixels_are_a_typed_error() {
+    let (net, images, labels) = trained_setup();
+    let validator = fit_validator(&net, &images, &labels);
+    let plan = net.plan();
+    let mut sw = ScoreWorkspace::new();
+    let mut poisoned = images[0].clone();
+    poisoned.set(&[0, 2, 3], f32::NAN);
+    let err = Pool::new(1)
+        .install(|| validator.score(&plan, &poisoned, &mut sw))
+        .unwrap_err();
+    match err {
+        ScoreError::BadInput(BadInput::NonFinite { index }) => assert_eq!(index, 2 * 6 + 3),
+        other => panic!("expected NonFinite, got {other:?}"),
+    }
+
+    let mut inf = images[0].clone();
+    inf.set(&[0, 0, 0], f32::INFINITY);
+    assert!(matches!(
+        Pool::new(1).install(|| validator.score(&plan, &inf, &mut sw)),
+        Err(ScoreError::BadInput(BadInput::NonFinite { index: 0 }))
+    ));
+}
+
+/// `score_masked_into` with the full keep list reproduces full scoring
+/// bit for bit; partial keep lists reproduce the matching entries; the
+/// empty keep list still yields the prediction and confidence.
+#[test]
+fn masked_scoring_matches_full_scoring_on_kept_layers() {
+    let (net, images, labels) = trained_setup();
+    let validator = fit_validator(&net, &images, &labels);
+    let plan = net.plan();
+    Pool::new(1).install(|| {
+        let mut sw = ScoreWorkspace::new();
+        let mut full = Vec::new();
+        let mut masked = Vec::new();
+        for img in images.iter().take(12) {
+            let (p_full, c_full) = validator
+                .score_into(&plan, img, &mut sw, &mut full)
+                .expect("fixture images are well-formed");
+
+            // Full keep list: identical output.
+            let all: Vec<usize> = (0..validator.num_validated_layers()).collect();
+            let (p, c) = validator
+                .score_masked_into(&plan, img, &all, &mut sw, &mut masked)
+                .expect("fixture images are well-formed");
+            assert_eq!(p, p_full);
+            assert_eq!(c.to_bits(), c_full.to_bits());
+            assert_eq!(masked.len(), full.len());
+            for (a, b) in masked.iter().zip(&full) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+
+            // Last layer only: the single entry matches full scoring's.
+            let last = validator.num_validated_layers() - 1;
+            let (p, _) = validator
+                .score_masked_into(&plan, img, &[last], &mut sw, &mut masked)
+                .expect("fixture images are well-formed");
+            assert_eq!(p, p_full);
+            assert_eq!(masked.len(), 1);
+            assert_eq!(masked[0].to_bits(), full[last].to_bits());
+
+            // Empty keep list: confidence-only degradation.
+            let (p, c) = validator
+                .score_masked_into(&plan, img, &[], &mut sw, &mut masked)
+                .expect("fixture images are well-formed");
+            assert_eq!(p, p_full);
+            assert_eq!(c.to_bits(), c_full.to_bits());
+            assert!(masked.is_empty());
+        }
+    });
+}

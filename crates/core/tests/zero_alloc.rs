@@ -88,12 +88,15 @@ fn warmed_score_into_allocates_nothing() {
         let mut per_layer = Vec::new();
 
         // Warm up: the first image grows every buffer to its steady size.
-        validator.score_into(&plan, &images[0], &mut sw, &mut per_layer);
+        validator
+            .score_into(&plan, &images[0], &mut sw, &mut per_layer)
+            .expect("fixture images are well-formed");
 
         let allocs = allocations_during(|| {
             for img in &images {
-                validator.score_into(&plan, img, &mut sw, &mut per_layer);
+                let ok = validator.score_into(&plan, img, &mut sw, &mut per_layer);
                 std::hint::black_box(&per_layer);
+                std::hint::black_box(&ok);
             }
         });
         assert_eq!(

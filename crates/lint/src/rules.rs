@@ -12,6 +12,7 @@
 //! | `float-eq` (R5a)         | no `==`/`!=` against float literals in numeric code — exact float compares are almost always a tolerance bug |
 //! | `wall-clock` (R5b)       | no `Instant::now`/`SystemTime::now` in numeric kernels — wall-clock reads make kernel behaviour timing-dependent |
 //! | `tensor-clone` (R6)      | no `.clone()` in the inference crates (`core`, `detectors`, `eval`) — the serving path is allocation-free (`InferencePlan` + workspace); a clone is a per-image heap hit unless proven cold with a reasoned allow |
+//! | `unbounded-channel` (R7) | no `mpsc::channel` or `thread::Builder` outside `crates/runtime` — unbounded channels hide backlog (backpressure must be a typed rejection, `BoundedQueue`), and `thread::Builder` is the spawn loophole R2's `thread::spawn` check misses; long-lived threads go through `Crew` |
 //!
 //! Rules see only the lexed token stream (comments and string literals are
 //! already stripped), and skip `#[cfg(test)]` regions, so test code may use
@@ -27,6 +28,7 @@ pub const NO_UNWRAP: &str = "no-unwrap";
 pub const FLOAT_EQ: &str = "float-eq";
 pub const WALL_CLOCK: &str = "wall-clock";
 pub const TENSOR_CLONE: &str = "tensor-clone";
+pub const UNBOUNDED_CHANNEL: &str = "unbounded-channel";
 pub const BAD_DIRECTIVE: &str = "bad-directive";
 
 /// All suppressible rule ids, in report order.
@@ -38,6 +40,7 @@ pub const ALL_RULES: &[&str] = &[
     FLOAT_EQ,
     WALL_CLOCK,
     TENSOR_CLONE,
+    UNBOUNDED_CHANNEL,
 ];
 
 /// Per-file context handed to each rule.
@@ -76,7 +79,10 @@ impl FileCtx<'_> {
 pub fn rule_applies(rule: &str, crate_dir: &str) -> bool {
     match rule {
         THREAD_DISCIPLINE => crate_dir != "runtime",
-        WALL_CLOCK => crate_dir != "runtime" && crate_dir != "bench",
+        UNBOUNDED_CHANNEL => crate_dir != "runtime",
+        // The serve crate's whole job is deadlines and latency, so it
+        // joins bench and runtime in the wall-clock carve-out.
+        WALL_CLOCK => !matches!(crate_dir, "runtime" | "bench" | "serve"),
         // The inference crates promise an allocation-free serving path;
         // everywhere else (tensor kernels, training, experiment drivers)
         // owned copies are part of the job.
@@ -107,6 +113,9 @@ pub fn check_file(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
     }
     if rule_applies(TENSOR_CLONE, ctx.crate_dir) {
         check_tensor_clone(ctx, out);
+    }
+    if rule_applies(UNBOUNDED_CHANNEL, ctx.crate_dir) {
+        check_unbounded_channel(ctx, out);
     }
 }
 
@@ -397,6 +406,50 @@ fn check_tensor_clone(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// R7: unbounded channels and bare thread construction outside
+/// `crates/runtime`.
+///
+/// `mpsc::channel` is the unbounded queue std hands out by default: under
+/// overload it converts backpressure into an invisible, growing backlog.
+/// Serving code must use `dv_runtime::BoundedQueue`, whose `try_push`
+/// surfaces overload as a typed rejection. `thread::Builder` is flagged
+/// for the same reason R2 flags `thread::spawn` — it is the loophole that
+/// check cannot see (`Builder::new().spawn(..)` never lexes as
+/// `thread::spawn`); long-lived threads go through `dv_runtime::Crew`,
+/// which supervises and respawns them.
+fn check_unbounded_channel(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    let toks = &ctx.lexed.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.in_test(t.line) {
+            continue;
+        }
+        let offence = if is_ident(t, "channel")
+            && i >= 2
+            && is_punct(&toks[i - 1], "::")
+            && is_ident(&toks[i - 2], "mpsc")
+        {
+            Some(
+                "mpsc::channel is unbounded — overload becomes an invisible backlog; use \
+                 dv_runtime::BoundedQueue, whose try_push rejects with typed backpressure",
+            )
+        } else if is_ident(t, "Builder")
+            && i >= 2
+            && is_punct(&toks[i - 1], "::")
+            && is_ident(&toks[i - 2], "thread")
+        {
+            Some(
+                "thread::Builder bypasses supervision; long-lived threads go through \
+                 dv_runtime::Crew so crashes are reaped and respawned",
+            )
+        } else {
+            None
+        };
+        if let Some(why) = offence {
+            out.push(ctx.diag(UNBOUNDED_CHANNEL, t.line, why.to_string()));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -486,10 +539,24 @@ mod tests {
     }
 
     #[test]
-    fn wall_clock_exempts_bench_and_runtime() {
+    fn wall_clock_exempts_bench_runtime_and_serve() {
         let src = "fn f() { let _ = std::time::Instant::now(); }\n";
         assert!(run(src, "bench").is_empty());
         assert!(run(src, "runtime").is_empty());
+        assert!(run(src, "serve").is_empty());
         assert_eq!(run(src, "detectors").len(), 1);
+    }
+
+    #[test]
+    fn unbounded_channel_flags_mpsc_and_thread_builder_outside_runtime() {
+        let src = "fn f() { let (tx, rx) = std::sync::mpsc::channel::<u8>(); let _ = (tx, rx); }\n\
+                   fn g() { let b = std::thread::Builder::new(); let _ = b; }\n";
+        let diags = run(src, "serve");
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags.iter().all(|d| d.rule == UNBOUNDED_CHANNEL));
+        assert!(run(src, "runtime").is_empty());
+        // Other channel constructors (sync_channel is bounded) pass.
+        let bounded = "fn f() { let p = std::sync::mpsc::sync_channel::<u8>(4); let _ = p; }\n";
+        assert!(run(bounded, "core").is_empty());
     }
 }

@@ -114,6 +114,17 @@ fn r5_wall_clock_fixture() {
 }
 
 #[test]
+fn r7_unbounded_channel_fixture() {
+    assert_diags(
+        "r7_unbounded_channel.rs",
+        &[
+            (rules::UNBOUNDED_CHANNEL, 8),
+            (rules::UNBOUNDED_CHANNEL, 17),
+        ],
+    );
+}
+
+#[test]
 fn allowed_variants_pass_with_recorded_suppressions() {
     assert_allowed("r1_hash_order_allowed.rs", 2);
     assert_allowed("r2_thread_discipline_allowed.rs", 2);
@@ -121,6 +132,7 @@ fn allowed_variants_pass_with_recorded_suppressions() {
     assert_allowed("r4_no_unwrap_allowed.rs", 1);
     assert_allowed("r5_float_eq_allowed.rs", 1);
     assert_allowed("r5_wall_clock_allowed.rs", 1);
+    assert_allowed("r7_unbounded_channel_allowed.rs", 1);
 }
 
 #[test]

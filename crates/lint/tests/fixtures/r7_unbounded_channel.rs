@@ -1,0 +1,22 @@
+// Known-bad for R7 (unbounded-channel): an unbounded mpsc channel turns
+// overload into an invisible backlog instead of a typed rejection, and
+// thread::Builder is the unsupervised-spawn loophole R2's thread::spawn
+// check cannot see.
+use std::sync::mpsc;
+
+pub fn backlogged_pipeline(items: Vec<u64>) -> u64 {
+    let (tx, rx) = mpsc::channel();
+    for item in items {
+        tx.send(item).expect("receiver still alive");
+    }
+    drop(tx);
+    rx.iter().sum()
+}
+
+pub fn unsupervised_worker() {
+    let handle = std::thread::Builder::new()
+        .name("loose-thread".to_string())
+        .spawn(|| 1 + 1)
+        .expect("spawn worker thread");
+    let _ = handle.join();
+}

@@ -1,0 +1,11 @@
+// Allowed variant for R7: a channel whose producer side is strictly
+// bounded by construction (one message per call, sent before return), so
+// no backlog can accumulate — with the justification recorded inline.
+use std::sync::mpsc;
+
+pub fn single_shot_reply(value: u64) -> u64 {
+    // dv-lint: allow(unbounded-channel, reason = "exactly one message is ever in flight; the channel is a local rendezvous, not a queue")
+    let (tx, rx) = mpsc::channel();
+    tx.send(value).expect("receiver held on this stack frame");
+    rx.recv().expect("sender already delivered on this stack frame")
+}

@@ -1,0 +1,210 @@
+//! Supervised pinned worker threads with crash respawn.
+//!
+//! A [`Crew`] owns a fixed set of named, long-lived threads ("pinned
+//! workers": one body closure per slot, re-invoked with the same slot
+//! index on every spawn). Unlike the work-stealing [`Pool`](crate::Pool),
+//! which multiplexes short chunks of a data-parallel job, a crew member
+//! runs one long request loop — and the crew's job is to notice when a
+//! member died (its body returned after catching a crash, or unwound
+//! outright) and put a fresh thread in its slot.
+//!
+//! Supervision is pull-based: [`Crew::supervise`] reaps finished threads
+//! and respawns them unless the crew was [`stop`](Crew::stop)ped. Callers
+//! typically run it from a small monitor loop (itself a one-member crew),
+//! which keeps every thread in the process spawned through this crate.
+//!
+//! The body closure is shared (`Fn`), so per-incarnation state — scratch
+//! workspaces, warm caches — belongs *inside* the body, rebuilt on entry;
+//! that is exactly what makes a respawn restore a clean worker.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+struct CrewShared {
+    name: String,
+    body: Box<dyn Fn(usize) + Send + Sync>,
+    slots: Mutex<Vec<Option<JoinHandle<()>>>>,
+    stopping: AtomicBool,
+    respawns: AtomicU64,
+}
+
+/// A fixed-size set of supervised worker threads. Cheap to clone (the
+/// clone shares the same crew).
+#[derive(Clone)]
+pub struct Crew {
+    shared: Arc<CrewShared>,
+}
+
+impl Crew {
+    /// Spawns `n` threads named `{name}-{slot}`, each running
+    /// `body(slot)`. The body should loop until its work source reports
+    /// shutdown, then return.
+    pub fn spawn(name: &str, n: usize, body: impl Fn(usize) + Send + Sync + 'static) -> Self {
+        let shared = Arc::new(CrewShared {
+            name: name.to_string(),
+            body: Box::new(body),
+            slots: Mutex::new(Vec::with_capacity(n)),
+            stopping: AtomicBool::new(false),
+            respawns: AtomicU64::new(0),
+        });
+        {
+            let mut slots = lock_slots(&shared);
+            for slot in 0..n {
+                slots.push(Some(spawn_member(&shared, slot)));
+            }
+        }
+        Self { shared }
+    }
+
+    /// Reaps finished members and respawns each vacated slot (unless the
+    /// crew is stopping). Returns how many members were respawned.
+    pub fn supervise(&self) -> usize {
+        let mut respawned = 0;
+        let mut slots = lock_slots(&self.shared);
+        for slot in 0..slots.len() {
+            let finished = slots[slot]
+                .as_ref()
+                .is_none_or(std::thread::JoinHandle::is_finished);
+            if !finished {
+                continue;
+            }
+            if let Some(handle) = slots[slot].take() {
+                // A body that unwound still needs its thread joined; the
+                // crash itself was already handled (or is being handled)
+                // by whoever owns the request the member was serving.
+                let _ = handle.join();
+            }
+            if !self.shared.stopping.load(Ordering::SeqCst) {
+                slots[slot] = Some(spawn_member(&self.shared, slot));
+                self.shared.respawns.fetch_add(1, Ordering::SeqCst);
+                respawned += 1;
+            }
+        }
+        respawned
+    }
+
+    /// Number of members currently running.
+    pub fn alive(&self) -> usize {
+        lock_slots(&self.shared)
+            .iter()
+            .filter(|h| h.as_ref().is_some_and(|h| !h.is_finished()))
+            .count()
+    }
+
+    /// Cumulative respawn count.
+    pub fn respawns(&self) -> u64 {
+        self.shared.respawns.load(Ordering::SeqCst)
+    }
+
+    /// Stops supervision: finished members are no longer respawned.
+    /// Does not interrupt running bodies — make their work source report
+    /// shutdown, then [`join`](Crew::join).
+    pub fn stop(&self) {
+        self.shared.stopping.store(true, Ordering::SeqCst);
+    }
+
+    /// Joins every member. Call after [`stop`](Crew::stop) once bodies
+    /// have a reason to return, or this blocks until they do.
+    pub fn join(&self) {
+        let handles: Vec<JoinHandle<()>> = {
+            let mut slots = lock_slots(&self.shared);
+            slots.iter_mut().filter_map(Option::take).collect()
+        };
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn lock_slots(shared: &Arc<CrewShared>) -> std::sync::MutexGuard<'_, Vec<Option<JoinHandle<()>>>> {
+    shared
+        .slots
+        .lock()
+        .expect("crew slot table poisoned: slot bookkeeping never panics while holding the lock")
+}
+
+fn spawn_member(shared: &Arc<CrewShared>, slot: usize) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name(format!("{}-{slot}", shared.name))
+        .spawn(move || (shared.body)(slot))
+        .expect("spawn crew member thread")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    #[test]
+    fn members_run_with_their_slot_index() {
+        let seen = Arc::new([AtomicUsize::new(0), AtomicUsize::new(0)]);
+        let seen2 = Arc::clone(&seen);
+        let crew = Crew::spawn("t-crew", 2, move |slot| {
+            seen2[slot].fetch_add(1, Ordering::SeqCst);
+        });
+        // Bodies return immediately; wait for both to finish.
+        while crew.alive() > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        crew.stop();
+        crew.join();
+        assert_eq!(seen[0].load(Ordering::SeqCst), 1);
+        assert_eq!(seen[1].load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn supervise_respawns_finished_members() {
+        let runs = Arc::new(AtomicUsize::new(0));
+        let runs2 = Arc::clone(&runs);
+        let crew = Crew::spawn("t-respawn", 1, move |_slot| {
+            runs2.fetch_add(1, Ordering::SeqCst);
+        });
+        while crew.alive() > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(crew.supervise(), 1);
+        assert_eq!(crew.respawns(), 1);
+        while crew.alive() > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(runs.load(Ordering::SeqCst) >= 2);
+        crew.stop();
+        crew.join();
+    }
+
+    #[test]
+    fn panicking_member_is_reaped_and_respawned() {
+        let runs = Arc::new(AtomicUsize::new(0));
+        let runs2 = Arc::clone(&runs);
+        let crew = Crew::spawn("t-panic", 1, move |_slot| {
+            if runs2.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("injected crew-member crash");
+            }
+        });
+        while crew.alive() > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(crew.supervise(), 1);
+        while crew.alive() > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(runs.load(Ordering::SeqCst), 2);
+        crew.stop();
+        crew.join();
+    }
+
+    #[test]
+    fn stopped_crew_never_respawns() {
+        let crew = Crew::spawn("t-stop", 1, |_slot| {});
+        while crew.alive() > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        crew.stop();
+        assert_eq!(crew.supervise(), 0);
+        assert_eq!(crew.respawns(), 0);
+        crew.join();
+    }
+}

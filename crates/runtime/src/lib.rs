@@ -34,12 +34,28 @@
 //! variable, falling back to [`std::thread::available_parallelism`].
 //! [`Pool::install`] scopes the free functions ([`par_for`], [`par_map`],
 //! [`par_chunks_mut`]) to an explicit pool for tests and benchmarks.
+//!
+//! # Serving primitives
+//!
+//! Long-lived request serving needs different building blocks than
+//! data-parallel batch jobs, and they all live here so the rest of the
+//! workspace never touches raw threads or locks (dv-lint R2/R7):
+//! [`BoundedQueue`] (backpressured MPMC submission queue), [`oneshot`]
+//! (promise/ticket response handoff that breaks instead of hanging when
+//! a producer dies), and [`Crew`] (named pinned worker threads with
+//! crash supervision and respawn).
 
+mod crew;
+mod oneshot;
 mod pool;
+mod queue;
 mod rng;
 mod stats;
 
+pub use crew::Crew;
+pub use oneshot::{oneshot, Broken, Promise, Ticket};
 pub use pool::{current_threads, par_chunks_mut, par_for, par_map, Pool};
+pub use queue::{BoundedQueue, Popped, PushRejected};
 pub use rng::split_seed;
 pub use stats::StatsSnapshot;
 

@@ -1,0 +1,203 @@
+//! One-shot promise/ticket pairs for request/response handoff.
+//!
+//! [`oneshot`] splits a single rendezvous into a [`Promise`] (held by the
+//! worker that will produce the value) and a [`Ticket`] (held by the
+//! caller that will wait for it). The crucial robustness property is
+//! **no-hang on failure**: if the `Promise` is dropped without being
+//! fulfilled — a worker panicked and unwound, a queue was torn down with
+//! jobs still inside — the ticket observes [`Broken`] instead of waiting
+//! forever. A served request therefore always reaches exactly one
+//! terminal state: fulfilled once, or broken.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// The promise was dropped before [`Promise::fulfill`] was called.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Broken;
+
+enum OnceState<T> {
+    Pending,
+    Ready(T),
+    Broken,
+}
+
+struct OnceShared<T> {
+    state: Mutex<OnceState<T>>,
+    ready: Condvar,
+}
+
+/// The producing half: fulfill it exactly once, or drop it to break the
+/// ticket.
+pub struct Promise<T> {
+    shared: Arc<OnceShared<T>>,
+    fulfilled: bool,
+}
+
+/// The consuming half: wait for the value (or for proof none is coming).
+pub struct Ticket<T> {
+    shared: Arc<OnceShared<T>>,
+}
+
+/// Creates a connected promise/ticket pair.
+pub fn oneshot<T>() -> (Promise<T>, Ticket<T>) {
+    let shared = Arc::new(OnceShared {
+        state: Mutex::new(OnceState::Pending),
+        ready: Condvar::new(),
+    });
+    (
+        Promise {
+            shared: Arc::clone(&shared),
+            fulfilled: false,
+        },
+        Ticket { shared },
+    )
+}
+
+impl<T> Promise<T> {
+    /// Delivers the value and wakes the waiting ticket.
+    pub fn fulfill(mut self, value: T) {
+        let mut state = self
+            .shared
+            .state
+            .lock()
+            .expect("oneshot lock poisoned: state transitions never panic while holding it");
+        *state = OnceState::Ready(value);
+        drop(state);
+        self.fulfilled = true;
+        self.shared.ready.notify_all();
+    }
+}
+
+impl<T> Drop for Promise<T> {
+    fn drop(&mut self) {
+        if self.fulfilled {
+            return;
+        }
+        let mut state = self
+            .shared
+            .state
+            .lock()
+            .expect("oneshot lock poisoned: state transitions never panic while holding it");
+        if matches!(*state, OnceState::Pending) {
+            *state = OnceState::Broken;
+        }
+        drop(state);
+        self.shared.ready.notify_all();
+    }
+}
+
+impl<T> Ticket<T> {
+    /// Blocks until the value arrives or the promise is dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Broken`] when the promise was dropped unfulfilled.
+    pub fn wait(self) -> Result<T, Broken> {
+        let mut state = self
+            .shared
+            .state
+            .lock()
+            .expect("oneshot lock poisoned: state transitions never panic while holding it");
+        loop {
+            match std::mem::replace(&mut *state, OnceState::Pending) {
+                OnceState::Ready(value) => return Ok(value),
+                OnceState::Broken => return Err(Broken),
+                OnceState::Pending => {
+                    state = self
+                        .shared
+                        .ready
+                        .wait(state)
+                        .expect("oneshot lock poisoned while waiting for fulfillment");
+                }
+            }
+        }
+    }
+
+    /// Waits up to `timeout`; on timeout the ticket comes back for a
+    /// later retry, so a pending response is never silently abandoned.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(self)` on timeout; `Ok(Err(Broken))` when the promise
+    /// was dropped unfulfilled.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<Result<T, Broken>, Self> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut state = self
+            .shared
+            .state
+            .lock()
+            .expect("oneshot lock poisoned: state transitions never panic while holding it");
+        loop {
+            match std::mem::replace(&mut *state, OnceState::Pending) {
+                OnceState::Ready(value) => return Ok(Ok(value)),
+                OnceState::Broken => return Ok(Err(Broken)),
+                OnceState::Pending => {
+                    let now = std::time::Instant::now();
+                    if now >= deadline {
+                        drop(state);
+                        return Err(self);
+                    }
+                    let (guard, _) = self
+                        .shared
+                        .ready
+                        .wait_timeout(state, deadline - now)
+                        .expect("oneshot lock poisoned while waiting for fulfillment");
+                    state = guard;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fulfilled_value_arrives() {
+        let (p, t) = oneshot();
+        p.fulfill(42u32);
+        assert_eq!(t.wait(), Ok(42));
+    }
+
+    #[test]
+    fn dropped_promise_breaks_ticket() {
+        let (p, t) = oneshot::<u32>();
+        drop(p);
+        assert_eq!(t.wait(), Err(Broken));
+    }
+
+    #[test]
+    fn wait_timeout_returns_ticket_then_value() {
+        let (p, t) = oneshot();
+        let t = match t.wait_timeout(Duration::from_millis(1)) {
+            Err(t) => t,
+            Ok(v) => panic!("nothing was fulfilled yet: {v:?}"),
+        };
+        p.fulfill(7u8);
+        assert_eq!(t.wait(), Ok(7));
+    }
+
+    #[test]
+    fn cross_thread_fulfillment() {
+        let (p, t) = oneshot();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(5));
+            p.fulfill("done");
+        });
+        assert_eq!(t.wait(), Ok("done"));
+        h.join().expect("producer thread must not panic");
+    }
+
+    #[test]
+    fn unwinding_producer_breaks_instead_of_hanging() {
+        let (p, t) = oneshot::<u8>();
+        let h = std::thread::spawn(move || {
+            let _hold = p;
+            panic!("worker crashed mid-request");
+        });
+        assert!(h.join().is_err());
+        assert_eq!(t.wait(), Err(Broken));
+    }
+}

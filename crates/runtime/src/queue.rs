@@ -1,0 +1,220 @@
+//! A bounded MPMC queue with explicit backpressure.
+//!
+//! This is the submission queue behind the serving frontend: producers
+//! use [`BoundedQueue::try_push`], which **fails fast** with
+//! [`PushRejected::Full`] instead of blocking, so overload surfaces as a
+//! typed rejection the caller can act on (shed, retry, degrade) rather
+//! than as an invisible, unbounded backlog. Consumers block with a
+//! timeout ([`BoundedQueue::pop_timeout`]) so worker loops can interleave
+//! shutdown checks with popping.
+//!
+//! Closing is cooperative: [`BoundedQueue::close`] rejects new pushes
+//! immediately but lets consumers drain what was already accepted;
+//! [`Popped::Closed`] is only returned once the queue is both closed and
+//! empty. This gives a server a natural drain-then-exit shutdown, while
+//! [`BoundedQueue::try_pop`] lets a shedding shutdown claim leftovers
+//! without racing consumers (each item has exactly one owner).
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Why a [`BoundedQueue::try_push`] was rejected; the item comes back.
+#[derive(Debug)]
+pub enum PushRejected<T> {
+    /// The queue is at capacity — backpressure; shed or retry later.
+    Full(T),
+    /// The queue was closed; no new work is accepted.
+    Closed(T),
+}
+
+/// Result of a pop attempt.
+#[derive(Debug)]
+pub enum Popped<T> {
+    /// An item was dequeued.
+    Item(T),
+    /// No item arrived within the timeout (queue still open).
+    Empty,
+    /// The queue is closed **and** drained; no item will ever arrive.
+    Closed,
+}
+
+struct QueueInner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer FIFO queue.
+pub struct BoundedQueue<T> {
+    inner: Mutex<QueueInner<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items (min 1).
+    pub fn bounded(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            inner: Mutex::new(QueueInner {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Maximum number of queued items.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current queue depth.
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.lock().items.is_empty()
+    }
+
+    /// Whether [`close`](BoundedQueue::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+
+    /// Enqueues `item` if there is room, without ever blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the item back inside [`PushRejected::Full`] when at
+    /// capacity and [`PushRejected::Closed`] after a close.
+    pub fn try_push(&self, item: T) -> Result<(), PushRejected<T>> {
+        let mut inner = self.lock();
+        if inner.closed {
+            return Err(PushRejected::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushRejected::Full(item));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues an item, waiting up to `timeout` for one to arrive.
+    pub fn pop_timeout(&self, timeout: Duration) -> Popped<T> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Popped::Item(item);
+            }
+            if inner.closed {
+                return Popped::Closed;
+            }
+            let (guard, wait) = self
+                .not_empty
+                .wait_timeout(inner, timeout)
+                .expect("queue lock poisoned: queue operations never panic while holding it");
+            inner = guard;
+            if wait.timed_out() {
+                // One last non-blocking check: an item may have been
+                // pushed between the timeout firing and reacquisition.
+                return match inner.items.pop_front() {
+                    Some(item) => Popped::Item(item),
+                    None if inner.closed => Popped::Closed,
+                    None => Popped::Empty,
+                };
+            }
+        }
+    }
+
+    /// Dequeues an item if one is immediately available.
+    pub fn try_pop(&self) -> Popped<T> {
+        let mut inner = self.lock();
+        match inner.items.pop_front() {
+            Some(item) => Popped::Item(item),
+            None if inner.closed => Popped::Closed,
+            None => Popped::Empty,
+        }
+    }
+
+    /// Closes the queue: pushes are rejected from now on, pops drain the
+    /// remaining items and then observe [`Popped::Closed`]. Wakes every
+    /// blocked consumer. Idempotent.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.not_empty.notify_all();
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueInner<T>> {
+        self.inner
+            .lock()
+            .expect("queue lock poisoned: queue operations never panic while holding it")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn try_push_backpressures_at_capacity() {
+        let q = BoundedQueue::bounded(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        match q.try_push(3) {
+            Err(PushRejected::Full(item)) => assert_eq!(item, 3),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn fifo_order_and_try_pop() {
+        let q = BoundedQueue::bounded(4);
+        q.try_push('a').expect("queue has room");
+        q.try_push('b').expect("queue has room");
+        assert!(matches!(q.try_pop(), Popped::Item('a')));
+        assert!(matches!(q.try_pop(), Popped::Item('b')));
+        assert!(matches!(q.try_pop(), Popped::Empty));
+    }
+
+    #[test]
+    fn close_rejects_pushes_but_drains_pops() {
+        let q = BoundedQueue::bounded(4);
+        q.try_push(1).expect("queue has room");
+        q.close();
+        assert!(matches!(q.try_push(2), Err(PushRejected::Closed(2))));
+        assert!(matches!(q.try_pop(), Popped::Item(1)));
+        assert!(matches!(q.try_pop(), Popped::Closed));
+        assert!(matches!(
+            q.pop_timeout(Duration::from_millis(1)),
+            Popped::Closed
+        ));
+    }
+
+    #[test]
+    fn pop_timeout_returns_empty_when_nothing_arrives() {
+        let q: BoundedQueue<u8> = BoundedQueue::bounded(1);
+        assert!(matches!(
+            q.pop_timeout(Duration::from_millis(1)),
+            Popped::Empty
+        ));
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumer() {
+        let q = std::sync::Arc::new(BoundedQueue::<u8>::bounded(1));
+        let q2 = std::sync::Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.pop_timeout(Duration::from_secs(30)));
+        // Give the consumer time to block, then close.
+        std::thread::sleep(Duration::from_millis(10));
+        q.close();
+        let got = h.join().expect("consumer thread must not panic");
+        assert!(matches!(got, Popped::Closed));
+    }
+}

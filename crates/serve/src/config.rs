@@ -1,0 +1,58 @@
+//! Server construction parameters.
+
+use std::time::Duration;
+
+#[cfg(feature = "fault-inject")]
+use crate::fault::FaultPlan;
+
+/// What happens to requests still queued when the server shuts down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShutdownPolicy {
+    /// Workers finish every queued request before exiting (each still
+    /// subject to its own deadline).
+    Drain,
+    /// Queued requests are failed immediately with
+    /// [`ScoreError::Shutdown`](dv_core::ScoreError::Shutdown); only
+    /// requests already being scored complete.
+    Shed,
+}
+
+/// Configuration for [`Server::start`](crate::Server::start).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Number of pinned scoring workers.
+    pub workers: usize,
+    /// Capacity of the bounded submission queue; a full queue rejects
+    /// with [`Rejected::QueueFull`](crate::Rejected::QueueFull).
+    pub queue_capacity: usize,
+    /// Per-request deadline, measured from submission. A request whose
+    /// deadline passes before scoring begins fails with
+    /// [`ScoreError::DeadlineExpired`](dv_core::ScoreError::DeadlineExpired);
+    /// one picked up with a squeezed budget is served through a degraded
+    /// rung instead.
+    pub deadline: Duration,
+    /// How shutdown treats the queue backlog.
+    pub shutdown: ShutdownPolicy,
+    /// How many trailing validated layers the reduced (masked-tap) rung
+    /// keeps. `0` disables the middle rung, degrading straight to
+    /// confidence-only.
+    pub reduced_taps: usize,
+    /// Deterministic fault-injection schedule for tests and the
+    /// `serve_soak` harness; `None` serves faithfully.
+    #[cfg(feature = "fault-inject")]
+    pub faults: Option<FaultPlan>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            queue_capacity: 64,
+            deadline: Duration::from_millis(50),
+            shutdown: ShutdownPolicy::Drain,
+            reduced_taps: 1,
+            #[cfg(feature = "fault-inject")]
+            faults: None,
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Deterministic fault injection (feature `fault-inject`).
+//!
+//! The schedule is a pure function of `(seed, request sequence number)`
+//! via [`dv_runtime::split_seed`], so a soak run is exactly reproducible:
+//! the same seed injects the same panics and spikes at the same requests
+//! regardless of worker count or scheduling. Two independent streams per
+//! request (even/odd) keep the panic and spike decisions decorrelated.
+
+use std::time::Duration;
+
+/// A deterministic per-request fault schedule.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Base seed for the per-request decision streams.
+    pub seed: u64,
+    /// Probability (per mille) that a request's worker panics mid-serve.
+    pub panic_per_mille: u32,
+    /// Probability (per mille) that a request suffers a latency spike.
+    pub spike_per_mille: u32,
+    /// Duration of an injected latency spike.
+    pub spike: Duration,
+}
+
+impl FaultPlan {
+    /// Does request `seq` trigger an injected worker panic?
+    #[must_use]
+    pub fn panic_hits(&self, seq: u64) -> bool {
+        draw_per_mille(self.seed, 2 * seq) < self.panic_per_mille
+    }
+
+    /// Does request `seq` trigger an injected latency spike?
+    #[must_use]
+    pub fn spike_hits(&self, seq: u64) -> bool {
+        draw_per_mille(self.seed, 2 * seq + 1) < self.spike_per_mille
+    }
+}
+
+/// Uniform draw in `0..1000` for decision stream `stream`.
+fn draw_per_mille(seed: u64, stream: u64) -> u32 {
+    (dv_runtime::split_seed(seed, stream) % 1000) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(panic_pm: u32, spike_pm: u32) -> FaultPlan {
+        FaultPlan {
+            seed: 42,
+            panic_per_mille: panic_pm,
+            spike_per_mille: spike_pm,
+            spike: Duration::from_millis(1),
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic_and_rate_roughly_matches() {
+        let p = plan(100, 50);
+        let hits: usize = (0..10_000).filter(|&s| p.panic_hits(s)).count();
+        // 10% nominal; the splitmix stream is uniform enough for 7%..13%.
+        assert!((700..=1300).contains(&hits), "panic hits {hits}");
+        let again: usize = (0..10_000).filter(|&s| p.panic_hits(s)).count();
+        assert_eq!(hits, again);
+    }
+
+    #[test]
+    fn zero_rate_never_fires_and_streams_are_independent() {
+        let p = plan(0, 1000);
+        assert!((0..1000).all(|s| !p.panic_hits(s)));
+        assert!((0..1000).all(|s| p.spike_hits(s)));
+    }
+}

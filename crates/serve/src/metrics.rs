@@ -1,0 +1,265 @@
+//! Lock-free serving metrics: counters plus a log-linear latency
+//! histogram. Everything is `AtomicU64` with `SeqCst` ordering so the
+//! serving hot path never takes a lock and a snapshot can be read from
+//! any thread.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const SUB_BITS: u32 = 3;
+const SUB: u64 = 1 << SUB_BITS;
+const BUCKETS: usize = 256;
+
+/// Log-linear histogram over `u64` microsecond values: 8 sub-buckets per
+/// power-of-two octave (≤ 12.5% relative error), 256 buckets covering
+/// the full `u64` range.
+pub(crate) struct LatencyHistogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+}
+
+fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let octave = (msb - SUB_BITS) as usize;
+    let sub = ((v >> (msb - SUB_BITS)) & (SUB - 1)) as usize;
+    ((octave + 1) * SUB as usize + sub).min(BUCKETS - 1)
+}
+
+fn bucket_floor(idx: usize) -> u64 {
+    if idx < SUB as usize {
+        return idx as u64;
+    }
+    let octave = idx / SUB as usize - 1;
+    let sub = (idx % SUB as usize) as u64;
+    (SUB + sub) << octave
+}
+
+impl LatencyHistogram {
+    pub(crate) fn new() -> Self {
+        Self {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::SeqCst);
+        self.count.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`): the midpoint of the bucket
+    /// holding the `ceil(q * count)`-th smallest recorded value, or 0
+    /// when nothing was recorded.
+    pub(crate) fn quantile(&self, q: f64) -> u64 {
+        let count = self.count.load(Ordering::SeqCst);
+        if count == 0 {
+            return 0;
+        }
+        let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for idx in 0..BUCKETS {
+            seen += self.buckets[idx].load(Ordering::SeqCst);
+            if seen >= target {
+                let lo = bucket_floor(idx);
+                let hi = if idx + 1 < BUCKETS {
+                    bucket_floor(idx + 1)
+                } else {
+                    lo
+                };
+                return lo + (hi - lo) / 2;
+            }
+        }
+        bucket_floor(BUCKETS - 1)
+    }
+}
+
+/// Internal counter block shared by the server and its workers.
+pub(crate) struct Metrics {
+    pub(crate) submitted: AtomicU64,
+    pub(crate) rejected_queue_full: AtomicU64,
+    pub(crate) rejected_shutdown: AtomicU64,
+    pub(crate) served_full: AtomicU64,
+    pub(crate) served_reduced: AtomicU64,
+    pub(crate) served_confidence: AtomicU64,
+    pub(crate) expired: AtomicU64,
+    pub(crate) bad_input: AtomicU64,
+    pub(crate) worker_crashes: AtomicU64,
+    pub(crate) shed_shutdown: AtomicU64,
+    pub(crate) deadline_missed: AtomicU64,
+    pub(crate) recovery_count: AtomicU64,
+    pub(crate) recovery_total_us: AtomicU64,
+    pub(crate) recovery_max_us: AtomicU64,
+    pub(crate) latency: LatencyHistogram,
+}
+
+impl Metrics {
+    pub(crate) fn new() -> Self {
+        Self {
+            submitted: AtomicU64::new(0),
+            rejected_queue_full: AtomicU64::new(0),
+            rejected_shutdown: AtomicU64::new(0),
+            served_full: AtomicU64::new(0),
+            served_reduced: AtomicU64::new(0),
+            served_confidence: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            bad_input: AtomicU64::new(0),
+            worker_crashes: AtomicU64::new(0),
+            shed_shutdown: AtomicU64::new(0),
+            deadline_missed: AtomicU64::new(0),
+            recovery_count: AtomicU64::new(0),
+            recovery_total_us: AtomicU64::new(0),
+            recovery_max_us: AtomicU64::new(0),
+            latency: LatencyHistogram::new(),
+        }
+    }
+
+    /// Records a crash-to-recovered interval (worker respawned, warmed,
+    /// and back on the queue).
+    pub(crate) fn record_recovery(&self, us: u64) {
+        self.recovery_count.fetch_add(1, Ordering::SeqCst);
+        self.recovery_total_us.fetch_add(us, Ordering::SeqCst);
+        self.recovery_max_us.fetch_max(us, Ordering::SeqCst);
+    }
+
+    pub(crate) fn snapshot(&self, worker_respawns: u64) -> MetricsSnapshot {
+        let recovery_count = self.recovery_count.load(Ordering::SeqCst);
+        let recovery_total = self.recovery_total_us.load(Ordering::SeqCst);
+        MetricsSnapshot {
+            submitted: self.submitted.load(Ordering::SeqCst),
+            rejected_queue_full: self.rejected_queue_full.load(Ordering::SeqCst),
+            rejected_shutdown: self.rejected_shutdown.load(Ordering::SeqCst),
+            served_full: self.served_full.load(Ordering::SeqCst),
+            served_reduced: self.served_reduced.load(Ordering::SeqCst),
+            served_confidence: self.served_confidence.load(Ordering::SeqCst),
+            expired: self.expired.load(Ordering::SeqCst),
+            bad_input: self.bad_input.load(Ordering::SeqCst),
+            worker_crashes: self.worker_crashes.load(Ordering::SeqCst),
+            worker_respawns,
+            shed_shutdown: self.shed_shutdown.load(Ordering::SeqCst),
+            deadline_missed: self.deadline_missed.load(Ordering::SeqCst),
+            recovery_count,
+            recovery_mean_us: if recovery_count == 0 {
+                0.0
+            } else {
+                recovery_total as f64 / recovery_count as f64
+            },
+            recovery_max_us: self.recovery_max_us.load(Ordering::SeqCst),
+            latency_p50_us: self.latency.quantile(0.50),
+            latency_p95_us: self.latency.quantile(0.95),
+            latency_p99_us: self.latency.quantile(0.99),
+        }
+    }
+}
+
+/// A point-in-time copy of the server's counters and latency quantiles.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Submissions rejected with [`Rejected::QueueFull`](crate::Rejected::QueueFull).
+    pub rejected_queue_full: u64,
+    /// Submissions rejected because the server was shutting down.
+    pub rejected_shutdown: u64,
+    /// Responses served through the full-joint rung.
+    pub served_full: u64,
+    /// Responses served through the reduced (masked-tap) rung.
+    pub served_reduced: u64,
+    /// Responses served through the confidence-only rung.
+    pub served_confidence: u64,
+    /// Requests whose deadline passed before scoring began.
+    pub expired: u64,
+    /// Requests rejected by input validation (shape / non-finite).
+    pub bad_input: u64,
+    /// Worker panics observed (each poisons exactly one request).
+    pub worker_crashes: u64,
+    /// Workers respawned by the supervisor.
+    pub worker_respawns: u64,
+    /// Requests shed during shutdown.
+    pub shed_shutdown: u64,
+    /// Responses served after their deadline had already passed.
+    pub deadline_missed: u64,
+    /// Crash-to-recovered intervals observed.
+    pub recovery_count: u64,
+    /// Mean crash-to-recovered interval (µs).
+    pub recovery_mean_us: f64,
+    /// Worst crash-to-recovered interval (µs).
+    pub recovery_max_us: u64,
+    /// Median submission-to-response latency of served requests (µs).
+    pub latency_p50_us: u64,
+    /// 95th percentile served latency (µs).
+    pub latency_p95_us: u64,
+    /// 99th percentile served latency (µs).
+    pub latency_p99_us: u64,
+}
+
+impl MetricsSnapshot {
+    /// Total responses served through any rung.
+    #[must_use]
+    pub fn served(&self) -> u64 {
+        self.served_full + self.served_reduced + self.served_confidence
+    }
+
+    /// Every terminal outcome accounted for: served, expired, bad-input,
+    /// crashed, or shed. Equals `submitted` exactly when no request was
+    /// lost or left hanging.
+    #[must_use]
+    pub fn terminal_outcomes(&self) -> u64 {
+        self.served() + self.expired + self.bad_input + self.worker_crashes + self.shed_shutdown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_floors_match() {
+        let mut last = 0;
+        for v in [0u64, 1, 7, 8, 9, 15, 16, 31, 100, 1000, 65_535, 1 << 40] {
+            let idx = bucket_index(v);
+            assert!(idx >= last, "index not monotone at {v}");
+            last = idx;
+            assert!(bucket_floor(idx) <= v, "floor above value at {v}");
+            if idx + 1 < BUCKETS {
+                assert!(bucket_floor(idx + 1) > v, "value past next floor at {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_land_in_the_right_buckets() {
+        let h = LatencyHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.50);
+        let p99 = h.quantile(0.99);
+        // ≤ 12.5% bucket error plus midpoint rounding.
+        assert!((400..=650).contains(&p50), "p50 {p50}");
+        assert!((850..=1200).contains(&p99), "p99 {p99}");
+        assert_eq!(h.quantile(0.0).max(1), h.quantile(0.001).max(1));
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn terminal_outcome_accounting_adds_up() {
+        let m = Metrics::new();
+        m.submitted.store(10, Ordering::SeqCst);
+        m.served_full.store(5, Ordering::SeqCst);
+        m.served_confidence.store(2, Ordering::SeqCst);
+        m.expired.store(1, Ordering::SeqCst);
+        m.worker_crashes.store(1, Ordering::SeqCst);
+        m.shed_shutdown.store(1, Ordering::SeqCst);
+        let s = m.snapshot(3);
+        assert_eq!(s.served(), 7);
+        assert_eq!(s.terminal_outcomes(), 10);
+        assert_eq!(s.worker_respawns, 3);
+    }
+}

@@ -1,0 +1,522 @@
+//! The serving frontend: pinned workers over a bounded queue, with
+//! deadline-driven degradation, panic isolation, and supervised respawn.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dv_core::{DeepValidator, ScoreError, ScoreWorkspace};
+use dv_nn::InferencePlan;
+use dv_runtime::{oneshot, BoundedQueue, Crew, Popped, Promise, PushRejected};
+use dv_tensor::Tensor;
+
+use crate::config::{ServeConfig, ShutdownPolicy};
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::response::{Outcome, Pending, Rejected, ScoreResponse, ServedVia};
+
+/// How often an idle worker re-checks the queue for shutdown.
+const POP_TICK: Duration = Duration::from_millis(5);
+
+/// How often the monitor reaps and respawns crashed workers.
+const SUPERVISE_TICK: Duration = Duration::from_millis(1);
+
+/// Safety factor between the remaining deadline budget and a rung's
+/// warmup-measured cost: a rung is only chosen when the budget is at
+/// least twice its estimate, so normal jitter does not turn a chosen
+/// rung into a deadline miss.
+const RUNG_MARGIN: u64 = 2;
+
+/// One queued scoring request. Dropping a `Job` without fulfilling its
+/// promise breaks the caller's ticket — which is exactly what makes an
+/// unwinding worker surface as [`ScoreError::WorkerCrashed`] instead of
+/// a hang.
+struct Job {
+    image: Tensor,
+    promise: Promise<Outcome>,
+    submitted: Instant,
+    deadline: Instant,
+    seq: u64,
+}
+
+struct Shared {
+    validator: Arc<DeepValidator>,
+    plan: Arc<InferencePlan>,
+    cfg: ServeConfig,
+    queue: BoundedQueue<Job>,
+    metrics: Metrics,
+    start: Instant,
+    /// Cleared at the start of shutdown: submissions are refused.
+    accepting: AtomicBool,
+    /// Set during a [`ShutdownPolicy::Shed`] drain: popped jobs are
+    /// failed with [`ScoreError::Shutdown`] instead of served.
+    shedding: AtomicBool,
+    /// Tells the monitor loop to exit.
+    stop_monitor: AtomicBool,
+    /// Monotone request sequence numbers (also the fault-injection key).
+    seq: AtomicU64,
+    /// Per-slot crash timestamps (µs since server start, 0 = none):
+    /// written when an incarnation unwinds, consumed by the respawned
+    /// incarnation to report its crash-to-recovered interval.
+    crash_stamp_us: Vec<AtomicU64>,
+}
+
+impl Shared {
+    fn elapsed_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+}
+
+/// Warmup-measured per-rung cost estimates for one worker incarnation.
+struct RungEstimates {
+    full_us: u64,
+    reduced_us: u64,
+}
+
+/// The degradation ladder's decision: richest rung whose estimated cost,
+/// padded by [`RUNG_MARGIN`], fits the remaining deadline budget.
+/// Confidence-only is the unconditional floor — any request that has not
+/// already expired gets at least a prediction.
+fn pick_rung(remaining_us: u64, est: &RungEstimates, reduced_enabled: bool) -> Rung {
+    if remaining_us >= est.full_us.saturating_mul(RUNG_MARGIN) {
+        Rung::Full
+    } else if reduced_enabled && remaining_us >= est.reduced_us.saturating_mul(RUNG_MARGIN) {
+        Rung::Reduced
+    } else {
+        Rung::Confidence
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Rung {
+    Full,
+    Reduced,
+    Confidence,
+}
+
+/// A running scoring server. Dropping it without
+/// [`shutdown`](Server::shutdown) sheds the backlog and joins the
+/// workers, so no request is ever left hanging.
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Crew,
+    monitor: Crew,
+    finished: bool,
+}
+
+impl Server {
+    /// Spawns the worker and monitor threads and starts serving.
+    ///
+    /// The validator and plan are shared immutably with every worker;
+    /// each worker incarnation builds and warms its own
+    /// [`ScoreWorkspace`], so nothing mutable is shared on the scoring
+    /// path.
+    pub fn start(
+        validator: Arc<DeepValidator>,
+        plan: Arc<InferencePlan>,
+        cfg: ServeConfig,
+    ) -> Self {
+        let workers = cfg.workers.max(1);
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::bounded(cfg.queue_capacity),
+            metrics: Metrics::new(),
+            start: Instant::now(),
+            accepting: AtomicBool::new(true),
+            shedding: AtomicBool::new(false),
+            stop_monitor: AtomicBool::new(false),
+            seq: AtomicU64::new(0),
+            crash_stamp_us: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            validator,
+            plan,
+            cfg,
+        });
+
+        let shared_w = Arc::clone(&shared);
+        let crew = Crew::spawn("dv-serve-worker", workers, move |slot| {
+            worker_body(&shared_w, slot);
+        });
+
+        let shared_m = Arc::clone(&shared);
+        let crew_m = crew.clone();
+        let monitor = Crew::spawn("dv-serve-monitor", 1, move |_slot| {
+            while !shared_m.stop_monitor.load(Ordering::SeqCst) {
+                crew_m.supervise();
+                std::thread::sleep(SUPERVISE_TICK);
+            }
+        });
+
+        Self {
+            shared,
+            workers: crew,
+            monitor,
+            finished: false,
+        }
+    }
+
+    /// Submits an image for scoring without ever blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Rejected::QueueFull`] under backpressure and
+    /// [`Rejected::ShuttingDown`] once shutdown began; in both cases the
+    /// image is dropped and nothing was enqueued.
+    pub fn try_submit(&self, image: Tensor) -> Result<Pending, Rejected> {
+        if !self.shared.accepting.load(Ordering::SeqCst) {
+            self.shared
+                .metrics
+                .rejected_shutdown
+                .fetch_add(1, Ordering::SeqCst);
+            return Err(Rejected::ShuttingDown);
+        }
+        let seq = self.shared.seq.fetch_add(1, Ordering::SeqCst);
+        let now = Instant::now();
+        let (promise, ticket) = oneshot();
+        let job = Job {
+            image,
+            promise,
+            submitted: now,
+            deadline: now + self.shared.cfg.deadline,
+            seq,
+        };
+        match self.shared.queue.try_push(job) {
+            Ok(()) => {
+                self.shared.metrics.submitted.fetch_add(1, Ordering::SeqCst);
+                Ok(Pending { ticket })
+            }
+            Err(PushRejected::Full(job)) => {
+                drop(job);
+                self.shared
+                    .metrics
+                    .rejected_queue_full
+                    .fetch_add(1, Ordering::SeqCst);
+                Err(Rejected::QueueFull)
+            }
+            Err(PushRejected::Closed(job)) => {
+                drop(job);
+                self.shared
+                    .metrics
+                    .rejected_shutdown
+                    .fetch_add(1, Ordering::SeqCst);
+                Err(Rejected::ShuttingDown)
+            }
+        }
+    }
+
+    /// Current submission-queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// A point-in-time copy of the serving counters and latency
+    /// quantiles.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot(self.workers.respawns())
+    }
+
+    /// Shuts down cooperatively per the configured [`ShutdownPolicy`]
+    /// and returns the final metrics. Every accepted request reaches a
+    /// terminal outcome before this returns.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.finish();
+        self.shared.metrics.snapshot(self.workers.respawns())
+    }
+
+    fn finish(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        self.shared.accepting.store(false, Ordering::SeqCst);
+        // Stop supervision before closing the queue: workers exiting
+        // normally on queue-close must not be resurrected.
+        self.shared.stop_monitor.store(true, Ordering::SeqCst);
+        self.monitor.stop();
+        self.monitor.join();
+        self.workers.stop();
+        let shed = self.shared.cfg.shutdown == ShutdownPolicy::Shed;
+        if shed {
+            self.shared.shedding.store(true, Ordering::SeqCst);
+        }
+        self.shared.queue.close();
+        if shed {
+            self.shed_backlog();
+        }
+        self.workers.join();
+        // Pathological safety net: if every worker crashed mid-drain
+        // with supervision already stopped, jobs may remain; fail them
+        // rather than leave tickets hanging.
+        self.shed_backlog();
+    }
+
+    fn shed_backlog(&self) {
+        while let Popped::Item(job) = self.shared.queue.try_pop() {
+            self.shared
+                .metrics
+                .shed_shutdown
+                .fetch_add(1, Ordering::SeqCst);
+            job.promise.fulfill(Err(ScoreError::Shutdown));
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+/// One worker incarnation: warm up, report recovery if this is a
+/// respawn, then serve until the queue closes. A panic anywhere inside
+/// unwinds through the in-flight job (breaking exactly that request's
+/// promise), is caught here, and leaves a crash stamp for the next
+/// incarnation.
+fn worker_body(shared: &Arc<Shared>, slot: usize) {
+    let crashed = catch_unwind(AssertUnwindSafe(|| worker_loop(shared, slot))).is_err();
+    if crashed {
+        shared.metrics.worker_crashes.fetch_add(1, Ordering::SeqCst);
+        shared.crash_stamp_us[slot].store(shared.elapsed_us().max(1), Ordering::SeqCst);
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>, slot: usize) {
+    // Per-incarnation state: a fresh workspace (so a respawn can never
+    // see a crashed predecessor's buffers) warmed on a dummy input, plus
+    // the rung cost estimates the degradation ladder consults.
+    let mut sw = ScoreWorkspace::new();
+    let mut per_layer: Vec<f32> = Vec::new();
+    let reduced_keep = reduced_keep_list(shared);
+    let est = warm_up(shared, &reduced_keep, &mut sw, &mut per_layer);
+
+    // If the previous incarnation of this slot crashed, the gap from its
+    // crash to now (respawned, warmed, ready) is the recovery time.
+    let stamp = shared.crash_stamp_us[slot].swap(0, Ordering::SeqCst);
+    if stamp != 0 {
+        shared
+            .metrics
+            .record_recovery(shared.elapsed_us().saturating_sub(stamp));
+    }
+
+    loop {
+        match shared.queue.pop_timeout(POP_TICK) {
+            Popped::Item(job) => {
+                serve_job(
+                    shared,
+                    slot,
+                    job,
+                    &reduced_keep,
+                    &est,
+                    &mut sw,
+                    &mut per_layer,
+                );
+            }
+            Popped::Empty => {}
+            Popped::Closed => return,
+        }
+    }
+}
+
+/// The trailing validated-probe positions the reduced rung keeps, or an
+/// empty list when the middle rung is disabled (no taps configured, or
+/// it would not actually be cheaper than full scoring).
+fn reduced_keep_list(shared: &Arc<Shared>) -> Vec<usize> {
+    let total = shared.validator.num_validated_layers();
+    let keep = shared.cfg.reduced_taps.min(total);
+    if keep == 0 || keep >= total {
+        return Vec::new();
+    }
+    (total - keep..total).collect()
+}
+
+/// Scores a zeros-image through every rung a couple of times: grows the
+/// workspace to its steady allocation-free size and measures per-rung
+/// cost (min over reps, so a cold first pass does not inflate the
+/// estimate).
+fn warm_up(
+    shared: &Arc<Shared>,
+    reduced_keep: &[usize],
+    sw: &mut ScoreWorkspace,
+    per_layer: &mut Vec<f32>,
+) -> RungEstimates {
+    const REPS: usize = 3;
+    let dummy = Tensor::zeros(shared.plan.input_dims());
+    let mut full_us = u64::MAX;
+    let mut reduced_us = u64::MAX;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        shared
+            .validator
+            .score_into(&shared.plan, &dummy, sw, per_layer)
+            .expect("zeros warmup image always matches the plan input");
+        full_us = full_us.min(t0.elapsed().as_micros() as u64);
+        if !reduced_keep.is_empty() {
+            let t0 = Instant::now();
+            shared
+                .validator
+                .score_masked_into(&shared.plan, &dummy, reduced_keep, sw, per_layer)
+                .expect("zeros warmup image always matches the plan input");
+            reduced_us = reduced_us.min(t0.elapsed().as_micros() as u64);
+        }
+        // Confidence-only rung: warmed implicitly (it is masked scoring
+        // with an empty keep list), and always affordable by definition.
+        shared
+            .validator
+            .score_masked_into(&shared.plan, &dummy, &[], sw, per_layer)
+            .expect("zeros warmup image always matches the plan input");
+    }
+    RungEstimates {
+        full_us,
+        reduced_us: if reduced_keep.is_empty() {
+            0
+        } else {
+            reduced_us
+        },
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn serve_job(
+    shared: &Arc<Shared>,
+    slot: usize,
+    job: Job,
+    reduced_keep: &[usize],
+    est: &RungEstimates,
+    sw: &mut ScoreWorkspace,
+    per_layer: &mut Vec<f32>,
+) {
+    let Job {
+        image,
+        promise,
+        submitted,
+        deadline,
+        seq,
+    } = job;
+    let picked = Instant::now();
+    let queue_us = picked.duration_since(submitted).as_micros() as u64;
+
+    if shared.shedding.load(Ordering::SeqCst) {
+        shared.metrics.shed_shutdown.fetch_add(1, Ordering::SeqCst);
+        promise.fulfill(Err(ScoreError::Shutdown));
+        return;
+    }
+
+    #[cfg(feature = "fault-inject")]
+    if let Some(faults) = &shared.cfg.faults {
+        if faults.spike_hits(seq) {
+            std::thread::sleep(faults.spike);
+        }
+    }
+
+    let now = Instant::now();
+    if now >= deadline {
+        shared.metrics.expired.fetch_add(1, Ordering::SeqCst);
+        promise.fulfill(Err(ScoreError::DeadlineExpired));
+        return;
+    }
+
+    #[cfg(feature = "fault-inject")]
+    if let Some(faults) = &shared.cfg.faults {
+        if faults.panic_hits(seq) {
+            // The unwind drops `promise`, so exactly this request's
+            // ticket observes the crash; worker_body catches the unwind
+            // and leaves the crash stamp for the respawn.
+            panic!("injected fault: worker panic on request {seq}");
+        }
+    }
+
+    let remaining_us = deadline.saturating_duration_since(now).as_micros() as u64;
+    let via = match pick_rung(remaining_us, est, !reduced_keep.is_empty()) {
+        Rung::Full => ServedVia::FullJoint,
+        Rung::Reduced => ServedVia::ReducedTaps {
+            validated: reduced_keep.len(),
+        },
+        Rung::Confidence => ServedVia::ConfidenceOnly,
+    };
+
+    let scored = match via {
+        ServedVia::FullJoint => shared
+            .validator
+            .score_into(&shared.plan, &image, sw, per_layer),
+        ServedVia::ReducedTaps { .. } => {
+            shared
+                .validator
+                .score_masked_into(&shared.plan, &image, reduced_keep, sw, per_layer)
+        }
+        ServedVia::ConfidenceOnly => {
+            shared
+                .validator
+                .score_masked_into(&shared.plan, &image, &[], sw, per_layer)
+        }
+    };
+
+    match scored {
+        Ok((predicted, confidence)) => {
+            let finish = Instant::now();
+            let total_us = finish.duration_since(submitted).as_micros() as u64;
+            let deadline_met = finish <= deadline;
+            let counter = match via {
+                ServedVia::FullJoint => &shared.metrics.served_full,
+                ServedVia::ReducedTaps { .. } => &shared.metrics.served_reduced,
+                ServedVia::ConfidenceOnly => &shared.metrics.served_confidence,
+            };
+            counter.fetch_add(1, Ordering::SeqCst);
+            if !deadline_met {
+                shared
+                    .metrics
+                    .deadline_missed
+                    .fetch_add(1, Ordering::SeqCst);
+            }
+            shared.metrics.latency.record(total_us);
+            let joint = match via {
+                ServedVia::FullJoint => Some(per_layer.iter().sum()),
+                _ => None,
+            };
+            promise.fulfill(Ok(ScoreResponse {
+                predicted,
+                confidence,
+                per_layer: per_layer.clone(),
+                joint,
+                via,
+                queue_us,
+                total_us,
+                deadline_met,
+                worker: slot,
+                seq,
+            }));
+        }
+        Err(e) => {
+            if matches!(e, ScoreError::BadInput(_)) {
+                shared.metrics.bad_input.fetch_add(1, Ordering::SeqCst);
+            }
+            promise.fulfill(Err(e));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_picks_the_richest_affordable_rung() {
+        let est = RungEstimates {
+            full_us: 100,
+            reduced_us: 20,
+        };
+        assert_eq!(pick_rung(1_000, &est, true), Rung::Full);
+        assert_eq!(pick_rung(200, &est, true), Rung::Full);
+        assert_eq!(pick_rung(199, &est, true), Rung::Reduced);
+        assert_eq!(pick_rung(40, &est, true), Rung::Reduced);
+        assert_eq!(pick_rung(39, &est, true), Rung::Confidence);
+        assert_eq!(pick_rung(0, &est, true), Rung::Confidence);
+    }
+
+    #[test]
+    fn disabled_reduced_rung_degrades_straight_to_confidence() {
+        let est = RungEstimates {
+            full_us: 100,
+            reduced_us: 0,
+        };
+        assert_eq!(pick_rung(199, &est, false), Rung::Confidence);
+        assert_eq!(pick_rung(200, &est, false), Rung::Full);
+    }
+}

@@ -1,0 +1,481 @@
+//! Integration tests for the serving frontend, including the
+//! property-style guarantees the issue demands: every submitted request
+//! reaches exactly one terminal outcome under any fault schedule, and a
+//! respawned worker scores bit-identically to the direct path.
+//!
+//! The trained fixture is the same seed-11 two-probe conv net as
+//! `plan_equivalence.rs` / `workspace_reset.rs` in dv-core, so the
+//! bit-identity assertions here compare against the exact tensors those
+//! suites pin down.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use dv_core::{BadInput, DeepValidator, ScoreError, ScoreWorkspace, ValidatorConfig};
+use dv_nn::layers::{Conv2d, Dense, Flatten, MaxPool2, Relu};
+use dv_nn::optim::Adam;
+use dv_nn::train::{fit, TrainConfig};
+use dv_nn::{InferencePlan, Network};
+use dv_runtime::Pool;
+use dv_serve::{Rejected, ServeConfig, ServedVia, Server, ShutdownPolicy};
+use dv_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[cfg(feature = "fault-inject")]
+use dv_serve::FaultPlan;
+
+/// Silence the panic spew from *injected* worker faults (they are the
+/// point of these tests), while forwarding every other panic to the
+/// default hook so genuine failures stay loud.
+fn quiet_injected_panics() {
+    use std::sync::Once;
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|s| s.contains("injected fault"));
+            if !injected {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Same two-probe conv fixture as dv-core's `plan_equivalence.rs`: a
+/// 2-class stripe problem trained under a single-thread pool.
+fn trained_setup() -> (Arc<DeepValidator>, Arc<InferencePlan>, Vec<Tensor>) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut images = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..80 {
+        let class = i % 2;
+        let mut img = Tensor::zeros(&[1, 6, 6]);
+        let cx = if class == 0 { 1 } else { 4 };
+        for y in 0..6 {
+            img.set(&[0, y, cx], rng.gen_range(0.7f32..1.0));
+        }
+        images.push(img);
+        labels.push(class);
+    }
+    let mut net = Network::new(&[1, 6, 6]);
+    net.push(Conv2d::new(&mut rng, 1, 3, 3))
+        .push_probe(Relu::new())
+        .push(MaxPool2::new())
+        .push(Flatten::new())
+        .push(Dense::new(&mut rng, 3 * 2 * 2, 8))
+        .push_probe(Relu::new())
+        .push(Dense::new(&mut rng, 8, 2));
+    let mut opt = Adam::new(0.01);
+    let cfg = TrainConfig {
+        epochs: 8,
+        batch_size: 16,
+    };
+    let validator = Pool::new(1).install(|| {
+        fit(&mut net, &mut opt, &images, &labels, &cfg, &mut rng);
+        DeepValidator::fit(&net, &images, &labels, &ValidatorConfig::default())
+            .expect("validator fit failed")
+    });
+    let plan = net.plan();
+    (Arc::new(validator), Arc::new(plan), images)
+}
+
+/// Reference scoring through the direct (non-served) path.
+fn direct(
+    validator: &DeepValidator,
+    plan: &InferencePlan,
+    img: &Tensor,
+) -> (usize, f32, Vec<f32>, f32) {
+    let mut sw = ScoreWorkspace::new();
+    let mut per_layer = Vec::new();
+    let (predicted, confidence) = validator
+        .score_into(plan, img, &mut sw, &mut per_layer)
+        .expect("fixture images are well-formed");
+    let joint = per_layer.iter().sum::<f32>();
+    (predicted, confidence, per_layer, joint)
+}
+
+fn generous_cfg() -> ServeConfig {
+    ServeConfig {
+        workers: 2,
+        queue_capacity: 128,
+        deadline: Duration::from_secs(5),
+        shutdown: ShutdownPolicy::Drain,
+        reduced_taps: 1,
+        #[cfg(feature = "fault-inject")]
+        faults: None,
+    }
+}
+
+/// With no faults and a generous deadline every request is served
+/// through the full-joint rung, bit-identical to `score_into`.
+#[test]
+fn serving_without_faults_is_bit_identical() {
+    quiet_injected_panics();
+    let (validator, plan, images) = trained_setup();
+    let server = Server::start(Arc::clone(&validator), Arc::clone(&plan), generous_cfg());
+
+    let pendings: Vec<_> = images
+        .iter()
+        .map(|img| {
+            server
+                .try_submit(img.clone())
+                .expect("128-slot queue holds the whole fixture set")
+        })
+        .collect();
+    for (i, pending) in pendings.into_iter().enumerate() {
+        let resp = pending.wait().expect("fault-free serving never fails");
+        assert_eq!(resp.via, ServedVia::FullJoint, "request {i}");
+        assert!(resp.deadline_met, "request {i} blew a 5s deadline");
+        assert_eq!(resp.seq, i as u64);
+        let (p, c, per_layer, joint) = direct(&validator, &plan, &images[i]);
+        assert_eq!(resp.predicted, p, "request {i}");
+        assert_eq!(resp.confidence.to_bits(), c.to_bits(), "request {i}");
+        assert_eq!(resp.per_layer.len(), per_layer.len());
+        for (a, b) in resp.per_layer.iter().zip(&per_layer) {
+            assert_eq!(a.to_bits(), b.to_bits(), "request {i}");
+        }
+        let got_joint = resp.joint.expect("full rung reports the joint");
+        assert_eq!(got_joint.to_bits(), joint.to_bits(), "request {i}");
+    }
+
+    let m = server.shutdown();
+    assert_eq!(m.submitted, images.len() as u64);
+    assert_eq!(m.served_full, images.len() as u64);
+    assert_eq!(m.worker_crashes, 0);
+    assert_eq!(m.worker_respawns, 0);
+    assert_eq!(m.terminal_outcomes(), m.submitted);
+}
+
+/// A `Drain` shutdown finishes every request still queued; nothing is
+/// shed and nothing hangs.
+#[test]
+fn drain_shutdown_serves_every_queued_request() {
+    quiet_injected_panics();
+    let (validator, plan, images) = trained_setup();
+    let mut cfg = generous_cfg();
+    cfg.workers = 1;
+    let server = Server::start(validator, plan, cfg);
+
+    let pendings: Vec<_> = images
+        .iter()
+        .take(30)
+        .map(|img| {
+            server
+                .try_submit(img.clone())
+                .expect("queue capacity exceeds the burst")
+        })
+        .collect();
+    let m = server.shutdown();
+    assert_eq!(m.submitted, 30);
+    assert_eq!(m.served(), 30);
+    assert_eq!(m.shed_shutdown, 0);
+    assert_eq!(m.terminal_outcomes(), m.submitted);
+    for pending in pendings {
+        pending
+            .wait()
+            .expect("drained requests are served, not shed");
+    }
+}
+
+/// A zero deadline expires every request with a typed error — no panic,
+/// no hang, and the worker stays alive for the next request.
+#[test]
+fn zero_deadline_requests_expire_with_a_typed_error() {
+    quiet_injected_panics();
+    let (validator, plan, images) = trained_setup();
+    let mut cfg = generous_cfg();
+    cfg.deadline = Duration::ZERO;
+    let server = Server::start(validator, plan, cfg);
+
+    let pendings: Vec<_> = images
+        .iter()
+        .take(10)
+        .map(|img| {
+            server
+                .try_submit(img.clone())
+                .expect("queue capacity exceeds the burst")
+        })
+        .collect();
+    for pending in pendings {
+        assert!(matches!(pending.wait(), Err(ScoreError::DeadlineExpired)));
+    }
+    let m = server.shutdown();
+    assert_eq!(m.expired, 10);
+    assert_eq!(m.worker_crashes, 0);
+    assert_eq!(m.terminal_outcomes(), m.submitted);
+}
+
+/// Malformed inputs come back as typed `BadInput` errors; the worker
+/// survives them and keeps serving bit-identical results.
+#[test]
+fn malformed_inputs_fail_typed_without_killing_the_worker() {
+    quiet_injected_panics();
+    let (validator, plan, images) = trained_setup();
+    let server = Server::start(Arc::clone(&validator), Arc::clone(&plan), generous_cfg());
+
+    let mut poisoned = images[0].clone();
+    poisoned.set(&[0, 2, 3], f32::NAN);
+    let nan = server.try_submit(poisoned).expect("queue has room").wait();
+    assert!(matches!(
+        nan,
+        Err(ScoreError::BadInput(BadInput::NonFinite { .. }))
+    ));
+
+    let shape = server
+        .try_submit(Tensor::zeros(&[1, 5, 5]))
+        .expect("queue has room")
+        .wait();
+    assert!(matches!(
+        shape,
+        Err(ScoreError::BadInput(BadInput::WrongShape { .. }))
+    ));
+
+    let resp = server
+        .try_submit(images[1].clone())
+        .expect("queue has room")
+        .wait()
+        .expect("clean input after bad ones still serves");
+    let (p, _, per_layer, _) = direct(&validator, &plan, &images[1]);
+    assert_eq!(resp.predicted, p);
+    for (a, b) in resp.per_layer.iter().zip(&per_layer) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    let m = server.shutdown();
+    assert_eq!(m.bad_input, 2);
+    assert_eq!(m.worker_crashes, 0);
+    assert_eq!(m.worker_respawns, 0);
+    assert_eq!(m.terminal_outcomes(), m.submitted);
+}
+
+/// With a single worker pinned down by an injected latency spike and a
+/// one-slot queue, a burst overflows into typed `QueueFull` rejections
+/// instead of blocking or dropping silently.
+#[cfg(feature = "fault-inject")]
+#[test]
+fn backpressure_rejects_with_typed_queue_full() {
+    quiet_injected_panics();
+    let (validator, plan, images) = trained_setup();
+    let mut cfg = generous_cfg();
+    cfg.workers = 1;
+    cfg.queue_capacity = 1;
+    cfg.deadline = Duration::from_secs(10);
+    cfg.faults = Some(FaultPlan {
+        seed: 1,
+        panic_per_mille: 0,
+        spike_per_mille: 1000,
+        spike: Duration::from_millis(200),
+    });
+    let server = Server::start(validator, plan, cfg);
+
+    // One request can be in flight (spiking for 200ms) and one queued;
+    // the third submission of a back-to-back burst must bounce.
+    let mut accepted = Vec::new();
+    let mut rejected = 0u64;
+    for img in images.iter().take(3) {
+        match server.try_submit(img.clone()) {
+            Ok(p) => accepted.push(p),
+            Err(Rejected::QueueFull) => rejected += 1,
+            Err(Rejected::ShuttingDown) => panic!("server is not shutting down"),
+        }
+    }
+    assert!(rejected >= 1, "burst should overflow the one-slot queue");
+    for pending in accepted {
+        pending
+            .wait()
+            .expect("accepted requests ride out the spike and serve");
+    }
+    let m = server.shutdown();
+    assert_eq!(m.rejected_queue_full, rejected);
+    assert_eq!(m.terminal_outcomes(), m.submitted);
+}
+
+/// The injected fault schedule is a pure function of the sequence
+/// number, so each request's outcome is exactly predictable: scheduled
+/// panics surface as `WorkerCrashed`, everything else is served by the
+/// respawned worker bit-identically to the direct path.
+#[cfg(feature = "fault-inject")]
+#[test]
+fn respawned_workers_score_bit_identically() {
+    quiet_injected_panics();
+    let (validator, plan, images) = trained_setup();
+    let faults = FaultPlan {
+        seed: 7,
+        panic_per_mille: 250,
+        spike_per_mille: 0,
+        spike: Duration::ZERO,
+    };
+    const N: u64 = 40;
+    let crashes: Vec<u64> = (0..N).filter(|&s| faults.panic_hits(s)).collect();
+    assert!(
+        !crashes.is_empty() && crashes.len() < N as usize,
+        "seed 7 must schedule both crashes and clean serves in 0..{N}"
+    );
+    assert!(
+        crashes
+            .iter()
+            .any(|&c| (c + 1..N).any(|s| !faults.panic_hits(s))),
+        "at least one crash must be followed by a clean serve"
+    );
+
+    let mut cfg = generous_cfg();
+    cfg.workers = 1;
+    cfg.deadline = Duration::from_secs(10);
+    cfg.faults = Some(faults.clone());
+    let server = Server::start(Arc::clone(&validator), Arc::clone(&plan), cfg);
+
+    // Submit one at a time so sequence numbers match submission order
+    // and each respawn completes before the next clean request.
+    for seq in 0..N {
+        let img = &images[(seq as usize) % images.len()];
+        let outcome = server
+            .try_submit(img.clone())
+            .expect("serialized submissions never fill the queue")
+            .wait();
+        if faults.panic_hits(seq) {
+            assert!(
+                matches!(outcome, Err(ScoreError::WorkerCrashed)),
+                "request {seq} was scheduled to crash"
+            );
+        } else {
+            let resp = outcome.expect("unscheduled requests serve normally");
+            assert_eq!(resp.seq, seq);
+            let (p, c, per_layer, joint) = direct(&validator, &plan, img);
+            assert_eq!(resp.predicted, p, "request {seq}");
+            assert_eq!(resp.confidence.to_bits(), c.to_bits(), "request {seq}");
+            for (a, b) in resp.per_layer.iter().zip(&per_layer) {
+                assert_eq!(a.to_bits(), b.to_bits(), "request {seq}");
+            }
+            let got_joint = resp.joint.expect("full rung reports the joint");
+            assert_eq!(got_joint.to_bits(), joint.to_bits(), "request {seq}");
+        }
+    }
+
+    let m = server.shutdown();
+    assert_eq!(m.worker_crashes, crashes.len() as u64);
+    assert!(m.worker_respawns >= 1, "supervisor must have respawned");
+    assert!(m.recovery_count >= 1, "a recovery interval was recorded");
+    assert_eq!(m.terminal_outcomes(), m.submitted);
+}
+
+/// A `Shed` shutdown fails the backlog fast with `ScoreError::Shutdown`
+/// instead of draining behind a spiking worker.
+#[cfg(feature = "fault-inject")]
+#[test]
+fn shed_shutdown_fails_backlog_with_typed_error() {
+    quiet_injected_panics();
+    let (validator, plan, images) = trained_setup();
+    let mut cfg = generous_cfg();
+    cfg.workers = 1;
+    cfg.deadline = Duration::from_secs(10);
+    cfg.shutdown = ShutdownPolicy::Shed;
+    cfg.faults = Some(FaultPlan {
+        seed: 3,
+        panic_per_mille: 0,
+        spike_per_mille: 1000,
+        spike: Duration::from_millis(50),
+    });
+    let server = Server::start(validator, plan, cfg);
+
+    let pendings: Vec<_> = images
+        .iter()
+        .take(20)
+        .map(|img| {
+            server
+                .try_submit(img.clone())
+                .expect("queue capacity exceeds the burst")
+        })
+        .collect();
+    let m = server.shutdown();
+
+    let mut shed = 0u64;
+    let mut served = 0u64;
+    for pending in pendings {
+        match pending.wait() {
+            Ok(_) => served += 1,
+            Err(ScoreError::Shutdown) => shed += 1,
+            other => panic!("unexpected shed-shutdown outcome: {other:?}"),
+        }
+    }
+    assert!(shed >= 1, "a spiking worker cannot outrun the shed");
+    assert_eq!(m.shed_shutdown, shed);
+    assert_eq!(m.served(), served);
+    assert_eq!(m.terminal_outcomes(), m.submitted);
+}
+
+/// The headline property: under mixed faults (panics, spikes, bad
+/// inputs, backpressure) across several seeds, every accepted request
+/// reaches exactly one terminal outcome — the client-side tally of
+/// outcomes matches the server's counters category by category, and
+/// nothing hangs.
+#[cfg(feature = "fault-inject")]
+#[test]
+fn every_request_reaches_exactly_one_terminal_outcome() {
+    quiet_injected_panics();
+    let (validator, plan, images) = trained_setup();
+    for seed in [1u64, 7, 42] {
+        let mut cfg = generous_cfg();
+        cfg.workers = 2;
+        cfg.queue_capacity = 8;
+        cfg.deadline = Duration::from_millis(25);
+        cfg.faults = Some(FaultPlan {
+            seed,
+            panic_per_mille: 100,
+            spike_per_mille: 100,
+            spike: Duration::from_millis(1),
+        });
+        let server = Server::start(Arc::clone(&validator), Arc::clone(&plan), cfg);
+
+        let mut accepted = Vec::new();
+        let mut rejected_full = 0u64;
+        for i in 0..120usize {
+            let img = match i % 10 {
+                0 => {
+                    let mut bad = images[i % images.len()].clone();
+                    bad.set(&[0, 0, 0], f32::NAN);
+                    bad
+                }
+                1 => Tensor::zeros(&[1, 5, 5]),
+                _ => images[i % images.len()].clone(),
+            };
+            match server.try_submit(img) {
+                Ok(p) => accepted.push(p),
+                Err(Rejected::QueueFull) => rejected_full += 1,
+                Err(Rejected::ShuttingDown) => panic!("server is not shutting down"),
+            }
+        }
+
+        let mut served = 0u64;
+        let mut expired = 0u64;
+        let mut bad_input = 0u64;
+        let mut crashed = 0u64;
+        let mut shed = 0u64;
+        let n_accepted = accepted.len() as u64;
+        for (i, pending) in accepted.into_iter().enumerate() {
+            let outcome = pending
+                .wait_timeout(Duration::from_secs(10))
+                .unwrap_or_else(|_| panic!("request {i} hung (seed {seed})"));
+            match outcome {
+                Ok(_) => served += 1,
+                Err(ScoreError::DeadlineExpired) => expired += 1,
+                Err(ScoreError::BadInput(_)) => bad_input += 1,
+                Err(ScoreError::WorkerCrashed) => crashed += 1,
+                Err(ScoreError::Shutdown) => shed += 1,
+            }
+        }
+
+        let m = server.shutdown();
+        assert_eq!(m.submitted, n_accepted, "seed {seed}");
+        assert_eq!(m.rejected_queue_full, rejected_full, "seed {seed}");
+        assert_eq!(m.served(), served, "seed {seed}");
+        assert_eq!(m.expired, expired, "seed {seed}");
+        assert_eq!(m.bad_input, bad_input, "seed {seed}");
+        assert_eq!(m.worker_crashes, crashed, "seed {seed}");
+        assert_eq!(m.shed_shutdown, shed, "seed {seed}");
+        assert_eq!(m.terminal_outcomes(), m.submitted, "seed {seed}");
+    }
+}

@@ -126,6 +126,29 @@ impl Workspace {
     pub fn put_slot(&mut self, id: usize, buf: Vec<f32>) {
         self.slots[id] = buf;
     }
+
+    /// Number of probe buffers currently reserved.
+    pub fn num_probes(&self) -> usize {
+        self.probes.len()
+    }
+
+    /// Clears every buffer's *contents* while keeping its capacity: after
+    /// a reset the workspace holds no activations, tapped probes, or
+    /// per-op scratch from any earlier (possibly aborted mid-forward)
+    /// run, yet the next run still allocates nothing. This is the
+    /// recovery step a serving worker applies before reusing a workspace
+    /// whose last request was unwound or abandoned.
+    pub fn reset(&mut self) {
+        for buf in &mut self.acts {
+            buf.clear();
+        }
+        for buf in &mut self.probes {
+            buf.clear();
+        }
+        for buf in &mut self.slots {
+            buf.clear();
+        }
+    }
 }
 
 /// Resets `buf` to `len` zeroed elements, allocating only if the buffer
@@ -171,6 +194,31 @@ mod tests {
         assert_eq!(ws.act(0)[0], 2.0);
         let again = ws.take_acts();
         assert!(again[0].capacity() >= 16);
+    }
+
+    #[test]
+    fn reset_clears_contents_but_keeps_capacity() {
+        let mut ws = Workspace::new();
+        let mut acts = ws.take_acts();
+        ensure_zeroed(&mut acts[0], 32);
+        acts[0][5] = 3.0;
+        ws.put_acts(acts);
+        ws.ensure_probes(2);
+        ensure_zeroed(ws.probe_buf_mut(1), 8);
+        ws.probe_buf_mut(1)[0] = 1.0;
+        ws.ensure_slots(1);
+        ensure_zeroed(ws.slot_mut(0), 4);
+
+        ws.reset();
+        assert!(ws.act(0).is_empty());
+        assert!(ws.probe(1).is_empty());
+        assert_eq!(ws.num_probes(), 2);
+        // Capacity survives: regrowing to the old size reuses the buffer.
+        let probe = ws.probe_buf_mut(1);
+        let cap = probe.capacity();
+        assert!(cap >= 8);
+        ensure_zeroed(probe, 8);
+        assert_eq!(probe.capacity(), cap);
     }
 
     #[test]

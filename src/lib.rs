@@ -21,6 +21,7 @@
 //! | [`imgops`] | metamorphic image transformations |
 //! | [`ocsvm`] | ν one-class SVM with an SMO solver |
 //! | [`core`] | Deep Validation itself |
+//! | [`serve`] | fault-tolerant scoring frontend: deadlines, backpressure, degradation |
 //! | [`detectors`] | feature-squeezing and KDE baselines |
 //! | [`attacks`] | FGSM, BIM, JSMA, CW white-box attacks |
 //! | [`eval`] | ROC-AUC, corner-case grid search, tables |
@@ -70,4 +71,5 @@ pub use dv_eval as eval;
 pub use dv_imgops as imgops;
 pub use dv_nn as nn;
 pub use dv_ocsvm as ocsvm;
+pub use dv_serve as serve;
 pub use dv_tensor as tensor;
