@@ -9,8 +9,6 @@
 //! 4. the feature-reduction budget (`max_spatial`);
 //! 5. the max-confidence baseline the paper's premise dismisses.
 
-use std::time::Instant;
-
 use dv_bench::Experiment;
 use dv_core::{DeepValidator, JointCalibration, LayerSelection, ValidatorConfig};
 use dv_datasets::DatasetSpec;
@@ -74,7 +72,7 @@ fn main() {
         ));
     }
     for (label, config) in configs {
-        let t0 = Instant::now();
+        let t0 = dv_trace::Stopwatch::start();
         let validator = DeepValidator::fit(
             &exp.net,
             &exp.dataset.train.images,
@@ -82,14 +80,14 @@ fn main() {
             &config,
         )
         .expect("fit failed");
-        let fit_secs = t0.elapsed().as_secs_f64();
+        let fit_secs = t0.elapsed_secs_f64();
 
-        let t1 = Instant::now();
+        let t1 = dv_trace::Stopwatch::start();
         let neg: Vec<f32> = clean
             .iter()
             .map(|img| validator.discrepancy(&mut exp.net, img).joint)
             .collect();
-        let query_ms = t1.elapsed().as_secs_f64() * 1000.0 / clean.len() as f64;
+        let query_ms = t1.elapsed_secs_f64() * 1000.0 / clean.len() as f64;
         let pos: Vec<f32> = sccs
             .iter()
             .map(|img| validator.discrepancy(&mut exp.net, img).joint)

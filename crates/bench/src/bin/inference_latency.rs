@@ -10,7 +10,6 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
 
 use dv_core::{DeepValidator, ScoreWorkspace, ValidatorConfig};
 use dv_nn::layers::{Conv2d, Dense, Flatten, MaxPool2, Relu};
@@ -62,14 +61,19 @@ fn count_allocs<R>(f: impl FnOnce() -> R) -> (u64, u64, R) {
 }
 
 /// Minimum wall-clock over `reps` sweeps of `f`, in microseconds.
-fn time_us(reps: usize, mut f: impl FnMut()) -> f64 {
-    let mut best = f64::INFINITY;
+///
+/// Every sweep is recorded into the global metrics registry under
+/// `metric`, and the returned minimum is read back from the histogram
+/// snapshot — the printed number and the exported metric are the same
+/// measurement, not two clock reads that can drift.
+fn time_us(reps: usize, metric: &'static str, mut f: impl FnMut()) -> f64 {
+    let h = dv_trace::global().histogram(metric);
     for _ in 0..reps {
-        let t = Instant::now();
+        let t = dv_trace::Stopwatch::start();
         f();
-        best = best.min(t.elapsed().as_secs_f64() * 1e6);
+        h.record(t.elapsed_us());
     }
-    best
+    h.snapshot().min as f64
 }
 
 fn conv_fixture() -> (Network, Vec<Tensor>, Vec<usize>) {
@@ -122,7 +126,7 @@ fn measure_mutable(
         .map(|img| validator.discrepancy(net, img).joint)
         .collect();
     let n = images.len() as f64;
-    let us = time_us(5, || {
+    let us = time_us(5, "bench.inference.mutable_sweep_us", || {
         for img in images {
             std::hint::black_box(validator.discrepancy(net, img).joint);
         }
@@ -164,7 +168,7 @@ fn measure_plan(
         })
         .collect();
     let n = images.len() as f64;
-    let us = time_us(5, || {
+    let us = time_us(5, "bench.inference.plan_sweep_us", || {
         for img in images {
             let ok = validator.score_into(plan, img, &mut sw, &mut per_layer);
             std::hint::black_box(&per_layer);

@@ -4,8 +4,6 @@
 //! batch discrepancy scoring, each with a bit-identity check between the
 //! two arms.
 
-use std::time::Instant;
-
 use dv_core::{DeepValidator, ValidatorConfig};
 use dv_nn::layers::{Conv2d, Dense, Flatten, MaxPool2, Relu};
 use dv_nn::optim::Adam;
@@ -17,14 +15,15 @@ use dv_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// Minimum wall-clock over `reps` runs, in milliseconds.
+/// Minimum wall-clock over `reps` runs, in milliseconds, read from the
+/// shared trace clock.
 fn time_ms<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
     let mut best = f64::INFINITY;
     let mut last = None;
     for _ in 0..reps {
-        let t = Instant::now();
+        let t = dv_trace::Stopwatch::start();
         let out = f();
-        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+        best = best.min(t.elapsed_secs_f64() * 1e3);
         last = Some(out);
     }
     (best, last.expect("reps >= 1"))

@@ -16,7 +16,7 @@
 //! `--quick` shrinks the request counts for the CI smoke run.
 
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use dv_core::{DeepValidator, ScoreWorkspace, ValidatorConfig};
 use dv_nn::layers::{Conv2d, Dense, Flatten, MaxPool2, Relu};
@@ -161,7 +161,7 @@ fn phase_soak(
     });
     let server = Server::start(Arc::clone(validator), Arc::clone(plan), cfg);
 
-    let t0 = Instant::now();
+    let t0 = dv_trace::Stopwatch::start();
     let mut pendings = Vec::new();
     for i in 0..requests {
         let img = if i % 50 == 7 {
@@ -207,7 +207,7 @@ fn phase_soak(
             Err(_still_pending) => lost_or_hung += 1,
         }
     }
-    let wall_s = t0.elapsed().as_secs_f64();
+    let wall_s = t0.elapsed_secs_f64();
     let snapshot = server.shutdown();
     if snapshot.terminal_outcomes() != snapshot.submitted {
         lost_or_hung += snapshot.submitted - snapshot.terminal_outcomes().min(snapshot.submitted);

@@ -349,6 +349,7 @@ impl DeepValidator {
         image: &Tensor,
         sw: &mut ScoreWorkspace,
     ) -> Result<DiscrepancyReport, ScoreError> {
+        dv_trace::span!("core.score");
         let mut per_layer = Vec::with_capacity(self.probe_indices.len());
         let (predicted, confidence) = self.score_into(plan, image, sw, &mut per_layer)?;
         Ok(DiscrepancyReport::new(predicted, confidence, per_layer))
@@ -371,6 +372,7 @@ impl DeepValidator {
         sw: &mut ScoreWorkspace,
         per_layer: &mut Vec<f32>,
     ) -> Result<(usize, f32), ScoreError> {
+        dv_trace::span!("core.score_into");
         validate_plan_input(plan, image)?;
         // Disjoint field borrows: the plan output borrows `sw.ws`, the
         // reduced representation lands in `sw.rep`.
@@ -386,7 +388,9 @@ impl DeepValidator {
         for (t, &p) in self.probe_indices.iter().enumerate() {
             self.reducer
                 .reduce_into(plan.probe_item_dims(p), out.probe(t), rep);
-            per_layer.push(-(self.svms_for_probe(p)[predicted].decision(rep) as f32));
+            let d = -(self.svms_for_probe(p)[predicted].decision(rep) as f32);
+            dv_trace::record_discrepancy(t, d);
+            per_layer.push(d);
         }
         Ok((predicted, confidence))
     }
@@ -413,6 +417,7 @@ impl DeepValidator {
         sw: &mut ScoreWorkspace,
         per_layer: &mut Vec<f32>,
     ) -> Result<(usize, f32), ScoreError> {
+        dv_trace::span!("core.score_masked_into");
         validate_plan_input(plan, image)?;
         debug_assert!(
             keep.windows(2).all(|w| w[0] < w[1]),
@@ -435,7 +440,11 @@ impl DeepValidator {
             let p = self.probe_indices[v];
             self.reducer
                 .reduce_into(plan.probe_item_dims(p), out.probe(t), rep);
-            per_layer.push(-(self.svms_for_probe(p)[predicted].decision(rep) as f32));
+            let d = -(self.svms_for_probe(p)[predicted].decision(rep) as f32);
+            // Tap index `v` (the position in the validated probe list),
+            // so masked telemetry lands in the same tap as full scoring.
+            dv_trace::record_discrepancy(v, d);
+            per_layer.push(d);
         }
         Ok((predicted, confidence))
     }

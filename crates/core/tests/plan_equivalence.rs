@@ -1,7 +1,10 @@
 //! The serving path (shared immutable [`InferencePlan`] + reusable
 //! [`ScoreWorkspace`]) must be bit-identical to the mutable training
-//! path (`DeepValidator::discrepancy`), with workspace reuse and thread
-//! count both invisible in the output.
+//! path (`DeepValidator::discrepancy`), with workspace reuse, thread
+//! count, and trace recording all invisible in the output. CI runs this
+//! suite with and without `dv-trace/trace`, so every bit-identity
+//! assertion here doubles as proof that instrumentation never steers a
+//! score.
 
 use dv_core::{DeepValidator, ScoreWorkspace, ValidatorConfig};
 use dv_nn::layers::{Conv2d, Dense, Flatten, MaxPool2, Relu};
@@ -144,6 +147,53 @@ fn score_into_matches_score() {
                 assert_eq!(x.to_bits(), y.to_bits());
             }
         }
+    });
+}
+
+/// Scoring inside an enclosing span is bit-identical to scoring outside
+/// one, in both tracing modes: observation never steers. Also pins the
+/// mode contract — spans are recorded exactly when the `trace` feature
+/// is compiled in.
+#[test]
+fn enclosing_span_never_changes_scores() {
+    let (net, images, labels) = trained_setup();
+    let validator = fit_validator(&net, &images, &labels);
+    let plan = net.plan();
+    Pool::new(1).install(|| {
+        let mut sw = ScoreWorkspace::new();
+        let mut bare = Vec::new();
+        let mut wrapped = Vec::new();
+        for (i, img) in images.iter().take(24).enumerate() {
+            let (p, c) = validator
+                .score_into(&plan, img, &mut sw, &mut bare)
+                .expect("fixture images are well-formed");
+            let (p2, c2) = {
+                dv_trace::span!("test.enclosing");
+                validator
+                    .score_into(&plan, img, &mut sw, &mut wrapped)
+                    .expect("fixture images are well-formed")
+            };
+            assert_eq!(p, p2, "prediction changed under a span on image {i}");
+            assert_eq!(
+                c.to_bits(),
+                c2.to_bits(),
+                "confidence changed under a span on image {i}"
+            );
+            assert_eq!(bare.len(), wrapped.len());
+            for (a, b) in bare.iter().zip(&wrapped) {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "per-layer score changed under a span on image {i}"
+                );
+            }
+        }
+        // The trace machinery is live exactly when the feature is on.
+        assert_eq!(
+            dv_trace::snapshot().span_count() > 0,
+            dv_trace::tracing_enabled(),
+            "span recording must match the compiled mode"
+        );
     });
 }
 

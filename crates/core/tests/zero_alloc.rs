@@ -1,6 +1,13 @@
 //! Proves the acceptance criterion directly: once the workspace and
 //! output buffer are warm, `DeepValidator::score_into` through a shared
 //! [`InferencePlan`] performs **zero** heap allocations per image.
+//!
+//! The suite runs in both tracing modes (CI builds it with and without
+//! `dv-trace/trace`). With the feature off every probe is a compiled-out
+//! no-op; with it on, span recording writes into per-thread rings that
+//! the warm-up image allocates once — either way the steady-state loop
+//! must stay at zero allocations per image, and recording must never
+//! change a score bit.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -87,7 +94,9 @@ fn warmed_score_into_allocates_nothing() {
         let mut sw = ScoreWorkspace::new();
         let mut per_layer = Vec::new();
 
-        // Warm up: the first image grows every buffer to its steady size.
+        // Warm up: the first image grows every buffer to its steady
+        // size. With tracing compiled in this also emits the thread's
+        // first spans, allocating its fixed-size ring exactly once.
         validator
             .score_into(&plan, &images[0], &mut sw, &mut per_layer)
             .expect("fixture images are well-formed");
@@ -102,8 +111,10 @@ fn warmed_score_into_allocates_nothing() {
         assert_eq!(
             allocs,
             0,
-            "warmed score_into allocated {allocs} times over {} images",
-            images.len()
+            "warmed score_into allocated {allocs} times over {} images \
+             (tracing_enabled = {})",
+            images.len(),
+            dv_trace::tracing_enabled()
         );
     });
 }

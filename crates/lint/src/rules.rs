@@ -13,6 +13,7 @@
 //! | `wall-clock` (R5b)       | no `Instant::now`/`SystemTime::now` in numeric kernels — wall-clock reads make kernel behaviour timing-dependent |
 //! | `tensor-clone` (R6)      | no `.clone()` in the inference crates (`core`, `detectors`, `eval`) — the serving path is allocation-free (`InferencePlan` + workspace); a clone is a per-image heap hit unless proven cold with a reasoned allow |
 //! | `unbounded-channel` (R7) | no `mpsc::channel` or `thread::Builder` outside `crates/runtime` — unbounded channels hide backlog (backpressure must be a typed rejection, `BoundedQueue`), and `thread::Builder` is the spawn loophole R2's `thread::spawn` check misses; long-lived threads go through `Crew` |
+//! | `raw-timing` (R8)        | no `std::time::Instant`/`SystemTime` mention outside `crates/trace` and `crates/serve` — ad-hoc timing drifts from the shared trace epoch and bypasses the registry; measure with `dv_trace::Stopwatch`/`span!`, or allow with the reason raw timing is required |
 //!
 //! Rules see only the lexed token stream (comments and string literals are
 //! already stripped), and skip `#[cfg(test)]` regions, so test code may use
@@ -29,6 +30,7 @@ pub const FLOAT_EQ: &str = "float-eq";
 pub const WALL_CLOCK: &str = "wall-clock";
 pub const TENSOR_CLONE: &str = "tensor-clone";
 pub const UNBOUNDED_CHANNEL: &str = "unbounded-channel";
+pub const RAW_TIMING: &str = "raw-timing";
 pub const BAD_DIRECTIVE: &str = "bad-directive";
 
 /// All suppressible rule ids, in report order.
@@ -41,6 +43,7 @@ pub const ALL_RULES: &[&str] = &[
     WALL_CLOCK,
     TENSOR_CLONE,
     UNBOUNDED_CHANNEL,
+    RAW_TIMING,
 ];
 
 /// Per-file context handed to each rule.
@@ -81,8 +84,14 @@ pub fn rule_applies(rule: &str, crate_dir: &str) -> bool {
         THREAD_DISCIPLINE => crate_dir != "runtime",
         UNBOUNDED_CHANNEL => crate_dir != "runtime",
         // The serve crate's whole job is deadlines and latency, so it
-        // joins bench and runtime in the wall-clock carve-out.
-        WALL_CLOCK => !matches!(crate_dir, "runtime" | "bench" | "serve"),
+        // joins bench and runtime in the wall-clock carve-out; trace owns
+        // the shared clock epoch itself.
+        WALL_CLOCK => !matches!(crate_dir, "runtime" | "bench" | "serve" | "trace"),
+        // Stricter than R5b: any *mention* of the raw clock types, so
+        // even storing an Instant needs a reason. Only the crate that
+        // defines the trace epoch and the deadline-driven server are
+        // carved out; bench and runtime justify each site with an allow.
+        RAW_TIMING => !matches!(crate_dir, "trace" | "serve"),
         // The inference crates promise an allocation-free serving path;
         // everywhere else (tensor kernels, training, experiment drivers)
         // owned copies are part of the job.
@@ -116,6 +125,9 @@ pub fn check_file(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
     }
     if rule_applies(UNBOUNDED_CHANNEL, ctx.crate_dir) {
         check_unbounded_channel(ctx, out);
+    }
+    if rule_applies(RAW_TIMING, ctx.crate_dir) {
+        check_raw_timing(ctx, out);
     }
 }
 
@@ -450,6 +462,36 @@ fn check_unbounded_channel(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// R8: any mention of the raw clock types outside `crates/trace` and
+/// `crates/serve`.
+///
+/// R5b only catches the `::now()` call; this rule also catches imports
+/// and stored `Instant` fields, because a raw timestamp anywhere else
+/// lives on a different epoch than the trace timeline and its readings
+/// cannot land in the metrics registry or the chrome trace. Time with
+/// `dv_trace::Stopwatch` or a `span!` instead, or allow the site with
+/// the reason raw timing is required (condvar timeouts, OS deadline
+/// arithmetic).
+fn check_raw_timing(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    for t in ctx.lexed.toks.iter() {
+        if t.kind == TokKind::Ident
+            && (t.text == "Instant" || t.text == "SystemTime")
+            && !ctx.in_test(t.line)
+        {
+            out.push(ctx.diag(
+                RAW_TIMING,
+                t.line,
+                format!(
+                    "{} lives on its own epoch, invisible to the trace timeline and the \
+                     metrics registry; time with dv_trace::Stopwatch or span!, or allow \
+                     with the reason raw timing is required",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -539,12 +581,48 @@ mod tests {
     }
 
     #[test]
-    fn wall_clock_exempts_bench_runtime_and_serve() {
+    fn wall_clock_exempts_bench_runtime_serve_and_trace() {
         let src = "fn f() { let _ = std::time::Instant::now(); }\n";
-        assert!(run(src, "bench").is_empty());
-        assert!(run(src, "runtime").is_empty());
+        // bench and runtime are exempt from R5b but still hit R8.
+        let bench = run(src, "bench");
+        assert_eq!(bench.len(), 1, "{bench:?}");
+        assert_eq!(bench[0].rule, RAW_TIMING);
+        let runtime = run(src, "runtime");
+        assert_eq!(runtime.len(), 1, "{runtime:?}");
+        assert_eq!(runtime[0].rule, RAW_TIMING);
         assert!(run(src, "serve").is_empty());
-        assert_eq!(run(src, "detectors").len(), 1);
+        assert!(run(src, "trace").is_empty());
+        // Non-exempt crates hit both the ::now() call and the mention.
+        let both = run(src, "detectors");
+        assert_eq!(both.len(), 2, "{both:?}");
+        assert!(both.iter().any(|d| d.rule == WALL_CLOCK));
+        assert!(both.iter().any(|d| d.rule == RAW_TIMING));
+    }
+
+    #[test]
+    fn raw_timing_flags_bare_mentions_everywhere_but_trace_and_serve() {
+        // No ::now() call — R5b stays silent, R8 still fires on the
+        // import and on the stored field type.
+        let src = "use std::time::Instant;\nstruct S { t: Instant }\n";
+        let diags = run(src, "core");
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags.iter().all(|d| d.rule == RAW_TIMING));
+        assert_eq!(diags[0].line, 1);
+        assert_eq!(diags[1].line, 2);
+        assert!(run(src, "trace").is_empty());
+        assert!(run(src, "serve").is_empty());
+        let sys = run(
+            "fn f() { let _ = std::time::SystemTime::UNIX_EPOCH; }\n",
+            "nn",
+        );
+        assert_eq!(sys.len(), 1, "{sys:?}");
+        assert_eq!(sys[0].rule, RAW_TIMING);
+    }
+
+    #[test]
+    fn raw_timing_skips_test_regions() {
+        let src = "#[cfg(test)]\nmod tests {\n    use std::time::Instant;\n    fn g() { let _ = Instant::now(); }\n}\n";
+        assert!(run(src, "core").is_empty());
     }
 
     #[test]

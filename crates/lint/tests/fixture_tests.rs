@@ -110,7 +110,31 @@ fn r5_float_eq_fixture() {
 
 #[test]
 fn r5_wall_clock_fixture() {
-    assert_diags("r5_wall_clock.rs", &[(rules::WALL_CLOCK, 7)]);
+    // Fixtures lint under the "lint" bucket where every rule applies, so
+    // R8 (raw-timing) also fires on the import and the `Instant::now()`
+    // line; within line 8 the stable sort keeps R5b's emission first.
+    assert_diags(
+        "r5_wall_clock.rs",
+        &[
+            (rules::RAW_TIMING, 5),
+            (rules::WALL_CLOCK, 8),
+            (rules::RAW_TIMING, 8),
+        ],
+    );
+}
+
+#[test]
+fn r8_raw_timing_fixture() {
+    // No `::now()` call anywhere — R5b stays silent; R8 flags the import,
+    // the stored field type, and the SystemTime epoch constant.
+    assert_diags(
+        "r8_raw_timing.rs",
+        &[
+            (rules::RAW_TIMING, 6),
+            (rules::RAW_TIMING, 9),
+            (rules::RAW_TIMING, 13),
+        ],
+    );
 }
 
 #[test]
@@ -131,8 +155,9 @@ fn allowed_variants_pass_with_recorded_suppressions() {
     assert_allowed("r3_safety_comment_allowed.rs", 0);
     assert_allowed("r4_no_unwrap_allowed.rs", 1);
     assert_allowed("r5_float_eq_allowed.rs", 1);
-    assert_allowed("r5_wall_clock_allowed.rs", 1);
+    assert_allowed("r5_wall_clock_allowed.rs", 2);
     assert_allowed("r7_unbounded_channel_allowed.rs", 1);
+    assert_allowed("r8_raw_timing_allowed.rs", 3);
 }
 
 #[test]

@@ -1,6 +1,7 @@
 // Known-bad for R5b (wall-clock): a wall-clock read inside a numeric
 // kernel. Behaviour now depends on scheduling, so two runs over identical
-// inputs can take different branches.
+// inputs can take different branches. R8 (raw-timing) additionally flags
+// the import on line 4 and the type mention on line 7.
 use std::time::Instant;
 
 pub fn score_with_deadline(xs: &[f64]) -> f64 {

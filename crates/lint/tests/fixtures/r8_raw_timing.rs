@@ -1,0 +1,18 @@
+// Known-bad for R8 (raw-timing): the raw clock types are mentioned with
+// no `::now()` call in sight — an import, a stored field, and an epoch
+// constant. R5b stays silent on all three; R8 flags every mention because
+// a raw timestamp outside crates/trace and crates/serve lives on its own
+// epoch and can never land in the trace timeline or the registry.
+use std::time::Instant;
+
+pub struct Probe {
+    pub started: Instant,
+}
+
+pub fn epoch_secs() -> u64 {
+    let e = std::time::SystemTime::UNIX_EPOCH;
+    match e.elapsed() {
+        Ok(d) => d.as_secs(),
+        Err(_) => 0,
+    }
+}

@@ -176,6 +176,7 @@ impl InferencePlan {
         taps: &[usize],
         ws: &'w mut Workspace,
     ) -> PlanOutput<'w> {
+        dv_trace::span!("nn.forward");
         let n = self.batch_of(input);
         for w in taps.windows(2) {
             assert!(w[0] < w[1], "taps must be strictly ascending");
@@ -212,7 +213,11 @@ impl InferencePlan {
                 let out_dims = batched_dims(&mut out_dbuf, n, out_item);
                 let in_view = TensorView::new(in_dims, &src_buf[..in_len]);
                 let mut out_view = TensorViewMut::new(out_dims, &mut dst_buf[..out_len]);
-                op.forward_into(in_view, &mut out_view, ws);
+                {
+                    // One span per materialized layer, named by op kind.
+                    dv_trace::span!(op.name());
+                    op.forward_into(in_view, &mut out_view, ws);
+                }
                 src = dst;
             }
             cur_item = out_item;

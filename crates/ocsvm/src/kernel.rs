@@ -107,6 +107,7 @@ impl ResolvedKernel {
     /// fixed accumulation order, so the matrix is bit-identical for any
     /// thread count (`DV_THREADS=1` runs the plain sequential loop).
     pub fn gram(&self, data: &[Vec<f32>]) -> Vec<f64> {
+        dv_trace::span!("ocsvm.gram");
         let n = data.len();
         let mut q = vec![0.0f64; n * n];
         if n == 0 {

@@ -125,6 +125,7 @@ impl OneClassSvm {
     ///
     /// Panics (in debug builds) if `x` has the wrong dimensionality.
     pub fn decision(&self, x: &[f32]) -> f64 {
+        dv_trace::span!("ocsvm.decision");
         let mut acc = 0.0f64;
         for (sv, &a) in self.support.iter().zip(&self.alpha) {
             acc += a * self.kernel.eval(sv, x);

@@ -122,7 +122,7 @@ impl<T> Ticket<T> {
     /// Returns `Err(self)` on timeout; `Ok(Err(Broken))` when the promise
     /// was dropped unfulfilled.
     pub fn wait_timeout(self, timeout: Duration) -> Result<Result<T, Broken>, Self> {
-        let deadline = std::time::Instant::now() + timeout;
+        let deadline = std::time::Instant::now() + timeout; // dv-lint: allow(raw-timing, reason = "condvar wait_timeout needs a monotonic deadline anchor; never recorded")
         let mut state = self
             .shared
             .state
@@ -133,6 +133,7 @@ impl<T> Ticket<T> {
                 OnceState::Ready(value) => return Ok(Ok(value)),
                 OnceState::Broken => return Ok(Err(Broken)),
                 OnceState::Pending => {
+                    // dv-lint: allow(raw-timing, reason = "remaining-time arithmetic for the timed condvar wait")
                     let now = std::time::Instant::now();
                     if now >= deadline {
                         drop(state);

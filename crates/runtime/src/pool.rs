@@ -6,6 +6,7 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+// dv-lint: allow(raw-timing, reason = "pool stats keep raw busy/idle durations that never leave the stats snapshot")
 use std::time::Instant;
 
 use crate::stats::{Stats, StatsSnapshot};
@@ -315,6 +316,7 @@ impl<T> SendPtr<T> {
 /// Submits a job, participates until the index space drains, waits for
 /// stragglers, then re-raises any captured panic.
 fn run(shared: &Arc<Shared>, n: usize, f: &(dyn Fn(usize) + Sync)) {
+    dv_trace::span!("runtime.run");
     let job = {
         let mut state = shared.state.lock().expect(
             "pool state lock poisoned: chunk panics are caught, so the pool itself panicked",
@@ -388,12 +390,20 @@ fn worker_loop(shared: &Arc<Shared>, slot: usize) {
                     }
                     // Epoch moved because a job was cleared; keep waiting.
                 }
-                let idle_from = Instant::now();
+                let idle_from = Instant::now(); // dv-lint: allow(raw-timing, reason = "feeds the pool's own idle-time stats counter, not a trace metric")
+                let idle_ns = if dv_trace::tracing_enabled() {
+                    dv_trace::now_ns()
+                } else {
+                    0
+                };
                 state = shared
                     .work_cv
                     .wait(state)
                     .expect("pool state lock poisoned while a worker slept");
                 shared.stats.add_idle(idle_from.elapsed());
+                if dv_trace::tracing_enabled() {
+                    dv_trace::record_raw("runtime.idle", idle_ns, dv_trace::now_ns());
+                }
             }
         };
         participate(shared, &job, slot);
@@ -403,8 +413,9 @@ fn worker_loop(shared: &Arc<Shared>, slot: usize) {
 /// Executes chunks of `job` on the current thread until none can be
 /// claimed or stolen.
 fn participate(shared: &Shared, job: &Job, slot: usize) {
+    dv_trace::span!("runtime.participate");
     let was_worker = IN_WORKER.replace(true);
-    let busy_from = Instant::now();
+    let busy_from = Instant::now(); // dv-lint: allow(raw-timing, reason = "feeds the pool's own busy-time stats counter, not a trace metric")
     let mut executed = 0u64;
 
     loop {

@@ -1,154 +1,137 @@
-//! Lock-free serving metrics: counters plus a log-linear latency
-//! histogram. Everything is `AtomicU64` with `SeqCst` ordering so the
-//! serving hot path never takes a lock and a snapshot can be read from
-//! any thread.
+//! Serving metrics, backed by the dv-trace registry.
+//!
+//! Each server owns a private [`MetricsRegistry`] (concurrent servers in
+//! one process must not share counters), with the latency histogram
+//! provided by `dv_trace::LogLinearHistogram` — the same log-linear
+//! histogram this crate used to implement privately, promoted upstream
+//! with bit-identical bucket and quantile math. The public
+//! [`MetricsSnapshot`] API is unchanged from the pre-registry
+//! implementation, and a registry-level JSON dump is available through
+//! [`Server::metrics_json`](crate::Server::metrics_json).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use dv_trace::MetricsRegistry;
 
-const SUB_BITS: u32 = 3;
-const SUB: u64 = 1 << SUB_BITS;
-const BUCKETS: usize = 256;
-
-/// Log-linear histogram over `u64` microsecond values: 8 sub-buckets per
-/// power-of-two octave (≤ 12.5% relative error), 256 buckets covering
-/// the full `u64` range.
-pub(crate) struct LatencyHistogram {
-    buckets: Vec<AtomicU64>,
-    count: AtomicU64,
+/// Registry names for every serving metric, in one place so the snapshot,
+/// the JSON export, and the hot-path increments cannot drift apart.
+pub(crate) mod names {
+    /// Requests accepted into the queue.
+    pub(crate) const SUBMITTED: &str = "serve.submitted";
+    /// Submissions rejected under backpressure.
+    pub(crate) const REJECTED_QUEUE_FULL: &str = "serve.rejected_queue_full";
+    /// Submissions rejected during shutdown.
+    pub(crate) const REJECTED_SHUTDOWN: &str = "serve.rejected_shutdown";
+    /// Responses served through the full-joint rung.
+    pub(crate) const SERVED_FULL: &str = "serve.served_full";
+    /// Responses served through the reduced (masked-tap) rung.
+    pub(crate) const SERVED_REDUCED: &str = "serve.served_reduced";
+    /// Responses served through the confidence-only rung.
+    pub(crate) const SERVED_CONFIDENCE: &str = "serve.served_confidence";
+    /// Requests whose deadline passed before scoring began.
+    pub(crate) const EXPIRED: &str = "serve.expired";
+    /// Requests rejected by input validation.
+    pub(crate) const BAD_INPUT: &str = "serve.bad_input";
+    /// Worker panics observed.
+    pub(crate) const WORKER_CRASHES: &str = "serve.worker_crashes";
+    /// Requests shed during shutdown.
+    pub(crate) const SHED_SHUTDOWN: &str = "serve.shed_shutdown";
+    /// Responses served after their deadline passed.
+    pub(crate) const DEADLINE_MISSED: &str = "serve.deadline_missed";
+    /// Crash-to-recovered intervals observed.
+    pub(crate) const RECOVERY_COUNT: &str = "serve.recovery_count";
+    /// Summed crash-to-recovered time (µs).
+    pub(crate) const RECOVERY_TOTAL_US: &str = "serve.recovery_total_us";
+    /// Worst crash-to-recovered interval (µs).
+    pub(crate) const RECOVERY_MAX_US: &str = "serve.recovery_max_us";
+    /// Submission-to-response latency of served requests (µs).
+    pub(crate) const LATENCY_US: &str = "serve.latency_us";
 }
 
-fn bucket_index(v: u64) -> usize {
-    if v < SUB {
-        return v as usize;
-    }
-    let msb = 63 - v.leading_zeros();
-    let octave = (msb - SUB_BITS) as usize;
-    let sub = ((v >> (msb - SUB_BITS)) & (SUB - 1)) as usize;
-    ((octave + 1) * SUB as usize + sub).min(BUCKETS - 1)
-}
+/// All counter names, for eager registration.
+const COUNTERS: &[&str] = &[
+    names::SUBMITTED,
+    names::REJECTED_QUEUE_FULL,
+    names::REJECTED_SHUTDOWN,
+    names::SERVED_FULL,
+    names::SERVED_REDUCED,
+    names::SERVED_CONFIDENCE,
+    names::EXPIRED,
+    names::BAD_INPUT,
+    names::WORKER_CRASHES,
+    names::SHED_SHUTDOWN,
+    names::DEADLINE_MISSED,
+    names::RECOVERY_COUNT,
+    names::RECOVERY_TOTAL_US,
+    names::RECOVERY_MAX_US,
+];
 
-fn bucket_floor(idx: usize) -> u64 {
-    if idx < SUB as usize {
-        return idx as u64;
-    }
-    let octave = idx / SUB as usize - 1;
-    let sub = (idx % SUB as usize) as u64;
-    (SUB + sub) << octave
-}
-
-impl LatencyHistogram {
-    pub(crate) fn new() -> Self {
-        Self {
-            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
-            count: AtomicU64::new(0),
-        }
-    }
-
-    pub(crate) fn record(&self, v: u64) {
-        self.buckets[bucket_index(v)].fetch_add(1, Ordering::SeqCst);
-        self.count.fetch_add(1, Ordering::SeqCst);
-    }
-
-    /// Approximate quantile (`q` in `[0, 1]`): the midpoint of the bucket
-    /// holding the `ceil(q * count)`-th smallest recorded value, or 0
-    /// when nothing was recorded.
-    pub(crate) fn quantile(&self, q: f64) -> u64 {
-        let count = self.count.load(Ordering::SeqCst);
-        if count == 0 {
-            return 0;
-        }
-        let target = ((q * count as f64).ceil() as u64).clamp(1, count);
-        let mut seen = 0u64;
-        for idx in 0..BUCKETS {
-            seen += self.buckets[idx].load(Ordering::SeqCst);
-            if seen >= target {
-                let lo = bucket_floor(idx);
-                let hi = if idx + 1 < BUCKETS {
-                    bucket_floor(idx + 1)
-                } else {
-                    lo
-                };
-                return lo + (hi - lo) / 2;
-            }
-        }
-        bucket_floor(BUCKETS - 1)
-    }
-}
-
-/// Internal counter block shared by the server and its workers.
+/// Per-server metrics: a private registry plus snapshot logic.
 pub(crate) struct Metrics {
-    pub(crate) submitted: AtomicU64,
-    pub(crate) rejected_queue_full: AtomicU64,
-    pub(crate) rejected_shutdown: AtomicU64,
-    pub(crate) served_full: AtomicU64,
-    pub(crate) served_reduced: AtomicU64,
-    pub(crate) served_confidence: AtomicU64,
-    pub(crate) expired: AtomicU64,
-    pub(crate) bad_input: AtomicU64,
-    pub(crate) worker_crashes: AtomicU64,
-    pub(crate) shed_shutdown: AtomicU64,
-    pub(crate) deadline_missed: AtomicU64,
-    pub(crate) recovery_count: AtomicU64,
-    pub(crate) recovery_total_us: AtomicU64,
-    pub(crate) recovery_max_us: AtomicU64,
-    pub(crate) latency: LatencyHistogram,
+    reg: MetricsRegistry,
 }
 
 impl Metrics {
+    /// A zeroed metrics block with every name eagerly registered, so an
+    /// export taken before any traffic still lists the full schema.
     pub(crate) fn new() -> Self {
-        Self {
-            submitted: AtomicU64::new(0),
-            rejected_queue_full: AtomicU64::new(0),
-            rejected_shutdown: AtomicU64::new(0),
-            served_full: AtomicU64::new(0),
-            served_reduced: AtomicU64::new(0),
-            served_confidence: AtomicU64::new(0),
-            expired: AtomicU64::new(0),
-            bad_input: AtomicU64::new(0),
-            worker_crashes: AtomicU64::new(0),
-            shed_shutdown: AtomicU64::new(0),
-            deadline_missed: AtomicU64::new(0),
-            recovery_count: AtomicU64::new(0),
-            recovery_total_us: AtomicU64::new(0),
-            recovery_max_us: AtomicU64::new(0),
-            latency: LatencyHistogram::new(),
+        let reg = MetricsRegistry::new();
+        for name in COUNTERS {
+            let _ = reg.counter(name);
         }
+        let _ = reg.histogram(names::LATENCY_US);
+        Self { reg }
+    }
+
+    /// The backing registry (for JSON export).
+    pub(crate) fn registry(&self) -> &MetricsRegistry {
+        &self.reg
+    }
+
+    /// Increments the counter registered under `name`.
+    pub(crate) fn inc(&self, name: &'static str) {
+        self.reg.counter(name).inc();
+    }
+
+    /// Records one served-request latency.
+    pub(crate) fn record_latency_us(&self, us: u64) {
+        self.reg.histogram(names::LATENCY_US).record(us);
     }
 
     /// Records a crash-to-recovered interval (worker respawned, warmed,
     /// and back on the queue).
     pub(crate) fn record_recovery(&self, us: u64) {
-        self.recovery_count.fetch_add(1, Ordering::SeqCst);
-        self.recovery_total_us.fetch_add(us, Ordering::SeqCst);
-        self.recovery_max_us.fetch_max(us, Ordering::SeqCst);
+        self.reg.counter(names::RECOVERY_COUNT).inc();
+        self.reg.counter(names::RECOVERY_TOTAL_US).add(us);
+        self.reg.counter(names::RECOVERY_MAX_US).raise_to(us);
     }
 
     pub(crate) fn snapshot(&self, worker_respawns: u64) -> MetricsSnapshot {
-        let recovery_count = self.recovery_count.load(Ordering::SeqCst);
-        let recovery_total = self.recovery_total_us.load(Ordering::SeqCst);
+        let get = |name: &'static str| self.reg.counter(name).get();
+        let latency = self.reg.histogram(names::LATENCY_US);
+        let recovery_count = get(names::RECOVERY_COUNT);
+        let recovery_total = get(names::RECOVERY_TOTAL_US);
         MetricsSnapshot {
-            submitted: self.submitted.load(Ordering::SeqCst),
-            rejected_queue_full: self.rejected_queue_full.load(Ordering::SeqCst),
-            rejected_shutdown: self.rejected_shutdown.load(Ordering::SeqCst),
-            served_full: self.served_full.load(Ordering::SeqCst),
-            served_reduced: self.served_reduced.load(Ordering::SeqCst),
-            served_confidence: self.served_confidence.load(Ordering::SeqCst),
-            expired: self.expired.load(Ordering::SeqCst),
-            bad_input: self.bad_input.load(Ordering::SeqCst),
-            worker_crashes: self.worker_crashes.load(Ordering::SeqCst),
+            submitted: get(names::SUBMITTED),
+            rejected_queue_full: get(names::REJECTED_QUEUE_FULL),
+            rejected_shutdown: get(names::REJECTED_SHUTDOWN),
+            served_full: get(names::SERVED_FULL),
+            served_reduced: get(names::SERVED_REDUCED),
+            served_confidence: get(names::SERVED_CONFIDENCE),
+            expired: get(names::EXPIRED),
+            bad_input: get(names::BAD_INPUT),
+            worker_crashes: get(names::WORKER_CRASHES),
             worker_respawns,
-            shed_shutdown: self.shed_shutdown.load(Ordering::SeqCst),
-            deadline_missed: self.deadline_missed.load(Ordering::SeqCst),
+            shed_shutdown: get(names::SHED_SHUTDOWN),
+            deadline_missed: get(names::DEADLINE_MISSED),
             recovery_count,
             recovery_mean_us: if recovery_count == 0 {
                 0.0
             } else {
                 recovery_total as f64 / recovery_count as f64
             },
-            recovery_max_us: self.recovery_max_us.load(Ordering::SeqCst),
-            latency_p50_us: self.latency.quantile(0.50),
-            latency_p95_us: self.latency.quantile(0.95),
-            latency_p99_us: self.latency.quantile(0.99),
+            recovery_max_us: get(names::RECOVERY_MAX_US),
+            latency_p50_us: latency.quantile(0.50),
+            latency_p95_us: latency.quantile(0.95),
+            latency_p99_us: latency.quantile(0.99),
         }
     }
 }
@@ -215,51 +198,73 @@ mod tests {
     use super::*;
 
     #[test]
-    fn bucket_index_is_monotone_and_floors_match() {
-        let mut last = 0;
-        for v in [0u64, 1, 7, 8, 9, 15, 16, 31, 100, 1000, 65_535, 1 << 40] {
-            let idx = bucket_index(v);
-            assert!(idx >= last, "index not monotone at {v}");
-            last = idx;
-            assert!(bucket_floor(idx) <= v, "floor above value at {v}");
-            if idx + 1 < BUCKETS {
-                assert!(bucket_floor(idx + 1) > v, "value past next floor at {v}");
-            }
-        }
-    }
-
-    #[test]
-    fn quantiles_land_in_the_right_buckets() {
-        let h = LatencyHistogram::new();
+    fn quantiles_match_the_promoted_histogram() {
+        // The histogram moved to dv-trace; the serve-visible quantiles
+        // must equal pre-refactor values (midpoint of the log-linear
+        // bucket holding the target rank).
+        let m = Metrics::new();
         for v in 1..=1000u64 {
-            h.record(v);
+            m.record_latency_us(v);
         }
-        let p50 = h.quantile(0.50);
-        let p99 = h.quantile(0.99);
-        // ≤ 12.5% bucket error plus midpoint rounding.
-        assert!((400..=650).contains(&p50), "p50 {p50}");
-        assert!((850..=1200).contains(&p99), "p99 {p99}");
-        assert_eq!(h.quantile(0.0).max(1), h.quantile(0.001).max(1));
+        let s = m.snapshot(0);
+        assert!(
+            (400..=650).contains(&s.latency_p50_us),
+            "{}",
+            s.latency_p50_us
+        );
+        assert!(
+            (850..=1200).contains(&s.latency_p99_us),
+            "{}",
+            s.latency_p99_us
+        );
     }
 
     #[test]
-    fn empty_histogram_reports_zero() {
-        let h = LatencyHistogram::new();
-        assert_eq!(h.quantile(0.5), 0);
+    fn empty_metrics_report_zero_quantiles() {
+        let m = Metrics::new();
+        let s = m.snapshot(0);
+        assert_eq!(s.latency_p50_us, 0);
+        assert_eq!(s.latency_p99_us, 0);
     }
 
     #[test]
     fn terminal_outcome_accounting_adds_up() {
         let m = Metrics::new();
-        m.submitted.store(10, Ordering::SeqCst);
-        m.served_full.store(5, Ordering::SeqCst);
-        m.served_confidence.store(2, Ordering::SeqCst);
-        m.expired.store(1, Ordering::SeqCst);
-        m.worker_crashes.store(1, Ordering::SeqCst);
-        m.shed_shutdown.store(1, Ordering::SeqCst);
+        for _ in 0..10 {
+            m.inc(names::SUBMITTED);
+        }
+        for _ in 0..5 {
+            m.inc(names::SERVED_FULL);
+        }
+        m.inc(names::SERVED_CONFIDENCE);
+        m.inc(names::SERVED_CONFIDENCE);
+        m.inc(names::EXPIRED);
+        m.inc(names::WORKER_CRASHES);
+        m.inc(names::SHED_SHUTDOWN);
         let s = m.snapshot(3);
         assert_eq!(s.served(), 7);
         assert_eq!(s.terminal_outcomes(), 10);
         assert_eq!(s.worker_respawns, 3);
+    }
+
+    #[test]
+    fn recovery_statistics_are_exact() {
+        let m = Metrics::new();
+        m.record_recovery(100);
+        m.record_recovery(300);
+        let s = m.snapshot(0);
+        assert_eq!(s.recovery_count, 2);
+        assert!((s.recovery_mean_us - 200.0).abs() < 1e-9);
+        assert_eq!(s.recovery_max_us, 300);
+    }
+
+    #[test]
+    fn registry_export_lists_every_metric() {
+        let m = Metrics::new();
+        let json = dv_trace::metrics_json(m.registry());
+        for name in COUNTERS {
+            assert!(json.contains(name), "missing {name} in\n{json}");
+        }
+        assert!(json.contains(names::LATENCY_US));
     }
 }

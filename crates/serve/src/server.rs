@@ -12,7 +12,7 @@ use dv_runtime::{oneshot, BoundedQueue, Crew, Popped, Promise, PushRejected};
 use dv_tensor::Tensor;
 
 use crate::config::{ServeConfig, ShutdownPolicy};
-use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::metrics::{names, Metrics, MetricsSnapshot};
 use crate::response::{Outcome, Pending, Rejected, ScoreResponse, ServedVia};
 
 /// How often an idle worker re-checks the queue for shutdown.
@@ -37,6 +37,9 @@ struct Job {
     submitted: Instant,
     deadline: Instant,
     seq: u64,
+    /// Submission time on the trace epoch, for the `serve.queued` span
+    /// (0 when tracing is compiled out).
+    submitted_ns: u64,
 }
 
 struct Shared {
@@ -162,10 +165,7 @@ impl Server {
     /// image is dropped and nothing was enqueued.
     pub fn try_submit(&self, image: Tensor) -> Result<Pending, Rejected> {
         if !self.shared.accepting.load(Ordering::SeqCst) {
-            self.shared
-                .metrics
-                .rejected_shutdown
-                .fetch_add(1, Ordering::SeqCst);
+            self.shared.metrics.inc(names::REJECTED_SHUTDOWN);
             return Err(Rejected::ShuttingDown);
         }
         let seq = self.shared.seq.fetch_add(1, Ordering::SeqCst);
@@ -177,26 +177,25 @@ impl Server {
             submitted: now,
             deadline: now + self.shared.cfg.deadline,
             seq,
+            submitted_ns: if dv_trace::tracing_enabled() {
+                dv_trace::now_ns()
+            } else {
+                0
+            },
         };
         match self.shared.queue.try_push(job) {
             Ok(()) => {
-                self.shared.metrics.submitted.fetch_add(1, Ordering::SeqCst);
+                self.shared.metrics.inc(names::SUBMITTED);
                 Ok(Pending { ticket })
             }
             Err(PushRejected::Full(job)) => {
                 drop(job);
-                self.shared
-                    .metrics
-                    .rejected_queue_full
-                    .fetch_add(1, Ordering::SeqCst);
+                self.shared.metrics.inc(names::REJECTED_QUEUE_FULL);
                 Err(Rejected::QueueFull)
             }
             Err(PushRejected::Closed(job)) => {
                 drop(job);
-                self.shared
-                    .metrics
-                    .rejected_shutdown
-                    .fetch_add(1, Ordering::SeqCst);
+                self.shared.metrics.inc(names::REJECTED_SHUTDOWN);
                 Err(Rejected::ShuttingDown)
             }
         }
@@ -211,6 +210,12 @@ impl Server {
     /// quantiles.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.shared.metrics.snapshot(self.workers.respawns())
+    }
+
+    /// The server's metric registry as flat JSON (counters plus latency
+    /// histogram quantiles), for dumping alongside trace exports.
+    pub fn metrics_json(&self) -> String {
+        dv_trace::metrics_json(self.shared.metrics.registry())
     }
 
     /// Shuts down cooperatively per the configured [`ShutdownPolicy`]
@@ -250,10 +255,7 @@ impl Server {
 
     fn shed_backlog(&self) {
         while let Popped::Item(job) = self.shared.queue.try_pop() {
-            self.shared
-                .metrics
-                .shed_shutdown
-                .fetch_add(1, Ordering::SeqCst);
+            self.shared.metrics.inc(names::SHED_SHUTDOWN);
             job.promise.fulfill(Err(ScoreError::Shutdown));
         }
     }
@@ -273,7 +275,7 @@ impl Drop for Server {
 fn worker_body(shared: &Arc<Shared>, slot: usize) {
     let crashed = catch_unwind(AssertUnwindSafe(|| worker_loop(shared, slot))).is_err();
     if crashed {
-        shared.metrics.worker_crashes.fetch_add(1, Ordering::SeqCst);
+        shared.metrics.inc(names::WORKER_CRASHES);
         shared.crash_stamp_us[slot].store(shared.elapsed_us().max(1), Ordering::SeqCst);
     }
 }
@@ -338,6 +340,7 @@ fn warm_up(
     per_layer: &mut Vec<f32>,
 ) -> RungEstimates {
     const REPS: usize = 3;
+    dv_trace::span!("serve.warmup");
     let dummy = Tensor::zeros(shared.plan.input_dims());
     let mut full_us = u64::MAX;
     let mut reduced_us = u64::MAX;
@@ -389,12 +392,21 @@ fn serve_job(
         submitted,
         deadline,
         seq,
+        submitted_ns,
     } = job;
     let picked = Instant::now();
     let queue_us = picked.duration_since(submitted).as_micros() as u64;
+    // Request lifecycle on the trace timeline: the queue wait as a
+    // retroactive span (submission to pick-up), then everything from
+    // pick-up to fulfilment — including a crash unwinding through the
+    // guard — under one `serve.request` span.
+    if dv_trace::tracing_enabled() {
+        dv_trace::record_raw("serve.queued", submitted_ns, dv_trace::now_ns());
+    }
+    dv_trace::span!("serve.request");
 
     if shared.shedding.load(Ordering::SeqCst) {
-        shared.metrics.shed_shutdown.fetch_add(1, Ordering::SeqCst);
+        shared.metrics.inc(names::SHED_SHUTDOWN);
         promise.fulfill(Err(ScoreError::Shutdown));
         return;
     }
@@ -408,7 +420,7 @@ fn serve_job(
 
     let now = Instant::now();
     if now >= deadline {
-        shared.metrics.expired.fetch_add(1, Ordering::SeqCst);
+        shared.metrics.inc(names::EXPIRED);
         promise.fulfill(Err(ScoreError::DeadlineExpired));
         return;
     }
@@ -453,19 +465,16 @@ fn serve_job(
             let finish = Instant::now();
             let total_us = finish.duration_since(submitted).as_micros() as u64;
             let deadline_met = finish <= deadline;
-            let counter = match via {
-                ServedVia::FullJoint => &shared.metrics.served_full,
-                ServedVia::ReducedTaps { .. } => &shared.metrics.served_reduced,
-                ServedVia::ConfidenceOnly => &shared.metrics.served_confidence,
+            let served = match via {
+                ServedVia::FullJoint => names::SERVED_FULL,
+                ServedVia::ReducedTaps { .. } => names::SERVED_REDUCED,
+                ServedVia::ConfidenceOnly => names::SERVED_CONFIDENCE,
             };
-            counter.fetch_add(1, Ordering::SeqCst);
+            shared.metrics.inc(served);
             if !deadline_met {
-                shared
-                    .metrics
-                    .deadline_missed
-                    .fetch_add(1, Ordering::SeqCst);
+                shared.metrics.inc(names::DEADLINE_MISSED);
             }
-            shared.metrics.latency.record(total_us);
+            shared.metrics.record_latency_us(total_us);
             let joint = match via {
                 ServedVia::FullJoint => Some(per_layer.iter().sum()),
                 _ => None,
@@ -485,7 +494,7 @@ fn serve_job(
         }
         Err(e) => {
             if matches!(e, ScoreError::BadInput(_)) {
-                shared.metrics.bad_input.fetch_add(1, Ordering::SeqCst);
+                shared.metrics.inc(names::BAD_INPUT);
             }
             promise.fulfill(Err(e));
         }

@@ -252,6 +252,76 @@ fn malformed_inputs_fail_typed_without_killing_the_worker() {
     assert_eq!(m.terminal_outcomes(), m.submitted);
 }
 
+/// Regression pin for the registry-backed metrics refactor: a fixed
+/// serialized schedule (20 good images, 3 NaN-poisoned, 2 wrong-shape)
+/// must produce exactly the counter values the pre-registry field-based
+/// implementation produced, and the JSON export must agree with the
+/// snapshot.
+#[test]
+fn metrics_match_pre_refactor_values_on_fixed_schedule() {
+    quiet_injected_panics();
+    let (validator, plan, images) = trained_setup();
+    let mut cfg = generous_cfg();
+    cfg.workers = 1;
+    let server = Server::start(validator, plan, cfg);
+
+    // Serialized submissions: 25 requests with a deterministic good/bad
+    // pattern, each awaited before the next is submitted.
+    let mut good = 0u64;
+    let mut nan = 0u64;
+    let mut shape = 0u64;
+    for i in 0..25usize {
+        let img = match i % 5 {
+            3 if nan < 3 => {
+                nan += 1;
+                let mut bad = images[i % images.len()].clone();
+                bad.set(&[0, 0, 0], f32::NAN);
+                bad
+            }
+            4 if shape < 2 => {
+                shape += 1;
+                Tensor::zeros(&[1, 5, 5])
+            }
+            _ => {
+                good += 1;
+                images[i % images.len()].clone()
+            }
+        };
+        let _ = server
+            .try_submit(img)
+            .expect("serialized submissions never fill the queue")
+            .wait();
+    }
+
+    let json = server.metrics_json();
+    let m = server.shutdown();
+    assert_eq!(m.submitted, 25);
+    assert_eq!(m.served_full, good);
+    assert_eq!(m.served_reduced, 0);
+    assert_eq!(m.served_confidence, 0);
+    assert_eq!(m.bad_input, nan + shape);
+    assert_eq!(m.expired, 0);
+    assert_eq!(m.rejected_queue_full, 0);
+    assert_eq!(m.rejected_shutdown, 0);
+    assert_eq!(m.worker_crashes, 0);
+    assert_eq!(m.worker_respawns, 0);
+    assert_eq!(m.shed_shutdown, 0);
+    assert_eq!(m.recovery_count, 0);
+    assert_eq!(m.recovery_max_us, 0);
+    assert!((m.recovery_mean_us - 0.0).abs() < f64::EPSILON);
+    assert_eq!(m.terminal_outcomes(), m.submitted);
+    // Only served requests are recorded in the latency histogram, so
+    // its quantiles are positive and ordered.
+    assert!(m.latency_p50_us > 0);
+    assert!(m.latency_p50_us <= m.latency_p95_us);
+    assert!(m.latency_p95_us <= m.latency_p99_us);
+    // The JSON export reads the same registry the snapshot does.
+    assert!(json.contains(&format!("\"serve.submitted\": {}", m.submitted)));
+    assert!(json.contains(&format!("\"serve.served_full\": {}", m.served_full)));
+    assert!(json.contains(&format!("\"serve.bad_input\": {}", m.bad_input)));
+    assert!(json.contains("\"serve.latency_us\": {\"count\":"));
+}
+
 /// With a single worker pinned down by an injected latency spike and a
 /// one-slot queue, a burst overflows into typed `QueueFull` rejections
 /// instead of blocking or dropping silently.

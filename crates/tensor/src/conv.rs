@@ -94,6 +94,7 @@ pub fn im2col(image: &Tensor, geom: &Conv2dGeom) -> Tensor {
 ///
 /// Panics if either slice length disagrees with `geom`.
 pub fn im2col_into(data: &[f32], geom: &Conv2dGeom, out: &mut [f32]) {
+    dv_trace::span!("tensor.im2col");
     assert_eq!(
         data.len(),
         geom.in_channels * geom.in_h * geom.in_w,

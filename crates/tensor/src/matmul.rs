@@ -52,6 +52,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
 ///
 /// Panics if any slice length disagrees with the stated dimensions.
 pub fn matmul_into(ad: &[f32], m: usize, k: usize, bd: &[f32], n: usize, out: &mut [f32]) {
+    dv_trace::span!("tensor.matmul");
     assert_eq!(ad.len(), m * k, "matmul_into lhs length mismatch");
     assert_eq!(bd.len(), k * n, "matmul_into rhs length mismatch");
     assert_eq!(out.len(), m * n, "matmul_into out length mismatch");
@@ -164,6 +165,7 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
 ///
 /// Panics if any slice length disagrees with the stated dimensions.
 pub fn matmul_nt_into(ad: &[f32], m: usize, k: usize, bd: &[f32], n: usize, out: &mut [f32]) {
+    dv_trace::span!("tensor.matmul_nt");
     assert_eq!(ad.len(), m * k, "matmul_nt_into lhs length mismatch");
     assert_eq!(bd.len(), n * k, "matmul_nt_into rhs length mismatch");
     assert_eq!(out.len(), m * n, "matmul_nt_into out length mismatch");

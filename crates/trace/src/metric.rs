@@ -1,0 +1,463 @@
+//! Named metrics: lock-free registry of counters, gauges, and
+//! histograms.
+//!
+//! A [`MetricsRegistry`] is a fixed-size open-addressed table of slots
+//! keyed by `&'static str` names. Registration claims a slot with
+//! `OnceLock::get_or_init` (first writer wins; racing registrations of
+//! *different* names probe past each other); every later lookup is a
+//! lock-free probe plus an atomic load. There is no deregistration —
+//! metric names are a static property of the program — but values can be
+//! [`reset`](MetricsRegistry::reset) for reuse across bench phases.
+//!
+//! The registry is instantiable (dv-serve embeds one per `Server`, so
+//! concurrent servers in one process do not share counters) and also
+//! available as a process-wide [`global()`] for code without a natural
+//! owner, such as bench binaries.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use crate::hist::{HistogramSnapshot, LogLinearHistogram};
+
+/// Maximum distinct metric names per registry.
+const SLOTS: usize = 192;
+/// Maximum distinct histogram names per registry (histograms are ~2 KiB
+/// each, so they are pooled separately from the cheap scalar slots).
+const HISTS: usize = 24;
+
+/// A monotonically increasing counter.
+pub struct Counter {
+    v: AtomicU64,
+}
+
+impl Counter {
+    /// A zeroed counter.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self {
+            v: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.v.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.v.fetch_add(n, Ordering::SeqCst);
+    }
+
+    /// Raises the stored value to at least `n` (for high-watermarks).
+    #[inline]
+    pub fn raise_to(&self, n: u64) {
+        self.v.fetch_max(n, Ordering::SeqCst);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::SeqCst)
+    }
+
+    fn reset(&self) {
+        self.v.store(0, Ordering::SeqCst);
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A gauge: a value that can move both ways (queue depth, in-flight
+/// requests). Stored as `u64`; `dec` saturates at 0 rather than wrap.
+pub struct Gauge {
+    v: AtomicU64,
+}
+
+impl Gauge {
+    /// A zeroed gauge.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self {
+            v: AtomicU64::new(0),
+        }
+    }
+
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, n: u64) {
+        self.v.store(n, Ordering::SeqCst);
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.v.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Subtracts 1, saturating at 0.
+    #[inline]
+    pub fn dec(&self) {
+        // fetch_update never fails with a `Some`-returning closure; the
+        // loop retries on contention.
+        let _ = self
+            .v
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |cur| {
+                Some(cur.saturating_sub(1))
+            });
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::SeqCst)
+    }
+
+    fn reset(&self) {
+        self.v.store(0, Ordering::SeqCst);
+    }
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// What a registered name refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MetricKind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl MetricKind {
+    fn label(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// Everything published atomically when a slot is claimed: later readers
+/// either see the whole record or an empty slot, never a half-written
+/// name.
+struct SlotInfo {
+    name: &'static str,
+    kind: MetricKind,
+    hist_idx: usize,
+}
+
+struct Slot {
+    info: OnceLock<SlotInfo>,
+    counter: Counter,
+    gauge: Gauge,
+}
+
+impl Slot {
+    const fn new() -> Self {
+        Self {
+            info: OnceLock::new(),
+            counter: Counter::new(),
+            gauge: Gauge::new(),
+        }
+    }
+}
+
+/// A fixed-capacity registry of named metrics.
+///
+/// `const`-constructible so a process-wide instance can live in a
+/// `static` with zero startup cost. Capacities ([`SLOTS`] names,
+/// [`HISTS`] histograms) are generous for this workspace; exceeding them
+/// is a programming error and panics with the offending name.
+pub struct MetricsRegistry {
+    slots: [Slot; SLOTS],
+    hists: [LogLinearHistogram; HISTS],
+    next_hist: AtomicUsize,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self {
+            slots: [const { Slot::new() }; SLOTS],
+            hists: [const { LogLinearHistogram::new() }; HISTS],
+            next_hist: AtomicUsize::new(0),
+        }
+    }
+
+    /// The counter registered under `name`, registering it on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind, or the
+    /// registry is full.
+    #[must_use]
+    pub fn counter(&self, name: &'static str) -> &Counter {
+        let slot = self.slot_for(name, MetricKind::Counter);
+        &slot.counter
+    }
+
+    /// The gauge registered under `name`, registering it on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind, or the
+    /// registry is full.
+    #[must_use]
+    pub fn gauge(&self, name: &'static str) -> &Gauge {
+        let slot = self.slot_for(name, MetricKind::Gauge);
+        &slot.gauge
+    }
+
+    /// The histogram registered under `name`, registering it on first
+    /// use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind, or
+    /// either the slot table or the histogram pool is full.
+    #[must_use]
+    pub fn histogram(&self, name: &'static str) -> &LogLinearHistogram {
+        let slot = self.slot_for(name, MetricKind::Histogram);
+        let idx = slot
+            .info
+            .get()
+            .map(|i| i.hist_idx)
+            .expect("slot_for returns only initialised slots");
+        assert!(
+            idx < HISTS,
+            "metrics registry histogram pool exhausted ({HISTS}) registering {name:?}"
+        );
+        &self.hists[idx]
+    }
+
+    /// Finds or claims the slot for `name`, verifying the kind matches.
+    fn slot_for(&self, name: &'static str, kind: MetricKind) -> &Slot {
+        let mut idx = fnv1a(name.as_bytes()) as usize % SLOTS;
+        for _ in 0..SLOTS {
+            let slot = &self.slots[idx];
+            // get_or_init runs the closure in exactly one thread, so a
+            // histogram index is claimed at most once per slot; racing
+            // registrations of a different name see the winner's record
+            // and probe on.
+            let info = slot.info.get_or_init(|| SlotInfo {
+                name,
+                kind,
+                hist_idx: if kind == MetricKind::Histogram {
+                    self.next_hist.fetch_add(1, Ordering::SeqCst)
+                } else {
+                    usize::MAX
+                },
+            });
+            if info.name == name {
+                assert!(
+                    info.kind == kind,
+                    "metric {name:?} registered as {} but requested as {}",
+                    info.kind.label(),
+                    kind.label()
+                );
+                return slot;
+            }
+            idx = (idx + 1) % SLOTS;
+        }
+        panic!("metrics registry full ({SLOTS} names) registering {name:?}");
+    }
+
+    /// Zeroes every registered value (names stay registered). Intended
+    /// for quiescent points — between bench phases or tests — not while
+    /// other threads are recording.
+    pub fn reset(&self) {
+        for slot in &self.slots {
+            if slot.info.get().is_some() {
+                slot.counter.reset();
+                slot.gauge.reset();
+            }
+        }
+        let claimed = self.next_hist.load(Ordering::SeqCst).min(HISTS);
+        for h in &self.hists[..claimed] {
+            h.reset();
+        }
+    }
+
+    /// A point-in-time copy of every registered metric, sorted by name.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<MetricEntry> {
+        let mut out = Vec::new();
+        for slot in &self.slots {
+            let Some(info) = slot.info.get() else {
+                continue;
+            };
+            let value = match info.kind {
+                MetricKind::Counter => MetricValue::Counter(slot.counter.get()),
+                MetricKind::Gauge => MetricValue::Gauge(slot.gauge.get()),
+                MetricKind::Histogram => {
+                    let idx = info.hist_idx.min(HISTS - 1);
+                    MetricValue::Histogram(self.hists[idx].snapshot())
+                }
+            };
+            out.push(MetricEntry {
+                name: info.name,
+                value,
+            });
+        }
+        out.sort_by(|a, b| a.name.cmp(b.name));
+        out
+    }
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The process-wide registry, for code without a natural owner (bench
+/// binaries, ad-hoc probes). Subsystems with a lifecycle — like a
+/// dv-serve `Server` — embed their own instance instead.
+#[must_use]
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: MetricsRegistry = MetricsRegistry::new();
+    &GLOBAL
+}
+
+/// One named metric in a [`MetricsRegistry::snapshot`].
+#[derive(Debug, Clone)]
+pub struct MetricEntry {
+    /// The registered name.
+    pub name: &'static str,
+    /// The value at snapshot time.
+    pub value: MetricValue,
+}
+
+/// A snapshot value.
+#[derive(Debug, Clone)]
+pub enum MetricValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(u64),
+    /// Histogram summary.
+    Histogram(HistogramSnapshot),
+}
+
+/// FNV-1a over the name bytes: deterministic across runs and platforms.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_round_trip() {
+        let reg = MetricsRegistry::new();
+        reg.counter("test.count").inc();
+        reg.counter("test.count").add(4);
+        assert_eq!(reg.counter("test.count").get(), 5);
+        reg.gauge("test.depth").set(7);
+        reg.gauge("test.depth").inc();
+        reg.gauge("test.depth").dec();
+        assert_eq!(reg.gauge("test.depth").get(), 7);
+    }
+
+    #[test]
+    fn gauge_dec_saturates_at_zero() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("test.sat");
+        g.dec();
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn same_name_resolves_to_same_metric() {
+        let reg = MetricsRegistry::new();
+        // Different &'static str values with equal content must alias.
+        let a: &'static str = "alias.metric";
+        let b: &'static str = String::leak(String::from("alias.metric"));
+        reg.counter(a).inc();
+        reg.counter(b).inc();
+        assert_eq!(reg.counter(a).get(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as counter but requested as gauge")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("test.kind").inc();
+        let _ = reg.gauge("test.kind");
+    }
+
+    #[test]
+    fn histogram_registration_and_snapshot() {
+        let reg = MetricsRegistry::new();
+        reg.histogram("test.lat").record(100);
+        reg.histogram("test.lat").record(200);
+        assert_eq!(reg.histogram("test.lat").count(), 2);
+        reg.counter("test.a").inc();
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["test.a", "test.lat"], "sorted by name");
+        match &snap[1].value {
+            MetricValue::Histogram(h) => assert_eq!(h.count, 2),
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reset_zeroes_values_but_keeps_names() {
+        let reg = MetricsRegistry::new();
+        reg.counter("test.r").add(9);
+        reg.histogram("test.h").record(5);
+        reg.reset();
+        assert_eq!(reg.counter("test.r").get(), 0);
+        assert_eq!(reg.histogram("test.h").count(), 0);
+        assert_eq!(reg.snapshot().len(), 2);
+    }
+
+    #[test]
+    fn concurrent_registration_of_same_name_aliases() {
+        let reg = std::sync::Arc::new(MetricsRegistry::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let reg = std::sync::Arc::clone(&reg);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    reg.counter("race.count").inc();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("registration thread must not panic");
+        }
+        assert_eq!(reg.counter("race.count").get(), 8000);
+    }
+
+    #[test]
+    fn many_distinct_names_probe_without_collision_loss() {
+        let reg = MetricsRegistry::new();
+        let names: Vec<&'static str> = (0..100)
+            .map(|i| -> &'static str { String::leak(format!("bulk.metric.{i}")) })
+            .collect();
+        for (i, name) in names.iter().enumerate() {
+            reg.counter(name).add(i as u64);
+        }
+        for (i, name) in names.iter().enumerate() {
+            assert_eq!(reg.counter(name).get(), i as u64, "{name}");
+        }
+        assert_eq!(reg.snapshot().len(), 100);
+    }
+}

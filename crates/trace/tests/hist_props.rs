@@ -1,0 +1,109 @@
+//! Property tests for the promoted log-linear histogram: bucket
+//! boundaries, merge associativity, and percentile monotonicity.
+
+use dv_trace::{bucket_floor, bucket_index, LogLinearHistogram, BUCKETS};
+use proptest::prelude::*;
+
+/// Values spanning every octave: small linear range, mid values, and
+/// huge shifted values.
+fn value_strategy() -> impl Strategy<Value = u64> {
+    (0u64..=40, 0u64..=1023).prop_map(|(shift, lo)| {
+        if shift == 0 {
+            lo
+        } else {
+            (lo << shift.min(53)).max(1)
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bucket_index_brackets_every_value(v in value_strategy()) {
+        let idx = bucket_index(v);
+        prop_assert!(idx < BUCKETS);
+        prop_assert!(bucket_floor(idx) <= v, "floor {} above {v}", bucket_floor(idx));
+        if idx + 1 < BUCKETS {
+            prop_assert!(v < bucket_floor(idx + 1), "{v} reaches next floor {}", bucket_floor(idx + 1));
+        }
+    }
+
+    #[test]
+    fn bucket_index_is_monotone(a in value_strategy(), b in value_strategy()) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(bucket_index(lo) <= bucket_index(hi), "{lo} vs {hi}");
+    }
+
+    #[test]
+    fn relative_error_within_one_octave_step(v in 8u64..16_000_000_000) {
+        // Bucket width is one sub-step: floor ≥ v * 8/9 for log-linear
+        // with 8 sub-buckets. Holds below the last-bucket saturation
+        // point bucket_floor(BUCKETS - 1) = 15 << 30 ≈ 1.6e10; beyond
+        // that everything collapses into the final bucket by design.
+        let floor = bucket_floor(bucket_index(v));
+        prop_assert!(floor <= v);
+        prop_assert!(v - floor <= floor / 8 + 1, "v {v} floor {floor}");
+    }
+
+    #[test]
+    fn percentiles_are_monotone_under_random_fills(
+        values in proptest::collection::vec(0u64..1_000_000, 1..400),
+    ) {
+        let h = LogLinearHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.50);
+        let p90 = h.quantile(0.90);
+        let p99 = h.quantile(0.99);
+        prop_assert!(p50 <= p90, "p50 {p50} > p90 {p90}");
+        prop_assert!(p90 <= p99, "p90 {p90} > p99 {p99}");
+        prop_assert_eq!(h.count(), values.len() as u64);
+        let lo = *values.iter().min().expect("nonempty");
+        let hi = *values.iter().max().expect("nonempty");
+        prop_assert_eq!(h.min(), lo);
+        prop_assert_eq!(h.max(), hi);
+        // Quantiles stay inside the recorded range up to bucket width.
+        prop_assert!(h.quantile(1.0) >= lo);
+        prop_assert!(bucket_floor(bucket_index(h.quantile(1.0))) <= hi.max(1) + hi / 8 + 1);
+    }
+
+    #[test]
+    fn merge_is_associative_and_matches_single_stream(
+        xs in proptest::collection::vec(0u64..100_000, 0..120),
+        ys in proptest::collection::vec(0u64..100_000, 0..120),
+        zs in proptest::collection::vec(0u64..100_000, 0..120),
+    ) {
+        let fill = |vals: &[u64]| {
+            let h = LogLinearHistogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        // (x ⊕ y) ⊕ z
+        let left = fill(&xs);
+        left.merge_from(&fill(&ys));
+        left.merge_from(&fill(&zs));
+        // x ⊕ (y ⊕ z)
+        let right_tail = fill(&ys);
+        right_tail.merge_from(&fill(&zs));
+        let right = fill(&xs);
+        right.merge_from(&right_tail);
+        // single stream
+        let mut all = xs.clone();
+        all.extend_from_slice(&ys);
+        all.extend_from_slice(&zs);
+        let whole = fill(&all);
+        for h in [&left, &right] {
+            prop_assert_eq!(h.count(), whole.count());
+            prop_assert_eq!(h.sum(), whole.sum());
+            prop_assert_eq!(h.min(), whole.min());
+            prop_assert_eq!(h.max(), whole.max());
+            for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+                prop_assert_eq!(h.quantile(q), whole.quantile(q), "q = {}", q);
+            }
+        }
+    }
+}

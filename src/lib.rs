@@ -15,6 +15,7 @@
 //!
 //! | module | contents |
 //! |--------|----------|
+//! | [`trace`](mod@trace) | metrics registry, scoped spans, chrome-trace export |
 //! | [`tensor`] | dense f32 tensors, matmul, im2col, binary IO |
 //! | [`nn`] | CNN layers, training, probed inference |
 //! | [`datasets`] | synthetic MNIST/CIFAR-10/SVHN stand-ins |
@@ -73,3 +74,4 @@ pub use dv_nn as nn;
 pub use dv_ocsvm as ocsvm;
 pub use dv_serve as serve;
 pub use dv_tensor as tensor;
+pub use dv_trace as trace;
