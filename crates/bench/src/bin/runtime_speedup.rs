@@ -100,7 +100,7 @@ fn conv_fixture() -> (Network, Vec<Tensor>, Vec<usize>) {
 }
 
 fn main() {
-    let threads = dv_runtime::parse_thread_env(std::env::var("DV_THREADS").ok().as_deref())
+    let threads = dv_runtime::config::requested_threads()
         .or_else(|| std::thread::available_parallelism().ok().map(|n| n.get()))
         .unwrap_or(4)
         .max(2);

@@ -86,6 +86,7 @@ fn base_cfg() -> ServeConfig {
         shutdown: ShutdownPolicy::Drain,
         reduced_taps: 1,
         faults: None,
+        breaker: None,
     }
 }
 

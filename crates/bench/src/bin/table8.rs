@@ -86,6 +86,7 @@ fn main() {
     // seed and clean sets as the corner-case evaluation).
     let (seeds, seed_labels) = exp.seeds();
     let n_attack = seeds.len().min(
+        // dv-lint: allow(env-read, reason = "table8 driver-local knob bounding attack seed count for quick local runs; read once here and nowhere else")
         std::env::var("DV_ATTACK_SEEDS")
             .ok()
             .and_then(|s| s.parse().ok())

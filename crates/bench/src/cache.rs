@@ -16,6 +16,7 @@ use dv_tensor::Tensor;
 
 /// The cache directory (created on demand).
 pub fn cache_dir() -> PathBuf {
+    // dv-lint: allow(env-read, reason = "bench-driver cache location override; never consulted by library code and a stale value only changes where artifacts land")
     let dir = std::env::var("DV_CACHE")
         .map(PathBuf::from)
         .unwrap_or_else(|_| PathBuf::from("target/dv-cache"));
@@ -25,6 +26,7 @@ pub fn cache_dir() -> PathBuf {
 
 /// The output directory for generated artifacts (figures, CSVs).
 pub fn out_dir(sub: &str) -> PathBuf {
+    // dv-lint: allow(env-read, reason = "bench-driver output-directory override; affects only where figures and CSVs are written, never a measured result")
     let dir = std::env::var("DV_OUT")
         .map(PathBuf::from)
         .unwrap_or_else(|_| PathBuf::from("target/dv-out"))

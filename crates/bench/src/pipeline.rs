@@ -39,6 +39,7 @@ impl Sizes {
     /// Default sizes for a dataset, or a fast profile when the `DV_FAST`
     /// environment variable is set (used by integration tests).
     pub fn for_spec(spec: DatasetSpec) -> Self {
+        // dv-lint: allow(env-read, reason = "CI fast-profile switch for the bench driver; presence-only flag that scales experiment sizes, never read by library code")
         if std::env::var("DV_FAST").is_ok() {
             return Self {
                 n_train: 300,

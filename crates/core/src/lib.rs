@@ -45,6 +45,7 @@ pub mod config;
 pub mod error;
 pub mod reducer;
 pub mod report;
+pub mod stream;
 pub mod validator;
 
 pub use calibration::JointCalibration;
@@ -52,4 +53,5 @@ pub use config::{LayerSelection, ValidatorConfig};
 pub use error::{BadInput, ScoreError};
 pub use reducer::FeatureReducer;
 pub use report::DiscrepancyReport;
+pub use stream::{MonitoredScore, MonitoredScorer};
 pub use validator::{validate_plan_input, DeepValidator, ScoreWorkspace, ValidatorError};

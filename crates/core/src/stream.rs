@@ -1,0 +1,102 @@
+//! Scoring with an attached drift monitor: the observability→actuation
+//! hookup between the validator's discrepancy stream and `dv-drift`.
+//!
+//! A [`MonitoredScorer`] owns a [`ScoreWorkspace`] plus a
+//! [`DriftMonitor`] and feeds every scored image's joint and per-layer
+//! discrepancies into the monitor's sliding windows, keyed on the
+//! scorer's own request sequence. The monitor is strictly
+//! **observe-only**: scores leaving [`score_next`] are bit-identical to
+//! [`DeepValidator::score_into`] with no monitor attached (enforced by
+//! `tests/monitored_stream.rs`), and the steady-state path performs no
+//! heap allocations once warmed up.
+
+use dv_drift::{DriftConfig, DriftEvent, DriftMonitor};
+use dv_nn::InferencePlan;
+use dv_tensor::Tensor;
+
+use crate::error::ScoreError;
+use crate::validator::{DeepValidator, ScoreWorkspace};
+
+/// One scored image plus the monitor's reaction to it.
+#[derive(Debug, Clone, Copy)]
+pub struct MonitoredScore {
+    /// Sequence number of this request (1-based).
+    pub seq: u64,
+    /// Predicted class index.
+    pub predicted: usize,
+    /// Softmax confidence of the prediction.
+    pub confidence: f32,
+    /// Joint discrepancy (sum over validated layers, Eq. 3).
+    pub joint: f32,
+    /// Drift transition latched by this observation, if any.
+    pub event: Option<DriftEvent>,
+}
+
+/// A sequential scorer with a drift monitor attached to its
+/// discrepancy stream.
+pub struct MonitoredScorer<'v> {
+    validator: &'v DeepValidator,
+    plan: &'v InferencePlan,
+    monitor: DriftMonitor,
+    sw: ScoreWorkspace,
+    per_layer: Vec<f32>,
+    seq: u64,
+}
+
+impl<'v> MonitoredScorer<'v> {
+    /// A scorer over `plan` whose discrepancy stream feeds a fresh
+    /// [`DriftMonitor`] configured by `cfg`.
+    #[must_use]
+    pub fn new(validator: &'v DeepValidator, plan: &'v InferencePlan, cfg: DriftConfig) -> Self {
+        Self {
+            validator,
+            plan,
+            monitor: DriftMonitor::new(cfg),
+            sw: ScoreWorkspace::new(),
+            per_layer: Vec::with_capacity(validator.num_validated_layers()),
+            seq: 0,
+        }
+    }
+
+    /// Scores one image and folds its discrepancies into the monitor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScoreError::BadInput`] for shape mismatches or
+    /// non-finite pixels; failed requests consume a sequence number but
+    /// are not observed by the monitor (an invalid input is a request
+    /// defect, not distribution drift).
+    pub fn score_next(&mut self, image: &Tensor) -> Result<MonitoredScore, ScoreError> {
+        self.seq += 1;
+        let (predicted, confidence) =
+            self.validator
+                .score_into(self.plan, image, &mut self.sw, &mut self.per_layer)?;
+        let joint: f32 = self.per_layer.iter().sum();
+        let event = self.monitor.observe(joint, &self.per_layer);
+        Ok(MonitoredScore {
+            seq: self.seq,
+            predicted,
+            confidence,
+            joint,
+            event,
+        })
+    }
+
+    /// Per-layer discrepancies of the most recent scored image.
+    #[must_use]
+    pub fn per_layer(&self) -> &[f32] {
+        &self.per_layer
+    }
+
+    /// The attached monitor (statistics, latched level, publish).
+    #[must_use]
+    pub fn monitor(&self) -> &DriftMonitor {
+        &self.monitor
+    }
+
+    /// Requests issued so far (including failed ones).
+    #[must_use]
+    pub fn requests(&self) -> u64 {
+        self.seq
+    }
+}

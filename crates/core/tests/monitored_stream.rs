@@ -1,0 +1,166 @@
+//! The drift monitor must be observe-only: attaching a
+//! [`MonitoredScorer`] to the discrepancy stream changes no scored bit,
+//! and the monitor itself reacts to metamorphic drift injected through
+//! dv-imgops.
+
+use dv_core::{DeepValidator, MonitoredScorer, ScoreWorkspace, ValidatorConfig};
+use dv_drift::{AlertLevel, DriftConfig, DriftEvent};
+use dv_imgops::Transform;
+use dv_nn::layers::{Conv2d, Dense, Flatten, MaxPool2, Relu};
+use dv_nn::optim::Adam;
+use dv_nn::train::{fit, TrainConfig};
+use dv_nn::Network;
+use dv_runtime::Pool;
+use dv_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Same fixture as plan_equivalence: a two-probe conv net over a
+/// 2-class stripe problem, trained under a single-thread pool.
+fn trained_setup() -> (Network, Vec<Tensor>, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut images = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..80 {
+        let class = i % 2;
+        let mut img = Tensor::zeros(&[1, 6, 6]);
+        let cx = if class == 0 { 1 } else { 4 };
+        for y in 0..6 {
+            img.set(&[0, y, cx], rng.gen_range(0.7f32..1.0));
+        }
+        images.push(img);
+        labels.push(class);
+    }
+    let mut net = Network::new(&[1, 6, 6]);
+    net.push(Conv2d::new(&mut rng, 1, 3, 3))
+        .push_probe(Relu::new())
+        .push(MaxPool2::new())
+        .push(Flatten::new())
+        .push(Dense::new(&mut rng, 3 * 2 * 2, 8))
+        .push_probe(Relu::new())
+        .push(Dense::new(&mut rng, 8, 2));
+    let mut opt = Adam::new(0.01);
+    let cfg = TrainConfig {
+        epochs: 8,
+        batch_size: 16,
+    };
+    Pool::new(1).install(|| fit(&mut net, &mut opt, &images, &labels, &cfg, &mut rng));
+    (net, images, labels)
+}
+
+/// Window = one full replay cycle (80 fixture images): every live
+/// window over stationary traffic is then the same multiset as the
+/// reference, so KS is exactly 0 and any alert is a true positive.
+fn small_drift_cfg() -> DriftConfig {
+    DriftConfig {
+        window: 80,
+        stride: 20,
+        sustain: 2,
+        recover: 3,
+        ..DriftConfig::default()
+    }
+}
+
+/// Scores with the monitor attached are bit-identical to plain
+/// `score_into` on every field — the monitor observes, never steers.
+#[test]
+fn monitored_scores_are_bit_identical_to_plain_scoring() {
+    let (net, images, labels) = trained_setup();
+    let validator = Pool::new(1).install(|| {
+        DeepValidator::fit(&net, &images, &labels, &ValidatorConfig::default())
+            .expect("validator fit failed")
+    });
+    let plan = net.plan();
+    let mut scorer = MonitoredScorer::new(&validator, &plan, small_drift_cfg());
+    let mut sw = ScoreWorkspace::new();
+    let mut per_layer = Vec::new();
+    Pool::new(1).install(|| {
+        // Several passes over the set so the monitor calibrates, fills
+        // its live windows, and evaluates while we compare.
+        for round in 0..3 {
+            for (i, img) in images.iter().enumerate() {
+                let got = scorer
+                    .score_next(img)
+                    .expect("fixture images are well-formed");
+                let (predicted, confidence) = validator
+                    .score_into(&plan, img, &mut sw, &mut per_layer)
+                    .expect("fixture images are well-formed");
+                assert_eq!(got.predicted, predicted, "round {round} image {i}");
+                assert_eq!(
+                    got.confidence.to_bits(),
+                    confidence.to_bits(),
+                    "round {round} image {i}"
+                );
+                let joint: f32 = per_layer.iter().sum();
+                assert_eq!(
+                    got.joint.to_bits(),
+                    joint.to_bits(),
+                    "round {round} image {i}"
+                );
+                assert_eq!(scorer.per_layer().len(), per_layer.len());
+                for (t, (a, b)) in scorer.per_layer().iter().zip(per_layer.iter()).enumerate() {
+                    assert_eq!(a.to_bits(), b.to_bits(), "tap {t} round {round} image {i}");
+                }
+            }
+        }
+    });
+    assert!(scorer.monitor().calibrated());
+    assert_eq!(
+        scorer.monitor().level(),
+        AlertLevel::Nominal,
+        "replaying training data is stationary traffic"
+    );
+    assert_eq!(scorer.monitor().alerts_raised(), 0);
+}
+
+/// A metamorphic brightness shift on the input stream must raise a
+/// drift alert, and returning to clean traffic must clear it.
+#[test]
+fn metamorphic_shift_raises_and_recovery_clears() {
+    let (net, images, labels) = trained_setup();
+    let validator = Pool::new(1).install(|| {
+        DeepValidator::fit(&net, &images, &labels, &ValidatorConfig::default())
+            .expect("validator fit failed")
+    });
+    let plan = net.plan();
+    let mut scorer = MonitoredScorer::new(&validator, &plan, small_drift_cfg());
+    let shifted: Vec<Tensor> = Transform::Brightness { beta: 0.6 }.apply_batch(&images);
+    let mut raised = false;
+    let mut cleared = false;
+    Pool::new(1).install(|| {
+        for round in 0..3 {
+            for img in &images {
+                assert!(
+                    scorer
+                        .score_next(img)
+                        .expect("clean image scores")
+                        .event
+                        .is_none(),
+                    "false alarm on stationary traffic, round {round}"
+                );
+            }
+        }
+        'shift: for _ in 0..6 {
+            for img in &shifted {
+                let score = scorer.score_next(img).expect("shifted image scores");
+                if let Some(DriftEvent::Raised(alert)) = score.event {
+                    assert!(alert.ks > 0.0 || alert.cusum > 0.0);
+                    raised = true;
+                    break 'shift;
+                }
+            }
+        }
+        'recover: for _ in 0..40 {
+            for img in &images {
+                let score = scorer.score_next(img).expect("clean image scores");
+                if let Some(DriftEvent::Cleared(_)) = score.event {
+                    cleared = true;
+                    break 'recover;
+                }
+            }
+        }
+    });
+    assert!(raised, "brightness shift must raise a drift alert");
+    assert!(cleared, "clean traffic must clear the alert");
+    assert_eq!(scorer.monitor().level(), AlertLevel::Nominal);
+}

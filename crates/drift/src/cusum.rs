@@ -1,0 +1,151 @@
+//! Two-sided standardized CUSUM mean-shift detector.
+//!
+//! Complements the KS test: KS compares whole window shapes and needs a
+//! full live window to react, while CUSUM accumulates per-observation
+//! evidence of a mean shift and fires fast on sustained ramps. The
+//! reference mean/σ come from a frozen Welford pass over the calibration
+//! window (see [`crate::DriftMonitor`]); each new observation is
+//! standardized against them and folded into Page's recursion
+//!
+//! ```text
+//! S⁺ ← max(0, S⁺ + z − k)      S⁻ ← max(0, S⁻ − z − k)
+//! ```
+//!
+//! with slack `k` in σ units. The statistic `max(S⁺, S⁻)` drifts back to
+//! zero at rate `k` per observation once the stream re-centres, which is
+//! what lets a latched alert clear after recovery.
+
+/// Two-sided CUSUM over a standardized stream.
+#[derive(Debug, Clone)]
+pub struct Cusum {
+    mean: f64,
+    inv_std: f64,
+    slack: f64,
+    clamp: f64,
+    pos: f64,
+    neg: f64,
+}
+
+impl Cusum {
+    /// A detector centred on the frozen reference `mean`/`std`, with
+    /// slack `k = slack` (σ units). A degenerate reference
+    /// (`std ≈ 0`, e.g. a constant calibration window) is floored so a
+    /// constant live stream keeps the statistic at exactly 0 while any
+    /// real deviation still registers. Standardized increments are
+    /// winsorized to `±clamp` σ (floored at 1) before entering the
+    /// recursion: with a near-zero reference σ a single outlier would
+    /// otherwise add an astronomically large `z`, leaving a decay debt
+    /// (at rate `k` per observation) that makes recovery time
+    /// effectively unbounded.
+    #[must_use]
+    pub fn new(mean: f64, std: f64, slack: f64, clamp: f64) -> Self {
+        let floor = 1e-9 * mean.abs().max(1.0);
+        Self {
+            mean,
+            inv_std: 1.0 / std.max(floor),
+            slack: slack.max(0.0),
+            clamp: clamp.max(1.0),
+            pos: 0.0,
+            neg: 0.0,
+        }
+    }
+
+    /// Folds in one observation and returns the updated statistic.
+    pub fn update(&mut self, x: f32) -> f64 {
+        let z = ((f64::from(x) - self.mean) * self.inv_std).clamp(-self.clamp, self.clamp);
+        self.pos = (self.pos + z - self.slack).max(0.0);
+        self.neg = (self.neg - z - self.slack).max(0.0);
+        self.stat()
+    }
+
+    /// Current statistic `max(S⁺, S⁻)`, in σ units.
+    #[must_use]
+    pub fn stat(&self) -> f64 {
+        self.pos.max(self.neg)
+    }
+
+    /// Reference mean the detector is centred on.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Drops accumulated evidence (keeps the reference).
+    pub fn reset(&mut self) {
+        self.pos = 0.0;
+        self.neg = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn on_target_stream_stays_at_zero() {
+        let mut c = Cusum::new(5.0, 1.0, 0.5, 8.0);
+        for _ in 0..1000 {
+            c.update(5.0);
+        }
+        assert_eq!(c.stat().to_bits(), 0.0f64.to_bits());
+    }
+
+    #[test]
+    fn upward_shift_accumulates_linearly() {
+        let mut c = Cusum::new(0.0, 1.0, 0.5, 8.0);
+        for _ in 0..10 {
+            c.update(2.0); // z = 2, net +1.5 per step
+        }
+        assert!((c.stat() - 15.0).abs() < 1e-9, "{}", c.stat());
+    }
+
+    #[test]
+    fn downward_shift_trips_the_negative_side() {
+        let mut c = Cusum::new(10.0, 2.0, 0.5, 8.0);
+        for _ in 0..8 {
+            c.update(4.0); // z = -3, net +2.5 on S⁻
+        }
+        assert!((c.stat() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recovers_at_slack_rate_after_shift_ends() {
+        let mut c = Cusum::new(0.0, 1.0, 0.5, 8.0);
+        for _ in 0..10 {
+            c.update(2.0);
+        }
+        let peak = c.stat();
+        for _ in 0..40 {
+            c.update(0.0); // z = 0: decays by slack each step
+        }
+        assert!(c.stat() < peak);
+        assert_eq!(c.stat().to_bits(), 0.0f64.to_bits());
+        c.update(3.0);
+        assert!(c.stat() > 0.0);
+        c.reset();
+        assert_eq!(c.stat().to_bits(), 0.0f64.to_bits());
+    }
+
+    #[test]
+    fn clamp_bounds_per_observation_evidence() {
+        // One wild outlier against a floored (≈0 σ) reference must add
+        // at most `clamp − slack`, so recovery stays proportional to the
+        // excursion length rather than its magnitude.
+        let mut c = Cusum::new(2.0, 0.0, 0.5, 8.0);
+        c.update(1_000.0);
+        assert!((c.stat() - 7.5).abs() < 1e-9, "{}", c.stat());
+        for _ in 0..15 {
+            c.update(2.0);
+        }
+        assert_eq!(c.stat().to_bits(), 0.0f64.to_bits());
+    }
+
+    #[test]
+    fn constant_reference_is_floored_not_divergent() {
+        let mut c = Cusum::new(2.0, 0.0, 0.5, 8.0);
+        c.update(2.0);
+        assert_eq!(c.stat().to_bits(), 0.0f64.to_bits());
+        c.update(2.1);
+        assert!(c.stat() > 1.0, "real deviation must register");
+    }
+}

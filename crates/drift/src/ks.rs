@@ -1,0 +1,124 @@
+//! Two-sample Kolmogorov–Smirnov statistic between sorted windows.
+//!
+//! KS(conf)-style monitoring (arXiv:1804.04171) compares the empirical
+//! CDF of a live window against a frozen reference window: the statistic
+//! is the supremum distance between the two step functions, in `[0, 1]`,
+//! distribution-free under the null. We use the statistic directly with
+//! a scale-based threshold `c * sqrt((n + m) / (n * m))` — the classic
+//! large-sample critical value with significance `alpha = 2 exp(-2 c²)`
+//! — rather than a p-value, because the monitor wants a deterministic,
+//! cheap comparison per evaluation.
+
+use std::cmp::Ordering;
+
+/// Supremum distance between the empirical CDFs of `a` and `b`.
+///
+/// Both slices must be sorted ascending (see
+/// [`SlidingWindow::fill_sorted`](crate::SlidingWindow::fill_sorted));
+/// ties within and across the slices are handled exactly. Returns 0 when
+/// either slice is empty — an unfilled window is "no evidence", not
+/// drift.
+#[must_use]
+pub fn ks_statistic(a: &[f32], b: &[f32]) -> f64 {
+    let (n, m) = (a.len(), b.len());
+    if n == 0 || m == 0 {
+        return 0.0;
+    }
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut sup = 0.0f64;
+    while i < n && j < m {
+        // Step both CDFs past the smaller current value (and all its
+        // duplicates on both sides), then measure the gap just after it.
+        let x = match a[i].total_cmp(&b[j]) {
+            Ordering::Greater => b[j],
+            Ordering::Less | Ordering::Equal => a[i],
+        };
+        while i < n && a[i].total_cmp(&x) == Ordering::Equal {
+            i += 1;
+        }
+        while j < m && b[j].total_cmp(&x) == Ordering::Equal {
+            j += 1;
+        }
+        let gap = (i as f64 / n as f64 - j as f64 / m as f64).abs();
+        if gap > sup {
+            sup = gap;
+        }
+    }
+    // One side exhausted: the other CDF still has to climb to 1, and the
+    // gap is largest right where the climb starts.
+    let tail = (i as f64 / n as f64 - j as f64 / m as f64).abs();
+    if tail > sup {
+        sup = tail;
+    }
+    sup
+}
+
+/// Critical value `c * sqrt((n + m) / (n * m))` for window sizes `n`,
+/// `m`. A statistic above this rejects "same distribution" at
+/// significance `alpha = 2 exp(-2 c²)`; `c = 2.4` gives roughly
+/// `alpha = 2e-5`, conservative enough for zero false alarms over long
+/// stationary runs of overlapping-window evaluations.
+#[must_use]
+pub fn ks_threshold(scale: f64, n: usize, m: usize) -> f64 {
+    if n == 0 || m == 0 {
+        return f64::INFINITY;
+    }
+    scale * ((n + m) as f64 / (n as f64 * m as f64)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// O(n·m) reference: evaluate both CDFs at every sample point.
+    fn naive_ks(a: &[f32], b: &[f32]) -> f64 {
+        let cdf = |xs: &[f32], t: f32| {
+            xs.iter()
+                .filter(|&&x| x.total_cmp(&t) != Ordering::Greater)
+                .count() as f64
+                / xs.len() as f64
+        };
+        a.iter()
+            .chain(b.iter())
+            .map(|&t| (cdf(a, t) - cdf(b, t)).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn identical_windows_give_exactly_zero() {
+        let xs = [0.25f32, 0.5, 0.5, 1.0, 3.0];
+        assert_eq!(ks_statistic(&xs, &xs).to_bits(), 0.0f64.to_bits());
+    }
+
+    #[test]
+    fn disjoint_windows_give_one() {
+        let a = [0.0f32, 1.0, 2.0];
+        let b = [10.0f32, 11.0];
+        assert!((ks_statistic(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_naive_on_tied_mixed_windows() {
+        let a = [0.0f32, 0.5, 0.5, 1.0, 2.0, 2.0];
+        let b = [0.5f32, 0.5, 1.5, 2.0];
+        let fast = ks_statistic(&a, &b);
+        let slow = naive_ks(&a, &b);
+        assert!((fast - slow).abs() < 1e-12, "{fast} vs {slow}");
+    }
+
+    #[test]
+    fn empty_side_is_no_evidence() {
+        let a = [1.0f32, 2.0];
+        assert_eq!(ks_statistic(&a, &[]).to_bits(), 0.0f64.to_bits());
+        assert_eq!(ks_statistic(&[], &a).to_bits(), 0.0f64.to_bits());
+        assert!(ks_threshold(2.4, 0, 5).is_infinite());
+    }
+
+    #[test]
+    fn threshold_shrinks_with_window_size() {
+        let small = ks_threshold(2.4, 32, 32);
+        let large = ks_threshold(2.4, 256, 256);
+        assert!(large < small);
+        assert!((ks_threshold(1.0, 100, 100) - (2.0f64 / 100.0).sqrt()).abs() < 1e-12);
+    }
+}

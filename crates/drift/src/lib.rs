@@ -1,0 +1,63 @@
+//! dv-drift: online distribution-shift detection over the discrepancy
+//! stream.
+//!
+//! Deep Validation scores one image at a time; this crate watches the
+//! *fleet*: fixed-capacity sliding windows over the joint and per-tap
+//! discrepancy streams, compared against a reference window frozen at
+//! calibration by two complementary detectors —
+//!
+//! - a two-sample **Kolmogorov–Smirnov** statistic (KS(conf)-style,
+//!   arXiv:1804.04171): shape-sensitive, distribution-free, reacts once
+//!   the live window has genuinely moved; and
+//! - a standardized two-sided **CUSUM** mean-shift test: accumulates
+//!   per-observation evidence, fires fast on sustained ramps, decays on
+//!   recovery.
+//!
+//! Sustained alerting evaluations latch a typed [`DriftAlert`] (with
+//! hysteresis in both directions), surfaced as [`DriftEvent`]s to
+//! callers — dv-serve uses them as a circuit breaker — and as
+//! registry-backed gauges (`drift.ks_stat`, `drift.alert_level`) via
+//! [`DriftMonitor::publish`].
+//!
+//! # Determinism contract
+//!
+//! Windows are keyed on request **sequence number**, never wall time:
+//! the monitor is a pure function of its observation sequence, so the
+//! same stream replayed at any `DV_THREADS` produces bit-identical
+//! statistics, alerts, and alert timing. The steady-state `observe`
+//! path is allocation-free (windows and sort scratch are preallocated).
+//!
+//! ```
+//! use dv_drift::{DriftConfig, DriftEvent, DriftMonitor};
+//!
+//! let mut monitor = DriftMonitor::new(DriftConfig::default().with_window(32));
+//! for i in 0..200u32 {
+//!     let joint = 1.0 + 0.05 * ((i % 7) as f32); // stationary traffic
+//!     assert!(monitor.observe(joint, &[]).is_none(), "no false alarms");
+//! }
+//! let mut raised = false;
+//! for i in 0..400u32 {
+//!     let joint = 4.0 + 0.05 * ((i % 7) as f32); // shifted traffic
+//!     if let Some(DriftEvent::Raised(alert)) = monitor.observe(joint, &[]) {
+//!         assert!(alert.ks > 0.0);
+//!         raised = true;
+//!         break;
+//!     }
+//! }
+//! assert!(raised);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cusum;
+mod ks;
+mod monitor;
+mod window;
+
+pub use cusum::Cusum;
+pub use ks::{ks_statistic, ks_threshold};
+pub use monitor::{
+    gauges, AlertLevel, DriftAlert, DriftConfig, DriftEvent, DriftMonitor, StreamId,
+};
+pub use window::SlidingWindow;

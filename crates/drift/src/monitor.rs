@@ -1,0 +1,589 @@
+//! The drift monitor: calibration, per-stream detectors, and the
+//! latched alert state machine.
+//!
+//! A [`DriftMonitor`] watches the *joint* discrepancy stream plus an
+//! optional fixed set of per-tap streams. Every stream gets the same
+//! treatment:
+//!
+//! 1. **Calibrate** — the first `window` observations are frozen as the
+//!    sorted reference window, and their Welford mean/σ seed a
+//!    [`Cusum`] detector.
+//! 2. **Slide** — later observations roll through a live
+//!    [`SlidingWindow`] of the same capacity and feed the CUSUM.
+//! 3. **Evaluate** — every `stride` observations, the two-sample KS
+//!    statistic (live vs. reference) and the CUSUM statistic are
+//!    compared against their thresholds; the worst stream sets the
+//!    evaluation level.
+//!
+//! Evaluation levels feed a hysteresis state machine: `sustain`
+//! consecutive alerting evaluations latch the monitor into
+//! [`AlertLevel::Alert`] and emit [`DriftEvent::Raised`]; `recover`
+//! consecutive nominal evaluations unlatch it and emit
+//! [`DriftEvent::Cleared`]. Callers (the dv-serve breaker, the
+//! `drift_report` bench) act on those typed events.
+//!
+//! Everything is keyed on observation sequence number — the monitor is a
+//! pure function of the observation sequence, so replaying the same
+//! stream yields bit-identical statistics and event timing regardless of
+//! wall time or thread count.
+
+use dv_trace::{MetricsRegistry, Welford};
+
+use crate::cusum::Cusum;
+use crate::ks::{ks_statistic, ks_threshold};
+use crate::window::SlidingWindow;
+
+/// Registry names the monitor publishes under (see
+/// [`DriftMonitor::publish`]).
+pub mod gauges {
+    /// Worst-stream KS statistic, scaled by 1e4 (gauge).
+    pub const KS_STAT: &str = "drift.ks_stat";
+    /// Worst-stream CUSUM statistic, scaled by 1e2 (gauge).
+    pub const CUSUM_STAT: &str = "drift.cusum_stat";
+    /// Current latched level: 0 nominal, 1 warn, 2 alert (gauge).
+    pub const ALERT_LEVEL: &str = "drift.alert_level";
+    /// Observations folded into the monitor (gauge).
+    pub const OBSERVATIONS: &str = "drift.observations";
+    /// Alerts raised so far (monotone counter).
+    pub const ALERTS: &str = "drift.alerts";
+    /// Alerts cleared so far (monotone counter).
+    pub const RECOVERIES: &str = "drift.recoveries";
+}
+
+/// Detector and hysteresis parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DriftConfig {
+    /// Reference and live window capacity (samples).
+    pub window: usize,
+    /// Evaluate detectors every `stride` observations.
+    pub stride: usize,
+    /// KS warn threshold scale `c` in `c·sqrt((n+m)/nm)`.
+    pub ks_warn_scale: f64,
+    /// KS alert threshold scale.
+    pub ks_alert_scale: f64,
+    /// CUSUM slack `k`, in reference-σ units.
+    pub cusum_slack: f64,
+    /// Winsorization bound for standardized CUSUM increments, in σ
+    /// units: each observation contributes at most `±cusum_clamp` to
+    /// the recursion, so a degenerate (near-constant) calibration
+    /// reference cannot build a decay debt that makes recovery time
+    /// unbounded.
+    pub cusum_clamp: f64,
+    /// CUSUM warn threshold, in σ units.
+    pub cusum_warn: f64,
+    /// CUSUM alert threshold, in σ units.
+    pub cusum_alert: f64,
+    /// Consecutive alerting evaluations before an alert latches.
+    pub sustain: usize,
+    /// Consecutive nominal evaluations before a latched alert clears.
+    pub recover: usize,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        Self {
+            window: 128,
+            stride: 16,
+            ks_warn_scale: 1.7,
+            ks_alert_scale: 2.4,
+            cusum_slack: 0.5,
+            cusum_clamp: 8.0,
+            cusum_warn: 8.0,
+            cusum_alert: 16.0,
+            sustain: 2,
+            recover: 4,
+        }
+    }
+}
+
+impl DriftConfig {
+    /// Same thresholds over a different window capacity.
+    #[must_use]
+    pub fn with_window(mut self, window: usize) -> Self {
+        self.window = window.max(1);
+        self
+    }
+}
+
+/// Severity ladder for evaluations and the latched state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AlertLevel {
+    /// Statistics below the warn thresholds.
+    Nominal,
+    /// Above warn, below alert: reported, never latched.
+    Warn,
+    /// Above the alert thresholds.
+    Alert,
+}
+
+impl AlertLevel {
+    /// Gauge encoding: 0 nominal, 1 warn, 2 alert.
+    #[must_use]
+    pub fn as_u64(self) -> u64 {
+        match self {
+            AlertLevel::Nominal => 0,
+            AlertLevel::Warn => 1,
+            AlertLevel::Alert => 2,
+        }
+    }
+}
+
+/// Which monitored stream tripped (or recovered last).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamId {
+    /// The joint (summed per-layer) discrepancy stream.
+    Joint,
+    /// A per-tap discrepancy stream, by probe tap index.
+    Tap(usize),
+}
+
+/// Snapshot of the worst stream's detectors at an event boundary.
+#[derive(Debug, Clone, Copy)]
+pub struct DriftAlert {
+    /// Observation sequence number (1-based) at which the event fired.
+    pub seq: u64,
+    /// The stream whose detectors were worst at the event.
+    pub stream: StreamId,
+    /// KS statistic of that stream.
+    pub ks: f64,
+    /// CUSUM statistic of that stream (σ units).
+    pub cusum: f64,
+    /// Evaluation level that drove the event.
+    pub level: AlertLevel,
+}
+
+/// A latching transition of the monitor.
+#[derive(Debug, Clone, Copy)]
+pub enum DriftEvent {
+    /// `sustain` consecutive alerting evaluations: the monitor latched.
+    Raised(DriftAlert),
+    /// `recover` consecutive nominal evaluations: the latch released.
+    Cleared(DriftAlert),
+}
+
+/// One monitored stream: live window, frozen reference, detectors.
+#[derive(Debug, Clone)]
+struct StreamState {
+    id: StreamId,
+    live: SlidingWindow,
+    /// Sorted reference window, frozen at calibration; empty before.
+    reference: Vec<f32>,
+    calib: Welford,
+    cusum: Option<Cusum>,
+    last_ks: f64,
+    last_cusum: f64,
+}
+
+impl StreamState {
+    fn new(id: StreamId, window: usize) -> Self {
+        Self {
+            id,
+            live: SlidingWindow::new(window),
+            reference: Vec::new(),
+            calib: Welford::new(),
+            cusum: None,
+            last_ks: 0.0,
+            last_cusum: 0.0,
+        }
+    }
+
+    fn observe(&mut self, x: f32, slack: f64, clamp: f64) {
+        self.live.push(x);
+        match &mut self.cusum {
+            Some(c) => {
+                self.last_cusum = c.update(x);
+            }
+            None => {
+                self.calib.push(x);
+                if self.live.is_full() {
+                    // Freeze the reference and arm the CUSUM. The live
+                    // window equals the reference at this instant, so the
+                    // first evaluations start from KS = 0.
+                    self.live.fill_sorted(&mut self.reference);
+                    self.cusum = Some(Cusum::new(
+                        self.calib.mean(),
+                        self.calib.variance().sqrt(),
+                        slack,
+                        clamp,
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Recomputes the KS statistic against the frozen reference.
+    /// `scratch` is caller-provided so repeated evaluations stay
+    /// allocation-free.
+    fn evaluate(&mut self, scratch: &mut Vec<f32>) {
+        if self.reference.is_empty() {
+            return;
+        }
+        self.live.fill_sorted(scratch);
+        self.last_ks = ks_statistic(&self.reference, scratch);
+    }
+
+    fn reset_cusum(&mut self) {
+        self.last_cusum = 0.0;
+        if let Some(c) = &mut self.cusum {
+            c.reset();
+        }
+    }
+
+    /// Severity as a fraction of the alert thresholds (1.0 = at
+    /// threshold); lets the monitor pick the worst stream.
+    fn severity(&self, ks_alert: f64, cusum_alert: f64) -> f64 {
+        let ks = if ks_alert.is_finite() && ks_alert > 0.0 {
+            self.last_ks / ks_alert
+        } else {
+            0.0
+        };
+        let cu = if cusum_alert > 0.0 {
+            self.last_cusum / cusum_alert
+        } else {
+            0.0
+        };
+        ks.max(cu)
+    }
+}
+
+/// Online drift monitor over the joint and per-tap discrepancy streams.
+#[derive(Debug, Clone)]
+pub struct DriftMonitor {
+    cfg: DriftConfig,
+    joint: StreamState,
+    /// Per-tap streams; sized by the first `observe` call and fixed
+    /// thereafter.
+    taps: Vec<StreamState>,
+    scratch: Vec<f32>,
+    observed: u64,
+    latched: AlertLevel,
+    eval_level: AlertLevel,
+    hot_evals: usize,
+    clean_evals: usize,
+    alerts_raised: u64,
+    alerts_cleared: u64,
+}
+
+impl DriftMonitor {
+    /// A monitor with the given detector parameters. Window and scratch
+    /// buffers for the joint stream are allocated here; per-tap streams
+    /// on the first observation that carries taps.
+    #[must_use]
+    pub fn new(cfg: DriftConfig) -> Self {
+        let cfg = DriftConfig {
+            window: cfg.window.max(1),
+            stride: cfg.stride.max(1),
+            ..cfg
+        };
+        Self {
+            joint: StreamState::new(StreamId::Joint, cfg.window),
+            taps: Vec::new(),
+            scratch: Vec::with_capacity(cfg.window),
+            observed: 0,
+            latched: AlertLevel::Nominal,
+            eval_level: AlertLevel::Nominal,
+            hot_evals: 0,
+            clean_evals: 0,
+            alerts_raised: 0,
+            alerts_cleared: 0,
+            cfg,
+        }
+    }
+
+    /// Folds in one request's discrepancy observation: the joint score
+    /// plus (optionally) its per-tap components. The tap count is fixed
+    /// by the first call that passes a non-empty slice; extra taps on
+    /// later calls are ignored, missing ones skipped.
+    ///
+    /// Returns a [`DriftEvent`] when this observation latched or
+    /// released an alert.
+    pub fn observe(&mut self, joint: f32, taps: &[f32]) -> Option<DriftEvent> {
+        self.observed += 1;
+        self.joint
+            .observe(joint, self.cfg.cusum_slack, self.cfg.cusum_clamp);
+        if self.taps.is_empty() && !taps.is_empty() {
+            self.taps = (0..taps.len())
+                .map(|t| StreamState::new(StreamId::Tap(t), self.cfg.window))
+                .collect();
+        }
+        for (state, &x) in self.taps.iter_mut().zip(taps.iter()) {
+            state.observe(x, self.cfg.cusum_slack, self.cfg.cusum_clamp);
+        }
+        if self.joint.reference.is_empty() || !self.observed.is_multiple_of(self.cfg.stride as u64)
+        {
+            return None;
+        }
+        self.evaluate()
+    }
+
+    fn evaluate(&mut self) -> Option<DriftEvent> {
+        self.joint.evaluate(&mut self.scratch);
+        for state in &mut self.taps {
+            state.evaluate(&mut self.scratch);
+        }
+        let ks_warn = ks_threshold(self.cfg.ks_warn_scale, self.cfg.window, self.cfg.window);
+        let ks_alert = ks_threshold(self.cfg.ks_alert_scale, self.cfg.window, self.cfg.window);
+        let (worst_id, worst_ks, worst_cusum) = self.worst_stream(ks_alert);
+        let level = if worst_ks >= ks_alert || worst_cusum >= self.cfg.cusum_alert {
+            AlertLevel::Alert
+        } else if worst_ks >= ks_warn || worst_cusum >= self.cfg.cusum_warn {
+            AlertLevel::Warn
+        } else {
+            AlertLevel::Nominal
+        };
+        self.eval_level = level;
+        let alert = DriftAlert {
+            seq: self.observed,
+            stream: worst_id,
+            ks: worst_ks,
+            cusum: worst_cusum,
+            level,
+        };
+        match level {
+            AlertLevel::Alert => {
+                self.hot_evals += 1;
+                self.clean_evals = 0;
+                // While the alert is already latched, every evaluation
+                // still at Alert level is a continuing detection: keep
+                // the CUSUMs restarted (Page's restart-at-detection) so
+                // the residual at the moment the stream recovers is at
+                // most one stride of clamped evidence.
+                if self.latched == AlertLevel::Alert {
+                    self.joint.reset_cusum();
+                    for state in &mut self.taps {
+                        state.reset_cusum();
+                    }
+                }
+            }
+            AlertLevel::Warn => {
+                self.hot_evals = 0;
+                self.clean_evals = 0;
+            }
+            AlertLevel::Nominal => {
+                self.clean_evals += 1;
+                self.hot_evals = 0;
+            }
+        }
+        if self.latched < AlertLevel::Alert && self.hot_evals >= self.cfg.sustain {
+            self.latched = AlertLevel::Alert;
+            self.alerts_raised += 1;
+            // Page's restart-after-detection: drop the accumulated CUSUM
+            // evidence now that the alert has latched. The latch itself
+            // holds until `recover` clean evaluations, and persistent
+            // drift keeps KS high (and rebuilds CUSUM immediately), so
+            // this only bounds the *recovery* time instead of letting a
+            // long drift episode pile up hours of decay debt.
+            self.joint.reset_cusum();
+            for state in &mut self.taps {
+                state.reset_cusum();
+            }
+            return Some(DriftEvent::Raised(alert));
+        }
+        if self.latched == AlertLevel::Alert && self.clean_evals >= self.cfg.recover {
+            self.latched = AlertLevel::Nominal;
+            self.alerts_cleared += 1;
+            return Some(DriftEvent::Cleared(alert));
+        }
+        None
+    }
+
+    fn worst_stream(&self, ks_alert: f64) -> (StreamId, f64, f64) {
+        let mut worst = &self.joint;
+        let mut sev = worst.severity(ks_alert, self.cfg.cusum_alert);
+        for state in &self.taps {
+            let s = state.severity(ks_alert, self.cfg.cusum_alert);
+            if s > sev {
+                sev = s;
+                worst = state;
+            }
+        }
+        (worst.id, worst.last_ks, worst.last_cusum)
+    }
+
+    /// Current latched level (alert latches survive between
+    /// evaluations); warn shows through from the last evaluation.
+    #[must_use]
+    pub fn level(&self) -> AlertLevel {
+        if self.latched == AlertLevel::Alert {
+            AlertLevel::Alert
+        } else {
+            self.eval_level
+        }
+    }
+
+    /// Observations folded in so far.
+    #[must_use]
+    pub fn observations(&self) -> u64 {
+        self.observed
+    }
+
+    /// True once the reference window is frozen.
+    #[must_use]
+    pub fn calibrated(&self) -> bool {
+        !self.joint.reference.is_empty()
+    }
+
+    /// Joint-stream KS statistic from the last evaluation.
+    #[must_use]
+    pub fn ks_stat(&self) -> f64 {
+        self.joint.last_ks
+    }
+
+    /// Joint-stream CUSUM statistic (σ units).
+    #[must_use]
+    pub fn cusum_stat(&self) -> f64 {
+        self.joint.last_cusum
+    }
+
+    /// Alerts raised so far.
+    #[must_use]
+    pub fn alerts_raised(&self) -> u64 {
+        self.alerts_raised
+    }
+
+    /// Alerts cleared so far.
+    #[must_use]
+    pub fn alerts_cleared(&self) -> u64 {
+        self.alerts_cleared
+    }
+
+    /// The monitor's configuration.
+    #[must_use]
+    pub fn config(&self) -> &DriftConfig {
+        &self.cfg
+    }
+
+    /// Publishes the current statistics into `reg` under the
+    /// [`gauges`] names (KS scaled by 1e4, CUSUM by 1e2). Safe to call
+    /// repeatedly; counters use monotone raises so republishing is
+    /// idempotent.
+    pub fn publish(&self, reg: &MetricsRegistry) {
+        let ks = self.ks_stat().clamp(0.0, 1.0);
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        reg.gauge(gauges::KS_STAT).set((ks * 1e4).round() as u64);
+        let cu = self.cusum_stat().clamp(0.0, 1e12);
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        reg.gauge(gauges::CUSUM_STAT).set((cu * 1e2).round() as u64);
+        reg.gauge(gauges::ALERT_LEVEL).set(self.level().as_u64());
+        reg.gauge(gauges::OBSERVATIONS).set(self.observed);
+        reg.counter(gauges::ALERTS).raise_to(self.alerts_raised);
+        reg.counter(gauges::RECOVERIES)
+            .raise_to(self.alerts_cleared);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> DriftConfig {
+        DriftConfig {
+            window: 16,
+            stride: 4,
+            sustain: 2,
+            recover: 3,
+            ..DriftConfig::default()
+        }
+    }
+
+    /// Deterministic wiggle around `base` so the calibration window has
+    /// nonzero variance without pulling in an RNG.
+    fn wiggle(i: u64, base: f32) -> f32 {
+        base + 0.05 * ((i % 7) as f32 - 3.0)
+    }
+
+    #[test]
+    fn stationary_stream_never_alerts() {
+        let mut m = DriftMonitor::new(tiny_cfg());
+        for i in 0..2000 {
+            let ev = m.observe(wiggle(i, 1.0), &[]);
+            assert!(ev.is_none(), "false alarm at obs {i}: {ev:?}");
+        }
+        assert_eq!(m.level(), AlertLevel::Nominal);
+        assert_eq!(m.alerts_raised(), 0);
+    }
+
+    #[test]
+    fn sustained_shift_raises_then_recovery_clears() {
+        let mut m = DriftMonitor::new(tiny_cfg());
+        for i in 0..200 {
+            assert!(m.observe(wiggle(i, 1.0), &[]).is_none());
+        }
+        let mut raised_at = None;
+        for i in 200..400 {
+            if let Some(DriftEvent::Raised(a)) = m.observe(wiggle(i, 3.0), &[]) {
+                raised_at = Some(a.seq);
+                assert_eq!(a.level, AlertLevel::Alert);
+                break;
+            }
+        }
+        let raised_at = raised_at.expect("shifted stream must raise an alert");
+        assert!(m.level() == AlertLevel::Alert);
+        assert!(raised_at > 200);
+        let mut cleared = false;
+        for i in 0..2000 {
+            if let Some(DriftEvent::Cleared(_)) = m.observe(wiggle(i, 1.0), &[]) {
+                cleared = true;
+                break;
+            }
+        }
+        assert!(cleared, "clean traffic must clear the latch");
+        assert_eq!(m.level(), AlertLevel::Nominal);
+        assert_eq!(m.alerts_raised(), 1);
+        assert_eq!(m.alerts_cleared(), 1);
+    }
+
+    #[test]
+    fn tap_stream_can_trip_while_joint_is_quiet() {
+        let mut m = DriftMonitor::new(tiny_cfg());
+        for i in 0..100 {
+            assert!(m
+                .observe(wiggle(i, 1.0), &[wiggle(i, 0.5), wiggle(i, 0.25)])
+                .is_none());
+        }
+        let mut raised = None;
+        for i in 100..400 {
+            // Joint stays put; tap 1 drifts.
+            if let Some(DriftEvent::Raised(a)) =
+                m.observe(wiggle(i, 1.0), &[wiggle(i, 0.5), wiggle(i, 2.0)])
+            {
+                raised = Some(a);
+                break;
+            }
+        }
+        let raised = raised.expect("tap drift must raise");
+        assert_eq!(raised.stream, StreamId::Tap(1));
+    }
+
+    #[test]
+    fn monitor_is_a_pure_function_of_the_sequence() {
+        let run = || {
+            let mut m = DriftMonitor::new(tiny_cfg());
+            let mut events = Vec::new();
+            for i in 0..600 {
+                let base = if (200..420).contains(&i) { 2.5 } else { 1.0 };
+                if let Some(ev) = m.observe(wiggle(i, base), &[wiggle(i, 0.5)]) {
+                    events.push((m.observations(), matches!(ev, DriftEvent::Raised(_))));
+                }
+            }
+            (events, m.ks_stat().to_bits(), m.cusum_stat().to_bits())
+        };
+        assert_eq!(run(), run(), "replay must be bit-identical");
+    }
+
+    #[test]
+    fn publish_exports_gauges_and_counters() {
+        let reg = MetricsRegistry::new();
+        let mut m = DriftMonitor::new(tiny_cfg());
+        for i in 0..64 {
+            m.observe(wiggle(i, 1.0), &[]);
+        }
+        m.publish(&reg);
+        assert_eq!(reg.gauge(gauges::ALERT_LEVEL).get(), 0);
+        assert_eq!(reg.gauge(gauges::OBSERVATIONS).get(), 64);
+        assert_eq!(reg.counter(gauges::ALERTS).get(), 0);
+        // Idempotent republish.
+        m.publish(&reg);
+        assert_eq!(reg.gauge(gauges::OBSERVATIONS).get(), 64);
+    }
+}

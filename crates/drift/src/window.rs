@@ -1,0 +1,153 @@
+//! Fixed-capacity sliding window over an `f32` stream, keyed on
+//! observation sequence number.
+//!
+//! The window is a preallocated ring: pushing the `k`-th observation
+//! overwrites slot `k % capacity`, so after warm-up it always holds the
+//! most recent `capacity` samples in stream order. Nothing here reads a
+//! clock — "recent" means recent in *sequence*, which is what makes the
+//! drift monitor bit-reproducible at any `DV_THREADS`.
+
+/// A fixed-capacity ring over the most recent `f32` observations.
+#[derive(Debug, Clone)]
+pub struct SlidingWindow {
+    buf: Vec<f32>,
+    capacity: usize,
+    /// Total observations ever pushed; `pushed % capacity` is the next
+    /// slot to overwrite.
+    pushed: u64,
+}
+
+impl SlidingWindow {
+    /// A window holding the most recent `capacity` samples
+    /// (`capacity` is clamped to at least 1). Allocates once, here.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            buf: vec![0.0; capacity],
+            capacity,
+            pushed: 0,
+        }
+    }
+
+    /// Maximum number of retained samples.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of currently retained samples (`<= capacity`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pushed.min(self.capacity as u64) as usize
+    }
+
+    /// True before the first push.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pushed == 0
+    }
+
+    /// True once `capacity` samples have been pushed.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.pushed >= self.capacity as u64
+    }
+
+    /// Total observations ever pushed (not capped by capacity).
+    #[must_use]
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Appends one observation, evicting the oldest when full.
+    /// Allocation-free.
+    pub fn push(&mut self, x: f32) {
+        let slot = (self.pushed % self.capacity as u64) as usize;
+        self.buf[slot] = x;
+        self.pushed += 1;
+    }
+
+    /// Copies the retained samples into `out` in stream order
+    /// (oldest first). Clears `out` first; allocation-free once `out`
+    /// has `capacity` spare.
+    pub fn fill_ordered(&self, out: &mut Vec<f32>) {
+        out.clear();
+        let len = self.len() as u64;
+        for i in self.pushed - len..self.pushed {
+            out.push(self.buf[(i % self.capacity as u64) as usize]);
+        }
+    }
+
+    /// Copies the retained samples into `out` sorted ascending
+    /// (total order, so NaNs cannot poison the sort). Clears `out`
+    /// first; allocation-free once `out` has `capacity` spare.
+    pub fn fill_sorted(&self, out: &mut Vec<f32>) {
+        self.fill_ordered(out);
+        out.sort_unstable_by(|a, b| a.total_cmp(b));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_window_reports_empty() {
+        let w = SlidingWindow::new(4);
+        assert!(w.is_empty());
+        assert!(!w.is_full());
+        assert_eq!(w.len(), 0);
+        let mut out = vec![9.0];
+        w.fill_ordered(&mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_sample_window() {
+        let mut w = SlidingWindow::new(4);
+        w.push(2.5);
+        assert_eq!(w.len(), 1);
+        assert!(!w.is_full());
+        let mut out = Vec::new();
+        w.fill_sorted(&mut out);
+        assert_eq!(out.len(), 1);
+        assert!((out[0] - 2.5).abs() < f32::EPSILON);
+    }
+
+    #[test]
+    fn wrap_around_keeps_most_recent_in_stream_order() {
+        let mut w = SlidingWindow::new(3);
+        for i in 0..7 {
+            w.push(i as f32);
+        }
+        assert!(w.is_full());
+        assert_eq!(w.pushed(), 7);
+        let mut out = Vec::new();
+        w.fill_ordered(&mut out);
+        assert_eq!(out, vec![4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut w = SlidingWindow::new(0);
+        assert_eq!(w.capacity(), 1);
+        w.push(1.0);
+        w.push(2.0);
+        let mut out = Vec::new();
+        w.fill_ordered(&mut out);
+        assert_eq!(out, vec![2.0]);
+    }
+
+    #[test]
+    fn fill_does_not_allocate_when_capacity_reserved() {
+        let mut w = SlidingWindow::new(8);
+        for i in 0..20 {
+            w.push(i as f32);
+        }
+        let mut out = Vec::with_capacity(8);
+        let ptr = out.as_ptr();
+        w.fill_sorted(&mut out);
+        assert_eq!(out.as_ptr(), ptr, "fill_sorted must reuse the buffer");
+    }
+}

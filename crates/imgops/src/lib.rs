@@ -32,8 +32,10 @@
 #![warn(missing_docs)]
 
 pub mod affine;
+pub mod occlude;
 pub mod transform;
 pub mod warp;
 
 pub use affine::Affine;
+pub use occlude::{occlude, occlude_center_fraction};
 pub use transform::{Transform, TransformKind};

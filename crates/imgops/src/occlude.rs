@@ -1,0 +1,125 @@
+//! Rectangular occlusion: paint a patch of the image with a constant
+//! value.
+//!
+//! Occlusion is the third metamorphic drift ramp used by the
+//! `drift_report` bench (alongside brightness and contrast): a growing
+//! opaque patch models a sensor obstruction — dirt on a lens, a sticker
+//! on a sign — which shifts the validator's discrepancy stream without
+//! touching the unoccluded pixels at all. It lives beside, not inside,
+//! [`Transform`](crate::Transform): the paper's catalogue of seven base
+//! transformations (plus composition) is pinned by the eval grid, and
+//! occlusion is a corner-case *injector*, not part of that grid.
+
+use dv_tensor::Tensor;
+
+/// Returns a copy of `image` (`[C, H, W]`) with the axis-aligned
+/// rectangle starting at `(row, col)` of size `height x width` set to
+/// `value` on every channel. The rectangle is clipped to the image
+/// bounds, so out-of-range coordinates simply occlude less (or
+/// nothing).
+///
+/// # Panics
+/// If `image` is not 3-dimensional.
+#[must_use]
+pub fn occlude(
+    image: &Tensor,
+    row: usize,
+    col: usize,
+    height: usize,
+    width: usize,
+    value: f32,
+) -> Tensor {
+    assert_eq!(image.shape().ndim(), 3, "occlude expects a [C, H, W] image");
+    let dims = image.shape().dims();
+    let (c, h, w) = (dims[0], dims[1], dims[2]);
+    let row_end = (row + height).min(h);
+    let col_end = (col + width).min(w);
+    let mut out = image.map(|x| x);
+    if row >= row_end || col >= col_end {
+        return out;
+    }
+    let data = out.data_mut();
+    for ch in 0..c {
+        for r in row..row_end {
+            let base = (ch * h + r) * w;
+            for px in &mut data[base + col..base + col_end] {
+                *px = value;
+            }
+        }
+    }
+    out
+}
+
+/// Occludes a centered square covering `fraction` of the image area
+/// (clamped to `[0, 1]`), the shape used by drift ramps: severity 0 is
+/// the identity, severity 1 blacks out the whole frame.
+#[must_use]
+pub fn occlude_center_fraction(image: &Tensor, fraction: f32, value: f32) -> Tensor {
+    let dims = image.shape().dims();
+    let (h, w) = (dims[1], dims[2]);
+    let frac = f64::from(fraction.clamp(0.0, 1.0));
+    // A square of side s·sqrt(frac) covers frac of the area.
+    let side_scale = frac.sqrt();
+    let ph = (side_scale * h as f64).round() as usize;
+    let pw = (side_scale * w as f64).round() as usize;
+    if ph == 0 || pw == 0 {
+        return image.map(|x| x);
+    }
+    occlude(image, (h - ph) / 2, (w - pw) / 2, ph, pw, value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp_image() -> Tensor {
+        let data: Vec<f32> = (0..2 * 4 * 4).map(|i| (i + 1) as f32 / 33.0).collect();
+        Tensor::from_vec(data, &[2, 4, 4])
+    }
+
+    #[test]
+    fn occludes_exactly_the_rectangle_on_all_channels() {
+        let img = ramp_image();
+        let out = occlude(&img, 1, 2, 2, 2, 0.0);
+        for ch in 0..2 {
+            for r in 0..4 {
+                for c in 0..4 {
+                    let got = out.at(&[ch, r, c]);
+                    let inside = (1..3).contains(&r) && (2..4).contains(&c);
+                    if inside {
+                        assert_eq!(got.to_bits(), 0.0f32.to_bits(), "[{ch},{r},{c}]");
+                    } else {
+                        assert_eq!(got.to_bits(), img.at(&[ch, r, c]).to_bits());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clips_to_image_bounds() {
+        let img = ramp_image();
+        let out = occlude(&img, 3, 3, 10, 10, 0.5);
+        assert_eq!(out.at(&[0, 3, 3]).to_bits(), 0.5f32.to_bits());
+        assert_eq!(out.at(&[0, 0, 0]).to_bits(), img.at(&[0, 0, 0]).to_bits());
+        // Fully out of range: identity.
+        let same = occlude(&img, 9, 9, 2, 2, 0.5);
+        assert_eq!(same.data(), img.data());
+    }
+
+    #[test]
+    fn center_fraction_is_identity_at_zero_and_total_at_one() {
+        let img = ramp_image();
+        let same = occlude_center_fraction(&img, 0.0, 0.0);
+        assert_eq!(same.data(), img.data());
+        let gone = occlude_center_fraction(&img, 1.0, 0.25);
+        assert!(gone
+            .data()
+            .iter()
+            .all(|&x| x.to_bits() == 0.25f32.to_bits()));
+        let partial = occlude_center_fraction(&img, 0.25, 0.0);
+        // Quarter of the area: a 2x2 patch of the 4x4 frame, centered.
+        let zeros = partial.data().iter().filter(|x| x.to_bits() == 0).count();
+        assert_eq!(zeros, 2 * 4);
+    }
+}

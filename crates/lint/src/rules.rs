@@ -14,6 +14,7 @@
 //! | `tensor-clone` (R6)      | no `.clone()` in the inference crates (`core`, `detectors`, `eval`) — the serving path is allocation-free (`InferencePlan` + workspace); a clone is a per-image heap hit unless proven cold with a reasoned allow |
 //! | `unbounded-channel` (R7) | no `mpsc::channel` or `thread::Builder` outside `crates/runtime` — unbounded channels hide backlog (backpressure must be a typed rejection, `BoundedQueue`), and `thread::Builder` is the spawn loophole R2's `thread::spawn` check misses; long-lived threads go through `Crew` |
 //! | `raw-timing` (R8)        | no `std::time::Instant`/`SystemTime` mention outside `crates/trace` and `crates/serve` — ad-hoc timing drifts from the shared trace epoch and bypasses the registry; measure with `dv_trace::Stopwatch`/`span!`, or allow with the reason raw timing is required |
+//! | `env-read` (R9)          | no `std::env::var`/`var_os`/`vars` outside `crates/runtime/src/config.rs` — scattered env reads let two call sites disagree about the same knob (one cached, one fresh); every knob goes through `dv_runtime::config`, or an allow naming why the read is a driver-local flag |
 //!
 //! Rules see only the lexed token stream (comments and string literals are
 //! already stripped), and skip `#[cfg(test)]` regions, so test code may use
@@ -31,6 +32,7 @@ pub const WALL_CLOCK: &str = "wall-clock";
 pub const TENSOR_CLONE: &str = "tensor-clone";
 pub const UNBOUNDED_CHANNEL: &str = "unbounded-channel";
 pub const RAW_TIMING: &str = "raw-timing";
+pub const ENV_READ: &str = "env-read";
 pub const BAD_DIRECTIVE: &str = "bad-directive";
 
 /// All suppressible rule ids, in report order.
@@ -44,7 +46,13 @@ pub const ALL_RULES: &[&str] = &[
     TENSOR_CLONE,
     UNBOUNDED_CHANNEL,
     RAW_TIMING,
+    ENV_READ,
 ];
+
+/// The one file allowed to read the process environment: the runtime
+/// crate's config module, where every knob is parsed (and, where
+/// needed, cached) exactly once.
+const ENV_READ_HOME: &str = "crates/runtime/src/config.rs";
 
 /// Per-file context handed to each rule.
 pub struct FileCtx<'a> {
@@ -128,6 +136,9 @@ pub fn check_file(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
     }
     if rule_applies(RAW_TIMING, ctx.crate_dir) {
         check_raw_timing(ctx, out);
+    }
+    if rule_applies(ENV_READ, ctx.crate_dir) {
+        check_env_read(ctx, out);
     }
 }
 
@@ -492,6 +503,44 @@ fn check_raw_timing(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// R9: `env::var`/`var_os`/`vars` reads anywhere but the runtime
+/// crate's config module.
+///
+/// Environment variables are ambient mutable state: one site reading
+/// `DV_THREADS` fresh while another cached it at startup silently
+/// disagree about the same knob, and a new variable added in a leaf
+/// crate is invisible to the documented knob table. All reads are
+/// centralized in `crates/runtime/src/config.rs` (the only exempt
+/// file); experiment drivers that genuinely own a bench-local flag
+/// carry an allow naming why.
+fn check_env_read(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if ctx.rel_path == ENV_READ_HOME {
+        return;
+    }
+    let toks = &ctx.lexed.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident
+            || !matches!(t.text, "var" | "var_os" | "vars")
+            || ctx.in_test(t.line)
+        {
+            continue;
+        }
+        let env_path = i >= 2 && is_punct(&toks[i - 1], "::") && is_ident(&toks[i - 2], "env");
+        if env_path {
+            out.push(ctx.diag(
+                ENV_READ,
+                t.line,
+                format!(
+                    "env::{} reads ambient process state; route the knob through \
+                     dv_runtime::config so it is parsed once and documented, or allow with \
+                     the reason the read is a driver-local flag",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -622,6 +671,49 @@ mod tests {
     #[test]
     fn raw_timing_skips_test_regions() {
         let src = "#[cfg(test)]\nmod tests {\n    use std::time::Instant;\n    fn g() { let _ = Instant::now(); }\n}\n";
+        assert!(run(src, "core").is_empty());
+    }
+
+    #[test]
+    fn env_read_flags_all_read_forms_everywhere_but_the_config_module() {
+        let src = "fn a() -> Option<String> { std::env::var(\"DV_THREADS\").ok() }\n\
+                   fn b() -> bool { std::env::var_os(\"DV_FAST\").is_some() }\n\
+                   fn c() -> usize { std::env::vars().count() }\n";
+        for dir in ["runtime", "core", "bench", "root"] {
+            let diags = run(src, dir);
+            assert_eq!(diags.len(), 3, "{dir}: {diags:?}");
+            assert!(diags.iter().all(|d| d.rule == ENV_READ), "{diags:?}");
+        }
+        // `env::args()` is process arguments, not ambient env state.
+        assert!(run("fn f() -> usize { std::env::args().count() }\n", "bench").is_empty());
+        // An unqualified `var` identifier (e.g. a local named `var`) passes.
+        assert!(run("fn f(var: u8) -> u8 { var }\n", "core").is_empty());
+    }
+
+    #[test]
+    fn env_read_exempts_exactly_the_runtime_config_module() {
+        let src = "pub fn threads() -> Option<String> { std::env::var(\"DV_THREADS\").ok() }\n";
+        let lexed = lex(src);
+        let ranges = test_line_ranges(&lexed.toks);
+        let check = |rel_path: &str| {
+            let ctx = FileCtx {
+                rel_path,
+                crate_dir: "runtime",
+                lexed: &lexed,
+                test_ranges: &ranges,
+            };
+            let mut out = Vec::new();
+            check_file(&ctx, &mut out);
+            out
+        };
+        assert!(check("crates/runtime/src/config.rs").is_empty());
+        assert_eq!(check("crates/runtime/src/pool.rs").len(), 1);
+    }
+
+    #[test]
+    fn env_read_skips_test_regions() {
+        let src =
+            "#[cfg(test)]\nmod tests {\n    fn g() { let _ = std::env::var(\"DV_OUT\"); }\n}\n";
         assert!(run(src, "core").is_empty());
     }
 

@@ -149,6 +149,18 @@ fn r7_unbounded_channel_fixture() {
 }
 
 #[test]
+fn r9_env_read_fixture() {
+    assert_diags(
+        "r9_env_read.rs",
+        &[
+            (rules::ENV_READ, 8),
+            (rules::ENV_READ, 15),
+            (rules::ENV_READ, 19),
+        ],
+    );
+}
+
+#[test]
 fn allowed_variants_pass_with_recorded_suppressions() {
     assert_allowed("r1_hash_order_allowed.rs", 2);
     assert_allowed("r2_thread_discipline_allowed.rs", 2);
@@ -158,6 +170,7 @@ fn allowed_variants_pass_with_recorded_suppressions() {
     assert_allowed("r5_wall_clock_allowed.rs", 2);
     assert_allowed("r7_unbounded_channel_allowed.rs", 1);
     assert_allowed("r8_raw_timing_allowed.rs", 3);
+    assert_allowed("r9_env_read_allowed.rs", 1);
 }
 
 #[test]

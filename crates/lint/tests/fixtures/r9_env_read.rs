@@ -1,0 +1,20 @@
+// Known-bad for R9 (env-read): ad-hoc std::env reads scatter
+// configuration across the workspace — one site reading a knob fresh
+// while another cached it at startup silently disagree, and the new
+// variable never lands in the documented knob table. Every read goes
+// through dv_runtime::config.
+
+pub fn threads_from_env() -> usize {
+    std::env::var("DV_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+pub fn fast_mode() -> bool {
+    std::env::var_os("DV_FAST").is_some()
+}
+
+pub fn knob_count() -> usize {
+    std::env::vars().filter(|(k, _)| k.starts_with("DV_")).count()
+}

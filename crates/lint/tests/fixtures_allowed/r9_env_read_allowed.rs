@@ -1,0 +1,8 @@
+// Allowed variant for R9: an experiment driver's output-directory
+// override, read exactly once at startup and never consulted from
+// library code — with the justification recorded inline.
+
+pub fn output_dir() -> String {
+    // dv-lint: allow(env-read, reason = "bench-driver output override, read once at startup; library code never sees it")
+    std::env::var("DV_OUT").unwrap_or_else(|_| String::from("target/bench"))
+}

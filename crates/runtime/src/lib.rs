@@ -45,6 +45,7 @@
 //! a producer dies), and [`Crew`] (named pinned worker threads with
 //! crash supervision and respawn).
 
+pub mod config;
 mod crew;
 mod oneshot;
 mod pool;

@@ -200,8 +200,7 @@ static GLOBAL: OnceLock<Pool> = OnceLock::new();
 /// See [`crate::global`].
 pub(crate) fn global() -> &'static Pool {
     GLOBAL.get_or_init(|| {
-        let env = std::env::var("DV_THREADS").ok();
-        let threads = crate::parse_thread_env(env.as_deref())
+        let threads = crate::config::requested_threads()
             .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
         Pool::new(threads)
     })

@@ -2,8 +2,46 @@
 
 use std::time::Duration;
 
+use dv_drift::DriftConfig;
+
 #[cfg(feature = "fault-inject")]
 use crate::fault::FaultPlan;
+
+/// Drift circuit-breaker configuration (see
+/// [`ServeConfig::breaker`]).
+///
+/// Workers feed every full-joint score's joint discrepancy (tagged with
+/// its request sequence number) to the supervision thread, which owns a
+/// [`DriftMonitor`](dv_drift::DriftMonitor). A latched drift alert
+/// *opens* the breaker: requests are served through the
+/// [`ServedVia::DriftDegraded`](crate::ServedVia::DriftDegraded) rung —
+/// except deterministic probes, which keep observing the stream — until
+/// the alert clears and the breaker closes again.
+#[derive(Debug, Clone)]
+pub struct BreakerConfig {
+    /// Detector and hysteresis parameters for the attached monitor.
+    pub drift: DriftConfig,
+    /// While the breaker is open, every request whose sequence number is
+    /// divisible by `probe_every` is still served through the full rung,
+    /// so the monitor keeps seeing fresh joint discrepancies and can
+    /// detect recovery. `0` disables probing (the breaker can then only
+    /// reopen after shutdown; not recommended).
+    pub probe_every: u64,
+    /// Capacity of the worker→monitor observation queue. Overflow drops
+    /// observations (counted in `serve.drift_obs_dropped`) rather than
+    /// ever blocking the scoring path.
+    pub obs_capacity: usize,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self {
+            drift: DriftConfig::default(),
+            probe_every: 4,
+            obs_capacity: 1024,
+        }
+    }
+}
 
 /// What happens to requests still queued when the server shuts down.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,6 +75,10 @@ pub struct ServeConfig {
     /// keeps. `0` disables the middle rung, degrading straight to
     /// confidence-only.
     pub reduced_taps: usize,
+    /// Optional drift circuit breaker over the joint discrepancy
+    /// stream; `None` (the default) serves every request through the
+    /// deadline ladder alone.
+    pub breaker: Option<BreakerConfig>,
     /// Deterministic fault-injection schedule for tests and the
     /// `serve_soak` harness; `None` serves faithfully.
     #[cfg(feature = "fault-inject")]
@@ -51,6 +93,7 @@ impl Default for ServeConfig {
             deadline: Duration::from_millis(50),
             shutdown: ShutdownPolicy::Drain,
             reduced_taps: 1,
+            breaker: None,
             #[cfg(feature = "fault-inject")]
             faults: None,
         }

@@ -35,6 +35,13 @@
 //! The `fault-inject` feature gates a deterministic [`FaultPlan`] hook
 //! (worker panics, latency spikes) used by the robustness tests and the
 //! `serve_soak` benchmark harness.
+//!
+//! An optional drift circuit breaker ([`BreakerConfig`]) attaches a
+//! `dv_drift::DriftMonitor` to the joint-discrepancy stream: workers
+//! feed full-joint scores to the supervision thread over a bounded
+//! queue (drops counted, never blocking the scoring path), and a
+//! latched drift alert flips serving to the
+//! [`ServedVia::DriftDegraded`] rung until the stream recovers.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,7 +53,7 @@ mod metrics;
 mod response;
 mod server;
 
-pub use config::{ServeConfig, ShutdownPolicy};
+pub use config::{BreakerConfig, ServeConfig, ShutdownPolicy};
 #[cfg(feature = "fault-inject")]
 pub use fault::FaultPlan;
 pub use metrics::MetricsSnapshot;

@@ -26,6 +26,15 @@ pub(crate) mod names {
     pub(crate) const SERVED_REDUCED: &str = "serve.served_reduced";
     /// Responses served through the confidence-only rung.
     pub(crate) const SERVED_CONFIDENCE: &str = "serve.served_confidence";
+    /// Responses served degraded because the drift breaker was open.
+    pub(crate) const SERVED_DRIFT_DEGRADED: &str = "serve.served_drift_degraded";
+    /// Times the drift breaker opened (alert latched).
+    pub(crate) const BREAKER_OPENED: &str = "serve.breaker_opened";
+    /// Times the drift breaker closed (alert cleared).
+    pub(crate) const BREAKER_CLOSED: &str = "serve.breaker_closed";
+    /// Joint-discrepancy observations dropped on the worker→monitor
+    /// queue (overflow; never blocks scoring).
+    pub(crate) const DRIFT_OBS_DROPPED: &str = "serve.drift_obs_dropped";
     /// Requests whose deadline passed before scoring began.
     pub(crate) const EXPIRED: &str = "serve.expired";
     /// Requests rejected by input validation.
@@ -54,6 +63,10 @@ const COUNTERS: &[&str] = &[
     names::SERVED_FULL,
     names::SERVED_REDUCED,
     names::SERVED_CONFIDENCE,
+    names::SERVED_DRIFT_DEGRADED,
+    names::BREAKER_OPENED,
+    names::BREAKER_CLOSED,
+    names::DRIFT_OBS_DROPPED,
     names::EXPIRED,
     names::BAD_INPUT,
     names::WORKER_CRASHES,
@@ -116,6 +129,10 @@ impl Metrics {
             served_full: get(names::SERVED_FULL),
             served_reduced: get(names::SERVED_REDUCED),
             served_confidence: get(names::SERVED_CONFIDENCE),
+            served_drift_degraded: get(names::SERVED_DRIFT_DEGRADED),
+            breaker_opened: get(names::BREAKER_OPENED),
+            breaker_closed: get(names::BREAKER_CLOSED),
+            drift_obs_dropped: get(names::DRIFT_OBS_DROPPED),
             expired: get(names::EXPIRED),
             bad_input: get(names::BAD_INPUT),
             worker_crashes: get(names::WORKER_CRASHES),
@@ -151,6 +168,14 @@ pub struct MetricsSnapshot {
     pub served_reduced: u64,
     /// Responses served through the confidence-only rung.
     pub served_confidence: u64,
+    /// Responses served degraded because the drift breaker was open.
+    pub served_drift_degraded: u64,
+    /// Times the drift breaker opened (drift alert latched).
+    pub breaker_opened: u64,
+    /// Times the drift breaker closed (drift alert cleared).
+    pub breaker_closed: u64,
+    /// Drift observations dropped on the worker→monitor queue.
+    pub drift_obs_dropped: u64,
     /// Requests whose deadline passed before scoring began.
     pub expired: u64,
     /// Requests rejected by input validation (shape / non-finite).
@@ -178,10 +203,11 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
-    /// Total responses served through any rung.
+    /// Total responses served through any rung (including the breaker's
+    /// drift-degraded rung).
     #[must_use]
     pub fn served(&self) -> u64 {
-        self.served_full + self.served_reduced + self.served_confidence
+        self.served_full + self.served_reduced + self.served_confidence + self.served_drift_degraded
     }
 
     /// Every terminal outcome accounted for: served, expired, bad-input,

@@ -21,6 +21,15 @@ pub enum ServedVia {
     /// No discrepancy was computed; only the classifier's prediction and
     /// softmax confidence are reported.
     ConfidenceOnly,
+    /// The drift circuit breaker was open: the request was served
+    /// confidence-only regardless of its deadline budget, because the
+    /// discrepancy stream no longer matches the calibration reference
+    /// and full scores would not be trustworthy. Deterministic probe
+    /// requests (see
+    /// [`BreakerConfig::probe_every`](crate::BreakerConfig::probe_every))
+    /// still go through the full rung so the monitor can observe
+    /// recovery.
+    DriftDegraded,
 }
 
 /// A successfully served scoring request.

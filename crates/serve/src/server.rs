@@ -7,11 +7,12 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dv_core::{DeepValidator, ScoreError, ScoreWorkspace};
+use dv_drift::{DriftEvent, DriftMonitor};
 use dv_nn::InferencePlan;
 use dv_runtime::{oneshot, BoundedQueue, Crew, Popped, Promise, PushRejected};
 use dv_tensor::Tensor;
 
-use crate::config::{ServeConfig, ShutdownPolicy};
+use crate::config::{BreakerConfig, ServeConfig, ShutdownPolicy};
 use crate::metrics::{names, Metrics, MetricsSnapshot};
 use crate::response::{Outcome, Pending, Rejected, ScoreResponse, ServedVia};
 
@@ -42,12 +43,38 @@ struct Job {
     submitted_ns: u64,
 }
 
+/// One worker→monitor drift observation: a full-joint score's joint
+/// discrepancy tagged with its request sequence number, so the monitor
+/// can ingest in sequence order regardless of worker interleaving.
+#[derive(Clone, Copy)]
+struct Obs {
+    seq: u64,
+    joint: f32,
+}
+
+/// Breaker state shared between the workers (producers, plus readers of
+/// the open flag) and the supervision thread (the only consumer, which
+/// owns the actual [`DriftMonitor`]).
+struct BreakerShared {
+    cfg: BreakerConfig,
+    /// Worker→monitor observation queue; overflow drops (counted),
+    /// never blocks the scoring path.
+    obs: BoundedQueue<Obs>,
+    /// True while a drift alert is latched: serve degraded.
+    open: AtomicBool,
+}
+
 struct Shared {
     validator: Arc<DeepValidator>,
     plan: Arc<InferencePlan>,
     cfg: ServeConfig,
     queue: BoundedQueue<Job>,
     metrics: Metrics,
+    /// Present when [`ServeConfig::breaker`] was set.
+    breaker: Option<BreakerShared>,
+    /// Record spans for every `trace_sample`-th request (1 = all); from
+    /// `DV_TRACE_SAMPLE`, cached at server start.
+    trace_sample: u64,
     start: Instant,
     /// Cleared at the start of shutdown: submissions are refused.
     accepting: AtomicBool,
@@ -120,9 +147,16 @@ impl Server {
         cfg: ServeConfig,
     ) -> Self {
         let workers = cfg.workers.max(1);
+        let breaker = cfg.breaker.clone().map(|bc| BreakerShared {
+            obs: BoundedQueue::bounded(bc.obs_capacity.max(1)),
+            open: AtomicBool::new(false),
+            cfg: bc,
+        });
         let shared = Arc::new(Shared {
             queue: BoundedQueue::bounded(cfg.queue_capacity),
             metrics: Metrics::new(),
+            breaker,
+            trace_sample: dv_runtime::config::trace_sample_every(),
             start: Instant::now(),
             accepting: AtomicBool::new(true),
             shedding: AtomicBool::new(false),
@@ -142,10 +176,23 @@ impl Server {
         let shared_m = Arc::clone(&shared);
         let crew_m = crew.clone();
         let monitor = Crew::spawn("dv-serve-monitor", 1, move |_slot| {
+            // Per-incarnation drift state: a respawned monitor starts a
+            // fresh calibration, but the breaker's open flag lives in
+            // Shared, so an already-open breaker stays open until the
+            // new monitor calibrates and observes recovery.
+            let mut drift = shared_m
+                .breaker
+                .as_ref()
+                .map(|b| DriftMonitor::new(b.cfg.drift));
+            let mut batch: Vec<Obs> = Vec::new();
             while !shared_m.stop_monitor.load(Ordering::SeqCst) {
                 crew_m.supervise();
+                ingest_drift_obs(&shared_m, drift.as_mut(), &mut batch);
                 std::thread::sleep(SUPERVISE_TICK);
             }
+            // Final drain so observations pushed just before shutdown
+            // still reach the published gauges.
+            ingest_drift_obs(&shared_m, drift.as_mut(), &mut batch);
         });
 
         Self {
@@ -265,6 +312,39 @@ impl Drop for Server {
     fn drop(&mut self) {
         self.finish();
     }
+}
+
+/// Drains the worker→monitor observation queue into the drift monitor,
+/// flips the breaker on latched events, and republishes the drift
+/// gauges. Workers race on the queue, so each batch is sorted by
+/// sequence number before ingestion — the monitor stays a pure function
+/// of the observation sequence.
+fn ingest_drift_obs(shared: &Arc<Shared>, drift: Option<&mut DriftMonitor>, batch: &mut Vec<Obs>) {
+    let (Some(b), Some(mon)) = (shared.breaker.as_ref(), drift) else {
+        return;
+    };
+    batch.clear();
+    while let Popped::Item(o) = b.obs.try_pop() {
+        batch.push(o);
+    }
+    if batch.is_empty() {
+        return;
+    }
+    batch.sort_by_key(|o| o.seq);
+    for o in batch.drain(..) {
+        match mon.observe(o.joint, &[]) {
+            Some(DriftEvent::Raised(_)) => {
+                b.open.store(true, Ordering::SeqCst);
+                shared.metrics.inc(names::BREAKER_OPENED);
+            }
+            Some(DriftEvent::Cleared(_)) => {
+                b.open.store(false, Ordering::SeqCst);
+                shared.metrics.inc(names::BREAKER_CLOSED);
+            }
+            None => {}
+        }
+    }
+    mon.publish(shared.metrics.registry());
 }
 
 /// One worker incarnation: warm up, report recovery if this is a
@@ -396,6 +476,12 @@ fn serve_job(
     } = job;
     let picked = Instant::now();
     let queue_us = picked.duration_since(submitted).as_micros() as u64;
+    // Deterministic 1-in-N trace sampling (`DV_TRACE_SAMPLE`), keyed on
+    // the request sequence number so the sampled set is reproducible
+    // regardless of worker interleaving. Telemetry (metrics, drift
+    // observations) is never sampled — only spans.
+    let _sample =
+        dv_trace::sample_scope(shared.trace_sample <= 1 || seq % shared.trace_sample == 0);
     // Request lifecycle on the trace timeline: the queue wait as a
     // retroactive span (submission to pick-up), then everything from
     // pick-up to fulfilment — including a crash unwinding through the
@@ -436,13 +522,26 @@ fn serve_job(
     }
 
     let remaining_us = deadline.saturating_duration_since(now).as_micros() as u64;
-    let via = match pick_rung(remaining_us, est, !reduced_keep.is_empty()) {
+    let mut via = match pick_rung(remaining_us, est, !reduced_keep.is_empty()) {
         Rung::Full => ServedVia::FullJoint,
         Rung::Reduced => ServedVia::ReducedTaps {
             validated: reduced_keep.len(),
         },
         Rung::Confidence => ServedVia::ConfidenceOnly,
     };
+
+    // An open drift breaker overrides the deadline ladder: the stream no
+    // longer matches the calibration reference, so serve degraded —
+    // except deterministic probe requests, which keep their ladder rung
+    // so the monitor can observe recovery through them.
+    if let Some(b) = shared.breaker.as_ref() {
+        if b.open.load(Ordering::SeqCst) {
+            let probe = b.cfg.probe_every > 0 && seq % b.cfg.probe_every == 0;
+            if !probe {
+                via = ServedVia::DriftDegraded;
+            }
+        }
+    }
 
     let scored = match via {
         ServedVia::FullJoint => shared
@@ -453,7 +552,7 @@ fn serve_job(
                 .validator
                 .score_masked_into(&shared.plan, &image, reduced_keep, sw, per_layer)
         }
-        ServedVia::ConfidenceOnly => {
+        ServedVia::ConfidenceOnly | ServedVia::DriftDegraded => {
             shared
                 .validator
                 .score_masked_into(&shared.plan, &image, &[], sw, per_layer)
@@ -469,6 +568,7 @@ fn serve_job(
                 ServedVia::FullJoint => names::SERVED_FULL,
                 ServedVia::ReducedTaps { .. } => names::SERVED_REDUCED,
                 ServedVia::ConfidenceOnly => names::SERVED_CONFIDENCE,
+                ServedVia::DriftDegraded => names::SERVED_DRIFT_DEGRADED,
             };
             shared.metrics.inc(served);
             if !deadline_met {
@@ -479,6 +579,13 @@ fn serve_job(
                 ServedVia::FullJoint => Some(per_layer.iter().sum()),
                 _ => None,
             };
+            // Every full-joint score feeds the drift monitor (including
+            // probes while the breaker is open).
+            if let (Some(j), Some(b)) = (joint, shared.breaker.as_ref()) {
+                if b.obs.try_push(Obs { seq, joint: j }).is_err() {
+                    shared.metrics.inc(names::DRIFT_OBS_DROPPED);
+                }
+            }
             promise.fulfill(Ok(ScoreResponse {
                 predicted,
                 confidence,

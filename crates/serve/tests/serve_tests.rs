@@ -12,12 +12,13 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use dv_core::{BadInput, DeepValidator, ScoreError, ScoreWorkspace, ValidatorConfig};
+use dv_drift::DriftConfig;
 use dv_nn::layers::{Conv2d, Dense, Flatten, MaxPool2, Relu};
 use dv_nn::optim::Adam;
 use dv_nn::train::{fit, TrainConfig};
 use dv_nn::{InferencePlan, Network};
 use dv_runtime::Pool;
-use dv_serve::{Rejected, ServeConfig, ServedVia, Server, ShutdownPolicy};
+use dv_serve::{BreakerConfig, Rejected, ServeConfig, ServedVia, Server, ShutdownPolicy};
 use dv_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -105,6 +106,7 @@ fn generous_cfg() -> ServeConfig {
         deadline: Duration::from_secs(5),
         shutdown: ShutdownPolicy::Drain,
         reduced_taps: 1,
+        breaker: None,
         #[cfg(feature = "fault-inject")]
         faults: None,
     }
@@ -320,6 +322,102 @@ fn metrics_match_pre_refactor_values_on_fixed_schedule() {
     assert!(json.contains(&format!("\"serve.served_full\": {}", m.served_full)));
     assert!(json.contains(&format!("\"serve.bad_input\": {}", m.bad_input)));
     assert!(json.contains("\"serve.latency_us\": {\"count\":"));
+}
+
+/// The drift circuit breaker, end to end on deterministic traffic: a
+/// single repeated clean image gives a constant joint-discrepancy
+/// stream (KS exactly 0, CUSUM at its floor — no false alarm possible),
+/// a brightness-shifted image trips the monitor and opens the breaker
+/// (responses flip to `DriftDegraded`, probes stay full), and returning
+/// to the clean image closes it again. Accounting stays exact through
+/// both transitions.
+#[test]
+fn drift_breaker_opens_on_shift_and_closes_on_recovery() {
+    quiet_injected_panics();
+    let (validator, plan, images) = trained_setup();
+    let mut cfg = generous_cfg();
+    cfg.workers = 1;
+    let breaker = BreakerConfig {
+        drift: DriftConfig {
+            window: 16,
+            stride: 4,
+            sustain: 2,
+            recover: 2,
+            ..DriftConfig::default()
+        },
+        probe_every: 4,
+        obs_capacity: 1024,
+    };
+    let probe_every = breaker.probe_every;
+    cfg.breaker = Some(breaker);
+    let server = Server::start(validator, plan, cfg);
+
+    let clean = images[0].clone();
+    let shifted = clean.map(|x| x + 0.6);
+
+    // Phase 1 — stationary: enough serialized requests to calibrate the
+    // monitor and run several evaluations. Every one must serve full.
+    for i in 0..64 {
+        let resp = server
+            .try_submit(clean.clone())
+            .expect("serialized submissions never fill the queue")
+            .wait()
+            .expect("clean requests serve");
+        assert_eq!(resp.via, ServedVia::FullJoint, "stationary request {i}");
+    }
+    let mid = server.metrics();
+    assert_eq!(mid.breaker_opened, 0, "false alarm on constant traffic");
+    assert_eq!(mid.served_drift_degraded, 0);
+
+    // Phase 2 — shift: keep submitting the shifted image until the
+    // monitor latches and the breaker visibly degrades a response.
+    let mut opened = false;
+    for _ in 0..2000 {
+        let resp = server
+            .try_submit(shifted.clone())
+            .expect("serialized submissions never fill the queue")
+            .wait()
+            .expect("shifted requests still serve");
+        if resp.via == ServedVia::DriftDegraded {
+            assert!(resp.joint.is_none(), "degraded rung reports no joint");
+            opened = true;
+            break;
+        }
+    }
+    assert!(opened, "the shifted stream must open the breaker");
+    assert!(server.metrics().breaker_opened >= 1);
+
+    // Phase 3 — recovery: clean traffic again. Probes (every 4th seq)
+    // keep feeding the monitor; once the alert clears, a non-probe
+    // request serving full-joint proves the breaker closed.
+    let mut closed = false;
+    for _ in 0..2000 {
+        let resp = server
+            .try_submit(clean.clone())
+            .expect("serialized submissions never fill the queue")
+            .wait()
+            .expect("clean requests serve");
+        if resp.via == ServedVia::FullJoint && !resp.seq.is_multiple_of(probe_every) {
+            closed = true;
+            break;
+        }
+    }
+    assert!(closed, "clean traffic must close the breaker");
+
+    let json = server.metrics_json();
+    let m = server.shutdown();
+    assert!(m.breaker_opened >= 1);
+    assert!(m.breaker_closed >= 1);
+    assert!(m.served_drift_degraded >= 1);
+    assert_eq!(m.terminal_outcomes(), m.submitted);
+    // Drift gauges and serve counters publish side by side in the same
+    // registry export.
+    assert!(
+        json.contains("drift.ks_stat"),
+        "missing drift gauges:\n{json}"
+    );
+    assert!(json.contains("serve.breaker_opened"));
+    assert!(json.contains("serve.rejected_queue_full"));
 }
 
 /// With a single worker pinned down by an injected latency spike and a

@@ -62,8 +62,9 @@ pub use export::{chrome_trace_json, metrics_json, stage_totals, StageTotal};
 pub use hist::{bucket_floor, bucket_index, HistogramSnapshot, LogLinearHistogram, BUCKETS};
 pub use metric::{global, Counter, Gauge, MetricEntry, MetricValue, MetricsRegistry};
 pub use span::{
-    discrepancy_summary, record_discrepancy, record_raw, reset, snapshot, tracing_enabled,
-    LaneSnapshot, SpanRecord, TraceGuard, TraceSnapshot, MAX_LANES, MAX_TAPS, RING_CAP,
+    discrepancy_summary, record_discrepancy, record_raw, reset, sample_scope, snapshot,
+    tracing_enabled, LaneSnapshot, SampleGuard, SpanRecord, TraceGuard, TraceSnapshot, MAX_LANES,
+    MAX_TAPS, RING_CAP,
 };
 pub use time::{now_ns, Stopwatch};
 pub use welford::{TapSummary, Welford};

@@ -97,6 +97,50 @@ macro_rules! span {
     };
 }
 
+/// Scoped span-sampling switch: while a guard constructed with
+/// `record = false` is alive, spans opened on this thread (via
+/// [`span!`](crate::span!), [`TraceGuard::enter`], or [`record_raw`])
+/// are silently skipped. Restores the previous state on drop, so scopes
+/// nest. Zero-sized no-op with the `trace` feature off.
+///
+/// This is the mechanism behind deterministic 1-in-N request sampling
+/// (`DV_TRACE_SAMPLE`): the caller decides from the request *sequence
+/// number* whether to record, so the sampled set is identical at any
+/// thread count. Only spans are gated — discrepancy telemetry and
+/// metrics counters stay always-on.
+#[must_use = "sampling is scoped to the guard's lifetime; bind it with `let`"]
+pub struct SampleGuard {
+    #[cfg(feature = "trace")]
+    prev: bool,
+}
+
+/// Enters a sampling scope: spans on this thread record only if
+/// `record` is true (and no enclosing scope suppressed them).
+#[inline]
+pub fn sample_scope(record: bool) -> SampleGuard {
+    #[cfg(feature = "trace")]
+    {
+        SampleGuard {
+            prev: imp::push_suppress(!record),
+        }
+    }
+    #[cfg(not(feature = "trace"))]
+    {
+        let _ = record;
+        SampleGuard {}
+    }
+}
+
+impl Drop for SampleGuard {
+    #[inline]
+    fn drop(&mut self) {
+        #[cfg(feature = "trace")]
+        {
+            imp::restore_suppress(self.prev);
+        }
+    }
+}
+
 /// Records a span from explicit clock stamps (taken with
 /// [`now_ns`](crate::now_ns)) onto the *calling* thread's lane. For
 /// intervals that straddle threads — e.g. queue wait measured at
@@ -291,6 +335,23 @@ mod imp {
     thread_local! {
         static RING: Cell<RingState> = const { Cell::new(RingState::Unset) };
         static DEPTH: Cell<u32> = const { Cell::new(0) };
+        /// True while a [`super::SampleGuard`] has sampled this
+        /// thread's current request *out*.
+        static SUPPRESS: Cell<bool> = const { Cell::new(false) };
+    }
+
+    /// Sets the suppression flag (OR-ed with any enclosing scope) and
+    /// returns the previous value for [`restore_suppress`].
+    pub(super) fn push_suppress(suppress: bool) -> bool {
+        SUPPRESS.with(|s| {
+            let prev = s.get();
+            s.set(prev || suppress);
+            prev
+        })
+    }
+
+    pub(super) fn restore_suppress(prev: bool) {
+        SUPPRESS.with(|s| s.set(prev));
     }
 
     pub(super) fn push_depth() -> u32 {
@@ -347,6 +408,11 @@ mod imp {
     }
 
     pub(super) fn record(name: &'static str, start_ns: u64, end_ns: u64, depth: u32) {
+        if SUPPRESS.with(Cell::get) {
+            // Sampled out by a SampleGuard: intentionally unrecorded,
+            // not "dropped" — the dropped counter tracks lost data.
+            return;
+        }
         let Some(ring) = current_ring() else {
             return;
         };
@@ -465,7 +531,9 @@ mod off_tests {
     #[test]
     fn guard_is_zero_sized_and_snapshot_empty() {
         assert_eq!(std::mem::size_of::<TraceGuard>(), 0);
+        assert_eq!(std::mem::size_of::<SampleGuard>(), 0);
         {
+            let _s = sample_scope(true);
             span!("off.should_not_record");
             record_raw("off.raw", 0, 10);
             record_discrepancy(0, 1.0);
@@ -578,6 +646,49 @@ mod on_tests {
         assert!((summary[0].variance - 1.0).abs() < 1e-9);
         assert_eq!(summary[1].tap, 2);
         assert!((summary[1].max - 5.0).abs() < f32::EPSILON);
+    }
+
+    #[test]
+    fn sample_scope_gates_spans_but_not_telemetry() {
+        let _g = locked();
+        reset();
+        {
+            let _out = sample_scope(false);
+            span!("t.sampled_out");
+            record_raw("t.sampled_out_raw", 0, 5);
+            record_discrepancy(3, 2.0); // telemetry is never sampled out
+        }
+        {
+            let _in = sample_scope(true);
+            span!("t.sampled_in");
+        }
+        {
+            span!("t.after_scope"); // suppression must not leak past the guard
+        }
+        assert!(my_lane_spans("t.sampled_out").is_empty());
+        assert_eq!(my_lane_spans("t.sampled_in").len(), 1);
+        assert_eq!(my_lane_spans("t.after_scope").len(), 1);
+        let summary = discrepancy_summary();
+        let tap3 = summary.iter().find(|t| t.tap == 3).expect("tap 3 recorded");
+        assert_eq!(tap3.count, 1);
+        // Sampling is intentional omission, not data loss.
+        assert_eq!(snapshot().dropped, 0);
+    }
+
+    #[test]
+    fn sample_scopes_nest_outer_suppression_wins() {
+        let _g = locked();
+        reset();
+        {
+            let _outer = sample_scope(false);
+            {
+                // An inner "record" scope cannot resurrect a request the
+                // outer scope sampled out.
+                let _inner = sample_scope(true);
+                span!("t.nested_suppressed");
+            }
+        }
+        assert!(my_lane_spans("t.nested_suppressed").is_empty());
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! | module | contents |
 //! |--------|----------|
 //! | [`trace`](mod@trace) | metrics registry, scoped spans, chrome-trace export |
+//! | [`drift`] | streaming distribution-shift monitor over discrepancy streams |
 //! | [`tensor`] | dense f32 tensors, matmul, im2col, binary IO |
 //! | [`nn`] | CNN layers, training, probed inference |
 //! | [`datasets`] | synthetic MNIST/CIFAR-10/SVHN stand-ins |
@@ -68,6 +69,7 @@ pub use dv_bench as bench;
 pub use dv_core as core;
 pub use dv_datasets as datasets;
 pub use dv_detectors as detectors;
+pub use dv_drift as drift;
 pub use dv_eval as eval;
 pub use dv_imgops as imgops;
 pub use dv_nn as nn;
