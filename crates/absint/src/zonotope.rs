@@ -1,0 +1,413 @@
+//! Zonotope (affine-form) domain, layered as a *product* over the
+//! interval domain.
+//!
+//! Each neuron is tracked as an affine form `c + sum_g a_g * e_g + err *
+//! e_fresh` over the input noise symbols `e_g in [-1, 1]` (one per
+//! nonzero-width input coordinate) plus a per-neuron symmetric error
+//! budget that absorbs fresh noise from nonlinear approximations and
+//! floating-point slack. Affine layers (dense, conv, batch-norm) map the
+//! forms exactly, preserving the input correlations the box domain
+//! forgets; ReLU uses the DeepZ minimal-area approximation; max-pool
+//! passes the dominating input's form through when one exists and falls
+//! back to the interval hull otherwise.
+//!
+//! After every op the zonotope's concretization is intersected (met)
+//! with the interval domain's transfer of the previous met box. Both
+//! components are sound, so the meet is sound — and by construction the
+//! reported bounds are always at least as tight as pure interval
+//! propagation (`zonotope ⊆ interval`, checked by the soundness suite).
+
+use dv_nn::plan::{BatchNormSpec, ConvSpec, LayerSpec};
+use dv_nn::InferencePlan;
+
+use crate::bounds::Bounds;
+use crate::interval::{self, fp_slack, Propagation};
+
+/// Affine forms for one layer's activations.
+struct Zono {
+    /// Per-neuron centers.
+    center: Vec<f64>,
+    /// Generator rows: `gens[g][i]` is neuron `i`'s coefficient on input
+    /// noise symbol `g`. The row count is fixed at the input layer.
+    gens: Vec<Vec<f64>>,
+    /// Per-neuron symmetric error budget (non-negative).
+    err: Vec<f64>,
+}
+
+impl Zono {
+    fn dim(&self) -> usize {
+        self.center.len()
+    }
+
+    /// Interval hull of the affine forms.
+    fn concretize(&self) -> Bounds {
+        let mut lo = Vec::with_capacity(self.dim());
+        let mut hi = Vec::with_capacity(self.dim());
+        for i in 0..self.dim() {
+            let mut rad = self.err[i];
+            for g in &self.gens {
+                rad += g[i].abs();
+            }
+            // Cover the f64 rounding of the radius sum itself.
+            rad += 4.0 * f64::EPSILON * (self.center[i].abs() + rad) + 1e-300;
+            lo.push(self.center[i] - rad);
+            hi.push(self.center[i] + rad);
+        }
+        Bounds { lo, hi }
+    }
+}
+
+/// Intersects two sound enclosures of the same concrete set.
+///
+/// # Panics
+///
+/// Panics if the boxes are disjoint beyond numerical noise — that would
+/// mean one side is unsound.
+fn meet(a: &Bounds, b: &Bounds) -> Bounds {
+    assert_eq!(a.len(), b.len(), "meet arity mismatch");
+    let mut lo = Vec::with_capacity(a.len());
+    let mut hi = Vec::with_capacity(a.len());
+    for i in 0..a.len() {
+        let l = a.lo[i].max(b.lo[i]);
+        let h = a.hi[i].min(b.hi[i]);
+        let scale = 1.0 + a.lo[i].abs() + a.hi[i].abs();
+        assert!(h >= l - 1e-6 * scale, "inconsistent product domain at {i}");
+        lo.push(l);
+        hi.push(h.max(l));
+    }
+    Bounds { lo, hi }
+}
+
+/// Propagates the box `[input_lo, input_hi]` through the plan using the
+/// zonotope×interval product domain. Same output contract as
+/// [`propagate`](crate::propagate), with bounds at least as tight.
+///
+/// Cost is `O(G)` times an interval pass for `G` nonzero-width input
+/// coordinates; intended for analysis-sized inputs, not the batched
+/// serving path.
+///
+/// # Panics
+///
+/// Panics if the endpoint slices do not match the plan's input size or
+/// describe an inverted/non-finite box.
+pub fn propagate_zonotope(plan: &InferencePlan, input_lo: &[f32], input_hi: &[f32]) -> Propagation {
+    dv_trace::span!("absint.propagate_zonotope");
+    let item: usize = plan.input_dims().iter().product();
+    assert_eq!(input_lo.len(), item, "input region size mismatch");
+    let mut cur_box = Bounds::from_f32(input_lo, input_hi);
+
+    let mut center = Vec::with_capacity(item);
+    let mut err = Vec::with_capacity(item);
+    let mut gens: Vec<Vec<f64>> = Vec::new();
+    for i in 0..item {
+        let (l, h) = (cur_box.lo[i], cur_box.hi[i]);
+        let c = 0.5 * (l + h);
+        let r = 0.5 * (h - l);
+        center.push(c);
+        // Midpoint rounding cover: c ± (r + slack) must contain [l, h].
+        err.push(4.0 * f64::EPSILON * (c.abs() + r) + 1e-300);
+        if r > 0.0 {
+            let mut row = vec![0.0f64; item];
+            row[i] = r;
+            gens.push(row);
+        }
+    }
+    let mut z = Zono { center, gens, err };
+
+    let mut taps = Vec::with_capacity(plan.num_probes());
+    let mut op_mean_widths = Vec::with_capacity(plan.num_ops());
+    let specs = plan.layer_specs();
+    for (i, spec) in specs.iter().enumerate() {
+        let in_dims = plan.op_in_dims(i);
+        let ibox = interval::transfer(spec, &cur_box, in_dims);
+        step(&mut z, spec, &cur_box, in_dims);
+        cur_box = meet(&ibox, &z.concretize());
+        op_mean_widths.push(cur_box.mean_width());
+        if plan.probe_points().binary_search(&i).is_ok() {
+            taps.push(cur_box.clone());
+        }
+    }
+    Propagation {
+        taps,
+        logits: cur_box,
+        op_mean_widths,
+    }
+}
+
+/// Applies one op's zonotope transfer in place. `pre_box` is the met box
+/// *before* the op (used for nonlinear case splits and slack magnitudes).
+fn step(z: &mut Zono, spec: &LayerSpec<'_>, pre_box: &Bounds, in_dims: &[usize]) {
+    match spec {
+        LayerSpec::Identity { label: _ } => {}
+        LayerSpec::Relu => relu_zono(z, pre_box),
+        LayerSpec::MaxPool2 => {
+            *z = maxpool_zono(z, pre_box, in_dims[0], in_dims[1], in_dims[2]);
+        }
+        LayerSpec::Dense(d) => {
+            let map = |src: &[f64], bias: bool| -> Vec<f64> {
+                let mut out = vec![0.0f64; d.out_features];
+                for (j, o) in out.iter_mut().enumerate() {
+                    let row = &d.weight[j * d.in_features..(j + 1) * d.in_features];
+                    let mut acc = if bias { d.bias[j] as f64 } else { 0.0 };
+                    for (i, &w) in row.iter().enumerate() {
+                        acc += w as f64 * src[i];
+                    }
+                    *o = acc;
+                }
+                out
+            };
+            let center = map(&z.center, true);
+            let gens: Vec<Vec<f64>> = z.gens.iter().map(|g| map(g, false)).collect();
+            let mut err = vec![0.0f64; d.out_features];
+            for (j, e) in err.iter_mut().enumerate() {
+                let row = &d.weight[j * d.in_features..(j + 1) * d.in_features];
+                let mut acc = 0.0f64;
+                let mut abs = (d.bias[j] as f64).abs();
+                for (i, &w) in row.iter().enumerate() {
+                    let wa = (w as f64).abs();
+                    acc += wa * z.err[i];
+                    abs += wa * pre_box.lo[i].abs().max(pre_box.hi[i].abs());
+                }
+                *e = acc + fp_slack(abs, d.in_features + 1);
+            }
+            *z = Zono { center, gens, err };
+        }
+        LayerSpec::Conv2d(c) => {
+            *z = conv_zono(c, z, pre_box, in_dims[1], in_dims[2]);
+        }
+        LayerSpec::BatchNorm2d(bn) => {
+            bn_zono(z, bn, pre_box, in_dims[1] * in_dims[2]);
+        }
+        LayerSpec::DenseBlock {
+            stages,
+            in_channels: _,
+            growth,
+        } => {
+            dense_block_zono(z, stages, pre_box, *growth, in_dims[1], in_dims[2]);
+        }
+    }
+}
+
+/// DeepZ minimal-area ReLU: stable neurons pass through or zero out;
+/// crossing neurons become `lambda * x + mu` with fresh noise of radius
+/// `mu` absorbed into the error budget.
+fn relu_zono(z: &mut Zono, pre_box: &Bounds) {
+    for i in 0..z.dim() {
+        let (l, h) = (pre_box.lo[i], pre_box.hi[i]);
+        if h <= 0.0 {
+            z.center[i] = 0.0;
+            z.err[i] = 0.0;
+            for g in &mut z.gens {
+                g[i] = 0.0;
+            }
+        } else if l >= 0.0 {
+            // Stable-positive: exact identity.
+        } else {
+            let lam = h / (h - l);
+            let mu = 0.5 * lam * (-l);
+            z.center[i] = lam * z.center[i] + mu;
+            for g in &mut z.gens {
+                g[i] *= lam;
+            }
+            z.err[i] = lam * z.err[i]
+                + mu
+                + 8.0 * f64::EPSILON * (z.center[i].abs() + z.err[i] + mu)
+                + 1e-300;
+        }
+    }
+}
+
+/// Max-pool: when one window input dominates the other three
+/// (`lo_j >= hi_k` for all `k != j`) its affine form passes through
+/// exactly; otherwise the window collapses to its interval hull.
+fn maxpool_zono(z: &Zono, pre_box: &Bounds, c: usize, h: usize, w: usize) -> Zono {
+    let (oh, ow) = (h / 2, w / 2);
+    let odim = c * oh * ow;
+    let mut out = Zono {
+        center: vec![0.0f64; odim],
+        gens: vec![vec![0.0f64; odim]; z.gens.len()],
+        err: vec![0.0f64; odim],
+    };
+    let mut window = [0usize; 4];
+    for ch in 0..c {
+        let base = ch * h * w;
+        let obase = ch * oh * ow;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                for dy in 0..2 {
+                    for dx in 0..2 {
+                        window[2 * dy + dx] = base + (2 * oy + dy) * w + (2 * ox + dx);
+                    }
+                }
+                let o = obase + oy * ow + ox;
+                let dominant = window.iter().copied().find(|&j| {
+                    window
+                        .iter()
+                        .all(|&k| k == j || pre_box.lo[j] >= pre_box.hi[k])
+                });
+                if let Some(j) = dominant {
+                    out.center[o] = z.center[j];
+                    out.err[o] = z.err[j];
+                    for (og, ig) in out.gens.iter_mut().zip(&z.gens) {
+                        og[o] = ig[j];
+                    }
+                } else {
+                    let mut l = f64::NEG_INFINITY;
+                    let mut u = f64::NEG_INFINITY;
+                    for &j in &window {
+                        l = l.max(pre_box.lo[j]);
+                        u = u.max(pre_box.hi[j]);
+                    }
+                    out.center[o] = 0.5 * (l + u);
+                    out.err[o] = 0.5 * (u - l) + 4.0 * f64::EPSILON * (l.abs() + u.abs()) + 1e-300;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Convolution as an exact affine map over the forms, with `f32`
+/// rounding slack added to the error budget per output coordinate.
+fn conv_zono(c: &ConvSpec<'_>, z: &Zono, pre_box: &Bounds, in_h: usize, in_w: usize) -> Zono {
+    let k = c.kernel;
+    let out_h = in_h + 2 * c.pad - k + 1;
+    let out_w = in_w + 2 * c.pad - k + 1;
+    let odim = c.out_channels * out_h * out_w;
+    let row_len = c.in_channels * k * k;
+
+    // One linear pass: out[o] = sum w * src[idx] (+ bias for the center).
+    let lin = |src: &[f64], with_bias: bool, absolute: bool| -> Vec<f64> {
+        let mut out = vec![0.0f64; odim];
+        for oc in 0..c.out_channels {
+            let wrow = &c.weight[oc * row_len..(oc + 1) * row_len];
+            for oy in 0..out_h {
+                for ox in 0..out_w {
+                    let mut acc = if with_bias { c.bias[oc] as f64 } else { 0.0 };
+                    for ic in 0..c.in_channels {
+                        for ky in 0..k {
+                            let iy = (oy + ky) as isize - c.pad as isize;
+                            if iy < 0 || iy >= in_h as isize {
+                                continue;
+                            }
+                            for kx in 0..k {
+                                let ix = (ox + kx) as isize - c.pad as isize;
+                                if ix < 0 || ix >= in_w as isize {
+                                    continue;
+                                }
+                                let mut wv = wrow[(ic * k + ky) * k + kx] as f64;
+                                if absolute {
+                                    wv = wv.abs();
+                                }
+                                let idx = (ic * in_h + iy as usize) * in_w + ix as usize;
+                                acc += wv * src[idx];
+                            }
+                        }
+                    }
+                    out[(oc * out_h + oy) * out_w + ox] = acc;
+                }
+            }
+        }
+        out
+    };
+
+    let center = lin(&z.center, true, false);
+    let gens: Vec<Vec<f64>> = z.gens.iter().map(|g| lin(g, false, false)).collect();
+    let mut err = lin(&z.err, false, true);
+    // Magnitude bound per input coordinate for the rounding-slack model.
+    let mags: Vec<f64> = pre_box
+        .lo
+        .iter()
+        .zip(&pre_box.hi)
+        .map(|(l, h)| l.abs().max(h.abs()))
+        .collect();
+    let abs = lin(&mags, false, true);
+    for (o, e) in err.iter_mut().enumerate() {
+        let oc = o / (out_h * out_w);
+        *e += fp_slack(abs[o] + (c.bias[oc] as f64).abs(), row_len + 1);
+    }
+    Zono { center, gens, err }
+}
+
+/// Batch-norm as a per-channel affine map over the forms.
+fn bn_zono(z: &mut Zono, bn: &BatchNormSpec<'_>, pre_box: &Bounds, plane: usize) {
+    for ch in 0..bn.gamma.len() {
+        let mean = bn.means[ch] as f64;
+        let inv = bn.inv_std[ch] as f64;
+        let g = bn.gamma[ch] as f64;
+        let beta = bn.beta[ch] as f64;
+        let scale = g * inv;
+        let shift = beta - scale * mean;
+        for i in ch * plane..(ch + 1) * plane {
+            let abs = scale.abs()
+                * (pre_box.lo[i] - mean)
+                    .abs()
+                    .max((pre_box.hi[i] - mean).abs())
+                + beta.abs();
+            z.center[i] = scale * z.center[i] + shift;
+            for gen in &mut z.gens {
+                gen[i] *= scale;
+            }
+            z.err[i] = scale.abs() * z.err[i] + fp_slack(abs, 4);
+        }
+    }
+}
+
+/// Dense block: per stage, conv + ReLU on the accumulated state, then
+/// channel concatenation of forms and met boxes.
+fn dense_block_zono(
+    z: &mut Zono,
+    stages: &[ConvSpec<'_>],
+    pre_box: &Bounds,
+    growth: usize,
+    h: usize,
+    w: usize,
+) {
+    let mut state_box = pre_box.clone();
+    for st in stages {
+        let ibox_conv = interval::conv2d(st, &state_box, h, w);
+        let mut fz = conv_zono(st, z, &state_box, h, w);
+        let mut fbox = meet(&ibox_conv, &fz.concretize());
+        relu_zono(&mut fz, &fbox);
+        interval::relu_in_place(&mut fbox);
+        fbox = meet(&fbox, &fz.concretize());
+        assert_eq!(
+            fbox.len(),
+            growth * h * w,
+            "dense block stage output mismatch"
+        );
+        z.center.extend_from_slice(&fz.center);
+        z.err.extend_from_slice(&fz.err);
+        for (g, fg) in z.gens.iter_mut().zip(fz.gens) {
+            g.extend_from_slice(&fg);
+        }
+        state_box.lo.extend_from_slice(&fbox.lo);
+        state_box.hi.extend_from_slice(&fbox.hi);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meet_tightens_both_sides() {
+        let a = Bounds::from_f32(&[0.0, -2.0], &[2.0, 2.0]);
+        let b = Bounds::from_f32(&[0.5, -3.0], &[3.0, 1.0]);
+        let m = meet(&a, &b);
+        assert_eq!(m.lo, vec![0.5, -2.0]);
+        assert_eq!(m.hi, vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn concretize_sums_generator_magnitudes() {
+        let z = Zono {
+            center: vec![1.0],
+            gens: vec![vec![0.5], vec![-0.25]],
+            err: vec![0.1],
+        };
+        let b = z.concretize();
+        assert!((b.lo[0] - 0.15).abs() < 1e-9);
+        assert!((b.hi[0] - 1.85).abs() < 1e-9);
+    }
+}

@@ -13,10 +13,15 @@
 //! Both implement the common [`Detector`] trait (higher score = more
 //! anomalous), so they plug into the same ROC-AUC evaluation as Deep
 //! Validation.
+//!
+//! [`bounds::BoundsDetector`] is the verification-flavored entry: per-class
+//! activation boxes calibrated from correct training behavior and clipped
+//! to the sound reachable set `dv-absint` computes over the input domain.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bounds;
 pub mod confidence;
 pub mod detector;
 pub mod kde;
@@ -24,6 +29,7 @@ pub mod mahalanobis;
 pub mod odin;
 pub mod squeeze;
 
+pub use bounds::BoundsDetector;
 pub use confidence::MaxConfidence;
 pub use detector::Detector;
 pub use kde::KdeDetector;

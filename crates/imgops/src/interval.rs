@@ -1,0 +1,179 @@
+//! Exact interval images of the pixel-value transforms.
+//!
+//! Brightness, contrast and complement act independently per pixel and
+//! are monotone in both the pixel value and the transform parameter, so
+//! the image of a *parameter interval* applied to a fixed seed image is
+//! an axis-aligned box whose corners are obtained by evaluating the
+//! transform at the parameter endpoints — with the *same* f32 arithmetic
+//! [`Transform::apply`](crate::Transform::apply) uses. That makes the
+//! bounds exact (not just sound): every concretely transformed pixel for
+//! a parameter inside the interval lies bitwise within `[lo, hi]`, and
+//! the endpoints themselves are attained.
+//!
+//! `dv-absint` consumes these boxes to certify grid-search cells: if the
+//! abstract logits over the box keep the seed's label, no parameter in
+//! the cell can flip the prediction and the cell's concrete evaluation
+//! for that seed can be skipped.
+
+use dv_tensor::Tensor;
+
+/// Pixel-wise lower/upper bounds for an image under a parameter interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PixelBox {
+    /// Per-pixel lower bounds, in the image's row-major element order.
+    pub lo: Vec<f32>,
+    /// Per-pixel upper bounds, same order.
+    pub hi: Vec<f32>,
+}
+
+impl PixelBox {
+    fn assert_ordered(&self) {
+        for (l, h) in self.lo.iter().zip(&self.hi) {
+            assert!(l <= h, "pixel box inverted: {l} > {h}");
+        }
+    }
+}
+
+/// Exact interval image of `Brightness {{ beta }}` for `beta` in
+/// `[beta_lo, beta_hi]`: per pixel, `clamp(x + beta)` is monotone
+/// nondecreasing in `beta` (f32 addition and clamp are monotone), so the
+/// endpoints bound the whole family.
+///
+/// # Panics
+///
+/// Panics if `beta_lo > beta_hi` or either endpoint is non-finite.
+pub fn brightness_interval(image: &Tensor, beta_lo: f32, beta_hi: f32) -> PixelBox {
+    assert!(
+        beta_lo.is_finite() && beta_hi.is_finite() && beta_lo <= beta_hi,
+        "invalid brightness interval [{beta_lo}, {beta_hi}]"
+    );
+    let lo = image.data().iter().map(|x| (x + beta_lo).clamp(0.0, 1.0));
+    let hi = image.data().iter().map(|x| (x + beta_hi).clamp(0.0, 1.0));
+    let b = PixelBox {
+        lo: lo.collect(),
+        hi: hi.collect(),
+    };
+    b.assert_ordered();
+    b
+}
+
+/// Exact interval image of `Contrast {{ alpha }}` for `alpha` in
+/// `[alpha_lo, alpha_hi]` with `alpha_lo >= 0`: pixels are in `[0, 1]`,
+/// so `clamp(x * alpha)` is monotone nondecreasing in `alpha` (f32
+/// multiplication by a nonnegative value is monotone).
+///
+/// # Panics
+///
+/// Panics if the interval is invalid, `alpha_lo < 0`, or the image has a
+/// negative pixel (monotonicity in `alpha` would flip).
+pub fn contrast_interval(image: &Tensor, alpha_lo: f32, alpha_hi: f32) -> PixelBox {
+    assert!(
+        alpha_lo.is_finite() && alpha_hi.is_finite() && 0.0 <= alpha_lo && alpha_lo <= alpha_hi,
+        "invalid contrast interval [{alpha_lo}, {alpha_hi}]"
+    );
+    assert!(
+        image.data().iter().all(|&x| x >= 0.0),
+        "contrast interval needs nonnegative pixels"
+    );
+    let lo = image.data().iter().map(|x| (x * alpha_lo).clamp(0.0, 1.0));
+    let hi = image.data().iter().map(|x| (x * alpha_hi).clamp(0.0, 1.0));
+    let b = PixelBox {
+        lo: lo.collect(),
+        hi: hi.collect(),
+    };
+    b.assert_ordered();
+    b
+}
+
+/// Exact (zero-width) interval image of `Complement`: the transform has
+/// no parameter, so the box degenerates to the transformed image itself,
+/// `1 - x` per pixel.
+pub fn complement_interval(image: &Tensor) -> PixelBox {
+    let out: Vec<f32> = image.data().iter().map(|x| 1.0 - x).collect();
+    PixelBox {
+        lo: out.clone(),
+        hi: out,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Transform;
+
+    fn ramp() -> Tensor {
+        Tensor::from_vec((0..16).map(|i| i as f32 / 15.0).collect(), &[1, 4, 4])
+    }
+
+    /// The interval endpoints must be *bitwise* equal to applying the
+    /// endpoint transforms — same arithmetic, same clamping.
+    #[test]
+    fn endpoints_match_transform_apply_bit_for_bit() {
+        let img = ramp();
+        let b = brightness_interval(&img, -0.3, 0.45);
+        let at_lo = Transform::Brightness { beta: -0.3 }.apply(&img);
+        let at_hi = Transform::Brightness { beta: 0.45 }.apply(&img);
+        for i in 0..16 {
+            assert_eq!(b.lo[i].to_bits(), at_lo.data()[i].to_bits());
+            assert_eq!(b.hi[i].to_bits(), at_hi.data()[i].to_bits());
+        }
+
+        let c = contrast_interval(&img, 0.5, 3.25);
+        let at_lo = Transform::Contrast { alpha: 0.5 }.apply(&img);
+        let at_hi = Transform::Contrast { alpha: 3.25 }.apply(&img);
+        for i in 0..16 {
+            assert_eq!(c.lo[i].to_bits(), at_lo.data()[i].to_bits());
+            assert_eq!(c.hi[i].to_bits(), at_hi.data()[i].to_bits());
+        }
+
+        let k = complement_interval(&img);
+        let at = Transform::Complement.apply(&img);
+        for i in 0..16 {
+            assert_eq!(k.lo[i].to_bits(), at.data()[i].to_bits());
+            assert_eq!(k.hi[i].to_bits(), at.data()[i].to_bits());
+        }
+    }
+
+    /// Any parameter strictly inside the interval lands inside the box.
+    #[test]
+    fn interior_parameters_stay_inside_the_box() {
+        let img = ramp();
+        let b = brightness_interval(&img, 0.0, 0.6);
+        for step in 0..=12 {
+            let beta = step as f32 * 0.05;
+            let out = Transform::Brightness { beta }.apply(&img);
+            for (i, &v) in out.data().iter().enumerate() {
+                assert!(b.lo[i] <= v && v <= b.hi[i], "beta={beta} pixel {i}");
+            }
+        }
+        let c = contrast_interval(&img, 1.0, 5.0);
+        for step in 4..=20 {
+            let alpha = step as f32 * 0.25;
+            let out = Transform::Contrast { alpha }.apply(&img);
+            for (i, &v) in out.data().iter().enumerate() {
+                assert!(c.lo[i] <= v && v <= c.hi[i], "alpha={alpha} pixel {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_intervals_are_points() {
+        let img = ramp();
+        let b = brightness_interval(&img, 0.2, 0.2);
+        assert_eq!(b.lo, b.hi);
+        let c = contrast_interval(&img, 2.0, 2.0);
+        assert_eq!(c.lo, c.hi);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid contrast interval")]
+    fn negative_contrast_is_rejected() {
+        let _ = contrast_interval(&ramp(), -1.0, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid brightness interval")]
+    fn inverted_brightness_interval_is_rejected() {
+        let _ = brightness_interval(&ramp(), 0.5, 0.1);
+    }
+}

@@ -15,6 +15,7 @@
 //! | `unbounded-channel` (R7) | no `mpsc::channel` or `thread::Builder` outside `crates/runtime` — unbounded channels hide backlog (backpressure must be a typed rejection, `BoundedQueue`), and `thread::Builder` is the spawn loophole R2's `thread::spawn` check misses; long-lived threads go through `Crew` |
 //! | `raw-timing` (R8)        | no `std::time::Instant`/`SystemTime` mention outside `crates/trace` and `crates/serve` — ad-hoc timing drifts from the shared trace epoch and bypasses the registry; measure with `dv_trace::Stopwatch`/`span!`, or allow with the reason raw timing is required |
 //! | `env-read` (R9)          | no `std::env::var`/`var_os`/`vars` outside `crates/runtime/src/config.rs` — scattered env reads let two call sites disagree about the same knob (one cached, one fresh); every knob goes through `dv_runtime::config`, or an allow naming why the read is a driver-local flag |
+//! | `layer-match-wildcard` (R10) | no `_ =>` arms in a `match` over the `LayerSpec` layer enum — the abstract interpreter's soundness rests on every analyzer handling every layer variant, and a wildcard silently (and unsoundly) absorbs variants added later; enumerate all variants so new layers fail to compile, or allow with the reason the default is variant-independent |
 //!
 //! Rules see only the lexed token stream (comments and string literals are
 //! already stripped), and skip `#[cfg(test)]` regions, so test code may use
@@ -33,6 +34,7 @@ pub const TENSOR_CLONE: &str = "tensor-clone";
 pub const UNBOUNDED_CHANNEL: &str = "unbounded-channel";
 pub const RAW_TIMING: &str = "raw-timing";
 pub const ENV_READ: &str = "env-read";
+pub const LAYER_MATCH_WILDCARD: &str = "layer-match-wildcard";
 pub const BAD_DIRECTIVE: &str = "bad-directive";
 
 /// All suppressible rule ids, in report order.
@@ -47,6 +49,7 @@ pub const ALL_RULES: &[&str] = &[
     UNBOUNDED_CHANNEL,
     RAW_TIMING,
     ENV_READ,
+    LAYER_MATCH_WILDCARD,
 ];
 
 /// The one file allowed to read the process environment: the runtime
@@ -139,6 +142,9 @@ pub fn check_file(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
     }
     if rule_applies(ENV_READ, ctx.crate_dir) {
         check_env_read(ctx, out);
+    }
+    if rule_applies(LAYER_MATCH_WILDCARD, ctx.crate_dir) {
+        check_layer_match_wildcard(ctx, out);
     }
 }
 
@@ -541,6 +547,88 @@ fn check_env_read(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// R10: `_ =>` arms in a `match` over the `LayerSpec` layer enum.
+///
+/// `dv-nn` deliberately leaves `LayerSpec` exhaustive (no
+/// `#[non_exhaustive]`) so that adding a layer variant breaks every
+/// analyzer at compile time — the abstract interpreter's soundness
+/// depends on a transfer function existing for *every* layer, and a
+/// wildcard arm would turn that compile error into a silent (unsound)
+/// fallback. Lexically: for each `match` expression whose span mentions
+/// the `LayerSpec` identifier, flag every top-level `_` arm pattern
+/// (plain `_ =>` or guarded `_ if … =>`). Underscores nested inside
+/// variant patterns (`Dense(_)`) sit at deeper bracket depth and pass.
+fn check_layer_match_wildcard(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    let toks = &ctx.lexed.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if !is_ident(t, "match") {
+            continue;
+        }
+        // The arm block is the first `{` outside parens/brackets after the
+        // scrutinee (struct literals are illegal in scrutinee position).
+        let mut nest = 0i32;
+        let mut open = None;
+        for (j, s) in toks.iter().enumerate().skip(i + 1) {
+            if s.kind != TokKind::Punct {
+                continue;
+            }
+            match s.text {
+                "(" | "[" => nest += 1,
+                ")" | "]" => nest -= 1,
+                "{" if nest == 0 => {
+                    open = Some(j);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let Some(open) = open else { continue };
+        // Walk the arm block. Depth 1 is arm-pattern level; nested
+        // matches re-run this scan from their own `match` keyword.
+        let mut mentions = toks[i..=open].iter().any(|s| is_ident(s, "LayerSpec"));
+        let mut wildcards: Vec<u32> = Vec::new();
+        let mut depth = 1i32;
+        for k in open + 1..toks.len() {
+            if depth == 0 {
+                break;
+            }
+            let s = &toks[k];
+            if s.kind == TokKind::Punct {
+                match s.text {
+                    "{" | "(" | "[" => depth += 1,
+                    "}" | ")" | "]" => depth -= 1,
+                    _ => {}
+                }
+            } else if is_ident(s, "LayerSpec") {
+                mentions = true;
+            } else if depth == 1 && is_ident(s, "_") && !ctx.in_test(s.line) {
+                let arm_follows = matches!(
+                    toks.get(k + 1),
+                    Some(n) if is_punct(n, "=>") || is_ident(n, "if")
+                );
+                if arm_follows {
+                    wildcards.push(s.line);
+                }
+            }
+        }
+        if !mentions {
+            continue;
+        }
+        for line in wildcards {
+            out.push(
+                ctx.diag(
+                    LAYER_MATCH_WILDCARD,
+                    line,
+                    "wildcard arm in a match over LayerSpec silently absorbs layer variants \
+                 added later, turning a compile error into an unsound fallback; enumerate \
+                 every variant, or allow with the reason the default is variant-independent"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -715,6 +803,48 @@ mod tests {
         let src =
             "#[cfg(test)]\nmod tests {\n    fn g() { let _ = std::env::var(\"DV_OUT\"); }\n}\n";
         assert!(run(src, "core").is_empty());
+    }
+
+    #[test]
+    fn layer_match_wildcard_flags_only_layer_spec_matches() {
+        let bad = "fn f(s: &LayerSpec) -> usize {\n    match s {\n        LayerSpec::Relu => 1,\n        _ => 0,\n    }\n}\n";
+        let diags = run(bad, "absint");
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, LAYER_MATCH_WILDCARD);
+        assert_eq!(diags[0].line, 4);
+        // Matches over anything else keep their wildcard.
+        let other = "fn f(n: usize) -> usize { match n { 0 => 1, _ => 0 } }\n";
+        assert!(run(other, "absint").is_empty());
+    }
+
+    #[test]
+    fn layer_match_wildcard_flags_guarded_arms() {
+        let src = "fn f(s: &LayerSpec, strict: bool) -> usize {\n    match s {\n        LayerSpec::Relu => 1,\n        _ if strict => 2,\n        _ => 3,\n    }\n}\n";
+        let diags = run(src, "nn");
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert_eq!(diags[0].line, 4);
+        assert_eq!(diags[1].line, 5);
+    }
+
+    #[test]
+    fn layer_match_wildcard_ignores_nested_underscores_and_tests() {
+        // `Dense(_)` nests the underscore inside the variant pattern.
+        let nested = "fn f(s: &LayerSpec) -> usize {\n    match s {\n        LayerSpec::Dense(_) => 1,\n        LayerSpec::Relu => 0,\n    }\n}\n";
+        assert!(run(nested, "nn").is_empty());
+        // Test regions may match however they like.
+        let test_src = "#[cfg(test)]\nmod tests {\n    fn g(s: &LayerSpec) -> usize { match s { LayerSpec::Relu => 1, _ => 0 } }\n}\n";
+        assert!(run(test_src, "nn").is_empty());
+        // A wildcard in an unrelated nested match stays legal even when
+        // an outer LayerSpec match encloses it exhaustively: the inner
+        // match is scanned from its own keyword (no LayerSpec in its
+        // span) and its underscore nests below the outer arm level.
+        let inner = "fn f(s: &LayerSpec, n: usize) -> usize {\n    match s {\n        LayerSpec::Relu => match n { 0 => 1, _ => 2 },\n        LayerSpec::Dense(d) => d,\n    }\n}\n";
+        assert!(run(inner, "absint").is_empty());
+        // But a nested match *over the enum* is caught by its own scan.
+        let nested_spec = "fn f(s: &LayerSpec) -> usize {\n    match s {\n        LayerSpec::Dense(d) => match d.kind() { LayerSpec::Relu => 1, _ => 2 },\n        LayerSpec::Relu => 0,\n    }\n}\n";
+        let diags = run(nested_spec, "absint");
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].line, 3);
     }
 
     #[test]

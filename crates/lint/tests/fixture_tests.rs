@@ -161,6 +161,18 @@ fn r9_env_read_fixture() {
 }
 
 #[test]
+fn r10_layer_match_wildcard_fixture() {
+    assert_diags(
+        "r10_layer_match_wildcard.rs",
+        &[
+            (rules::LAYER_MATCH_WILDCARD, 15),
+            (rules::LAYER_MATCH_WILDCARD, 22),
+            (rules::LAYER_MATCH_WILDCARD, 23),
+        ],
+    );
+}
+
+#[test]
 fn allowed_variants_pass_with_recorded_suppressions() {
     assert_allowed("r1_hash_order_allowed.rs", 2);
     assert_allowed("r2_thread_discipline_allowed.rs", 2);
@@ -171,6 +183,7 @@ fn allowed_variants_pass_with_recorded_suppressions() {
     assert_allowed("r7_unbounded_channel_allowed.rs", 1);
     assert_allowed("r8_raw_timing_allowed.rs", 3);
     assert_allowed("r9_env_read_allowed.rs", 1);
+    assert_allowed("r10_layer_match_wildcard_allowed.rs", 1);
 }
 
 #[test]

@@ -1,0 +1,33 @@
+// Known-bad for R10 (layer-match-wildcard): LayerSpec is deliberately
+// exhaustive so adding a layer variant breaks every analyzer at compile
+// time; a `_ =>` arm turns that compile error into a silent — and for
+// the abstract interpreter, unsound — fallback.
+
+pub enum LayerSpec {
+    Relu,
+    MaxPool2,
+    Dense(usize),
+}
+
+pub fn out_features(spec: &LayerSpec) -> usize {
+    match spec {
+        LayerSpec::Dense(n) => *n,
+        _ => 0,
+    }
+}
+
+pub fn cost(spec: &LayerSpec, strict: bool) -> usize {
+    match spec {
+        LayerSpec::Relu => 1,
+        _ if strict => 2,
+        _ => 3,
+    }
+}
+
+// A match that never touches the layer enum keeps its wildcard.
+pub fn parity(n: usize) -> usize {
+    match n {
+        0 => 1,
+        _ => 0,
+    }
+}

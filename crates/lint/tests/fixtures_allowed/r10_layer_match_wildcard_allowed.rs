@@ -1,0 +1,30 @@
+// Allowed variant for R10: a predicate that is genuinely
+// variant-independent for every parameter-free layer may default, with
+// the justification recorded inline; underscores nested inside variant
+// patterns and test-module matches never needed an allow.
+
+pub enum LayerSpec {
+    Relu,
+    MaxPool2,
+    Dense(usize),
+}
+
+pub fn is_parametric(spec: &LayerSpec) -> bool {
+    match spec {
+        LayerSpec::Dense(_) => true,
+        // dv-lint: allow(layer-match-wildcard, reason = "predicate is false for every parameter-free layer, present and future; no transfer function is selected here")
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::LayerSpec;
+
+    pub fn arity(spec: &LayerSpec) -> usize {
+        match spec {
+            LayerSpec::Dense(_) => 1,
+            _ => 0,
+        }
+    }
+}

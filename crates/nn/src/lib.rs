@@ -53,4 +53,4 @@ pub mod train;
 
 pub use layer::Layer;
 pub use network::Network;
-pub use plan::{InferencePlan, PlanOp, PlanOutput};
+pub use plan::{BatchNormSpec, ConvSpec, DenseSpec, InferencePlan, LayerSpec, PlanOp, PlanOutput};

@@ -38,6 +38,107 @@ pub trait PlanOp: Send + Sync {
     fn is_identity(&self) -> bool {
         false
     }
+
+    /// Structural description of the op for static analyzers
+    /// (see [`LayerSpec`]). Borrows the op's parameters.
+    fn spec(&self) -> LayerSpec<'_>;
+}
+
+/// Parameters of a dense (fully connected) plan op: `y = x W^T + b` with
+/// `weight` stored `[out_features, in_features]` row-major.
+#[derive(Clone, Copy)]
+pub struct DenseSpec<'a> {
+    /// Weight matrix, `[out_features * in_features]` row-major.
+    pub weight: &'a [f32],
+    /// Bias, `[out_features]`.
+    pub bias: &'a [f32],
+    /// Input feature count.
+    pub in_features: usize,
+    /// Output feature count.
+    pub out_features: usize,
+}
+
+/// Parameters of a stride-1 convolution plan op: `weight` is stored
+/// `[out_channels, in_channels * kernel * kernel]` row-major (the im2col
+/// matmul layout), indexed by `(ic * kernel + ky) * kernel + kx`.
+#[derive(Clone, Copy)]
+pub struct ConvSpec<'a> {
+    /// Flattened filter bank, `[out_channels * in_channels * k * k]`.
+    pub weight: &'a [f32],
+    /// Per-output-channel bias, `[out_channels]`.
+    pub bias: &'a [f32],
+    /// Input channel count.
+    pub in_channels: usize,
+    /// Output channel count.
+    pub out_channels: usize,
+    /// Square kernel side.
+    pub kernel: usize,
+    /// Symmetric zero padding.
+    pub pad: usize,
+}
+
+/// Parameters of an inference-mode batch-norm plan op: per-channel affine
+/// `y = gamma * (x - mean) * inv_std + beta`.
+#[derive(Clone, Copy)]
+pub struct BatchNormSpec<'a> {
+    /// Frozen running means, one per channel.
+    pub means: &'a [f32],
+    /// Precomputed `1 / sqrt(var + eps)`, one per channel.
+    pub inv_std: &'a [f32],
+    /// Learned scale, one per channel.
+    pub gamma: &'a [f32],
+    /// Learned shift, one per channel.
+    pub beta: &'a [f32],
+}
+
+/// Structural description of one plan op, exposed so static analyzers
+/// (dv-absint's interval/zonotope propagation) can interpret the frozen
+/// plan without reaching into op internals.
+///
+/// The enum is deliberately exhaustive: adding a plan-op kind must force
+/// every analyzer `match` to make an explicit transfer-function decision
+/// (dv-lint R10 bans `_ =>` arms over this type outside tests).
+pub enum LayerSpec<'a> {
+    /// Shape-only op (flatten, inference dropout); data passes through.
+    Identity {
+        /// The op label, e.g. `"flatten"` or `"dropout"`.
+        label: &'static str,
+    },
+    /// Elementwise `max(x, 0)`.
+    Relu,
+    /// 2x2/stride-2 max pooling over `[C, H, W]` items.
+    MaxPool2,
+    /// Fully connected layer.
+    Dense(DenseSpec<'a>),
+    /// Stride-1 convolution.
+    Conv2d(ConvSpec<'a>),
+    /// Frozen-statistics batch normalization.
+    BatchNorm2d(BatchNormSpec<'a>),
+    /// DenseNet-style block: stages of (conv -> relu -> channel concat),
+    /// channels growing from `in_channels` by `growth` per stage.
+    DenseBlock {
+        /// Per-stage convolution parameters, in execution order.
+        stages: Vec<ConvSpec<'a>>,
+        /// Block input channel count.
+        in_channels: usize,
+        /// Channels added by each stage.
+        growth: usize,
+    },
+}
+
+impl<'a> LayerSpec<'a> {
+    /// Extracts the convolution parameters if this spec is a `Conv2d`.
+    pub fn into_conv(self) -> Option<ConvSpec<'a>> {
+        match self {
+            LayerSpec::Conv2d(c) => Some(c),
+            LayerSpec::Identity { .. }
+            | LayerSpec::Relu
+            | LayerSpec::MaxPool2
+            | LayerSpec::Dense(_)
+            | LayerSpec::BatchNorm2d(_)
+            | LayerSpec::DenseBlock { .. } => None,
+        }
+    }
 }
 
 /// A compiled, shared-immutable forward pass over a trained network.
@@ -267,6 +368,48 @@ impl InferencePlan {
         assert_eq!(out.batch(), 1, "classify expects a single image");
         classify_row(out.logits())
     }
+
+    /// Structural descriptions of every op, in execution order. The
+    /// contract for static analyzers: interpreting spec `i` over items of
+    /// shape `op_in_dims(i)` yields items of shape `op_out_dims(i)`, with
+    /// identity specs passing data through unchanged.
+    pub fn layer_specs(&self) -> Vec<LayerSpec<'_>> {
+        self.ops.iter().map(|op| op.spec()).collect()
+    }
+
+    /// Number of ops in the plan.
+    pub fn num_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Item dims (no batch axis) flowing *into* op `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn op_in_dims(&self, i: usize) -> &[usize] {
+        assert!(i < self.ops.len(), "op index out of range");
+        if i == 0 {
+            &self.input_dims
+        } else {
+            &self.out_dims[i - 1]
+        }
+    }
+
+    /// Item dims (no batch axis) produced by op `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn op_out_dims(&self, i: usize) -> &[usize] {
+        &self.out_dims[i]
+    }
+
+    /// Indices into the op list after which a probe representation is
+    /// exposed, in ascending order (one per declared probe).
+    pub fn probe_points(&self) -> &[usize] {
+        &self.probe_points
+    }
 }
 
 /// Argmax class and softmax confidence of one logits row, replicating the
@@ -322,6 +465,10 @@ impl PlanOp for IdentityOp {
     fn is_identity(&self) -> bool {
         true
     }
+
+    fn spec(&self) -> LayerSpec<'_> {
+        LayerSpec::Identity { label: self.label }
+    }
 }
 
 /// ReLU: elementwise `max(0)`, same formula as the training layer.
@@ -341,6 +488,10 @@ impl PlanOp for ReluOp {
 
     fn name(&self) -> &'static str {
         "relu"
+    }
+
+    fn spec(&self) -> LayerSpec<'_> {
+        LayerSpec::Relu
     }
 }
 
@@ -384,6 +535,10 @@ impl PlanOp for MaxPool2Op {
     fn name(&self) -> &'static str {
         "maxpool2"
     }
+
+    fn spec(&self) -> LayerSpec<'_> {
+        LayerSpec::MaxPool2
+    }
 }
 
 /// Dense layer: `y = x W^T + b` over the whole batch, via
@@ -426,6 +581,15 @@ impl PlanOp for DenseOp {
 
     fn name(&self) -> &'static str {
         "dense"
+    }
+
+    fn spec(&self) -> LayerSpec<'_> {
+        LayerSpec::Dense(DenseSpec {
+            weight: self.weight.data(),
+            bias: self.bias.data(),
+            in_features: self.in_features,
+            out_features: self.out_features,
+        })
     }
 }
 
@@ -492,6 +656,17 @@ impl PlanOp for Conv2dOp {
     fn name(&self) -> &'static str {
         "conv2d"
     }
+
+    fn spec(&self) -> LayerSpec<'_> {
+        LayerSpec::Conv2d(ConvSpec {
+            weight: self.weight.data(),
+            bias: self.bias.data(),
+            in_channels: self.in_channels,
+            out_channels: self.out_channels,
+            kernel: self.kernel,
+            pad: self.pad,
+        })
+    }
 }
 
 /// Batch normalization on frozen running statistics. `inv_std` is
@@ -531,6 +706,15 @@ impl PlanOp for BatchNorm2dOp {
 
     fn name(&self) -> &'static str {
         "batchnorm2d"
+    }
+
+    fn spec(&self) -> LayerSpec<'_> {
+        LayerSpec::BatchNorm2d(BatchNormSpec {
+            means: &self.means,
+            inv_std: &self.inv_std,
+            gamma: &self.gamma,
+            beta: &self.beta,
+        })
     }
 }
 
@@ -605,6 +789,22 @@ impl PlanOp for DenseBlockOp {
 
     fn name(&self) -> &'static str {
         "dense_block"
+    }
+
+    fn spec(&self) -> LayerSpec<'_> {
+        LayerSpec::DenseBlock {
+            stages: self
+                .stages
+                .iter()
+                .map(|s| {
+                    s.spec()
+                        .into_conv()
+                        .expect("dense block stages are convolutions")
+                })
+                .collect(),
+            in_channels: self.in_channels,
+            growth: self.growth,
+        }
     }
 }
 

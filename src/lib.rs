@@ -23,6 +23,7 @@
 //! | [`imgops`] | metamorphic image transformations |
 //! | [`ocsvm`] | ν one-class SVM with an SMO solver |
 //! | [`core`] | Deep Validation itself |
+//! | [`absint`] | interval/zonotope abstract interpretation over the inference plan |
 //! | [`serve`] | fault-tolerant scoring frontend: deadlines, backpressure, degradation |
 //! | [`detectors`] | feature-squeezing and KDE baselines |
 //! | [`attacks`] | FGSM, BIM, JSMA, CW white-box attacks |
@@ -64,6 +65,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use dv_absint as absint;
 pub use dv_attacks as attacks;
 pub use dv_bench as bench;
 pub use dv_core as core;
