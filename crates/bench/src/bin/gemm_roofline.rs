@@ -1,0 +1,304 @@
+//! GEMM roofline microbenchmark: packed microkernel vs the pre-refactor
+//! loop nests, written to `BENCH_gemm.json`.
+//!
+//! Measures GFLOP/s on the hot shapes the trace report surfaces in this
+//! workspace — the fused-conv GEMM, the two dense probe taps, and a
+//! gram-style `A * B^T` — plus a compute-bound 256^3 roofline shape.
+//! Three arms per shape: the verbatim pre-refactor blocked kernel
+//! (`reference`), the packed microkernel forced onto its scalar tile
+//! (`packed_scalar`), and the AVX tile when the binary is built with
+//! `--features simd` and the CPU has AVX (`packed_simd`). Packed arms run
+//! on one thread and on a 4-thread pool; small shapes fall below the
+//! kernel's parallel threshold and report the same number for both.
+//!
+//! All arms are checked bit-identical per shape before timing — the
+//! speedups below are for byte-for-byte the same outputs. Runs as a CI
+//! smoke with `--quick` (`cargo run --release -p dv-bench --features simd
+//! --bin gemm_roofline -- --quick`).
+
+use dv_runtime::Pool;
+use dv_tensor::gemm::{self, PackA, PackB};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Block size of the pre-refactor kernels (kept for the baseline arm).
+const BLOCK: usize = 64;
+
+/// Verbatim pre-refactor `matmul_into` loop nest: i-k-j over `BLOCK`
+/// tiles with the structural lhs zero-skip.
+fn reference_packed_c_eq_ab(ad: &[f32], m: usize, k: usize, bd: &[f32], n: usize, out: &mut [f32]) {
+    out.fill(0.0);
+    for i0 in (0..m).step_by(BLOCK) {
+        for k0 in (0..k).step_by(BLOCK) {
+            for i in i0..(i0 + BLOCK).min(m) {
+                let row = &mut out[i * n..(i + 1) * n];
+                for kk in k0..(k0 + BLOCK).min(k) {
+                    let a = ad[i * k + kk];
+                    // dv-lint: allow(float-eq, reason = "structural sparsity skip copied verbatim from the pre-refactor kernel")
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let brow = &bd[kk * n..(kk + 1) * n];
+                    for (o, &b) in row.iter_mut().zip(brow) {
+                        *o += a * b;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Verbatim pre-refactor `matmul_nt_into` loop nest: per-element dot of
+/// two rows with an explicit `0.0f32` accumulator and no zero-skip.
+fn reference_c_eq_abt(ad: &[f32], m: usize, k: usize, bd: &[f32], n: usize, out: &mut [f32]) {
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &bd[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (x, y) in arow.iter().zip(brow) {
+                acc += x * y;
+            }
+            out[i * n + j] = acc;
+        }
+    }
+}
+
+struct Shape {
+    label: &'static str,
+    m: usize,
+    k: usize,
+    n: usize,
+    /// `C = A * B^T` (dense-layer / gram layout) instead of `C = A * B`.
+    nt: bool,
+}
+
+const SHAPES: &[Shape] = &[
+    // Fused-conv GEMM: 6 output channels, 1x3x3 patches, 10x10 output.
+    Shape {
+        label: "conv6_9_100",
+        m: 6,
+        k: 9,
+        n: 100,
+        nt: false,
+    },
+    // Dense probe taps score one image at a time.
+    Shape {
+        label: "dense1_150_32",
+        m: 1,
+        k: 150,
+        n: 32,
+        nt: true,
+    },
+    Shape {
+        label: "dense1_32_4",
+        m: 1,
+        k: 32,
+        n: 4,
+        nt: true,
+    },
+    // Gram-style block: every row dotted with every row.
+    Shape {
+        label: "gram96_34_96",
+        m: 96,
+        k: 34,
+        n: 96,
+        nt: true,
+    },
+    // Compute-bound roofline point.
+    Shape {
+        label: "roofline256",
+        m: 256,
+        k: 256,
+        n: 256,
+        nt: false,
+    },
+];
+
+/// Minimum per-call wall-clock in microseconds over `reps` sweeps of
+/// `iters` calls. Times with `dv_trace::Stopwatch` but keeps the minimum
+/// by hand — shape × arm × thread-count crosses would exhaust the
+/// registry's fixed histogram pool.
+fn time_call_us(reps: usize, iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut min = u64::MAX;
+    for _ in 0..reps {
+        let t = dv_trace::Stopwatch::start();
+        for _ in 0..iters {
+            f();
+        }
+        min = min.min(t.elapsed_us());
+    }
+    min as f64 / iters as f64
+}
+
+struct ArmResult {
+    name: String,
+    gflops: f64,
+}
+
+fn gflops(flops: f64, call_us: f64) -> f64 {
+    flops / (call_us * 1e3)
+}
+
+fn run_shape(shape: &Shape, quick: bool) -> (Vec<ArmResult>, f64) {
+    let &Shape { label, m, k, n, nt } = shape;
+    let mut rng = StdRng::seed_from_u64(42);
+    let a: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let b: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let mut c_ref = vec![0.0f32; m * n];
+    let mut c = vec![0.0f32; m * n];
+
+    let flops = 2.0 * (m * k * n) as f64;
+    // Size sweeps to ~20M flops so tiny shapes amortise the clock reads.
+    let iters = ((2e7 / flops) as usize).clamp(1, 50_000) / if quick { 10 } else { 1 };
+    let iters = iters.max(1);
+    let reps = if quick { 2 } else { 5 };
+
+    let reference = |out: &mut [f32]| {
+        if nt {
+            reference_c_eq_abt(&a, m, k, &b, n, out);
+        } else {
+            reference_packed_c_eq_ab(&a, m, k, &b, n, out);
+        }
+    };
+    let packed = |out: &mut [f32]| {
+        if nt {
+            gemm::gemm(PackA::Rows(&a), PackB::Trans(&b), m, k, n, false, out);
+        } else {
+            gemm::gemm(PackA::Rows(&a), PackB::Rows(&b), m, k, n, true, out);
+        }
+    };
+
+    // Bit-identity gate: the speedups below compare identical outputs.
+    reference(&mut c_ref);
+    for forced_scalar in [true, false] {
+        gemm::force_scalar_kernels(forced_scalar);
+        packed(&mut c);
+        assert!(
+            c.iter()
+                .zip(&c_ref)
+                .all(|(x, y)| x.to_bits() == y.to_bits()),
+            "{label}: packed kernel (force_scalar={forced_scalar}) diverged from reference"
+        );
+    }
+
+    let mut arms = Vec::new();
+    let pool1 = Pool::new(1);
+    let us_ref = pool1.install(|| {
+        time_call_us(reps, iters, || {
+            reference(&mut c);
+            std::hint::black_box(&c);
+        })
+    });
+    arms.push(ArmResult {
+        name: "reference_1t".into(),
+        gflops: gflops(flops, us_ref),
+    });
+
+    let mut simd_1t = f64::NAN;
+    for (arm, scalar) in [("packed_scalar", true), ("packed_simd", false)] {
+        if !scalar && !gemm::simd_available() {
+            continue;
+        }
+        gemm::force_scalar_kernels(scalar);
+        for threads in [1usize, 4] {
+            if quick && threads != 1 {
+                continue;
+            }
+            let us = Pool::new(threads).install(|| {
+                time_call_us(reps, iters, || {
+                    packed(&mut c);
+                    std::hint::black_box(&c);
+                })
+            });
+            let g = gflops(flops, us);
+            if !scalar && threads == 1 {
+                simd_1t = g;
+            }
+            arms.push(ArmResult {
+                name: format!("{arm}_{threads}t"),
+                gflops: g,
+            });
+        }
+    }
+    gemm::force_scalar_kernels(false);
+
+    let ref_1t = arms[0].gflops;
+    let speedup = if simd_1t.is_nan() {
+        f64::NAN
+    } else {
+        simd_1t / ref_1t
+    };
+    (arms, speedup)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!(
+        "  \"simd_available\": {},\n",
+        gemm::simd_available()
+    ));
+    json.push_str("  \"shapes\": [\n");
+
+    // Geometric mean of the single-thread simd-vs-reference speedups on
+    // the hot (non-roofline) shapes — the headline number.
+    let mut log_sum = 0.0f64;
+    let mut hot = 0usize;
+
+    for (si, shape) in SHAPES.iter().enumerate() {
+        let (arms, speedup) = run_shape(shape, quick);
+        eprintln!("{}", shape.label);
+        json.push_str(&format!(
+            "    {{\"label\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \"layout\": \"{}\",\n",
+            shape.label,
+            shape.m,
+            shape.k,
+            shape.n,
+            if shape.nt { "nt" } else { "nn" }
+        ));
+        json.push_str("     \"gflops\": {");
+        for (i, arm) in arms.iter().enumerate() {
+            eprintln!("  {:<18} {:8.3} GFLOP/s", arm.name, arm.gflops);
+            json.push_str(&format!(
+                "\"{}\": {:.3}{}",
+                arm.name,
+                arm.gflops,
+                if i + 1 < arms.len() { ", " } else { "" }
+            ));
+        }
+        json.push_str("},\n");
+        if speedup.is_finite() {
+            json.push_str(&format!("     \"speedup_simd_1t\": {speedup:.3}\n"));
+            if shape.label != "roofline256" {
+                log_sum += speedup.ln();
+                hot += 1;
+            }
+        } else {
+            json.push_str("     \"speedup_simd_1t\": null\n");
+        }
+        json.push_str(&format!(
+            "    }}{}\n",
+            if si + 1 < SHAPES.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    let headline = if hot > 0 {
+        (log_sum / hot as f64).exp()
+    } else {
+        f64::NAN
+    };
+    if headline.is_finite() {
+        json.push_str(&format!(
+            "  \"speedup_single_thread_hot_shapes\": {headline:.3}\n"
+        ));
+        eprintln!("single-thread simd speedup on hot shapes (geomean): {headline:.2}x");
+    } else {
+        json.push_str("  \"speedup_single_thread_hot_shapes\": null\n");
+    }
+    json.push_str("}\n");
+    std::fs::write("BENCH_gemm.json", &json).expect("cannot write BENCH_gemm.json");
+    println!("{json}");
+    eprintln!("wrote BENCH_gemm.json");
+}

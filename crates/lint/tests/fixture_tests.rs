@@ -92,6 +92,13 @@ fn r3_safety_comment_fixture() {
 }
 
 #[test]
+fn r3_simd_pack_fixture() {
+    // The `unsafe fn` declaration carries a SAFETY comment; only the
+    // call-site dispatch without one is flagged.
+    assert_diags("r3_simd_pack.rs", &[(rules::SAFETY_COMMENT, 8)]);
+}
+
+#[test]
 fn r4_no_unwrap_fixture() {
     assert_diags(
         "r4_no_unwrap.rs",
@@ -177,6 +184,7 @@ fn allowed_variants_pass_with_recorded_suppressions() {
     assert_allowed("r1_hash_order_allowed.rs", 2);
     assert_allowed("r2_thread_discipline_allowed.rs", 2);
     assert_allowed("r3_safety_comment_allowed.rs", 0);
+    assert_allowed("r3_simd_pack_allowed.rs", 1);
     assert_allowed("r4_no_unwrap_allowed.rs", 1);
     assert_allowed("r5_float_eq_allowed.rs", 1);
     assert_allowed("r5_wall_clock_allowed.rs", 2);
@@ -184,6 +192,35 @@ fn allowed_variants_pass_with_recorded_suppressions() {
     assert_allowed("r8_raw_timing_allowed.rs", 3);
     assert_allowed("r9_env_read_allowed.rs", 1);
     assert_allowed("r10_layer_match_wildcard_allowed.rs", 1);
+}
+
+#[test]
+fn r6_tensor_clone_scoped_fixture_fires_in_inference_buckets_only() {
+    // R6 is scoped by crate bucket, and everything under tests/fixtures/
+    // lints as the "lint" bucket where it never applies — so this fixture
+    // lives in tests/fixtures_scoped/ and is driven through `lint_source`
+    // with explicit buckets instead.
+    let src =
+        std::fs::read_to_string(fixture_dir("fixtures_scoped").join("r6_tensor_clone_scoped.rs"))
+            .expect("scoped fixture must be readable");
+    let fired = dv_lint::lint_source("crates/core/src/fixture.rs", "core", &src);
+    let got: Vec<(String, u32)> = fired
+        .diags
+        .iter()
+        .map(|d| (d.rule.to_string(), d.line))
+        .collect();
+    assert_eq!(
+        got,
+        vec![(rules::TENSOR_CLONE.to_string(), 10)],
+        "expected exactly one tensor-clone diagnostic under the core bucket:\n{}",
+        fired.render()
+    );
+    let silent = dv_lint::lint_source("crates/tensor/src/fixture.rs", "tensor", &src);
+    assert!(
+        silent.is_clean(),
+        "tensor-clone must not apply in kernel crates:\n{}",
+        silent.render()
+    );
 }
 
 #[test]

@@ -1,0 +1,18 @@
+// Known-bad for R3 (safety-comment): a SIMD microkernel dispatch that
+// calls a `#[target_feature]` kernel without a SAFETY argument, so the
+// next editor cannot re-verify the CPU-feature precondition.
+
+pub fn run_tile(pa: &[f32], pb: &[f32], c: &mut [f32], avx: bool) {
+    if avx {
+        // the dispatcher probed the feature at startup, trust it
+        unsafe { kernel_avx(pa, pb, c) };
+        return;
+    }
+    scalar_tile(pa, pb, c);
+}
+
+// SAFETY: callers must only invoke this when AVX is available; the
+// dispatcher above checks `avx` before the call.
+unsafe fn kernel_avx(_pa: &[f32], _pb: &[f32], _c: &mut [f32]) {}
+
+fn scalar_tile(_pa: &[f32], _pb: &[f32], _c: &mut [f32]) {}

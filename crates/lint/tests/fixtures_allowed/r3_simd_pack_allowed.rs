@@ -1,0 +1,26 @@
+// Passing variant for R3: the same dispatch carries a SAFETY argument a
+// reviewer can re-check, and the scalar tile's structural-zero skip
+// records why an exact float compare is intended.
+
+pub fn run_tile(pa: &[f32], pb: &[f32], c: &mut [f32], avx: bool) {
+    if avx {
+        // SAFETY: `avx` is only true when the startup probe observed the
+        // AVX feature bit, so calling the target_feature kernel is sound.
+        unsafe { kernel_avx(pa, pb, c) };
+        return;
+    }
+    scalar_tile(pa, pb, c);
+}
+
+// SAFETY: callers must only invoke this when AVX is available; the
+// dispatcher above checks `avx` before the call.
+unsafe fn kernel_avx(_pa: &[f32], _pb: &[f32], _c: &mut [f32]) {}
+
+fn scalar_tile(pa: &[f32], _pb: &[f32], _c: &mut [f32]) {
+    for &a in pa {
+        // dv-lint: allow(float-eq, reason = "structural sparsity skip: packed lhs zeros contribute nothing, exact compare is the contract")
+        if a == 0.0 {
+            continue;
+        }
+    }
+}

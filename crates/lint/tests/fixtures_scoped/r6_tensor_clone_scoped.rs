@@ -1,0 +1,12 @@
+// Scoped fixture for R6 (tensor-clone): a per-image tensor clone on the
+// scoring path. Linted by fixture_tests.rs through `lint_source` under
+// two buckets — it must fire in an inference crate ("core"), where the
+// allocation-free serving contract holds, and stay silent in a kernel
+// crate ("tensor"), where packing code legitimately takes owned copies
+// at fit/setup time. It lives outside tests/fixtures/ because that
+// directory lints under the "lint" bucket, where R6 never applies.
+
+pub fn score_image(input: &Tensor, plan: &InferencePlan) -> f32 {
+    let staged = input.clone();
+    plan.run(&staged)
+}

@@ -1,0 +1,136 @@
+//! Architecture test: the GEMM family has exactly one home.
+//!
+//! After the packed-microkernel refactor every dense product is a layout
+//! adapter over `dv_tensor::gemm`, so no other crate may define its own
+//! `matmul`/`gemm`/`matvec`/`im2col`/`col2im` function — a second
+//! implementation would silently fork the bit-identity contract. The scan
+//! lexes every non-test region under `crates/*/src` with the linter's own
+//! lexer (comments and strings drop out for free) and looks for `fn`
+//! followed by a name with one of the reserved prefixes.
+
+use std::path::{Path, PathBuf};
+
+use dv_lint::lexer::{self, TokKind};
+use dv_lint::test_regions;
+
+/// Function-name prefixes that may only be defined in `crates/tensor/src`.
+const RESERVED_PREFIXES: &[&str] = &["matmul", "gemm", "matvec", "im2col", "col2im"];
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint must sit two levels below the workspace root")
+        .to_path_buf()
+}
+
+fn rust_sources_under(dir: &Path, out: &mut Vec<PathBuf>) {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return,
+    };
+    for entry in entries {
+        let path = entry.expect("source tree must be readable").path();
+        if path.is_dir() {
+            rust_sources_under(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// `fn` definitions (outside `#[cfg(test)]` regions) whose names carry a
+/// reserved prefix, as (name, line) pairs.
+fn reserved_fn_defs(src: &str) -> Vec<(String, u32)> {
+    let lexed = lexer::lex(src);
+    let test_ranges = test_regions::test_line_ranges(&lexed.toks);
+    let in_test = |line: u32| {
+        test_ranges
+            .iter()
+            .any(|&(lo, hi)| (lo..=hi).contains(&line))
+    };
+    let mut hits = Vec::new();
+    for pair in lexed.toks.windows(2) {
+        let (kw, name) = (&pair[0], &pair[1]);
+        if kw.kind == TokKind::Ident
+            && kw.text == "fn"
+            && name.kind == TokKind::Ident
+            && !in_test(name.line)
+            && RESERVED_PREFIXES.iter().any(|p| name.text.starts_with(p))
+        {
+            hits.push((name.text.to_string(), name.line));
+        }
+    }
+    hits
+}
+
+#[test]
+fn gemm_family_functions_live_only_in_dv_tensor() {
+    let root = workspace_root();
+    let crates_dir = root.join("crates");
+    let mut offenders = Vec::new();
+    let mut tensor_defs = 0usize;
+    let mut scanned = 0usize;
+    for krate in std::fs::read_dir(&crates_dir).expect("crates/ must exist") {
+        let krate = krate.expect("crates/ must be readable").path();
+        let src_dir = krate.join("src");
+        let mut files = Vec::new();
+        rust_sources_under(&src_dir, &mut files);
+        let is_tensor = krate.file_name().is_some_and(|n| n == "tensor");
+        for file in files {
+            scanned += 1;
+            let src = std::fs::read_to_string(&file).expect("source file must be readable");
+            let defs = reserved_fn_defs(&src);
+            if is_tensor {
+                tensor_defs += defs.len();
+            } else {
+                for (name, line) in defs {
+                    offenders.push(format!("{}:{line}: fn {name}", file.display()));
+                }
+            }
+        }
+    }
+    assert!(
+        scanned > 20,
+        "scan looks broken: only {scanned} files found"
+    );
+    assert!(
+        tensor_defs >= 5,
+        "expected the GEMM family inside crates/tensor/src, found {tensor_defs} defs"
+    );
+    assert!(
+        offenders.is_empty(),
+        "GEMM-family functions defined outside crates/tensor/src — route them \
+         through dv_tensor::gemm instead:\n{}",
+        offenders.join("\n")
+    );
+}
+
+#[test]
+fn matmul_adapters_are_loop_free() {
+    // matmul.rs must stay a pure layout-adapter layer: any `for` loop in
+    // its non-test code means someone re-introduced a private loop nest
+    // beside the packed kernel. (`matvec`'s per-row reduction is an
+    // iterator chain, kept loop-free for the same reason.)
+    let path = workspace_root().join("crates/tensor/src/matmul.rs");
+    let src = std::fs::read_to_string(&path).expect("matmul.rs must exist");
+    let lexed = lexer::lex(&src);
+    let test_ranges = test_regions::test_line_ranges(&lexed.toks);
+    let loops: Vec<u32> = lexed
+        .toks
+        .iter()
+        .filter(|t| {
+            t.kind == TokKind::Ident
+                && t.text == "for"
+                && !test_ranges
+                    .iter()
+                    .any(|&(lo, hi)| (lo..=hi).contains(&t.line))
+        })
+        .map(|t| t.line)
+        .collect();
+    assert!(
+        loops.is_empty(),
+        "matmul.rs non-test code contains `for` loops at lines {loops:?}; \
+         express products through dv_tensor::gemm instead"
+    );
+}

@@ -1,7 +1,8 @@
 //! Concrete layer implementations: convolution, dense, ReLU, max-pooling
 //! and flatten — the building blocks of the paper's three CNN classifiers.
 
-use dv_tensor::conv::{col2im, im2col, Conv2dGeom};
+use dv_tensor::conv::{col2im, Conv2dGeom};
+use dv_tensor::gemm;
 use dv_tensor::matmul::{matmul, matmul_nt, matmul_tn};
 use dv_tensor::{SlotAllocator, Tensor};
 use rand::Rng;
@@ -25,7 +26,7 @@ pub struct Conv2d {
     bias: Tensor,
     grad_weight: Tensor,
     grad_bias: Tensor,
-    cached_cols: Vec<Tensor>,
+    cached_input: Option<Tensor>,
     cached_geom: Option<Conv2dGeom>,
 }
 
@@ -64,7 +65,7 @@ impl Conv2d {
             bias: Tensor::zeros(&[out_channels]),
             grad_weight: Tensor::zeros(&[out_channels, fan_in]),
             grad_bias: Tensor::zeros(&[out_channels]),
-            cached_cols: Vec::new(),
+            cached_input: None,
             cached_geom: None,
         }
     }
@@ -92,21 +93,30 @@ impl Layer for Conv2d {
         let n = input.shape().dim(0);
         let geom = self.geom_for(&input.shape().dims()[1..]);
         let (oh, ow) = (geom.out_h(), geom.out_w());
-        self.cached_cols.clear();
+        let spatial = oh * ow;
+        let item_in = self.in_channels * geom.in_h * geom.in_w;
+        // Backward re-gathers patches from the raw input, so caching the
+        // input replaces caching one column matrix per image.
+        self.cached_input = Some(input.clone());
         self.cached_geom = Some(geom);
         let mut outs = Vec::with_capacity(n);
         for i in 0..n {
-            let cols = im2col(&input.index_outer(i), &geom);
-            let mut out = matmul(&self.weight, &cols);
+            let mut buf = vec![0.0f32; self.out_channels * spatial];
+            gemm::conv2d_into(
+                self.weight.data(),
+                self.out_channels,
+                &input.data()[i * item_in..(i + 1) * item_in],
+                &geom,
+                &mut buf,
+            );
+            let mut out = Tensor::from_vec(buf, &[self.out_channels, spatial]);
             // Broadcast-add the per-channel bias across spatial positions.
-            let spatial = oh * ow;
             for c in 0..self.out_channels {
                 let b = self.bias.data()[c];
                 for v in &mut out.data_mut()[c * spatial..(c + 1) * spatial] {
                     *v += b;
                 }
             }
-            self.cached_cols.push(cols);
             outs.push(out.reshape(&[self.out_channels, oh, ow]));
         }
         Tensor::stack(&outs)
@@ -116,21 +126,36 @@ impl Layer for Conv2d {
         let geom = self
             .cached_geom
             .expect("conv2d backward called before forward");
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("conv2d backward called before forward");
         let n = grad_out.shape().dim(0);
         assert_eq!(
             n,
-            self.cached_cols.len(),
+            input.shape().dim(0),
             "conv2d backward batch size mismatch"
         );
         let spatial = geom.out_h() * geom.out_w();
+        let item_in = self.in_channels * geom.in_h * geom.in_w;
+        let col_rows = geom.col_rows();
         let mut grads = Vec::with_capacity(n);
         for i in 0..n {
             let g_mat = grad_out
                 .index_outer(i)
                 .reshape(&[self.out_channels, spatial]);
-            // dL/dW += g * cols^T; dL/db += row sums of g.
+            // dL/dW += g * cols^T (patches re-gathered inside the GEMM
+            // pack); dL/db += row sums of g.
+            let mut gw = vec![0.0f32; self.out_channels * col_rows];
+            gemm::conv2d_grad_weight_into(
+                g_mat.data(),
+                self.out_channels,
+                &input.data()[i * item_in..(i + 1) * item_in],
+                &geom,
+                &mut gw,
+            );
             self.grad_weight
-                .axpy(1.0, &matmul_nt(&g_mat, &self.cached_cols[i]));
+                .axpy(1.0, &Tensor::from_vec(gw, &[self.out_channels, col_rows]));
             for c in 0..self.out_channels {
                 let s: f32 = g_mat.data()[c * spatial..(c + 1) * spatial].iter().sum();
                 self.grad_bias.data_mut()[c] += s;
@@ -182,7 +207,7 @@ impl Layer for Conv2d {
         *slot = value;
     }
 
-    fn plan_op(&self, slots: &mut SlotAllocator) -> Box<dyn PlanOp> {
+    fn plan_op(&self, _slots: &mut SlotAllocator) -> Box<dyn PlanOp> {
         Box::new(Conv2dOp {
             weight: self.weight.clone(),
             bias: self.bias.clone(),
@@ -190,7 +215,6 @@ impl Layer for Conv2d {
             out_channels: self.out_channels,
             kernel: self.kernel,
             pad: self.pad,
-            cols_slot: slots.alloc(),
         })
     }
 }

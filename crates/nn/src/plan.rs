@@ -6,13 +6,15 @@
 //! [`Network`](crate::Network) — it copies the parameters and pre-resolves
 //! everything the forward pass needs — and is then shared immutably
 //! (`&InferencePlan`) across every worker thread. All run-time scratch
-//! (ping-pong activation buffers, im2col column matrices, probe taps)
+//! (ping-pong activation buffers, probe taps, dense-block state slots)
 //! lives in a per-worker [`Workspace`], so a warmed-up worker scores
-//! images without touching the heap.
+//! images without touching the heap. Convolutions route through the
+//! fused-pack GEMM (`dv_tensor::gemm::conv2d_into`), so no im2col
+//! column matrix is ever materialized.
 //!
-//! Every op reuses the exact kernels and loop orders of the mutable
-//! training path (`matmul_into`, `im2col_into`, the same elementwise
-//! formulas), so plan outputs are bit-identical to
+//! Every op reuses the exact kernels and accumulation orders of the
+//! mutable training path (the one shared packed GEMM, the same
+//! elementwise formulas), so plan outputs are bit-identical to
 //! [`Network::forward`](crate::Network::forward) /
 //! [`forward_probed`](crate::Network::forward_probed) at any `DV_THREADS`.
 
@@ -593,8 +595,10 @@ impl PlanOp for DenseOp {
     }
 }
 
-/// Convolution: per-image `im2col_into` + `matmul_into` + bias broadcast,
-/// mirroring the training forward image-by-image.
+/// Convolution: per-image fused-pack GEMM (`gemm::conv2d_into`) + bias
+/// broadcast, mirroring the training forward image-by-image. The im2col
+/// column matrix is never materialized: the patch gather happens inside
+/// the GEMM's B-panel pack, so the op needs no workspace slot.
 pub(crate) struct Conv2dOp {
     pub(crate) weight: Tensor,
     pub(crate) bias: Tensor,
@@ -602,7 +606,6 @@ pub(crate) struct Conv2dOp {
     pub(crate) out_channels: usize,
     pub(crate) kernel: usize,
     pub(crate) pad: usize,
-    pub(crate) cols_slot: usize,
 }
 
 impl Conv2dOp {
@@ -621,26 +624,27 @@ impl Conv2dOp {
 }
 
 impl PlanOp for Conv2dOp {
-    fn forward_into(&self, input: TensorView<'_>, out: &mut TensorViewMut<'_>, ws: &mut Workspace) {
+    fn forward_into(
+        &self,
+        input: TensorView<'_>,
+        out: &mut TensorViewMut<'_>,
+        _ws: &mut Workspace,
+    ) {
         let dims = input.dims();
         let n = dims[0];
         let geom = self.geom_for(&dims[1..]);
         let spatial = geom.out_h() * geom.out_w();
         let item_in = self.in_channels * geom.in_h * geom.in_w;
         let item_out = self.out_channels * spatial;
-        let cols = ws.slot_mut(self.cols_slot);
-        ensure_zeroed(cols, geom.col_rows() * geom.col_cols());
         let data = input.data();
         let od = out.data_mut();
         for i in 0..n {
-            dv_tensor::conv::im2col_into(&data[i * item_in..(i + 1) * item_in], &geom, cols);
             let out_i = &mut od[i * item_out..(i + 1) * item_out];
-            dv_tensor::matmul::matmul_into(
+            dv_tensor::gemm::conv2d_into(
                 self.weight.data(),
                 self.out_channels,
-                geom.col_rows(),
-                cols,
-                spatial,
+                &data[i * item_in..(i + 1) * item_in],
+                &geom,
                 out_i,
             );
             // Broadcast-add the per-channel bias across spatial positions.

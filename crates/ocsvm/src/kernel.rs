@@ -85,18 +85,8 @@ impl ResolvedKernel {
     pub fn eval(&self, a: &[f32], b: &[f32]) -> f64 {
         debug_assert_eq!(a.len(), b.len(), "kernel arguments differ in length");
         match self {
-            ResolvedKernel::Linear => a.iter().zip(b).map(|(&x, &y)| x as f64 * y as f64).sum(),
-            ResolvedKernel::Rbf { gamma } => {
-                let sq: f64 = a
-                    .iter()
-                    .zip(b)
-                    .map(|(&x, &y)| {
-                        let d = x as f64 - y as f64;
-                        d * d
-                    })
-                    .sum();
-                (-gamma * sq).exp()
-            }
+            ResolvedKernel::Linear => dv_tensor::gemm::dot_f64(a, b),
+            ResolvedKernel::Rbf { gamma } => (-gamma * dv_tensor::gemm::sqdist_f64(a, b)).exp(),
         }
     }
 
@@ -110,23 +100,7 @@ impl ResolvedKernel {
         dv_trace::span!("ocsvm.gram");
         let n = data.len();
         let mut q = vec![0.0f64; n * n];
-        if n == 0 {
-            return q;
-        }
-        // Row i owns the disjoint chunk q[i*n..(i+1)*n] and fills its
-        // upper-triangle part q[i*n + i..n].
-        dv_runtime::par_chunks_mut(&mut q, n, |i, row| {
-            for j in i..n {
-                row[j] = self.eval(&data[i], &data[j]);
-            }
-        });
-        // Mirror into the lower triangle (cheap copies, O(n^2) vs the
-        // O(n^2 d) kernel evaluations above).
-        for i in 0..n {
-            for j in i + 1..n {
-                q[j * n + i] = q[i * n + j];
-            }
-        }
+        dv_tensor::gemm::pairwise_upper_f64(n, &mut q, |i, j| self.eval(&data[i], &data[j]));
         q
     }
 }

@@ -5,9 +5,14 @@
 //! - [`Shape`]: dimension bookkeeping with row-major strides,
 //! - [`Tensor`]: contiguous row-major storage with elementwise ops,
 //!   reductions and random initialization,
-//! - [`matmul`]: blocked dense matrix multiplication (plus transposed
-//!   variants used by backpropagation),
-//! - [`conv`]: `im2col` / `col2im` lowering used by the convolution layers,
+//! - [`gemm`]: the packed, register-tiled GEMM microkernel (optionally
+//!   AVX-vectorized behind the `simd` feature) every product routes
+//!   through,
+//! - [`matmul`]: dense matrix multiplication (plus transposed variants
+//!   used by backpropagation) as thin adapters over [`gemm`],
+//! - [`conv`]: `im2col` / `col2im` lowering used by the convolution
+//!   layers' training adjoints; inference fuses the patch gather into
+//!   the GEMM pack instead,
 //! - [`io`]: a tiny versioned binary format used to cache trained models
 //!   between experiment runs.
 //!
@@ -22,10 +27,15 @@
 //! assert_eq!(c.data(), a.data());
 //! ```
 
-#![forbid(unsafe_code)]
+#![cfg_attr(not(feature = "simd"), forbid(unsafe_code))]
+#![cfg_attr(feature = "simd", deny(unsafe_code))]
 #![warn(missing_docs)]
 
 pub mod conv;
+pub mod gemm;
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[allow(unsafe_code)]
+mod gemm_simd;
 pub mod io;
 pub mod linalg;
 pub mod matmul;

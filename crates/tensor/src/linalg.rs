@@ -112,11 +112,7 @@ pub fn solve_with_cholesky(l: &Tensor, b: &Tensor) -> Tensor {
 /// Panics on shape mismatch.
 pub fn quad_form_inv(l: &Tensor, v: &Tensor) -> f64 {
     let x = solve_with_cholesky(l, v);
-    v.data()
-        .iter()
-        .zip(x.data())
-        .map(|(&a, &b)| a as f64 * b as f64)
-        .sum()
+    crate::gemm::dot_f64(v.data(), x.data())
 }
 
 #[cfg(test)]

@@ -1,20 +1,19 @@
 //! Dense matrix multiplication with the transposed variants backprop needs.
 //!
-//! The kernels are cache-blocked scalar loops: they are within a small
-//! factor of a tuned BLAS for the matrix sizes the CNNs produce (hundreds
-//! by hundreds), and they keep the crate free of external dependencies.
-//! Large products additionally split their output row-blocks across the
-//! `dv-runtime` pool; every output element keeps its sequential
-//! accumulation order, so results are bit-identical at any thread count.
+//! Every matrix-matrix function here is a thin layout adapter over the
+//! packed, register-tiled microkernel in [`crate::gemm`]: the operands
+//! are described as [`gemm::PackA`]/[`gemm::PackB`] sources and driven
+//! through the one shared kernel. The historical accumulation order of
+//! each variant is preserved exactly (ascending-`k` chains, structural
+//! zero-skip on the lhs for `matmul`/`matmul_tn` but not `matmul_nt`),
+//! so results are bit-identical to the pre-refactor loop nests at any
+//! thread count. Only [`matvec`] stays a direct per-row reduction — it
+//! is memory-bound, and its iterator `.sum()` chain has signed-zero
+//! behavior (`Sum<f32>` folds from `-0.0`) that the kernel's
+//! `+0.0`-seeded accumulators deliberately do not reproduce.
 
+use crate::gemm::{self, PackA, PackB};
 use crate::tensor::Tensor;
-
-/// Loop-blocking tile edge, sized so three tiles fit comfortably in L1.
-const BLOCK: usize = 64;
-
-/// Minimum `m * k * n` before a product is worth scheduling on the pool;
-/// below this the fork/join overhead outweighs the work.
-const PAR_FLOPS: usize = 1 << 15;
 
 /// `C = A * B` for `A: [m, k]`, `B: [k, n]`.
 ///
@@ -44,9 +43,9 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
 /// `b` is `[k, n]`, `out` receives `[m, n]`. The buffer is zeroed first,
 /// so its previous contents do not matter.
 ///
-/// Identical loop structure, accumulation order and parallel split as
-/// [`matmul`], so results are bit-for-bit the same — this is the
-/// allocation-free entry point the inference plan uses.
+/// Identical accumulation order and skip semantics as [`matmul`], so
+/// results are bit-for-bit the same — this is the allocation-free entry
+/// point the inference plan uses.
 ///
 /// # Panics
 ///
@@ -56,60 +55,13 @@ pub fn matmul_into(ad: &[f32], m: usize, k: usize, bd: &[f32], n: usize, out: &m
     assert_eq!(ad.len(), m * k, "matmul_into lhs length mismatch");
     assert_eq!(bd.len(), k * n, "matmul_into rhs length mismatch");
     assert_eq!(out.len(), m * n, "matmul_into out length mismatch");
-    out.fill(0.0);
-    if m > BLOCK && m * k * n >= PAR_FLOPS {
-        // One task per row-block: blocks own disjoint slices of `out` and
-        // run the identical per-row loops, so the product is bit-exact.
-        dv_runtime::par_chunks_mut(out, BLOCK * n, |bi, rows| {
-            let i0 = bi * BLOCK;
-            matmul_block(ad, bd, i0, (i0 + BLOCK).min(m), k, n, rows);
-        });
-    } else {
-        for i0 in (0..m).step_by(BLOCK) {
-            let i1 = (i0 + BLOCK).min(m);
-            matmul_block(ad, bd, i0, i1, k, n, &mut out[i0 * n..i1 * n]);
-        }
-    }
-}
-
-/// Computes output rows `i0..i1` of `A * B` into `rows` (their slice of
-/// the output). i-k-j loop order with blocking: the innermost loop is a
-/// contiguous axpy over a row of B, which auto-vectorizes well.
-fn matmul_block(
-    ad: &[f32],
-    bd: &[f32],
-    i0: usize,
-    i1: usize,
-    k: usize,
-    n: usize,
-    rows: &mut [f32],
-) {
-    for k0 in (0..k).step_by(BLOCK) {
-        let k1 = (k0 + BLOCK).min(k);
-        for i in i0..i1 {
-            let crow = &mut rows[(i - i0) * n..(i - i0 + 1) * n];
-            for kk in k0..k1 {
-                let aik = ad[i * k + kk];
-                // dv-lint: allow(float-eq, reason = "structural sparsity skip: exact stored zero contributes nothing to the accumulation")
-                if aik == 0.0 {
-                    continue;
-                }
-                let brow = &bd[kk * n..(kk + 1) * n];
-                for (c, &bv) in crow.iter_mut().zip(brow) {
-                    *c += aik * bv;
-                }
-            }
-        }
-    }
+    gemm::gemm(PackA::Rows(ad), PackB::Rows(bd), m, k, n, true, out);
 }
 
 /// `C = A^T * B` for `A: [k, m]`, `B: [k, n]` (result `[m, n]`).
 ///
-/// Used in backprop for weight gradients without materializing `A^T`.
-/// Stays sequential: its k-outer loop scatters into every output row, so
-/// a row-parallel split would need either a transpose (extra memory
-/// traffic) or per-row k-strided reads (cache-hostile); gradient sizes
-/// here do not repay either.
+/// Used in backprop for weight gradients without materializing `A^T`:
+/// the packed A panel reads the transposed layout directly.
 ///
 /// # Panics
 ///
@@ -119,22 +71,15 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
     let (kb, n) = dims2(b, "matmul_tn rhs");
     assert_eq!(k, kb, "matmul_tn inner dims differ: {k} vs {kb}");
     let mut out = vec![0.0f32; m * n];
-    let ad = a.data();
-    let bd = b.data();
-    for kk in 0..k {
-        let arow = &ad[kk * m..(kk + 1) * m];
-        let brow = &bd[kk * n..(kk + 1) * n];
-        for (i, &av) in arow.iter().enumerate() {
-            // dv-lint: allow(float-eq, reason = "structural sparsity skip: exact stored zero contributes nothing to the accumulation")
-            if av == 0.0 {
-                continue;
-            }
-            let crow = &mut out[i * n..(i + 1) * n];
-            for (c, &bv) in crow.iter_mut().zip(brow) {
-                *c += av * bv;
-            }
-        }
-    }
+    gemm::gemm(
+        PackA::Trans(a.data()),
+        PackB::Rows(b.data()),
+        m,
+        k,
+        n,
+        true,
+        &mut out,
+    );
     Tensor::from_vec(out, &[m, n])
 }
 
@@ -158,8 +103,8 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
 /// `[n, k]`, `out` receives `[m, n]`. Every element is assigned, so the
 /// buffer's previous contents do not matter.
 ///
-/// Same loops, accumulation order and parallel split as [`matmul_nt`]
-/// (bit-identical results); used by the inference plan's dense layers.
+/// Same accumulation order as [`matmul_nt`] (bit-identical results, no
+/// structural zero-skip); used by the inference plan's dense layers.
 ///
 /// # Panics
 ///
@@ -169,33 +114,17 @@ pub fn matmul_nt_into(ad: &[f32], m: usize, k: usize, bd: &[f32], n: usize, out:
     assert_eq!(ad.len(), m * k, "matmul_nt_into lhs length mismatch");
     assert_eq!(bd.len(), n * k, "matmul_nt_into rhs length mismatch");
     assert_eq!(out.len(), m * n, "matmul_nt_into out length mismatch");
-    if m > 1 && m * k * n >= PAR_FLOPS {
-        // Row-parallel: each output row is an independent set of dot
-        // products with an unchanged accumulation order (bit-exact).
-        dv_runtime::par_chunks_mut(out, n, |i, crow| {
-            matmul_nt_row(ad, bd, i, k, crow);
-        });
-    } else {
-        for i in 0..m {
-            matmul_nt_row(ad, bd, i, k, &mut out[i * n..(i + 1) * n]);
-        }
-    }
-}
-
-/// Computes output row `i` of `A * B^T` into `crow`.
-fn matmul_nt_row(ad: &[f32], bd: &[f32], i: usize, k: usize, crow: &mut [f32]) {
-    let arow = &ad[i * k..(i + 1) * k];
-    for (j, c) in crow.iter_mut().enumerate() {
-        let brow = &bd[j * k..(j + 1) * k];
-        let mut acc = 0.0f32;
-        for (av, bv) in arow.iter().zip(brow) {
-            acc += av * bv;
-        }
-        *c = acc;
-    }
+    gemm::gemm(PackA::Rows(ad), PackB::Trans(bd), m, k, n, false, out);
 }
 
 /// Matrix-vector product `y = A * x` for `A: [m, k]`, `x: [k]`.
+///
+/// Deliberately *not* routed through the packed kernel: an `[m, k] x [k]`
+/// product is memory-bound (each operand element is read once) so packing
+/// buys nothing, and the historical per-row iterator `.sum()` chain is
+/// part of matvec's bit contract — `Sum<f32>` folds from `-0.0`, so a row
+/// whose products are all `-0.0` yields `-0.0`, which a `+0.0`-seeded
+/// accumulator would turn into `+0.0`.
 ///
 /// # Panics
 ///
@@ -206,11 +135,15 @@ pub fn matvec(a: &Tensor, x: &Tensor) -> Tensor {
     assert_eq!(x.numel(), k, "matvec dims differ: {k} vs {}", x.numel());
     let ad = a.data();
     let xd = x.data();
-    let mut out = vec![0.0f32; m];
-    for (i, o) in out.iter_mut().enumerate() {
-        let row = &ad[i * k..(i + 1) * k];
-        *o = row.iter().zip(xd).map(|(a, b)| a * b).sum();
-    }
+    let out: Vec<f32> = (0..m)
+        .map(|i| {
+            ad[i * k..(i + 1) * k]
+                .iter()
+                .zip(xd)
+                .map(|(&p, &q)| p * q)
+                .sum()
+        })
+        .collect();
     Tensor::from_vec(out, &[m])
 }
 
@@ -221,13 +154,8 @@ pub fn matvec(a: &Tensor, x: &Tensor) -> Tensor {
 /// Panics if `a` is not rank 2.
 pub fn transpose(a: &Tensor) -> Tensor {
     let (m, n) = dims2(a, "transpose");
-    let ad = a.data();
     let mut out = vec![0.0f32; m * n];
-    for i in 0..m {
-        for j in 0..n {
-            out[j * m + i] = ad[i * n + j];
-        }
-    }
+    gemm::transpose_into(a.data(), m, n, &mut out);
     Tensor::from_vec(out, &[n, m])
 }
 

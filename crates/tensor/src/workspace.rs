@@ -2,8 +2,9 @@
 //!
 //! A [`Workspace`] owns every buffer a forward pass needs — the two
 //! ping-pong activation buffers, one buffer per tapped probe point, and a
-//! set of per-op scratch slots (im2col column matrices, dense-block stage
-//! state). Buffers are growable `Vec<f32>`s that are *reused* across
+//! set of per-op scratch slots (dense-block stage state; convolutions
+//! need none since im2col is fused into the GEMM pack). Buffers are
+//! growable `Vec<f32>`s that are *reused* across
 //! calls: they allocate on first use (or growth) and are free from then
 //! on, which is what makes the steady-state inference path
 //! allocation-free.

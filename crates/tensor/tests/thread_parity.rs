@@ -57,3 +57,40 @@ fn im2col_is_bit_identical_across_thread_counts() {
     let c4 = Pool::new(4).install(|| im2col(&image, &geom));
     assert_bits_equal(&c1, &c4, "im2col");
 }
+
+#[test]
+fn fused_conv_gemm_is_bit_identical_across_thread_counts() {
+    // 96 output channels > MC drives the packed GEMM onto the pool while
+    // the B panel is gathered straight from the image.
+    let mut rng = StdRng::seed_from_u64(14);
+    let geom = Conv2dGeom {
+        in_channels: 8,
+        in_h: 20,
+        in_w: 20,
+        kernel: 3,
+        stride: 1,
+        pad: 1,
+    };
+    let image = Tensor::randn(&mut rng, &[8, 20, 20], 1.0);
+    let weight = Tensor::randn(&mut rng, &[96, geom.col_rows()], 1.0);
+    let run = || {
+        let mut out = vec![0.0f32; 96 * geom.col_cols()];
+        dv_tensor::gemm::conv2d_into(weight.data(), 96, image.data(), &geom, &mut out);
+        Tensor::from_vec(out, &[96, geom.col_cols()])
+    };
+    let c1 = Pool::new(1).install(run);
+    let c4 = Pool::new(4).install(run);
+    assert_bits_equal(&c1, &c4, "conv2d_into");
+}
+
+#[test]
+fn packed_gemm_panels_are_bit_identical_across_thread_counts() {
+    // Deep k (> KC) and wide n (> NC) cross every cache-blocking edge
+    // while MC-row chunks fan out across the pool.
+    let mut rng = StdRng::seed_from_u64(15);
+    let a = Tensor::randn(&mut rng, &[130, 300], 1.0);
+    let b = Tensor::randn(&mut rng, &[300, 520], 1.0);
+    let c1 = Pool::new(1).install(|| matmul(&a, &b));
+    let c4 = Pool::new(4).install(|| matmul(&a, &b));
+    assert_bits_equal(&c1, &c4, "packed gemm panels");
+}
