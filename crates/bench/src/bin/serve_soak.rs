@@ -1,19 +1,28 @@
 //! Fault-injection soak harness for the dv-serve frontend. Writes
-//! `BENCH_serving.json` with three phases:
+//! `BENCH_serving.json` with four phases:
 //!
 //! - **identity**: with injection disabled and a generous deadline,
 //!   every served response must be bit-identical to the direct
-//!   `score_into` path (the acceptance gate for the serving frontend).
+//!   `score_into` path, and `score_batch_into` over every batch width
+//!   must match B single calls bit-for-bit (the acceptance gate that
+//!   runs before any timing).
 //! - **soak**: a sustained request stream under injected worker panics,
-//!   latency spikes, and client-side NaN poisoning; asserts zero lost or
-//!   hung requests (every outcome terminal, accounting exact) and
-//!   reports latency quantiles, shed/degrade/crash counters, and
-//!   crash-to-recovered times.
-//! - **sweep**: degrade-rate vs deadline curve with injection off — how
-//!   the full/reduced/confidence rung mix shifts as the per-request
-//!   deadline tightens.
+//!   latency spikes, and client-side NaN poisoning, with the client
+//!   riding `RetryPolicy` backoff off the `QueueFull { retry_after }`
+//!   hint; asserts zero lost or hung requests (every outcome terminal,
+//!   accounting exact through mid-batch crash retries) and that
+//!   coalescing plus backoff cut rejections ≥10x from the seed's 831.
+//! - **batch sweep**: the headline artifact — rejected / served /
+//!   throughput at each `max_batch` × offered-load point, on the seed's
+//!   32-slot queue so `max_batch = 1` reproduces the seed's rejection
+//!   regime and wider batches show queue depth turning into batch size.
+//! - **deadline sweep**: degrade-rate vs deadline curve with injection
+//!   off — how the full/reduced/confidence rung mix shifts as the
+//!   per-request deadline tightens.
 //!
-//! `--quick` shrinks the request counts for the CI smoke run.
+//! `--quick` shrinks the request counts and the batch sweep to a
+//! 2-point smoke for CI; the rejection-reduction assert scales with the
+//! offered load so it gates both modes.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -24,7 +33,9 @@ use dv_nn::optim::Adam;
 use dv_nn::train::{fit, TrainConfig};
 use dv_nn::{InferencePlan, Network};
 use dv_runtime::Pool;
-use dv_serve::{FaultPlan, Rejected, ScoreError, ServeConfig, ServedVia, Server, ShutdownPolicy};
+use dv_serve::{
+    FaultPlan, Rejected, RetryPolicy, ScoreError, ServeConfig, ServedVia, Server, ShutdownPolicy,
+};
 use dv_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -83,11 +94,51 @@ fn base_cfg() -> ServeConfig {
         workers: 2,
         queue_capacity: 64,
         deadline: Duration::from_secs(1),
+        max_batch: 8,
         shutdown: ShutdownPolicy::Drain,
         reduced_taps: 1,
         faults: None,
         breaker: None,
     }
+}
+
+/// The batched half of the identity gate: `score_batch_into` over every
+/// width 1..=8 must reproduce B single `score_into` calls bit-for-bit.
+/// This runs before any timing so a broken batch path can never publish
+/// throughput numbers.
+fn batch_identity(
+    validator: &Arc<DeepValidator>,
+    plan: &Arc<InferencePlan>,
+    images: &[Tensor],
+) -> bool {
+    let mut single_sw = ScoreWorkspace::new();
+    let mut batch_sw = ScoreWorkspace::new();
+    let mut single_pl = Vec::new();
+    let mut results = Vec::new();
+    let mut batch_pl = Vec::new();
+    let mut identical = true;
+    for width in 1..=8usize {
+        for chunk in images.chunks(width) {
+            validator
+                .score_batch_into(plan, chunk, &mut batch_sw, &mut results, &mut batch_pl)
+                .expect("fixture images are well-formed");
+            let layers = batch_pl.len() / chunk.len();
+            for (bi, img) in chunk.iter().enumerate() {
+                let (p, c) = validator
+                    .score_into(plan, img, &mut single_sw, &mut single_pl)
+                    .expect("fixture images are well-formed");
+                let row = &batch_pl[bi * layers..(bi + 1) * layers];
+                identical &= results[bi].0 == p
+                    && results[bi].1.to_bits() == c.to_bits()
+                    && row.len() == single_pl.len()
+                    && row
+                        .iter()
+                        .zip(&single_pl)
+                        .all(|(a, b)| a.to_bits() == b.to_bits());
+            }
+        }
+    }
+    identical
 }
 
 /// Phase A: injection off, generous deadline — every response must be
@@ -144,15 +195,27 @@ struct SoakReport {
 
 /// Phase B: sustained stream under injected panics, latency spikes and
 /// client-side NaN poisoning. Every accepted request must resolve to a
-/// terminal outcome; the counter accounting must be exact.
+/// terminal outcome; the counter accounting must be exact — including
+/// batch members that crashed mid-batch and were retried singly.
+///
+/// The client honors backpressure with [`RetryPolicy`]: `retry_after`
+/// is the server's per-slot drain estimate, so on a rejection the
+/// client backs off long enough for a full queue's worth of slots to
+/// drain rather than racing the very next free one — one rejection then
+/// buys on the order of `queue_capacity` accepted submissions instead
+/// of one. The queue stays at 128 (not deeper) deliberately: under the
+/// injected fault load the effective per-job drain time is ~10x the
+/// fault-free cost, and a deeper queue would trade the rejections for
+/// deadline expirations instead of throughput.
 fn phase_soak(
     validator: &Arc<DeepValidator>,
     plan: &Arc<InferencePlan>,
     images: &[Tensor],
     requests: u64,
 ) -> SoakReport {
+    let queue_capacity = 128;
     let mut cfg = base_cfg();
-    cfg.queue_capacity = 32;
+    cfg.queue_capacity = queue_capacity;
     cfg.deadline = Duration::from_millis(20);
     cfg.faults = Some(FaultPlan {
         seed: 2024,
@@ -161,6 +224,12 @@ fn phase_soak(
         spike: Duration::from_millis(2),
     });
     let server = Server::start(Arc::clone(validator), Arc::clone(plan), cfg);
+    let retry = RetryPolicy {
+        base: Duration::from_micros(100),
+        max_delay: Duration::from_millis(20),
+        max_attempts: 10,
+        seed: 0xD5,
+    };
 
     let t0 = dv_trace::Stopwatch::start();
     let mut pendings = Vec::new();
@@ -174,20 +243,26 @@ fn phase_soak(
         } else {
             images[(i as usize) % images.len()].clone()
         };
-        // Bounded retry under backpressure: yield briefly, then drop the
-        // request on the floor (counted by the server as rejected).
-        let mut attempt = 0;
+        let mut attempt = 0u32;
         loop {
             match server.try_submit(img.clone()) {
                 Ok(p) => {
                     pendings.push(p);
                     break;
                 }
-                Err(Rejected::QueueFull) if attempt < 50 => {
-                    attempt += 1;
-                    std::thread::sleep(Duration::from_micros(200));
+                Err(Rejected::QueueFull { retry_after }) => {
+                    let tranche = retry_after.saturating_mul(queue_capacity as u32);
+                    match retry.delay(i, attempt, Some(tranche)) {
+                        Some(backoff) => {
+                            attempt += 1;
+                            std::thread::sleep(backoff);
+                        }
+                        // Attempt budget spent: shed upstream (the
+                        // server already counted each rejection).
+                        None => break,
+                    }
                 }
-                Err(_) => break,
+                Err(Rejected::ShuttingDown) => break,
             }
         }
     }
@@ -219,6 +294,96 @@ fn phase_soak(
         snapshot,
         lost_or_hung,
     }
+}
+
+struct BatchPoint {
+    max_batch: usize,
+    load: u64,
+    submitted: u64,
+    rejected: u64,
+    served: u64,
+    expired: u64,
+    batches: u64,
+    coalesced: u64,
+    wall_s: f64,
+    throughput_rps: f64,
+}
+
+/// Headline artifact: the batch size × offered load grid, injection
+/// off, on the *seed's* 32-slot queue and impatient bounded-retry
+/// client (fixed 200µs naps, no drain-rate hint) — so the
+/// `max_batch = 1` column reproduces the seed's rejection regime and
+/// the only variable across a row is how fast coalescing turns queue
+/// depth back into capacity.
+fn phase_batch_sweep(
+    validator: &Arc<DeepValidator>,
+    plan: &Arc<InferencePlan>,
+    images: &[Tensor],
+    batches: &[usize],
+    loads: &[u64],
+) -> Vec<BatchPoint> {
+    let mut points = Vec::new();
+    for &load in loads {
+        for &max_batch in batches {
+            let mut cfg = base_cfg();
+            cfg.queue_capacity = 32;
+            cfg.deadline = Duration::from_millis(20);
+            cfg.max_batch = max_batch;
+            let server = Server::start(Arc::clone(validator), Arc::clone(plan), cfg);
+            let t0 = dv_trace::Stopwatch::start();
+            let mut pendings = Vec::new();
+            for i in 0..load {
+                let img = images[(i as usize) % images.len()].clone();
+                let mut attempt = 0;
+                loop {
+                    match server.try_submit(img.clone()) {
+                        Ok(p) => {
+                            pendings.push(p);
+                            break;
+                        }
+                        Err(Rejected::QueueFull { .. }) if attempt < 50 => {
+                            attempt += 1;
+                            std::thread::sleep(Duration::from_micros(200));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            }
+            for pending in pendings {
+                let _ = pending.wait_timeout(Duration::from_secs(10));
+            }
+            let wall_s = t0.elapsed_secs_f64();
+            let m = server.shutdown();
+            assert_eq!(
+                m.terminal_outcomes(),
+                m.submitted,
+                "batch sweep point (max_batch {max_batch}, load {load}) lost requests"
+            );
+            points.push(BatchPoint {
+                max_batch,
+                load,
+                submitted: m.submitted,
+                rejected: m.rejected_queue_full,
+                served: m.served(),
+                expired: m.expired,
+                batches: m.batches,
+                coalesced: m.coalesced,
+                wall_s,
+                throughput_rps: m.served() as f64 / wall_s.max(1e-9),
+            });
+            eprintln!(
+                "  batch {max_batch:>2} x load {load:>5}: {} served, {} rejected, \
+                 {} expired, {} batches ({} coalesced), {:.0} req/s",
+                m.served(),
+                m.rejected_queue_full,
+                m.expired,
+                m.batches,
+                m.coalesced,
+                m.served() as f64 / wall_s.max(1e-9),
+            );
+        }
+    }
+    points
 }
 
 struct SweepPoint {
@@ -285,19 +450,32 @@ fn main() {
     }));
     let plan = Arc::new(net.plan());
 
-    eprintln!("phase A: identity (injection off)");
-    let identical = phase_identity(&validator, &plan, &images);
+    eprintln!("phase A: identity (injection off, served + batched scoring)");
+    let identical =
+        batch_identity(&validator, &plan, &images) && phase_identity(&validator, &plan, &images);
+    assert!(
+        identical,
+        "identity gate failed before timing: batched or served scores diverged from score_into"
+    );
 
     eprintln!("phase B: soak ({soak_requests} requests under injected faults)");
     let soak = phase_soak(&validator, &plan, &images, soak_requests);
 
-    eprintln!("phase C: deadline sweep ({sweep_requests} requests per deadline)");
+    eprintln!("phase C: batch size x offered load sweep");
+    let (batch_grid, load_grid): (&[usize], &[u64]) = if quick {
+        (&[1, 8], &[soak_requests])
+    } else {
+        (&[1, 4, 8, 16], &[1000, soak_requests])
+    };
+    let batch_sweep = phase_batch_sweep(&validator, &plan, &images, batch_grid, load_grid);
+
+    eprintln!("phase D: deadline sweep ({sweep_requests} requests per deadline)");
     let sweep = phase_sweep(&validator, &plan, &images, sweep_requests);
 
     let s = &soak.snapshot;
     eprintln!(
         "  soak: {} submitted, {} served (full {} / reduced {} / confidence {}), \
-         {} expired, {} bad-input, {} crashes, {} respawns, {} rejected",
+         {} expired, {} bad-input, {} crash events ({} terminal), {} respawns, {} rejected",
         s.submitted,
         s.served(),
         s.served_full,
@@ -306,8 +484,13 @@ fn main() {
         s.expired,
         s.bad_input,
         s.worker_crashes,
+        s.requests_crashed,
         s.worker_respawns,
         s.rejected_queue_full,
+    );
+    eprintln!(
+        "  coalescing: {} batches covering {} requests, {} crash-parked retries",
+        s.batches, s.coalesced, s.batch_retried,
     );
     eprintln!(
         "  latency p50/p95/p99: {}/{}/{} us; recovery mean/max: {:.0}/{} us ({} recoveries)",
@@ -340,6 +523,13 @@ fn main() {
     json.push_str(&format!("    \"bad_input\": {},\n", s.bad_input));
     json.push_str(&format!("    \"worker_crashes\": {},\n", s.worker_crashes));
     json.push_str(&format!(
+        "    \"requests_crashed\": {},\n",
+        s.requests_crashed
+    ));
+    json.push_str(&format!("    \"batches\": {},\n", s.batches));
+    json.push_str(&format!("    \"coalesced\": {},\n", s.coalesced));
+    json.push_str(&format!("    \"batch_retried\": {},\n", s.batch_retried));
+    json.push_str(&format!(
         "    \"worker_respawns\": {},\n",
         s.worker_respawns
     ));
@@ -362,6 +552,28 @@ fn main() {
     ));
     json.push_str(&format!("    \"lost_or_hung\": {}\n", soak.lost_or_hung));
     json.push_str("  },\n");
+    json.push_str("  \"batch_sweep\": [\n");
+    for (i, p) in batch_sweep.iter().enumerate() {
+        let mean_batch = p.coalesced as f64 / (p.batches.max(1)) as f64;
+        json.push_str(&format!(
+            "    {{\"max_batch\": {}, \"load\": {}, \"submitted\": {}, \"rejected\": {}, \
+             \"served\": {}, \"expired\": {}, \"batches\": {}, \"coalesced\": {}, \
+             \"mean_batch\": {:.2}, \"wall_s\": {:.3}, \"throughput_rps\": {:.0}}}{}\n",
+            p.max_batch,
+            p.load,
+            p.submitted,
+            p.rejected,
+            p.served,
+            p.expired,
+            p.batches,
+            p.coalesced,
+            mean_batch,
+            p.wall_s,
+            p.throughput_rps,
+            if i + 1 < batch_sweep.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
     json.push_str("  \"deadline_sweep\": [\n");
     for (i, p) in sweep.iter().enumerate() {
         let served = (p.full + p.reduced + p.confidence).max(1) as f64;
@@ -390,5 +602,13 @@ fn main() {
         s.terminal_outcomes(),
         s.submitted,
         "soak accounting does not balance"
+    );
+    // ≥10x below the seed's 831 rejections at 4000 offered requests,
+    // scaled to this run's offered load (48 ≈ 4000·10/831).
+    assert!(
+        s.rejected_queue_full.saturating_mul(48) <= soak.requests,
+        "soak rejections did not drop 10x from the seed: {} at load {}",
+        s.rejected_queue_full,
+        soak.requests
     );
 }

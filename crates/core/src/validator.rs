@@ -71,6 +71,11 @@ pub struct ScoreWorkspace {
     rep: Vec<f32>,
     /// Scratch tap list for masked (degraded) scoring.
     taps: Vec<usize>,
+    /// Staged batch input: `staged` row-major items back to back, built
+    /// by [`stage_image`](ScoreWorkspace::stage_image) and consumed by
+    /// the `score_staged_*` entry points.
+    batch: Vec<f32>,
+    staged: usize,
 }
 
 impl ScoreWorkspace {
@@ -88,12 +93,59 @@ impl ScoreWorkspace {
         self.ws.reset();
         self.rep.clear();
         self.taps.clear();
+        self.begin_batch();
     }
 
     /// Read-only view of the underlying activation arena (diagnostics
     /// and tests; the serving path never needs it).
     pub fn workspace(&self) -> &Workspace {
         &self.ws
+    }
+
+    /// Clears the staged batch (keeping capacity), starting a new one.
+    pub fn begin_batch(&mut self) {
+        self.batch.clear();
+        self.staged = 0;
+    }
+
+    /// Validates `image` against `plan` and appends it to the staged
+    /// batch. Staging is deliberately separate from scoring so a server
+    /// can copy every request's pixels out *before* parking the requests
+    /// for crash recovery — the batch then scores from this buffer
+    /// without touching the parked jobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScoreError::BadInput`] (and stages nothing) if the image
+    /// shape does not match the plan input or a pixel is non-finite.
+    pub fn stage_image(&mut self, plan: &InferencePlan, image: &Tensor) -> Result<(), ScoreError> {
+        validate_plan_input(plan, image)?;
+        self.batch.extend_from_slice(image.data());
+        self.staged += 1;
+        Ok(())
+    }
+
+    /// Number of images currently staged.
+    pub fn staged(&self) -> usize {
+        self.staged
+    }
+
+    /// Pre-sizes every buffer for batches of up to `max_batch` images
+    /// through `plan`: the staging buffer and the activation arena grow
+    /// once, here, instead of mid-flight on the first full-sized batch.
+    pub fn reserve_for_batch(&mut self, plan: &InferencePlan, max_batch: usize) {
+        let b = max_batch.max(1);
+        let item: usize = plan.input_dims().iter().product();
+        let widest = (0..plan.num_ops())
+            .map(|i| plan.op_out_dims(i).iter().product::<usize>())
+            .max()
+            .unwrap_or(item)
+            .max(item);
+        let want = b * item;
+        if self.batch.capacity() < want {
+            self.batch.reserve(want - self.batch.len());
+        }
+        self.ws.reserve_acts(b * widest);
     }
 }
 
@@ -427,7 +479,7 @@ impl DeepValidator {
             keep.iter().all(|&v| v < self.probe_indices.len()),
             "keep positions must index the validated probe list"
         );
-        let ScoreWorkspace { ws, rep, taps } = sw;
+        let ScoreWorkspace { ws, rep, taps, .. } = sw;
         taps.clear();
         taps.extend(keep.iter().map(|&v| self.probe_indices[v]));
         let out = plan.forward_probed_into(image, taps, ws);
@@ -447,6 +499,170 @@ impl DeepValidator {
             per_layer.push(d);
         }
         Ok((predicted, confidence))
+    }
+
+    /// Batched Algorithm 2: scores every image in `images` through one
+    /// stacked forward pass, so the dense layers see a real `m = B` GEMM
+    /// instead of `B` degenerate single-row products. Per image,
+    /// `results` receives `(predicted, confidence)` and `per_layer`
+    /// receives one row of validated-layer discrepancies
+    /// (`per_layer[bi * L + t]` is image `bi`'s tap `t`) — every value
+    /// bit-identical to `B` separate
+    /// [`score_into`](DeepValidator::score_into) calls, at any
+    /// `DV_THREADS`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScoreError::BadInput`] on the first malformed image;
+    /// nothing is scored. Callers that need per-image error isolation
+    /// should validate before batching (as the serving frontend does).
+    pub fn score_batch_into(
+        &self,
+        plan: &InferencePlan,
+        images: &[Tensor],
+        sw: &mut ScoreWorkspace,
+        results: &mut Vec<(usize, f32)>,
+        per_layer: &mut Vec<f32>,
+    ) -> Result<(), ScoreError> {
+        sw.begin_batch();
+        for image in images {
+            sw.stage_image(plan, image)?;
+        }
+        self.score_staged_into(plan, sw, results, per_layer);
+        Ok(())
+    }
+
+    /// Masked variant of [`score_batch_into`](DeepValidator::score_batch_into):
+    /// every image in the batch is scored over only the validated-probe
+    /// positions in `keep` (the batched analogue of
+    /// [`score_masked_into`](DeepValidator::score_masked_into)), with
+    /// `per_layer` rows of width `keep.len()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScoreError::BadInput`] on the first malformed image;
+    /// nothing is scored.
+    pub fn score_batch_masked_into(
+        &self,
+        plan: &InferencePlan,
+        images: &[Tensor],
+        keep: &[usize],
+        sw: &mut ScoreWorkspace,
+        results: &mut Vec<(usize, f32)>,
+        per_layer: &mut Vec<f32>,
+    ) -> Result<(), ScoreError> {
+        sw.begin_batch();
+        for image in images {
+            sw.stage_image(plan, image)?;
+        }
+        self.score_staged_masked_into(plan, keep, sw, results, per_layer);
+        Ok(())
+    }
+
+    /// Scores the batch previously staged into `sw` (see
+    /// [`ScoreWorkspace::stage_image`]) over every validated probe.
+    /// `results` and `per_layer` are cleared first; with zero staged
+    /// images both come back empty. Staged inputs were validated at
+    /// staging time, so this path cannot fail — which is what lets a
+    /// serving worker park its requests before calling it.
+    pub fn score_staged_into(
+        &self,
+        plan: &InferencePlan,
+        sw: &mut ScoreWorkspace,
+        results: &mut Vec<(usize, f32)>,
+        per_layer: &mut Vec<f32>,
+    ) {
+        dv_trace::span!("core.score_batch");
+        results.clear();
+        per_layer.clear();
+        let ScoreWorkspace {
+            ws,
+            rep,
+            batch,
+            staged,
+            ..
+        } = sw;
+        let n = *staged;
+        if n == 0 {
+            return;
+        }
+        let out = plan.forward_probed_flat_into(batch, n, &self.probe_indices, ws);
+        let classes = out.num_classes();
+        for bi in 0..n {
+            let row = &out.logits()[bi * classes..(bi + 1) * classes];
+            let predicted = argmax_row(row);
+            let confidence = softmax_max(row);
+            // Tap loop per image, in the exact order `score_into` uses,
+            // over the image's slice of each probe buffer — the reducer
+            // and SVM see the same bits a single-image run feeds them.
+            for (t, &p) in self.probe_indices.iter().enumerate() {
+                let dims = plan.probe_item_dims(p);
+                let item: usize = dims.iter().product();
+                self.reducer
+                    .reduce_into(dims, &out.probe(t)[bi * item..(bi + 1) * item], rep);
+                let d = -(self.svms_for_probe(p)[predicted].decision(rep) as f32);
+                dv_trace::record_discrepancy(t, d);
+                per_layer.push(d);
+            }
+            results.push((predicted, confidence));
+        }
+    }
+
+    /// Masked variant of [`score_staged_into`](DeepValidator::score_staged_into):
+    /// taps only the validated-probe positions in `keep` for every
+    /// staged image (empty `keep` degrades the whole batch to
+    /// prediction + confidence).
+    pub fn score_staged_masked_into(
+        &self,
+        plan: &InferencePlan,
+        keep: &[usize],
+        sw: &mut ScoreWorkspace,
+        results: &mut Vec<(usize, f32)>,
+        per_layer: &mut Vec<f32>,
+    ) {
+        dv_trace::span!("core.score_batch_masked");
+        debug_assert!(
+            keep.windows(2).all(|w| w[0] < w[1]),
+            "keep positions must be strictly ascending"
+        );
+        debug_assert!(
+            keep.iter().all(|&v| v < self.probe_indices.len()),
+            "keep positions must index the validated probe list"
+        );
+        results.clear();
+        per_layer.clear();
+        let ScoreWorkspace {
+            ws,
+            rep,
+            taps,
+            batch,
+            staged,
+        } = sw;
+        let n = *staged;
+        if n == 0 {
+            return;
+        }
+        taps.clear();
+        taps.extend(keep.iter().map(|&v| self.probe_indices[v]));
+        let out = plan.forward_probed_flat_into(batch, n, taps, ws);
+        let classes = out.num_classes();
+        for bi in 0..n {
+            let row = &out.logits()[bi * classes..(bi + 1) * classes];
+            let predicted = argmax_row(row);
+            let confidence = softmax_max(row);
+            for (t, &v) in keep.iter().enumerate() {
+                let p = self.probe_indices[v];
+                let dims = plan.probe_item_dims(p);
+                let item: usize = dims.iter().product();
+                self.reducer
+                    .reduce_into(dims, &out.probe(t)[bi * item..(bi + 1) * item], rep);
+                let d = -(self.svms_for_probe(p)[predicted].decision(rep) as f32);
+                // Tap index `v`, matching `score_masked_into`'s telemetry.
+                dv_trace::record_discrepancy(v, d);
+                per_layer.push(d);
+            }
+            results.push((predicted, confidence));
+        }
     }
 
     /// Estimates discrepancies for many inputs through one shared

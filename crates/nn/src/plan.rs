@@ -279,8 +279,37 @@ impl InferencePlan {
         taps: &[usize],
         ws: &'w mut Workspace,
     ) -> PlanOutput<'w> {
-        dv_trace::span!("nn.forward");
         let n = self.batch_of(input);
+        self.forward_probed_flat_into(input.data(), n, taps, ws)
+    }
+
+    /// [`forward_probed_into`](InferencePlan::forward_probed_into) over a
+    /// borrowed flat batch: `input` is `n` row-major items of shape
+    /// [`input_dims`](InferencePlan::input_dims), back to back. This is
+    /// the entry point for callers that stage a batch incrementally in a
+    /// reusable buffer (the batched scorer) and so never hold a stacked
+    /// `Tensor` — bit-identical to running the same data through the
+    /// tensor entry point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero, `input` is not exactly `n` items long, or a
+    /// tap is out of range/unsorted.
+    pub fn forward_probed_flat_into<'w>(
+        &self,
+        input: &[f32],
+        n: usize,
+        taps: &[usize],
+        ws: &'w mut Workspace,
+    ) -> PlanOutput<'w> {
+        dv_trace::span!("nn.forward");
+        let item_in: usize = self.input_dims.iter().product();
+        assert!(n >= 1, "plan input batch must be non-empty");
+        assert_eq!(
+            input.len(),
+            n * item_in,
+            "plan input must be exactly n items"
+        );
         for w in taps.windows(2) {
             assert!(w[0] < w[1], "taps must be strictly ascending");
         }
@@ -291,9 +320,8 @@ impl InferencePlan {
         ws.ensure_probes(taps.len());
         let mut bufs = ws.take_acts();
 
-        let item_in: usize = self.input_dims.iter().product();
         ensure_zeroed(&mut bufs[0], n * item_in);
-        bufs[0].copy_from_slice(input.data());
+        bufs[0].copy_from_slice(input);
 
         let mut src = 0usize;
         let mut cur_item: &[usize] = &self.input_dims;

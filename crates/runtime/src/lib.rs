@@ -42,12 +42,14 @@
 //! workspace never touches raw threads or locks (dv-lint R2/R7):
 //! [`BoundedQueue`] (backpressured MPMC submission queue), [`oneshot`]
 //! (promise/ticket response handoff that breaks instead of hanging when
-//! a producer dies), and [`Crew`] (named pinned worker threads with
-//! crash supervision and respawn).
+//! a producer dies), [`Crew`] (named pinned worker threads with crash
+//! supervision and respawn), and [`HoldingPen`] (a crash-retry FIFO
+//! that keeps drained-but-unserved jobs recoverable across a panic).
 
 pub mod config;
 mod crew;
 mod oneshot;
+mod pen;
 mod pool;
 mod queue;
 mod rng;
@@ -55,8 +57,9 @@ mod stats;
 
 pub use crew::Crew;
 pub use oneshot::{oneshot, Broken, Promise, Ticket};
+pub use pen::HoldingPen;
 pub use pool::{current_threads, par_chunks_mut, par_for, par_map, Pool};
-pub use queue::{BoundedQueue, Popped, PushRejected};
+pub use queue::{BoundedQueue, Drained, Popped, PushRejected};
 pub use rng::split_seed;
 pub use stats::StatsSnapshot;
 

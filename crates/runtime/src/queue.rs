@@ -39,6 +39,17 @@ pub enum Popped<T> {
     Closed,
 }
 
+/// Result of a [`BoundedQueue::drain_up_to`] attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Drained {
+    /// This many items (≥ 1) were appended to the caller's buffer.
+    Items(usize),
+    /// Nothing arrived within the timeout (queue still open).
+    Empty,
+    /// The queue is closed **and** drained; no item will ever arrive.
+    Closed,
+}
+
 struct QueueInner<T> {
     items: VecDeque<T>,
     closed: bool,
@@ -132,6 +143,55 @@ impl<T> BoundedQueue<T> {
         }
     }
 
+    /// Dequeues up to `max` items in FIFO order into `out`, waiting up
+    /// to `timeout` only while the queue is empty. The wait covers the
+    /// *first* item alone: once anything is in hand, whatever else is
+    /// already queued (up to `max`) is taken in the same lock
+    /// acquisition and the call returns immediately — this is the batch
+    /// coalescing primitive for serving workers, which must never stall
+    /// an in-hand request waiting for companions to arrive.
+    ///
+    /// Items are appended to `out` (which is not cleared) preserving
+    /// queue order; `out[0]` is the oldest. Returns [`Drained::Empty`]
+    /// on timeout with nothing taken and [`Drained::Closed`] only once
+    /// the queue is both closed and fully drained, mirroring
+    /// [`pop_timeout`](BoundedQueue::pop_timeout).
+    pub fn drain_up_to(&self, max: usize, timeout: Duration, out: &mut Vec<T>) -> Drained {
+        if max == 0 {
+            return Drained::Empty;
+        }
+        let mut inner = self.lock();
+        loop {
+            if !inner.items.is_empty() {
+                let take = inner.items.len().min(max);
+                out.extend(inner.items.drain(..take));
+                return Drained::Items(take);
+            }
+            if inner.closed {
+                return Drained::Closed;
+            }
+            let (guard, wait) = self
+                .not_empty
+                .wait_timeout(inner, timeout)
+                .expect("queue lock poisoned: queue operations never panic while holding it");
+            inner = guard;
+            if wait.timed_out() {
+                // One last non-blocking check, as in `pop_timeout`: items
+                // may have arrived between the timeout and reacquisition.
+                if !inner.items.is_empty() {
+                    let take = inner.items.len().min(max);
+                    out.extend(inner.items.drain(..take));
+                    return Drained::Items(take);
+                }
+                return if inner.closed {
+                    Drained::Closed
+                } else {
+                    Drained::Empty
+                };
+            }
+        }
+    }
+
     /// Dequeues an item if one is immediately available.
     pub fn try_pop(&self) -> Popped<T> {
         let mut inner = self.lock();
@@ -204,6 +264,101 @@ mod tests {
             q.pop_timeout(Duration::from_millis(1)),
             Popped::Empty
         ));
+    }
+
+    #[test]
+    fn drain_up_to_preserves_fifo_order_and_caps_the_take() {
+        let q = BoundedQueue::bounded(8);
+        for i in 0..5 {
+            q.try_push(i).expect("queue has room");
+        }
+        let mut out = Vec::new();
+        assert_eq!(
+            q.drain_up_to(3, Duration::from_millis(1), &mut out),
+            Drained::Items(3)
+        );
+        assert_eq!(out, vec![0, 1, 2]);
+        // The buffer is appended to, not cleared, and the remainder keeps
+        // its order.
+        assert_eq!(
+            q.drain_up_to(8, Duration::from_millis(1), &mut out),
+            Drained::Items(2)
+        );
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn drain_up_to_times_out_empty_without_blocking_past_deadline() {
+        let q: BoundedQueue<u8> = BoundedQueue::bounded(4);
+        let mut out = Vec::new();
+        let t0 = std::time::Instant::now();
+        assert_eq!(
+            q.drain_up_to(4, Duration::from_millis(5), &mut out),
+            Drained::Empty
+        );
+        assert!(out.is_empty());
+        // Generous bound: the wait must be tied to the timeout, not to
+        // item arrival (nothing ever arrives here).
+        assert!(t0.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn drain_up_to_returns_as_soon_as_anything_is_available() {
+        // One queued item must come back alone — the wait never extends
+        // past first availability hoping for a fuller batch.
+        let q = BoundedQueue::bounded(4);
+        q.try_push(7).expect("queue has room");
+        let mut out = Vec::new();
+        assert_eq!(
+            q.drain_up_to(4, Duration::from_secs(30), &mut out),
+            Drained::Items(1)
+        );
+        assert_eq!(out, vec![7]);
+    }
+
+    #[test]
+    fn drain_up_to_drains_then_reports_closed() {
+        let q = BoundedQueue::bounded(4);
+        q.try_push(1).expect("queue has room");
+        q.try_push(2).expect("queue has room");
+        q.close();
+        let mut out = Vec::new();
+        assert_eq!(
+            q.drain_up_to(8, Duration::from_millis(1), &mut out),
+            Drained::Items(2)
+        );
+        assert_eq!(
+            q.drain_up_to(8, Duration::from_millis(1), &mut out),
+            Drained::Closed
+        );
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn drain_up_to_zero_is_a_noop() {
+        let q = BoundedQueue::bounded(2);
+        q.try_push(1).expect("queue has room");
+        let mut out = Vec::new();
+        assert_eq!(
+            q.drain_up_to(0, Duration::from_millis(1), &mut out),
+            Drained::Empty
+        );
+        assert!(out.is_empty());
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn close_wakes_blocked_drainer() {
+        let q = std::sync::Arc::new(BoundedQueue::<u8>::bounded(1));
+        let q2 = std::sync::Arc::clone(&q);
+        let h = std::thread::spawn(move || {
+            let mut out = Vec::new();
+            q2.drain_up_to(4, Duration::from_secs(30), &mut out)
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        q.close();
+        let got = h.join().expect("drainer thread must not panic");
+        assert_eq!(got, Drained::Closed);
     }
 
     #[test]

@@ -69,6 +69,13 @@ pub struct ServeConfig {
     /// one picked up with a squeezed budget is served through a degraded
     /// rung instead.
     pub deadline: Duration,
+    /// Largest number of queued requests one worker wakeup may coalesce
+    /// into a single batched forward pass. Coalescing never waits for a
+    /// batch to fill — a worker takes whatever depth the queue already
+    /// holds (up to this cap), so an idle server still serves singles at
+    /// single-request latency while a bursty one turns queue depth into
+    /// batch size. `1` disables coalescing entirely.
+    pub max_batch: usize,
     /// How shutdown treats the queue backlog.
     pub shutdown: ShutdownPolicy,
     /// How many trailing validated layers the reduced (masked-tap) rung
@@ -91,6 +98,7 @@ impl Default for ServeConfig {
             workers: 2,
             queue_capacity: 64,
             deadline: Duration::from_millis(50),
+            max_batch: 8,
             shutdown: ShutdownPolicy::Drain,
             reduced_taps: 1,
             breaker: None,

@@ -51,6 +51,7 @@ mod config;
 mod fault;
 mod metrics;
 mod response;
+mod retry;
 mod server;
 
 pub use config::{BreakerConfig, ServeConfig, ShutdownPolicy};
@@ -58,6 +59,7 @@ pub use config::{BreakerConfig, ServeConfig, ShutdownPolicy};
 pub use fault::FaultPlan;
 pub use metrics::MetricsSnapshot;
 pub use response::{Outcome, Pending, Rejected, ScoreResponse, ServedVia};
+pub use retry::RetryPolicy;
 pub use server::Server;
 
 pub use dv_core::{BadInput, ScoreError};

@@ -39,8 +39,19 @@ pub(crate) mod names {
     pub(crate) const EXPIRED: &str = "serve.expired";
     /// Requests rejected by input validation.
     pub(crate) const BAD_INPUT: &str = "serve.bad_input";
-    /// Worker panics observed.
+    /// Worker panics observed (crash *events*; a mid-batch panic is one
+    /// event even though it parks several requests for retry).
     pub(crate) const WORKER_CRASHES: &str = "serve.worker_crashes";
+    /// Requests that terminally failed with `WorkerCrashed` (after the
+    /// single crash-retry for batch members). This — not
+    /// [`WORKER_CRASHES`] — is the per-request terminal outcome.
+    pub(crate) const REQUESTS_CRASHED: &str = "serve.requests_crashed";
+    /// Requests served as part of a coalesced batch of ≥ 2.
+    pub(crate) const COALESCED: &str = "serve.coalesced";
+    /// Coalesced batches scored (each a single stacked forward pass).
+    pub(crate) const BATCHES: &str = "serve.batches";
+    /// Parked batch members re-scored singly after a mid-batch crash.
+    pub(crate) const BATCH_RETRIED: &str = "serve.batch_retried";
     /// Requests shed during shutdown.
     pub(crate) const SHED_SHUTDOWN: &str = "serve.shed_shutdown";
     /// Responses served after their deadline passed.
@@ -53,6 +64,8 @@ pub(crate) mod names {
     pub(crate) const RECOVERY_MAX_US: &str = "serve.recovery_max_us";
     /// Submission-to-response latency of served requests (µs).
     pub(crate) const LATENCY_US: &str = "serve.latency_us";
+    /// Coalesced batch sizes (one sample per batch of ≥ 2).
+    pub(crate) const BATCH_SIZE: &str = "serve.batch_size";
 }
 
 /// All counter names, for eager registration.
@@ -70,6 +83,10 @@ const COUNTERS: &[&str] = &[
     names::EXPIRED,
     names::BAD_INPUT,
     names::WORKER_CRASHES,
+    names::REQUESTS_CRASHED,
+    names::COALESCED,
+    names::BATCHES,
+    names::BATCH_RETRIED,
     names::SHED_SHUTDOWN,
     names::DEADLINE_MISSED,
     names::RECOVERY_COUNT,
@@ -91,6 +108,7 @@ impl Metrics {
             let _ = reg.counter(name);
         }
         let _ = reg.histogram(names::LATENCY_US);
+        let _ = reg.histogram(names::BATCH_SIZE);
         Self { reg }
     }
 
@@ -107,6 +125,14 @@ impl Metrics {
     /// Records one served-request latency.
     pub(crate) fn record_latency_us(&self, us: u64) {
         self.reg.histogram(names::LATENCY_US).record(us);
+    }
+
+    /// Records one coalesced batch: its size sample plus the batch and
+    /// per-member coalescing counters.
+    pub(crate) fn record_batch(&self, size: u64) {
+        self.reg.counter(names::BATCHES).inc();
+        self.reg.counter(names::COALESCED).add(size);
+        self.reg.histogram(names::BATCH_SIZE).record(size);
     }
 
     /// Records a crash-to-recovered interval (worker respawned, warmed,
@@ -136,6 +162,10 @@ impl Metrics {
             expired: get(names::EXPIRED),
             bad_input: get(names::BAD_INPUT),
             worker_crashes: get(names::WORKER_CRASHES),
+            requests_crashed: get(names::REQUESTS_CRASHED),
+            coalesced: get(names::COALESCED),
+            batches: get(names::BATCHES),
+            batch_retried: get(names::BATCH_RETRIED),
             worker_respawns,
             shed_shutdown: get(names::SHED_SHUTDOWN),
             deadline_missed: get(names::DEADLINE_MISSED),
@@ -180,8 +210,21 @@ pub struct MetricsSnapshot {
     pub expired: u64,
     /// Requests rejected by input validation (shape / non-finite).
     pub bad_input: u64,
-    /// Worker panics observed (each poisons exactly one request).
+    /// Worker panics observed (crash *events*). A panic on a single
+    /// request poisons that request; a panic mid-batch parks the batch's
+    /// members for one single-image retry each, so this can exceed
+    /// [`requests_crashed`](MetricsSnapshot::requests_crashed).
     pub worker_crashes: u64,
+    /// Requests that terminally failed with `WorkerCrashed` — the
+    /// per-request crash outcome used by
+    /// [`terminal_outcomes`](MetricsSnapshot::terminal_outcomes).
+    pub requests_crashed: u64,
+    /// Requests served as part of a coalesced batch of ≥ 2.
+    pub coalesced: u64,
+    /// Coalesced batches scored (one stacked forward pass each).
+    pub batches: u64,
+    /// Parked batch members re-scored singly after a mid-batch crash.
+    pub batch_retried: u64,
     /// Workers respawned by the supervisor.
     pub worker_respawns: u64,
     /// Requests shed during shutdown.
@@ -215,7 +258,7 @@ impl MetricsSnapshot {
     /// lost or left hanging.
     #[must_use]
     pub fn terminal_outcomes(&self) -> u64 {
-        self.served() + self.expired + self.bad_input + self.worker_crashes + self.shed_shutdown
+        self.served() + self.expired + self.bad_input + self.requests_crashed + self.shed_shutdown
     }
 }
 
@@ -265,12 +308,29 @@ mod tests {
         m.inc(names::SERVED_CONFIDENCE);
         m.inc(names::SERVED_CONFIDENCE);
         m.inc(names::EXPIRED);
+        // Two crash events, but only one request terminally crashed (the
+        // other members were parked and retried): accounting follows the
+        // per-request counter.
         m.inc(names::WORKER_CRASHES);
+        m.inc(names::WORKER_CRASHES);
+        m.inc(names::REQUESTS_CRASHED);
         m.inc(names::SHED_SHUTDOWN);
         let s = m.snapshot(3);
         assert_eq!(s.served(), 7);
         assert_eq!(s.terminal_outcomes(), 10);
+        assert_eq!(s.worker_crashes, 2);
+        assert_eq!(s.requests_crashed, 1);
         assert_eq!(s.worker_respawns, 3);
+    }
+
+    #[test]
+    fn batch_recording_tracks_batches_and_members() {
+        let m = Metrics::new();
+        m.record_batch(4);
+        m.record_batch(2);
+        let s = m.snapshot(0);
+        assert_eq!(s.batches, 2);
+        assert_eq!(s.coalesced, 6);
     }
 
     #[test]
@@ -292,5 +352,6 @@ mod tests {
             assert!(json.contains(name), "missing {name} in\n{json}");
         }
         assert!(json.contains(names::LATENCY_US));
+        assert!(json.contains(names::BATCH_SIZE));
     }
 }

@@ -58,6 +58,10 @@ pub struct ScoreResponse {
     /// The request's submission sequence number (for correlating
     /// responses with submissions and fault schedules).
     pub seq: u64,
+    /// Size of the coalesced batch this request was scored in (`1` for a
+    /// request served on its own, whether because the queue was shallow
+    /// or because it fell down the degrade ladder individually).
+    pub batch: usize,
 }
 
 /// Terminal outcome of a submitted request: a response or a typed error.
@@ -67,9 +71,15 @@ pub type Outcome = Result<ScoreResponse, ScoreError>;
 /// request (the image is dropped; nothing was enqueued).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Rejected {
-    /// The submission queue is at capacity — backpressure; retry later
-    /// or shed upstream.
-    QueueFull,
+    /// The submission queue is at capacity — backpressure; retry no
+    /// sooner than `retry_after` or shed upstream.
+    QueueFull {
+        /// Backpressure hint derived from the observed worker drain
+        /// rate: roughly how long until one queue slot frees up. Feed it
+        /// to [`RetryPolicy`](crate::RetryPolicy) as the `hint` — it is
+        /// an estimate, not a reservation.
+        retry_after: Duration,
+    },
     /// The server is shutting down and accepts no new work.
     ShuttingDown,
 }

@@ -1,0 +1,141 @@
+//! Deterministic jittered backoff for callers bounced by backpressure.
+//!
+//! A [`Rejected::QueueFull`](crate::Rejected::QueueFull) carries a
+//! `retry_after` hint derived from the server's observed drain rate;
+//! [`RetryPolicy`] turns that hint into a full client-side schedule:
+//! exponential growth per attempt, a deterministic ±25% jitter so a
+//! thundering herd of rejected clients decorrelates without any shared
+//! randomness, and a hard attempt cap after which the caller should shed
+//! the request upstream. The schedule is a pure function of
+//! `(seed, key, attempt)` — two clients with different keys spread out,
+//! while one client replays identically run to run, which is what lets
+//! the soak harness assert exact rejection counts.
+
+use std::time::Duration;
+
+use dv_runtime::split_seed;
+
+/// Deterministic jittered-exponential backoff schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Delay floor for the first attempt when the server supplied no
+    /// hint (or a smaller one).
+    pub base: Duration,
+    /// Hard ceiling on any single delay, after growth and jitter.
+    pub max_delay: Duration,
+    /// Attempts allowed before [`delay`](RetryPolicy::delay) gives up
+    /// (returns `None`). `0` means never retry.
+    pub max_attempts: u32,
+    /// Seed decorrelating this client's jitter from other clients'.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            base: Duration::from_micros(200),
+            max_delay: Duration::from_millis(50),
+            max_attempts: 8,
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The pause before retry number `attempt` (0-based) of the request
+    /// identified by `key`, or `None` once the attempt budget is spent.
+    ///
+    /// `hint` is the server's `retry_after` from the rejection being
+    /// retried; the schedule starts from `max(hint, base)` and doubles
+    /// per attempt, so a congested server's estimate is respected but
+    /// never trusted below the configured floor. Jitter multiplies the
+    /// delay by a deterministic factor in `[0.75, 1.25)` drawn from
+    /// `(seed, key, attempt)`.
+    #[must_use]
+    pub fn delay(&self, key: u64, attempt: u32, hint: Option<Duration>) -> Option<Duration> {
+        if attempt >= self.max_attempts {
+            return None;
+        }
+        let floor = hint.map_or(self.base, |h| h.max(self.base));
+        let grown = floor
+            .saturating_mul(1u32 << attempt.min(20))
+            .min(self.max_delay);
+        // Deterministic jitter in [0.75, 1.25): 768..1280 / 1024ths.
+        let draw = split_seed(self.seed, (key << 8) | u64::from(attempt & 0xFF)) % 512;
+        let num = 768 + draw;
+        let jittered_us = (grown.as_micros() as u64).saturating_mul(num) / 1024;
+        Some(Duration::from_micros(jittered_us.max(1)).min(self.max_delay))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> RetryPolicy {
+        RetryPolicy {
+            base: Duration::from_micros(100),
+            max_delay: Duration::from_millis(10),
+            max_attempts: 5,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic_per_key_and_attempt() {
+        let p = policy();
+        for attempt in 0..5 {
+            assert_eq!(p.delay(7, attempt, None), p.delay(7, attempt, None));
+        }
+        // Different keys decorrelate: at least one attempt differs.
+        let diverges = (0..5).any(|a| p.delay(7, a, None) != p.delay(8, a, None));
+        assert!(diverges, "jitter failed to decorrelate distinct keys");
+    }
+
+    #[test]
+    fn delays_grow_exponentially_until_the_cap() {
+        let p = policy();
+        let d0 = p.delay(1, 0, None).expect("attempt 0 is within budget");
+        let d3 = p.delay(1, 3, None).expect("attempt 3 is within budget");
+        // 8x growth dwarfs the ±25% jitter band.
+        assert!(d3 > d0 * 4, "d0={d0:?} d3={d3:?}");
+        let d_capped = p.delay(1, 4, None).expect("attempt 4 is within budget");
+        assert!(d_capped <= p.max_delay);
+    }
+
+    #[test]
+    fn server_hint_raises_the_floor_but_never_lowers_it() {
+        let p = policy();
+        let hinted = p
+            .delay(3, 0, Some(Duration::from_millis(2)))
+            .expect("attempt 0 is within budget");
+        // 2ms hint with ±25% jitter stays well above the 100µs base.
+        assert!(hinted >= Duration::from_micros(1500), "{hinted:?}");
+        let tiny_hint = p
+            .delay(3, 0, Some(Duration::from_nanos(1)))
+            .expect("attempt 0 is within budget");
+        assert!(tiny_hint >= Duration::from_micros(75), "{tiny_hint:?}");
+    }
+
+    #[test]
+    fn attempt_budget_exhausts_to_none() {
+        let p = policy();
+        assert!(p.delay(0, 4, None).is_some());
+        assert_eq!(p.delay(0, 5, None), None);
+        let never = RetryPolicy {
+            max_attempts: 0,
+            ..policy()
+        };
+        assert_eq!(never.delay(0, 0, None), None);
+    }
+
+    #[test]
+    fn jitter_stays_inside_its_band() {
+        let p = policy();
+        for key in 0..64 {
+            let d = p.delay(key, 0, None).expect("attempt 0 is within budget");
+            let us = d.as_micros() as u64;
+            assert!((75..125).contains(&us), "key {key}: {us}µs outside band");
+        }
+    }
+}

@@ -1,5 +1,13 @@
 //! The serving frontend: pinned workers over a bounded queue, with
-//! deadline-driven degradation, panic isolation, and supervised respawn.
+//! deadline-driven degradation, adaptive batching, panic isolation, and
+//! supervised respawn.
+//!
+//! Under burst load a worker wakeup drains up to
+//! [`ServeConfig::max_batch`] queued requests and coalesces the ones
+//! that can afford full-batch latency into a single stacked forward
+//! pass (see [`serve_drained`]); queue depth becomes batch size instead
+//! of `QueueFull` rejections. Coalescing never waits: an idle server
+//! still serves singles at single-request latency.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -9,7 +17,7 @@ use std::time::{Duration, Instant};
 use dv_core::{DeepValidator, ScoreError, ScoreWorkspace};
 use dv_drift::{DriftEvent, DriftMonitor};
 use dv_nn::InferencePlan;
-use dv_runtime::{oneshot, BoundedQueue, Crew, Popped, Promise, PushRejected};
+use dv_runtime::{oneshot, BoundedQueue, Crew, Drained, HoldingPen, Popped, Promise, PushRejected};
 use dv_tensor::Tensor;
 
 use crate::config::{BreakerConfig, ServeConfig, ShutdownPolicy};
@@ -25,8 +33,12 @@ const SUPERVISE_TICK: Duration = Duration::from_millis(1);
 /// Safety factor between the remaining deadline budget and a rung's
 /// warmup-measured cost: a rung is only chosen when the budget is at
 /// least twice its estimate, so normal jitter does not turn a chosen
-/// rung into a deadline miss.
+/// rung into a deadline miss. The same margin guards batch admission.
 const RUNG_MARGIN: u64 = 2;
+
+/// Fallback `retry_after` before any job has been drained (no observed
+/// drain rate yet).
+const RETRY_AFTER_DEFAULT_US: u64 = 1_000;
 
 /// One queued scoring request. Dropping a `Job` without fulfilling its
 /// promise breaks the caller's ticket — which is exactly what makes an
@@ -89,18 +101,63 @@ struct Shared {
     /// written when an incarnation unwinds, consumed by the respawned
     /// incarnation to report its crash-to-recovered interval.
     crash_stamp_us: Vec<AtomicU64>,
+    /// Per-slot crash-retry holding pen: a worker parks everything it
+    /// drained (coalesced batch members first, then the jobs it will
+    /// serve singly) here *before* scoring anything, so a panic
+    /// anywhere in the wakeup leaves every not-yet-served promise
+    /// intact for a single-image retry on the respawned incarnation.
+    /// The [`HoldingPen`] API holds its lock only inside each call —
+    /// never across scoring — and incarnations of one slot are
+    /// serialized by the supervisor, so it cannot be contended into a
+    /// stall.
+    parked: Vec<HoldingPen<Job>>,
+    /// Per-slot flag: a *single* (non-batch) request is being scored. A
+    /// panic with this set is a terminal per-request crash — there is no
+    /// parked copy to retry — so `worker_body` counts it in
+    /// `requests_crashed`.
+    single_in_flight: Vec<AtomicBool>,
+    /// Total jobs drained off the queue by workers, for the observed
+    /// drain rate behind [`Rejected::QueueFull`]'s `retry_after`.
+    popped_jobs: AtomicU64,
 }
 
 impl Shared {
     fn elapsed_us(&self) -> u64 {
         self.start.elapsed().as_micros() as u64
     }
+
+    /// Backpressure hint: mean observed time per drained job (how long
+    /// until one queue slot frees up), clamped to a sane band, with a
+    /// fixed default before any job has been drained.
+    fn retry_after(&self) -> Duration {
+        let popped = self.popped_jobs.load(Ordering::SeqCst);
+        let us = self
+            .elapsed_us()
+            .checked_div(popped)
+            .map_or(RETRY_AFTER_DEFAULT_US, |per_job| per_job.clamp(50, 100_000));
+        Duration::from_micros(us)
+    }
 }
 
-/// Warmup-measured per-rung cost estimates for one worker incarnation.
+/// Warmup-measured per-rung cost estimates for one worker incarnation,
+/// refined online (see [`refine_estimate`]) from observed scoring times
+/// so a noisy warmup cannot permanently miscalibrate the ladder.
 struct RungEstimates {
     full_us: u64,
     reduced_us: u64,
+    /// Amortized per-image cost inside a stacked batch (≤ `full_us`:
+    /// the GEMM amortizes packing across rows).
+    batch_item_us: u64,
+}
+
+/// 4:1 EWMA of an estimate toward an observed scoring duration. Warmup
+/// (min over a few reps on an otherwise idle thread) seeds the value;
+/// this keeps it honest over the incarnation's lifetime, which is what
+/// makes the deadline sweep monotone — the seed repo's 750µs-beats-1000µs
+/// inversion came from per-incarnation warmup variance that a one-shot
+/// estimate never corrected.
+fn refine_estimate(est: &mut u64, observed_us: u64) {
+    *est = (*est * 3 + observed_us).div_ceil(4).max(1);
 }
 
 /// The degradation ladder's decision: richest rung whose estimated cost,
@@ -124,6 +181,19 @@ enum Rung {
     Confidence,
 }
 
+/// Per-incarnation worker state: scratch buffers, the reduced-rung tap
+/// list, and the (mutable, online-refined) rung cost estimates.
+struct WorkerCtx {
+    sw: ScoreWorkspace,
+    per_layer: Vec<f32>,
+    /// Batch scoring outputs, reused across batches.
+    results: Vec<(usize, f32)>,
+    batch_pl: Vec<f32>,
+    reduced_keep: Vec<usize>,
+    est: RungEstimates,
+    max_batch: usize,
+}
+
 /// A running scoring server. Dropping it without
 /// [`shutdown`](Server::shutdown) sheds the backlog and joins the
 /// workers, so no request is ever left hanging.
@@ -139,8 +209,8 @@ impl Server {
     ///
     /// The validator and plan are shared immutably with every worker;
     /// each worker incarnation builds and warms its own
-    /// [`ScoreWorkspace`], so nothing mutable is shared on the scoring
-    /// path.
+    /// [`ScoreWorkspace`] (sized for `max_batch`), so nothing mutable is
+    /// shared on the scoring path.
     pub fn start(
         validator: Arc<DeepValidator>,
         plan: Arc<InferencePlan>,
@@ -163,6 +233,9 @@ impl Server {
             stop_monitor: AtomicBool::new(false),
             seq: AtomicU64::new(0),
             crash_stamp_us: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            parked: (0..workers).map(|_| HoldingPen::new()).collect(),
+            single_in_flight: (0..workers).map(|_| AtomicBool::new(false)).collect(),
+            popped_jobs: AtomicU64::new(0),
             validator,
             plan,
             cfg,
@@ -207,7 +280,8 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Returns [`Rejected::QueueFull`] under backpressure and
+    /// Returns [`Rejected::QueueFull`] (carrying a drain-rate-derived
+    /// `retry_after` hint) under backpressure and
     /// [`Rejected::ShuttingDown`] once shutdown began; in both cases the
     /// image is dropped and nothing was enqueued.
     pub fn try_submit(&self, image: Tensor) -> Result<Pending, Rejected> {
@@ -238,7 +312,9 @@ impl Server {
             Err(PushRejected::Full(job)) => {
                 drop(job);
                 self.shared.metrics.inc(names::REJECTED_QUEUE_FULL);
-                Err(Rejected::QueueFull)
+                Err(Rejected::QueueFull {
+                    retry_after: self.shared.retry_after(),
+                })
             }
             Err(PushRejected::Closed(job)) => {
                 drop(job);
@@ -294,9 +370,11 @@ impl Server {
             self.shed_backlog();
         }
         self.workers.join();
-        // Pathological safety net: if every worker crashed mid-drain
-        // with supervision already stopped, jobs may remain; fail them
-        // rather than leave tickets hanging.
+        // Pathological safety nets, reached only when a worker crashed
+        // with supervision already stopped: jobs it parked mid-batch (no
+        // incarnation left to retry them) and jobs still queued (every
+        // worker dead mid-drain) are failed rather than left hanging.
+        self.shed_parked();
         self.shed_backlog();
     }
 
@@ -304,6 +382,17 @@ impl Server {
         while let Popped::Item(job) = self.shared.queue.try_pop() {
             self.shared.metrics.inc(names::SHED_SHUTDOWN);
             job.promise.fulfill(Err(ScoreError::Shutdown));
+        }
+    }
+
+    /// Fails every still-parked crash-retry job. Only called after
+    /// `workers.join()`, so no worker can be touching the pens.
+    fn shed_parked(&self) {
+        for pen in &self.shared.parked {
+            while let Some(job) = pen.pop_front() {
+                self.shared.metrics.inc(names::SHED_SHUTDOWN);
+                job.promise.fulfill(Err(ScoreError::Shutdown));
+            }
         }
     }
 }
@@ -348,26 +437,46 @@ fn ingest_drift_obs(shared: &Arc<Shared>, drift: Option<&mut DriftMonitor>, batc
 }
 
 /// One worker incarnation: warm up, report recovery if this is a
-/// respawn, then serve until the queue closes. A panic anywhere inside
-/// unwinds through the in-flight job (breaking exactly that request's
-/// promise), is caught here, and leaves a crash stamp for the next
-/// incarnation.
+/// respawn, retry anything the crashed predecessor parked, then serve
+/// until the queue closes. A panic anywhere inside is caught here; if a
+/// single request was in flight its broken promise is the terminal
+/// crash outcome, while a parked batch survives for the next
+/// incarnation to retry.
 fn worker_body(shared: &Arc<Shared>, slot: usize) {
     let crashed = catch_unwind(AssertUnwindSafe(|| worker_loop(shared, slot))).is_err();
     if crashed {
         shared.metrics.inc(names::WORKER_CRASHES);
+        if shared.single_in_flight[slot].swap(false, Ordering::SeqCst) {
+            // The unwound request had no parked copy: its dropped
+            // promise is a terminal WorkerCrashed outcome.
+            shared.metrics.inc(names::REQUESTS_CRASHED);
+        }
         shared.crash_stamp_us[slot].store(shared.elapsed_us().max(1), Ordering::SeqCst);
     }
 }
 
 fn worker_loop(shared: &Arc<Shared>, slot: usize) {
     // Per-incarnation state: a fresh workspace (so a respawn can never
-    // see a crashed predecessor's buffers) warmed on a dummy input, plus
-    // the rung cost estimates the degradation ladder consults.
+    // see a crashed predecessor's buffers) sized for max_batch and
+    // warmed on dummy inputs, plus the rung cost estimates the
+    // degradation ladder consults.
+    let max_batch = shared.cfg.max_batch.max(1);
     let mut sw = ScoreWorkspace::new();
-    let mut per_layer: Vec<f32> = Vec::new();
-    let reduced_keep = reduced_keep_list(shared);
-    let est = warm_up(shared, &reduced_keep, &mut sw, &mut per_layer);
+    sw.reserve_for_batch(&shared.plan, max_batch);
+    let mut ctx = WorkerCtx {
+        per_layer: Vec::new(),
+        results: Vec::new(),
+        batch_pl: Vec::new(),
+        reduced_keep: reduced_keep_list(shared),
+        est: RungEstimates {
+            full_us: 0,
+            reduced_us: 0,
+            batch_item_us: 0,
+        },
+        max_batch,
+        sw,
+    };
+    ctx.est = warm_up(shared, &mut ctx);
 
     // If the previous incarnation of this slot crashed, the gap from its
     // crash to now (respawned, warmed, ready) is the recovery time.
@@ -378,22 +487,44 @@ fn worker_loop(shared: &Arc<Shared>, slot: usize) {
             .record_recovery(shared.elapsed_us().saturating_sub(stamp));
     }
 
+    // Crash-retry: whatever the crashed predecessor parked is re-scored
+    // singly, once each, before any new work — the batch that crashed
+    // never crashes the same requests into limbo twice.
+    serve_parked(shared, slot, &mut ctx, true);
+
+    let mut drained: Vec<Job> = Vec::with_capacity(max_batch);
     loop {
-        match shared.queue.pop_timeout(POP_TICK) {
-            Popped::Item(job) => {
-                serve_job(
-                    shared,
-                    slot,
-                    job,
-                    &reduced_keep,
-                    &est,
-                    &mut sw,
-                    &mut per_layer,
-                );
+        drained.clear();
+        match shared.queue.drain_up_to(max_batch, POP_TICK, &mut drained) {
+            Drained::Items(k) => {
+                shared.popped_jobs.fetch_add(k as u64, Ordering::SeqCst);
+                serve_drained(shared, slot, &mut drained, &mut ctx);
             }
-            Popped::Empty => {}
-            Popped::Closed => return,
+            Drained::Empty => {}
+            Drained::Closed => return,
         }
+    }
+}
+
+/// Pops the slot's holding pen one job at a time through the
+/// single-request path. With `as_retry` (a respawned incarnation
+/// recovering a crashed predecessor's pen), each pop counts in
+/// `batch_retried`; the job whose injected (or genuine) fault killed
+/// the batch will crash again here — with `single_in_flight` set, so
+/// exactly that request terminally counts as crashed — and the jobs
+/// still parked survive for the *next* incarnation, which resumes this
+/// drain. Without `as_retry` this is just the normal post-batch
+/// single-serve loop (jobs pass through the pen so none of them can be
+/// dropped promise-unfulfilled by a panic in an earlier single).
+fn serve_parked(shared: &Arc<Shared>, slot: usize, ctx: &mut WorkerCtx, as_retry: bool) {
+    loop {
+        let Some(job) = shared.parked[slot].pop_front() else {
+            return;
+        };
+        if as_retry {
+            shared.metrics.inc(names::BATCH_RETRIED);
+        }
+        serve_job(shared, slot, job, ctx);
     }
 }
 
@@ -409,33 +540,37 @@ fn reduced_keep_list(shared: &Arc<Shared>) -> Vec<usize> {
     (total - keep..total).collect()
 }
 
-/// Scores a zeros-image through every rung a couple of times: grows the
+/// Scores zeros-images through every rung a couple of times: grows the
 /// workspace to its steady allocation-free size and measures per-rung
 /// cost (min over reps, so a cold first pass does not inflate the
-/// estimate).
-fn warm_up(
-    shared: &Arc<Shared>,
-    reduced_keep: &[usize],
-    sw: &mut ScoreWorkspace,
-    per_layer: &mut Vec<f32>,
-) -> RungEstimates {
+/// estimate), including the amortized per-image cost of a full
+/// `max_batch` stacked pass.
+fn warm_up(shared: &Arc<Shared>, ctx: &mut WorkerCtx) -> RungEstimates {
     const REPS: usize = 3;
     dv_trace::span!("serve.warmup");
     let dummy = Tensor::zeros(shared.plan.input_dims());
     let mut full_us = u64::MAX;
     let mut reduced_us = u64::MAX;
+    let mut batch_total_us = u64::MAX;
+    let batch_dummies: Vec<Tensor> = vec![dummy.clone(); ctx.max_batch];
     for _ in 0..REPS {
         let t0 = Instant::now();
         shared
             .validator
-            .score_into(&shared.plan, &dummy, sw, per_layer)
+            .score_into(&shared.plan, &dummy, &mut ctx.sw, &mut ctx.per_layer)
             .expect("zeros warmup image always matches the plan input");
         full_us = full_us.min(t0.elapsed().as_micros() as u64);
-        if !reduced_keep.is_empty() {
+        if !ctx.reduced_keep.is_empty() {
             let t0 = Instant::now();
             shared
                 .validator
-                .score_masked_into(&shared.plan, &dummy, reduced_keep, sw, per_layer)
+                .score_masked_into(
+                    &shared.plan,
+                    &dummy,
+                    &ctx.reduced_keep,
+                    &mut ctx.sw,
+                    &mut ctx.per_layer,
+                )
                 .expect("zeros warmup image always matches the plan input");
             reduced_us = reduced_us.min(t0.elapsed().as_micros() as u64);
         }
@@ -443,29 +578,220 @@ fn warm_up(
         // with an empty keep list), and always affordable by definition.
         shared
             .validator
-            .score_masked_into(&shared.plan, &dummy, &[], sw, per_layer)
+            .score_masked_into(&shared.plan, &dummy, &[], &mut ctx.sw, &mut ctx.per_layer)
             .expect("zeros warmup image always matches the plan input");
+        if ctx.max_batch > 1 {
+            let t0 = Instant::now();
+            shared
+                .validator
+                .score_batch_into(
+                    &shared.plan,
+                    &batch_dummies,
+                    &mut ctx.sw,
+                    &mut ctx.results,
+                    &mut ctx.batch_pl,
+                )
+                .expect("zeros warmup images always match the plan input");
+            batch_total_us = batch_total_us.min(t0.elapsed().as_micros() as u64);
+        }
     }
     RungEstimates {
         full_us,
-        reduced_us: if reduced_keep.is_empty() {
+        reduced_us: if ctx.reduced_keep.is_empty() {
             0
         } else {
             reduced_us
         },
+        batch_item_us: if ctx.max_batch > 1 {
+            (batch_total_us / ctx.max_batch as u64).max(1)
+        } else {
+            full_us.max(1)
+        },
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn serve_job(
-    shared: &Arc<Shared>,
-    slot: usize,
-    job: Job,
-    reduced_keep: &[usize],
-    est: &RungEstimates,
-    sw: &mut ScoreWorkspace,
-    per_layer: &mut Vec<f32>,
-) {
+/// Dispatches one drained wakeup's worth of jobs: a single job goes
+/// straight down the single-request path; several are partitioned by a
+/// greedy FIFO scan into one full-rung coalesced batch plus individual
+/// leftovers.
+///
+/// Admission to the batch is deadline-aware and never coalesces past
+/// the tightest deadline already admitted: a candidate joins only if
+/// *every* admitted member (and the candidate itself) could still
+/// afford a full batch of the grown size, i.e.
+/// `min(remaining budgets) ≥ RUNG_MARGIN × batch_item_us × (B + 1)`.
+/// Everything else — shed, expired, spiking, breaker-degraded,
+/// tight-budget, malformed — falls down the existing single-request
+/// degrade ladder individually.
+///
+/// Every job that survives partition is parked in the slot's holding
+/// pen (batch members first, then the singles) *before* anything is
+/// scored: a panic at any point of the wakeup — mid-batch or mid-single
+/// — leaves every not-yet-served promise recoverable.
+fn serve_drained(shared: &Arc<Shared>, slot: usize, drained: &mut Vec<Job>, ctx: &mut WorkerCtx) {
+    if drained.len() == 1 {
+        let job = drained.pop().expect("length checked above");
+        serve_job(shared, slot, job, ctx);
+        return;
+    }
+    let now = Instant::now();
+    let mut batch_jobs: Vec<Job> = Vec::with_capacity(drained.len());
+    let mut singles: Vec<Job> = Vec::new();
+    let mut min_remaining_us = u64::MAX;
+    ctx.sw.begin_batch();
+    for job in drained.drain(..) {
+        if shared.shedding.load(Ordering::SeqCst) || now >= job.deadline {
+            // Terminal either way; let the single path apply its
+            // existing shed/expired handling.
+            singles.push(job);
+            continue;
+        }
+        #[cfg(feature = "fault-inject")]
+        if let Some(faults) = &shared.cfg.faults {
+            if faults.spike_hits(job.seq) {
+                // A spiking request sleeps; keep it out of the batch so
+                // it cannot stall co-batched deadlines.
+                singles.push(job);
+                continue;
+            }
+        }
+        if let Some(b) = shared.breaker.as_ref() {
+            let probe = b.cfg.probe_every > 0 && job.seq % b.cfg.probe_every == 0;
+            if b.open.load(Ordering::SeqCst) && !probe {
+                // Must serve DriftDegraded, not full: single path.
+                singles.push(job);
+                continue;
+            }
+        }
+        let remaining_us = job.deadline.duration_since(now).as_micros() as u64;
+        let grown = batch_jobs.len() as u64 + 1;
+        let cost_us = ctx.est.batch_item_us.saturating_mul(grown);
+        if min_remaining_us.min(remaining_us) < cost_us.saturating_mul(RUNG_MARGIN) {
+            singles.push(job);
+            continue;
+        }
+        match ctx.sw.stage_image(&shared.plan, &job.image) {
+            Ok(()) => {
+                min_remaining_us = min_remaining_us.min(remaining_us);
+                batch_jobs.push(job);
+            }
+            Err(e) => {
+                // Malformed input: terminal right here, exactly as the
+                // single path would decide (staging is validation).
+                shared.metrics.inc(names::BAD_INPUT);
+                job.promise.fulfill(Err(e));
+            }
+        }
+    }
+    let n = batch_jobs.len();
+    shared.parked[slot].park(batch_jobs);
+    shared.parked[slot].park(singles);
+    if n >= 2 {
+        serve_batch(shared, slot, n, ctx);
+    }
+    // A "batch" of one gains nothing over the single path (its staged
+    // pixels are simply discarded by the next begin_batch); it is the
+    // front of the pen and serves singly like the rest.
+    serve_parked(shared, slot, ctx, false);
+}
+
+/// Scores one coalesced batch — the first `n` jobs of the slot's
+/// holding pen, already staged into `ctx.sw` in pen order — through a
+/// single stacked forward pass and fulfills every member with a
+/// full-joint response.
+///
+/// The jobs were parked *before* this is called: a panic anywhere in
+/// here (fault injection or a genuine scoring bug) leaves every promise
+/// intact inside the pen, where the respawned incarnation retries them
+/// singly.
+fn serve_batch(shared: &Arc<Shared>, slot: usize, n: usize, ctx: &mut WorkerCtx) {
+    dv_trace::span!("serve.batch");
+    if dv_trace::tracing_enabled() {
+        let now_ns = dv_trace::now_ns();
+        shared.parked[slot].for_front(n, |job| {
+            dv_trace::record_raw("serve.queued", job.submitted_ns, now_ns);
+        });
+    }
+    #[cfg(feature = "fault-inject")]
+    if let Some(faults) = &shared.cfg.faults {
+        let mut panic_seq = None;
+        shared.parked[slot].for_front(n, |job| {
+            if panic_seq.is_none() && faults.panic_hits(job.seq) {
+                panic_seq = Some(job.seq);
+            }
+        });
+        if let Some(seq) = panic_seq {
+            // The members are parked, so this unwind breaks no promise:
+            // the respawned incarnation retries each singly, and only
+            // the guilty request (which deterministically re-panics)
+            // terminally crashes.
+            panic!("injected fault: worker panic on request {seq} (mid-batch)");
+        }
+    }
+
+    let t0 = Instant::now();
+    shared.validator.score_staged_into(
+        &shared.plan,
+        &mut ctx.sw,
+        &mut ctx.results,
+        &mut ctx.batch_pl,
+    );
+    let scoring_us = t0.elapsed().as_micros() as u64;
+    refine_estimate(&mut ctx.est.batch_item_us, (scoring_us / n as u64).max(1));
+
+    let mut jobs: Vec<Job> = shared.parked[slot].release_front(n);
+    debug_assert_eq!(ctx.results.len(), n, "one result per staged image");
+    shared.metrics.record_batch(n as u64);
+    let width = ctx.batch_pl.len() / n;
+    let finish = Instant::now();
+    for (bi, job) in jobs.drain(..).enumerate() {
+        let row = &ctx.batch_pl[bi * width..(bi + 1) * width];
+        let (predicted, confidence) = ctx.results[bi];
+        let joint: f32 = row.iter().sum();
+        let total_us = finish.duration_since(job.submitted).as_micros() as u64;
+        let deadline_met = finish <= job.deadline;
+        shared.metrics.inc(names::SERVED_FULL);
+        if !deadline_met {
+            shared.metrics.inc(names::DEADLINE_MISSED);
+        }
+        shared.metrics.record_latency_us(total_us);
+        if let Some(b) = shared.breaker.as_ref() {
+            if b.obs
+                .try_push(Obs {
+                    seq: job.seq,
+                    joint,
+                })
+                .is_err()
+            {
+                shared.metrics.inc(names::DRIFT_OBS_DROPPED);
+            }
+        }
+        job.promise.fulfill(Ok(ScoreResponse {
+            predicted,
+            confidence,
+            per_layer: row.to_vec(),
+            joint: Some(joint),
+            via: ServedVia::FullJoint,
+            queue_us: t0.duration_since(job.submitted).as_micros() as u64,
+            total_us,
+            deadline_met,
+            worker: slot,
+            seq: job.seq,
+            batch: n,
+        }));
+    }
+}
+
+/// Serves one request through the single-image path, flagging the slot
+/// as having a non-recoverable request in flight for the duration (a
+/// panic in here is a terminal per-request crash — see `worker_body`).
+fn serve_job(shared: &Arc<Shared>, slot: usize, job: Job, ctx: &mut WorkerCtx) {
+    shared.single_in_flight[slot].store(true, Ordering::SeqCst);
+    serve_single(shared, slot, job, ctx);
+    shared.single_in_flight[slot].store(false, Ordering::SeqCst);
+}
+
+fn serve_single(shared: &Arc<Shared>, slot: usize, job: Job, ctx: &mut WorkerCtx) {
     let Job {
         image,
         promise,
@@ -522,10 +848,10 @@ fn serve_job(
     }
 
     let remaining_us = deadline.saturating_duration_since(now).as_micros() as u64;
-    let mut via = match pick_rung(remaining_us, est, !reduced_keep.is_empty()) {
+    let mut via = match pick_rung(remaining_us, &ctx.est, !ctx.reduced_keep.is_empty()) {
         Rung::Full => ServedVia::FullJoint,
         Rung::Reduced => ServedVia::ReducedTaps {
-            validated: reduced_keep.len(),
+            validated: ctx.reduced_keep.len(),
         },
         Rung::Confidence => ServedVia::ConfidenceOnly,
     };
@@ -543,24 +869,38 @@ fn serve_job(
         }
     }
 
-    let scored = match via {
-        ServedVia::FullJoint => shared
-            .validator
-            .score_into(&shared.plan, &image, sw, per_layer),
-        ServedVia::ReducedTaps { .. } => {
-            shared
+    let t_score = Instant::now();
+    let scored =
+        match via {
+            ServedVia::FullJoint => {
+                shared
+                    .validator
+                    .score_into(&shared.plan, &image, &mut ctx.sw, &mut ctx.per_layer)
+            }
+            ServedVia::ReducedTaps { .. } => shared.validator.score_masked_into(
+                &shared.plan,
+                &image,
+                &ctx.reduced_keep,
+                &mut ctx.sw,
+                &mut ctx.per_layer,
+            ),
+            ServedVia::ConfidenceOnly | ServedVia::DriftDegraded => shared
                 .validator
-                .score_masked_into(&shared.plan, &image, reduced_keep, sw, per_layer)
-        }
-        ServedVia::ConfidenceOnly | ServedVia::DriftDegraded => {
-            shared
-                .validator
-                .score_masked_into(&shared.plan, &image, &[], sw, per_layer)
-        }
-    };
+                .score_masked_into(&shared.plan, &image, &[], &mut ctx.sw, &mut ctx.per_layer),
+        };
 
     match scored {
         Ok((predicted, confidence)) => {
+            // Keep the ladder honest: fold each observed scoring time
+            // into the rung's running estimate.
+            let scoring_us = t_score.elapsed().as_micros() as u64;
+            match via {
+                ServedVia::FullJoint => refine_estimate(&mut ctx.est.full_us, scoring_us),
+                ServedVia::ReducedTaps { .. } => {
+                    refine_estimate(&mut ctx.est.reduced_us, scoring_us);
+                }
+                _ => {}
+            }
             let finish = Instant::now();
             let total_us = finish.duration_since(submitted).as_micros() as u64;
             let deadline_met = finish <= deadline;
@@ -576,7 +916,7 @@ fn serve_job(
             }
             shared.metrics.record_latency_us(total_us);
             let joint = match via {
-                ServedVia::FullJoint => Some(per_layer.iter().sum()),
+                ServedVia::FullJoint => Some(ctx.per_layer.iter().sum()),
                 _ => None,
             };
             // Every full-joint score feeds the drift monitor (including
@@ -589,7 +929,7 @@ fn serve_job(
             promise.fulfill(Ok(ScoreResponse {
                 predicted,
                 confidence,
-                per_layer: per_layer.clone(),
+                per_layer: ctx.per_layer.clone(),
                 joint,
                 via,
                 queue_us,
@@ -597,6 +937,7 @@ fn serve_job(
                 deadline_met,
                 worker: slot,
                 seq,
+                batch: 1,
             }));
         }
         Err(e) => {
@@ -617,6 +958,7 @@ mod tests {
         let est = RungEstimates {
             full_us: 100,
             reduced_us: 20,
+            batch_item_us: 40,
         };
         assert_eq!(pick_rung(1_000, &est, true), Rung::Full);
         assert_eq!(pick_rung(200, &est, true), Rung::Full);
@@ -631,8 +973,86 @@ mod tests {
         let est = RungEstimates {
             full_us: 100,
             reduced_us: 0,
+            batch_item_us: 100,
         };
         assert_eq!(pick_rung(199, &est, false), Rung::Confidence);
         assert_eq!(pick_rung(200, &est, false), Rung::Full);
+    }
+
+    #[test]
+    fn estimate_refinement_converges_and_never_hits_zero() {
+        let mut est = 1_000u64;
+        for _ in 0..40 {
+            refine_estimate(&mut est, 100);
+        }
+        assert!((100..=105).contains(&est), "{est}");
+        let mut tiny = 1u64;
+        refine_estimate(&mut tiny, 0);
+        assert_eq!(tiny, 1, "estimates stay strictly positive");
+        let mut upward = 10u64;
+        for _ in 0..40 {
+            refine_estimate(&mut upward, 500);
+        }
+        assert!((495..=505).contains(&upward), "{upward}");
+    }
+
+    /// Regression for the seed benchmark's non-monotonic deadline sweep
+    /// (750µs served 82 full-rung responses but 1000µs only 56). The
+    /// ladder itself, under *fixed* rung estimates, is monotone in the
+    /// deadline: a simulated single worker draining a fixed burst never
+    /// serves fewer full responses at a longer deadline. The inversion
+    /// in the seed came from each sweep point re-warming its own
+    /// incarnation — min-of-3 warmup variance could hand the 1000µs
+    /// point a pessimistic `full_us`, and a one-shot estimate never
+    /// recovered. The fix is `refine_estimate`: every observed scoring
+    /// duration folds into the estimate, so a noisy warmup washes out
+    /// within a few requests instead of steering a whole sweep point.
+    #[test]
+    fn deadline_sweep_is_monotone_under_fixed_estimates() {
+        fn fulls_served(deadline_us: u64) -> usize {
+            let est = RungEstimates {
+                full_us: 100,
+                reduced_us: 20,
+                batch_item_us: 40,
+            };
+            // True service costs sit slightly above the estimates, as
+            // they do live (the estimate is a min over warmup reps).
+            let (full_cost, reduced_cost, conf_cost) = (110u64, 25u64, 6u64);
+            let mut t = 0u64; // the whole burst is submitted at t = 0
+            let mut fulls = 0usize;
+            for _ in 0..100 {
+                if t >= deadline_us {
+                    // Expired before pick-up: terminal, near-zero cost.
+                    t += 1;
+                    continue;
+                }
+                match pick_rung(deadline_us - t, &est, true) {
+                    Rung::Full => {
+                        fulls += 1;
+                        t += full_cost;
+                    }
+                    Rung::Reduced => t += reduced_cost,
+                    Rung::Confidence => t += conf_cost,
+                }
+            }
+            fulls
+        }
+        let sweep = [100u64, 200, 300, 500, 750, 1_000, 2_500, 5_000, 20_000];
+        let fulls: Vec<usize> = sweep.iter().map(|&d| fulls_served(d)).collect();
+        for (i, w) in fulls.windows(2).enumerate() {
+            assert!(
+                w[0] <= w[1],
+                "full-rung count regressed from {} to {} between deadlines {}µs and {}µs \
+                 (sweep: {fulls:?})",
+                w[0],
+                w[1],
+                sweep[i],
+                sweep[i + 1],
+            );
+        }
+        assert!(
+            fulls.last().copied().unwrap_or(0) == 100,
+            "a generous deadline must serve the whole burst full: {fulls:?}"
+        );
     }
 }

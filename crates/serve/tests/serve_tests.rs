@@ -104,6 +104,7 @@ fn generous_cfg() -> ServeConfig {
         workers: 2,
         queue_capacity: 128,
         deadline: Duration::from_secs(5),
+        max_batch: 8,
         shutdown: ShutdownPolicy::Drain,
         reduced_taps: 1,
         breaker: None,
@@ -447,7 +448,13 @@ fn backpressure_rejects_with_typed_queue_full() {
     for img in images.iter().take(3) {
         match server.try_submit(img.clone()) {
             Ok(p) => accepted.push(p),
-            Err(Rejected::QueueFull) => rejected += 1,
+            Err(Rejected::QueueFull { retry_after }) => {
+                rejected += 1;
+                assert!(
+                    retry_after > Duration::ZERO,
+                    "a rejection always carries a usable backoff hint"
+                );
+            }
             Err(Rejected::ShuttingDown) => panic!("server is not shutting down"),
         }
     }
@@ -525,6 +532,8 @@ fn respawned_workers_score_bit_identically() {
 
     let m = server.shutdown();
     assert_eq!(m.worker_crashes, crashes.len() as u64);
+    // Serialized singles: every crash event is also a terminal request.
+    assert_eq!(m.requests_crashed, crashes.len() as u64);
     assert!(m.worker_respawns >= 1, "supervisor must have respawned");
     assert!(m.recovery_count >= 1, "a recovery interval was recorded");
     assert_eq!(m.terminal_outcomes(), m.submitted);
@@ -612,7 +621,7 @@ fn every_request_reaches_exactly_one_terminal_outcome() {
             };
             match server.try_submit(img) {
                 Ok(p) => accepted.push(p),
-                Err(Rejected::QueueFull) => rejected_full += 1,
+                Err(Rejected::QueueFull { .. }) => rejected_full += 1,
                 Err(Rejected::ShuttingDown) => panic!("server is not shutting down"),
             }
         }
@@ -642,8 +651,169 @@ fn every_request_reaches_exactly_one_terminal_outcome() {
         assert_eq!(m.served(), served, "seed {seed}");
         assert_eq!(m.expired, expired, "seed {seed}");
         assert_eq!(m.bad_input, bad_input, "seed {seed}");
-        assert_eq!(m.worker_crashes, crashed, "seed {seed}");
+        // Terminal crashes are per-request; crash *events* can exceed
+        // them when a mid-batch panic parked its members for retry.
+        assert_eq!(m.requests_crashed, crashed, "seed {seed}");
+        assert!(m.worker_crashes >= m.requests_crashed, "seed {seed}");
         assert_eq!(m.shed_shutdown, shed, "seed {seed}");
         assert_eq!(m.terminal_outcomes(), m.submitted, "seed {seed}");
     }
+}
+
+/// A burst piling up behind a latency spike coalesces into real batches,
+/// and every batched response is bit-identical to the direct path. This
+/// is the serving-side half of the dv-core `batch_equivalence` property:
+/// coalescing changes throughput, never the numbers.
+#[cfg(feature = "fault-inject")]
+#[test]
+fn coalesced_batches_serve_bit_identically() {
+    quiet_injected_panics();
+    let (validator, plan, images) = trained_setup();
+    // A schedule that spikes seq 0 and nothing else in the burst: while
+    // the single worker sleeps on request 0, the rest queue up and the
+    // next wakeup must drain them as batches.
+    let faults = (0..20_000u64)
+        .map(|seed| FaultPlan {
+            seed,
+            panic_per_mille: 0,
+            spike_per_mille: 60,
+            spike: Duration::from_millis(200),
+        })
+        .find(|f| f.spike_hits(0) && (1..16).all(|s| !f.spike_hits(s)))
+        .expect("a seed spiking exactly seq 0 exists in 0..20000");
+
+    let mut cfg = generous_cfg();
+    cfg.workers = 1;
+    cfg.deadline = Duration::from_secs(10);
+    cfg.faults = Some(faults);
+    let server = Server::start(Arc::clone(&validator), Arc::clone(&plan), cfg);
+
+    let pendings: Vec<_> = images
+        .iter()
+        .take(16)
+        .map(|img| {
+            server
+                .try_submit(img.clone())
+                .expect("queue capacity exceeds the burst")
+        })
+        .collect();
+
+    let mut widest = 0usize;
+    for (i, pending) in pendings.into_iter().enumerate() {
+        let resp = pending.wait().expect("no panics are scheduled");
+        assert_eq!(resp.via, ServedVia::FullJoint, "request {i}");
+        widest = widest.max(resp.batch);
+        let (p, c, per_layer, joint) = direct(&validator, &plan, &images[i]);
+        assert_eq!(resp.predicted, p, "request {i}");
+        assert_eq!(resp.confidence.to_bits(), c.to_bits(), "request {i}");
+        assert_eq!(resp.per_layer.len(), per_layer.len(), "request {i}");
+        for (a, b) in resp.per_layer.iter().zip(&per_layer) {
+            assert_eq!(a.to_bits(), b.to_bits(), "request {i}");
+        }
+        let got_joint = resp.joint.expect("full rung reports the joint");
+        assert_eq!(got_joint.to_bits(), joint.to_bits(), "request {i}");
+    }
+    assert!(widest >= 2, "the burst behind the spike must coalesce");
+
+    let m = server.shutdown();
+    assert_eq!(m.served_full, 16);
+    assert!(m.batches >= 1, "at least one multi-request batch scored");
+    assert!(m.coalesced >= 2, "coalesced members were counted");
+    assert_eq!(m.requests_crashed, 0);
+    assert_eq!(m.terminal_outcomes(), m.submitted);
+}
+
+/// A worker panic in the middle of a coalesced batch must not take the
+/// innocent members down with it: they are parked before scoring starts,
+/// re-scored singly by the respawned worker, and only the request whose
+/// injected fault caused the panic reaches `WorkerCrashed` — exactly
+/// once, after its single retry deterministically re-panics.
+#[cfg(feature = "fault-inject")]
+#[test]
+fn mid_batch_crash_retries_members_and_accounts_exactly() {
+    quiet_injected_panics();
+    let (validator, plan, images) = trained_setup();
+    // A schedule where seq 0 spikes (holding the worker while 1..8 pile
+    // into one batch), no other burst member spikes, seqs 0 and 1 never
+    // panic, and exactly one of 2..8 panics — so the batch that forms
+    // behind the spike crashes mid-flight with known innocents.
+    let faults = (0..100_000u64)
+        .map(|seed| FaultPlan {
+            seed,
+            panic_per_mille: 120,
+            spike_per_mille: 60,
+            spike: Duration::from_millis(200),
+        })
+        .find(|f| {
+            f.spike_hits(0)
+                && (1..8).all(|s| !f.spike_hits(s))
+                && !f.panic_hits(0)
+                && !f.panic_hits(1)
+                && (2..8).filter(|&s| f.panic_hits(s)).count() == 1
+        })
+        .expect("a qualifying fault seed exists in 0..100000");
+    let guilty = (2..8)
+        .find(|&s| faults.panic_hits(s))
+        .expect("the filter above guarantees one");
+
+    let mut cfg = generous_cfg();
+    cfg.workers = 1;
+    cfg.deadline = Duration::from_secs(10);
+    cfg.faults = Some(faults);
+    let server = Server::start(Arc::clone(&validator), Arc::clone(&plan), cfg);
+
+    let pendings: Vec<_> = images
+        .iter()
+        .take(8)
+        .map(|img| {
+            server
+                .try_submit(img.clone())
+                .expect("queue capacity exceeds the burst")
+        })
+        .collect();
+
+    let mut crashed = Vec::new();
+    for (i, pending) in pendings.into_iter().enumerate() {
+        let outcome = pending
+            .wait_timeout(Duration::from_secs(30))
+            .unwrap_or_else(|_| panic!("request {i} hung after the mid-batch crash"));
+        match outcome {
+            Ok(resp) => {
+                // Retried members are re-scored singly but stay
+                // bit-identical to the direct path.
+                let (p, c, per_layer, joint) = direct(&validator, &plan, &images[i]);
+                assert_eq!(resp.predicted, p, "request {i}");
+                assert_eq!(resp.confidence.to_bits(), c.to_bits(), "request {i}");
+                for (a, b) in resp.per_layer.iter().zip(&per_layer) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "request {i}");
+                }
+                let got_joint = resp.joint.expect("full rung reports the joint");
+                assert_eq!(got_joint.to_bits(), joint.to_bits(), "request {i}");
+            }
+            Err(ScoreError::WorkerCrashed) => crashed.push(i as u64),
+            other => panic!("unexpected outcome for request {i}: {other:?}"),
+        }
+    }
+    assert_eq!(
+        crashed,
+        vec![guilty],
+        "exactly the scheduled member crashes, exactly once"
+    );
+
+    let m = server.shutdown();
+    assert_eq!(m.served(), 7, "every innocent member was served");
+    assert_eq!(m.requests_crashed, 1, "one terminal crash outcome");
+    assert_eq!(
+        m.worker_crashes, 2,
+        "the batch panic plus the guilty member's terminal single retry"
+    );
+    assert!(
+        m.batch_retried >= 1,
+        "parked members were drained as retries"
+    );
+    // 8, not 7: if the whole burst lands in one drain, the spiked seq 0
+    // is parked as a single next to the batch and rides the retry too.
+    assert!(m.batch_retried <= 8);
+    assert!(m.worker_respawns >= 2);
+    assert_eq!(m.terminal_outcomes(), m.submitted);
 }

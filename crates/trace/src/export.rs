@@ -55,8 +55,9 @@ pub fn chrome_trace_json(snap: &TraceSnapshot) -> String {
 }
 
 /// Serialises a registry snapshot as one flat JSON object, keys sorted:
-/// counters and gauges as numbers, histograms as `{count, sum, min,
-/// max, p50, p90, p95, p99}` objects.
+/// counters and gauges as numbers, histograms as `{count, sum, mean,
+/// min, max, p50, p90, p95, p99}` objects (`mean` is exact, the
+/// quantiles are bucket midpoints).
 #[must_use]
 pub fn metrics_json(reg: &MetricsRegistry) -> String {
     let entries = reg.snapshot();
@@ -71,8 +72,8 @@ pub fn metrics_json(reg: &MetricsRegistry) -> String {
             MetricValue::Histogram(h) => {
                 let _ = write!(
                     out,
-                    "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p95\":{},\"p99\":{}}}",
-                    h.count, h.sum, h.min, h.max, h.p50, h.p90, h.p95, h.p99
+                    "{{\"count\":{},\"sum\":{},\"mean\":{:.1},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p95\":{},\"p99\":{}}}",
+                    h.count, h.sum, h.mean(), h.min, h.max, h.p50, h.p90, h.p95, h.p99
                 );
             }
         }

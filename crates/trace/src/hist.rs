@@ -216,6 +216,21 @@ pub struct HistogramSnapshot {
     pub p99: u64,
 }
 
+impl HistogramSnapshot {
+    /// Arithmetic mean of recorded values (0 when empty). Exact, unlike
+    /// the bucketed quantiles: `sum` and `count` are tracked precisely,
+    /// which is what makes e.g. a mean batch width readable straight
+    /// off a `serve.batch_size` export.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
