@@ -16,6 +16,7 @@
 //! | `raw-timing` (R8)        | no `std::time::Instant`/`SystemTime` mention outside `crates/trace` and `crates/serve` — ad-hoc timing drifts from the shared trace epoch and bypasses the registry; measure with `dv_trace::Stopwatch`/`span!`, or allow with the reason raw timing is required |
 //! | `env-read` (R9)          | no `std::env::var`/`var_os`/`vars` outside `crates/runtime/src/config.rs` — scattered env reads let two call sites disagree about the same knob (one cached, one fresh); every knob goes through `dv_runtime::config`, or an allow naming why the read is a driver-local flag |
 //! | `layer-match-wildcard` (R10) | no `_ =>` arms in a `match` over the `LayerSpec` layer enum — the abstract interpreter's soundness rests on every analyzer handling every layer variant, and a wildcard silently (and unsoundly) absorbs variants added later; enumerate all variants so new layers fail to compile, or allow with the reason the default is variant-independent |
+//! | `span-name` (R11)        | the name at a `span!`/`record_raw`/`record_event` call site must be a literal dotted-lowercase `crate.stage[.detail]` string — the trace stitcher and the metrics/export pipelines match lifecycle events *by name*, so a computed or free-form name silently falls out of every timeline; allow with the reason the name must be computed |
 //!
 //! Rules see only the lexed token stream (comments and string literals are
 //! already stripped), and skip `#[cfg(test)]` regions, so test code may use
@@ -35,6 +36,7 @@ pub const UNBOUNDED_CHANNEL: &str = "unbounded-channel";
 pub const RAW_TIMING: &str = "raw-timing";
 pub const ENV_READ: &str = "env-read";
 pub const LAYER_MATCH_WILDCARD: &str = "layer-match-wildcard";
+pub const SPAN_NAME: &str = "span-name";
 pub const BAD_DIRECTIVE: &str = "bad-directive";
 
 /// All suppressible rule ids, in report order.
@@ -50,6 +52,7 @@ pub const ALL_RULES: &[&str] = &[
     RAW_TIMING,
     ENV_READ,
     LAYER_MATCH_WILDCARD,
+    SPAN_NAME,
 ];
 
 /// The one file allowed to read the process environment: the runtime
@@ -145,6 +148,9 @@ pub fn check_file(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
     }
     if rule_applies(LAYER_MATCH_WILDCARD, ctx.crate_dir) {
         check_layer_match_wildcard(ctx, out);
+    }
+    if rule_applies(SPAN_NAME, ctx.crate_dir) {
+        check_span_name(ctx, out);
     }
 }
 
@@ -629,6 +635,94 @@ fn check_layer_match_wildcard(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// R11: span/event names at `span!` / `record_raw` / `record_event`
+/// call sites must be literal dotted-lowercase `crate.stage[.detail]`.
+///
+/// The whole observability pipeline matches on these names as data: the
+/// stitcher resolves lifecycle stages by exact string (`"serve.enqueued"`
+/// et al.), the exporter groups stage totals by name, and dashboards grep
+/// the chrome trace for them. A computed name (`span!(op.name())`) is
+/// invisible to all of that — it produces spans nothing downstream can
+/// claim — and a free-form literal (`"Forward pass"`) fragments the
+/// vocabulary. Lexically: the first token inside the macro/call
+/// delimiter must be a string literal whose quote-trimmed text is 2–3
+/// non-empty dot-separated segments of `[a-z0-9_]`. dv-trace's own
+/// `fn record_raw`/`fn record_event` definitions (ident preceded by
+/// `fn`) and `use` mentions (no delimiter follows) never match.
+fn check_span_name(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    let toks = &ctx.lexed.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || ctx.in_test(t.line) {
+            continue;
+        }
+        // Token index of the name argument, when this is a call site.
+        let name_idx = match t.text {
+            // `span!` + any open delimiter. `macro_rules! span { … }`
+            // puts the `!` *before* the ident and never matches.
+            "span" => match (toks.get(i + 1), toks.get(i + 2)) {
+                (Some(b), Some(d))
+                    if is_punct(b, "!")
+                        && (is_punct(d, "(") || is_punct(d, "[") || is_punct(d, "{")) =>
+                {
+                    Some(i + 3)
+                }
+                _ => None,
+            },
+            // A call, not dv-trace's own `fn record_*(…)` definition.
+            "record_raw" | "record_event" => match toks.get(i + 1) {
+                Some(p) if is_punct(p, "(") && !(i >= 1 && is_ident(&toks[i - 1], "fn")) => {
+                    Some(i + 2)
+                }
+                _ => None,
+            },
+            _ => None,
+        };
+        let Some(name_idx) = name_idx else { continue };
+        match toks.get(name_idx) {
+            Some(s) if s.kind == TokKind::Str => {
+                if !span_name_ok(s.text) {
+                    out.push(ctx.diag(
+                        SPAN_NAME,
+                        t.line,
+                        format!(
+                            "span/event name {} is not dotted-lowercase \
+                             `crate.stage[.detail]`; a free-form name fragments the trace \
+                             vocabulary the stitcher and stage totals match on",
+                            s.text
+                        ),
+                    ));
+                }
+            }
+            _ => {
+                out.push(
+                    ctx.diag(
+                        SPAN_NAME,
+                        t.line,
+                        "span/event name must be a string literal — the stitcher and stage \
+                     totals match lifecycle events by exact name, and a computed name is \
+                     invisible to both; pass a `\"crate.stage[.detail]\"` literal, or allow \
+                     with the reason the name must be computed"
+                            .to_string(),
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Is a string literal (quotes included) a valid span name: 2–3
+/// non-empty dot-separated segments of `[a-z0-9_]`?
+fn span_name_ok(text: &str) -> bool {
+    let segments: Vec<&str> = text.trim_matches('"').split('.').collect();
+    (2..=3).contains(&segments.len())
+        && segments.iter().all(|seg| {
+            !seg.is_empty()
+                && seg
+                    .bytes()
+                    .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+        })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -845,6 +939,65 @@ mod tests {
         let diags = run(nested_spec, "absint");
         assert_eq!(diags.len(), 1, "{diags:?}");
         assert_eq!(diags[0].line, 3);
+    }
+
+    #[test]
+    fn span_name_accepts_dotted_lowercase_literals_everywhere() {
+        let src = "fn f() {\n    dv_trace::span!(\"tensor.matmul\");\n    \
+                   dv_trace::record_raw(\"serve.queued\", 0, 1);\n    \
+                   let _ = dv_trace::record_event(\"serve.score_begin.retry\", t, p, 0);\n}\n";
+        for dir in ["tensor", "serve", "trace", "bench", "root"] {
+            assert!(run(src, dir).is_empty(), "{dir}");
+        }
+    }
+
+    #[test]
+    fn span_name_flags_computed_names() {
+        let src = "fn f(op: &Op) {\n    dv_trace::span!(op.name());\n}\n";
+        let diags = run(src, "nn");
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, SPAN_NAME);
+        assert_eq!(diags[0].line, 2);
+        let fmt = "fn g(i: usize) {\n    let _ = dv_trace::record_event(&format!(\"serve.w{i}\"), t, p, 0);\n}\n";
+        assert_eq!(run(fmt, "serve").len(), 1);
+    }
+
+    #[test]
+    fn span_name_flags_malformed_literals() {
+        // One segment, uppercase, trailing dot, and a space — each breaks
+        // the `crate.stage[.detail]` shape a different way.
+        let src = "fn f() {\n    dv_trace::span!(\"forward\");\n    \
+                   dv_trace::span!(\"nn.Forward\");\n    \
+                   dv_trace::record_raw(\"serve.queued.\", 0, 1);\n    \
+                   dv_trace::span!(\"serve.full joint\");\n}\n";
+        let diags = run(src, "core");
+        assert_eq!(diags.len(), 4, "{diags:?}");
+        assert!(diags.iter().all(|d| d.rule == SPAN_NAME));
+        assert_eq!(
+            diags.iter().map(|d| d.line).collect::<Vec<_>>(),
+            vec![2, 3, 4, 5]
+        );
+        // Four dotted segments over-nest the vocabulary.
+        let deep = "fn f() { dv_trace::span!(\"a.b.c.d\"); }\n";
+        assert_eq!(run(deep, "core").len(), 1);
+    }
+
+    #[test]
+    fn span_name_skips_definitions_use_mentions_and_tests() {
+        // dv-trace's own definitions: ident preceded by `fn`.
+        let defs = "pub fn record_raw(name: &'static str, s: u64, e: u64) {}\n\
+                    pub fn record_event(name: &'static str, t: TraceId, p: EventRef, a: u64) -> EventRef { EventRef::NONE }\n";
+        assert!(run(defs, "trace").is_empty());
+        // `macro_rules! span` has no `!` after the `span` ident; re-exports
+        // have no delimiter after the name.
+        let decl =
+            "macro_rules! span {\n    ($name:expr) => { $crate::TraceGuard::enter($name) };\n}\n\
+                    pub use span::{record_event, record_raw};\n";
+        assert!(run(decl, "trace").is_empty());
+        // Test regions may name spans however they like.
+        let test_src =
+            "#[cfg(test)]\nmod tests {\n    fn g() { dv_trace::span!(\"Whatever Goes\"); }\n}\n";
+        assert!(run(test_src, "core").is_empty());
     }
 
     #[test]

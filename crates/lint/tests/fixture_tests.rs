@@ -180,6 +180,20 @@ fn r10_layer_match_wildcard_fixture() {
 }
 
 #[test]
+fn r11_span_name_fixture() {
+    assert_diags(
+        "r11_span_name.rs",
+        &[
+            (rules::SPAN_NAME, 8),
+            (rules::SPAN_NAME, 13),
+            (rules::SPAN_NAME, 17),
+            (rules::SPAN_NAME, 21),
+            (rules::SPAN_NAME, 25),
+        ],
+    );
+}
+
+#[test]
 fn allowed_variants_pass_with_recorded_suppressions() {
     assert_allowed("r1_hash_order_allowed.rs", 2);
     assert_allowed("r2_thread_discipline_allowed.rs", 2);
@@ -192,6 +206,7 @@ fn allowed_variants_pass_with_recorded_suppressions() {
     assert_allowed("r8_raw_timing_allowed.rs", 3);
     assert_allowed("r9_env_read_allowed.rs", 1);
     assert_allowed("r10_layer_match_wildcard_allowed.rs", 1);
+    assert_allowed("r11_span_name_allowed.rs", 1);
 }
 
 #[test]

@@ -1,0 +1,26 @@
+// Known-bad for R11 (span-name): the stitcher, the stage totals, and
+// every dashboard grep match trace spans and lifecycle events *by
+// name*. A computed name produces spans nothing downstream can claim,
+// and a free-form literal fragments the vocabulary — two sites timing
+// the same stage under different spellings never aggregate.
+
+pub fn forward(op: &Op) {
+    dv_trace::span!(op.name());
+    run(op);
+}
+
+pub fn queued(start: u64, end: u64) {
+    dv_trace::record_raw("Queued Time", start, end);
+}
+
+pub fn enqueue(trace: dv_trace::TraceId, worker: usize) -> dv_trace::EventRef {
+    dv_trace::record_event(&format!("serve.enqueued.w{worker}"), trace, dv_trace::EventRef::NONE, 0)
+}
+
+pub fn single_segment() {
+    dv_trace::span!("forward");
+}
+
+pub fn over_nested() {
+    dv_trace::span!("serve.batch.join.retry");
+}

@@ -346,6 +346,7 @@ impl InferencePlan {
                 let mut out_view = TensorViewMut::new(out_dims, &mut dst_buf[..out_len]);
                 {
                     // One span per materialized layer, named by op kind.
+                    // dv-lint: allow(span-name, reason = "per-layer span named by runtime op kind; the layer set is data, and the enclosing nn.forward span carries the stable stitchable name")
                     dv_trace::span!(op.name());
                     op.forward_into(in_view, &mut out_view, ws);
                 }

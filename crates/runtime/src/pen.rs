@@ -59,6 +59,16 @@ impl<T> HoldingPen<T> {
         }
     }
 
+    /// Visits the first `n` parked items mutably (fewer when the pen is
+    /// shorter) in FIFO order without removing them. Lets dv-serve stamp
+    /// lifecycle bookkeeping onto penned jobs in place, keeping the
+    /// pen's crash-recoverability: the item never leaves the lock.
+    pub fn for_front_mut(&self, n: usize, mut f: impl FnMut(&mut T)) {
+        for item in self.lock().iter_mut().take(n) {
+            f(item);
+        }
+    }
+
     /// Removes and returns the first `n` parked items (fewer when the
     /// pen is shorter) in FIFO order.
     #[must_use]
@@ -115,6 +125,15 @@ mod tests {
         seen.clear();
         pen.for_front(99, |&v| seen.push(v));
         assert_eq!(seen, vec![10, 20, 30], "n past the end visits all");
+    }
+
+    #[test]
+    fn for_front_mut_updates_in_place_without_removing() {
+        let pen = HoldingPen::new();
+        pen.park([10, 20, 30]);
+        pen.for_front_mut(2, |v| *v += 1);
+        assert_eq!(pen.len(), 3, "mutable peek must not consume");
+        assert_eq!(pen.release_front(3), vec![11, 21, 30]);
     }
 
     #[test]

@@ -42,8 +42,14 @@ pub enum Popped<T> {
 /// Result of a [`BoundedQueue::drain_up_to`] attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Drained {
-    /// This many items (≥ 1) were appended to the caller's buffer.
-    Items(usize),
+    /// Items were appended to the caller's buffer.
+    Items {
+        /// How many items (≥ 1) were taken.
+        taken: usize,
+        /// Queue depth left behind *after* the take, measured under the
+        /// same lock acquisition — a free, consistent gauge sample.
+        depth: usize,
+    },
     /// Nothing arrived within the timeout (queue still open).
     Empty,
     /// The queue is closed **and** drained; no item will ever arrive.
@@ -96,13 +102,16 @@ impl<T> BoundedQueue<T> {
         self.lock().closed
     }
 
-    /// Enqueues `item` if there is room, without ever blocking.
+    /// Enqueues `item` if there is room, without ever blocking. On
+    /// success returns the queue depth *including* the new item,
+    /// measured under the same lock acquisition — producers get a
+    /// consistent gauge sample without any extra synchronisation.
     ///
     /// # Errors
     ///
     /// Returns the item back inside [`PushRejected::Full`] when at
     /// capacity and [`PushRejected::Closed`] after a close.
-    pub fn try_push(&self, item: T) -> Result<(), PushRejected<T>> {
+    pub fn try_push(&self, item: T) -> Result<usize, PushRejected<T>> {
         let mut inner = self.lock();
         if inner.closed {
             return Err(PushRejected::Closed(item));
@@ -111,9 +120,10 @@ impl<T> BoundedQueue<T> {
             return Err(PushRejected::Full(item));
         }
         inner.items.push_back(item);
+        let depth = inner.items.len();
         drop(inner);
         self.not_empty.notify_one();
-        Ok(())
+        Ok(depth)
     }
 
     /// Dequeues an item, waiting up to `timeout` for one to arrive.
@@ -165,7 +175,10 @@ impl<T> BoundedQueue<T> {
             if !inner.items.is_empty() {
                 let take = inner.items.len().min(max);
                 out.extend(inner.items.drain(..take));
-                return Drained::Items(take);
+                return Drained::Items {
+                    taken: take,
+                    depth: inner.items.len(),
+                };
             }
             if inner.closed {
                 return Drained::Closed;
@@ -181,7 +194,10 @@ impl<T> BoundedQueue<T> {
                 if !inner.items.is_empty() {
                     let take = inner.items.len().min(max);
                     out.extend(inner.items.drain(..take));
-                    return Drained::Items(take);
+                    return Drained::Items {
+                        taken: take,
+                        depth: inner.items.len(),
+                    };
                 }
                 return if inner.closed {
                     Drained::Closed
@@ -224,8 +240,8 @@ mod tests {
     #[test]
     fn try_push_backpressures_at_capacity() {
         let q = BoundedQueue::bounded(2);
-        assert!(q.try_push(1).is_ok());
-        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(1).ok(), Some(1), "depth includes the new item");
+        assert_eq!(q.try_push(2).ok(), Some(2));
         match q.try_push(3) {
             Err(PushRejected::Full(item)) => assert_eq!(item, 3),
             other => panic!("expected Full, got {other:?}"),
@@ -275,14 +291,15 @@ mod tests {
         let mut out = Vec::new();
         assert_eq!(
             q.drain_up_to(3, Duration::from_millis(1), &mut out),
-            Drained::Items(3)
+            Drained::Items { taken: 3, depth: 2 },
+            "depth reports what the take left behind"
         );
         assert_eq!(out, vec![0, 1, 2]);
         // The buffer is appended to, not cleared, and the remainder keeps
         // its order.
         assert_eq!(
             q.drain_up_to(8, Duration::from_millis(1), &mut out),
-            Drained::Items(2)
+            Drained::Items { taken: 2, depth: 0 }
         );
         assert_eq!(out, vec![0, 1, 2, 3, 4]);
     }
@@ -311,7 +328,7 @@ mod tests {
         let mut out = Vec::new();
         assert_eq!(
             q.drain_up_to(4, Duration::from_secs(30), &mut out),
-            Drained::Items(1)
+            Drained::Items { taken: 1, depth: 0 }
         );
         assert_eq!(out, vec![7]);
     }
@@ -325,7 +342,7 @@ mod tests {
         let mut out = Vec::new();
         assert_eq!(
             q.drain_up_to(8, Duration::from_millis(1), &mut out),
-            Drained::Items(2)
+            Drained::Items { taken: 2, depth: 0 }
         );
         assert_eq!(
             q.drain_up_to(8, Duration::from_millis(1), &mut out),

@@ -66,6 +66,14 @@ pub(crate) mod names {
     pub(crate) const LATENCY_US: &str = "serve.latency_us";
     /// Coalesced batch sizes (one sample per batch of ≥ 2).
     pub(crate) const BATCH_SIZE: &str = "serve.batch_size";
+    /// Sampled submission-queue depth, set from the depth the queue
+    /// itself reports on every push and drain (no extra atomics beyond
+    /// the queue's own accounting).
+    pub(crate) const QUEUE_DEPTH: &str = "serve.queue_depth";
+    /// Dequeue-to-score-start wait of coalesced batches (µs): how long
+    /// batch assembly (parking, partitioning, staging) held the members
+    /// after a worker had them in hand.
+    pub(crate) const COALESCE_WAIT_US: &str = "serve.coalesce_wait_us";
 }
 
 /// All counter names, for eager registration.
@@ -109,6 +117,8 @@ impl Metrics {
         }
         let _ = reg.histogram(names::LATENCY_US);
         let _ = reg.histogram(names::BATCH_SIZE);
+        let _ = reg.histogram(names::COALESCE_WAIT_US);
+        let _ = reg.gauge(names::QUEUE_DEPTH);
         Self { reg }
     }
 
@@ -122,9 +132,29 @@ impl Metrics {
         self.reg.counter(name).inc();
     }
 
-    /// Records one served-request latency.
-    pub(crate) fn record_latency_us(&self, us: u64) {
-        self.reg.histogram(names::LATENCY_US).record(us);
+    /// Records one served-request latency, tagging the landing bucket
+    /// with the request's trace id so tail quantiles come back with a
+    /// replayable exemplar.
+    pub(crate) fn record_latency_us(&self, us: u64, trace: u64) {
+        self.reg
+            .histogram(names::LATENCY_US)
+            .record_with_exemplar(us, trace);
+    }
+
+    /// The trace id exemplifying the latency bucket that holds the
+    /// `q`-quantile (0 when nothing landed there yet).
+    pub(crate) fn latency_exemplar(&self, q: f64) -> u64 {
+        self.reg.histogram(names::LATENCY_US).quantile_exemplar(q)
+    }
+
+    /// Publishes a sampled submission-queue depth.
+    pub(crate) fn set_queue_depth(&self, depth: u64) {
+        self.reg.gauge(names::QUEUE_DEPTH).set(depth);
+    }
+
+    /// Records one coalesced batch's dequeue-to-score-start wait.
+    pub(crate) fn record_coalesce_wait_us(&self, us: u64) {
+        self.reg.histogram(names::COALESCE_WAIT_US).record(us);
     }
 
     /// Records one coalesced batch: its size sample plus the batch and
@@ -269,11 +299,11 @@ mod tests {
     #[test]
     fn quantiles_match_the_promoted_histogram() {
         // The histogram moved to dv-trace; the serve-visible quantiles
-        // must equal pre-refactor values (midpoint of the log-linear
-        // bucket holding the target rank).
+        // must stay inside the log-linear bucket holding the target
+        // rank (now linearly interpolated within it).
         let m = Metrics::new();
         for v in 1..=1000u64 {
-            m.record_latency_us(v);
+            m.record_latency_us(v, v);
         }
         let s = m.snapshot(0);
         assert!(
@@ -353,5 +383,22 @@ mod tests {
         }
         assert!(json.contains(names::LATENCY_US));
         assert!(json.contains(names::BATCH_SIZE));
+        assert!(json.contains(names::COALESCE_WAIT_US));
+        assert!(json.contains(names::QUEUE_DEPTH));
+    }
+
+    #[test]
+    fn latency_exemplar_points_at_the_tail_bucket() {
+        let m = Metrics::new();
+        // 99 fast requests, one slow one with trace id 1000.
+        for seq in 0..99u64 {
+            m.record_latency_us(50, seq + 1);
+        }
+        m.record_latency_us(90_000, 1000);
+        assert_eq!(
+            m.latency_exemplar(0.999),
+            1000,
+            "p999 bucket's exemplar is the slow request's trace id"
+        );
     }
 }

@@ -32,6 +32,20 @@ pub enum ServedVia {
     DriftDegraded,
 }
 
+impl ServedVia {
+    /// A stable small-integer code for trace-event payloads
+    /// (`serve.score_begin` / `serve.degraded` carry it as `arg`).
+    #[must_use]
+    pub fn code(self) -> u64 {
+        match self {
+            ServedVia::FullJoint => 0,
+            ServedVia::ReducedTaps { .. } => 1,
+            ServedVia::ConfidenceOnly => 2,
+            ServedVia::DriftDegraded => 3,
+        }
+    }
+}
+
 /// A successfully served scoring request.
 #[derive(Debug, Clone)]
 pub struct ScoreResponse {
@@ -58,6 +72,11 @@ pub struct ScoreResponse {
     /// The request's submission sequence number (for correlating
     /// responses with submissions and fault schedules).
     pub seq: u64,
+    /// The request's trace id (`seq + 1`), the key into the stitched
+    /// lifecycle timelines ([`dv_trace::stitch`]) and the latency
+    /// histogram's p99/p999 exemplars. Assigned whether or not tracing
+    /// is compiled in, so responses correlate with traces when it is.
+    pub trace: u64,
     /// Size of the coalesced batch this request was scored in (`1` for a
     /// request served on its own, whether because the queue was shallow
     /// or because it fell down the degrade ladder individually).

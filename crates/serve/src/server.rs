@@ -53,6 +53,14 @@ struct Job {
     /// Submission time on the trace epoch, for the `serve.queued` span
     /// (0 when tracing is compiled out).
     submitted_ns: u64,
+    /// Request-scoped trace id (`seq + 1`), assigned in `try_submit`
+    /// whether or not tracing is compiled in so responses always carry
+    /// it.
+    trace: dv_trace::TraceId,
+    /// The request's most recent lifecycle event, threaded through the
+    /// pipeline as the causal parent of the next one (NONE when tracing
+    /// is off or the request is outside the sample).
+    last_event: dv_trace::EventRef,
 }
 
 /// One worker→monitor drift observation: a full-joint score's joint
@@ -119,11 +127,28 @@ struct Shared {
     /// Total jobs drained off the queue by workers, for the observed
     /// drain rate behind [`Rejected::QueueFull`]'s `retry_after`.
     popped_jobs: AtomicU64,
+    /// Per-slot trace id of the single request currently being scored
+    /// (0 = none / unsampled), so `worker_body` can attribute a crash
+    /// event to the request that died with the worker. The matching
+    /// causal parent lives in `inflight_parent`.
+    inflight_trace: Vec<AtomicU64>,
+    /// Per-slot causal parent for the in-flight single's crash event.
+    inflight_parent: Vec<AtomicU64>,
 }
 
 impl Shared {
     fn elapsed_us(&self) -> u64 {
         self.start.elapsed().as_micros() as u64
+    }
+
+    /// Whether request `seq`'s lifecycle events should be recorded:
+    /// tracing is compiled in *and* the request falls in the
+    /// deterministic `DV_TRACE_SAMPLE` sample. `tracing_enabled()` is a
+    /// constant, so with the feature off this folds to `false` and
+    /// every event call site compiles away.
+    fn traced(&self, seq: u64) -> bool {
+        dv_trace::tracing_enabled()
+            && (self.trace_sample <= 1 || seq.is_multiple_of(self.trace_sample))
     }
 
     /// Backpressure hint: mean observed time per drained job (how long
@@ -236,6 +261,8 @@ impl Server {
             parked: (0..workers).map(|_| HoldingPen::new()).collect(),
             single_in_flight: (0..workers).map(|_| AtomicBool::new(false)).collect(),
             popped_jobs: AtomicU64::new(0),
+            inflight_trace: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            inflight_parent: (0..workers).map(|_| AtomicU64::new(0)).collect(),
             validator,
             plan,
             cfg,
@@ -292,6 +319,16 @@ impl Server {
         let seq = self.shared.seq.fetch_add(1, Ordering::SeqCst);
         let now = Instant::now();
         let (promise, ticket) = oneshot();
+        let trace = dv_trace::TraceId::from_seq(seq);
+        // The enqueue event is recorded on the client thread *before*
+        // the push so its timestamp precedes every worker-side event; a
+        // rejected push leaves a dangling one-event timeline, which the
+        // stitcher tolerates (no segments, no flow arrows).
+        let last_event = if self.shared.traced(seq) {
+            dv_trace::record_event("serve.enqueued", trace, dv_trace::EventRef::NONE, 0)
+        } else {
+            dv_trace::EventRef::NONE
+        };
         let job = Job {
             image,
             promise,
@@ -303,10 +340,13 @@ impl Server {
             } else {
                 0
             },
+            trace,
+            last_event,
         };
         match self.shared.queue.try_push(job) {
-            Ok(()) => {
+            Ok(depth) => {
                 self.shared.metrics.inc(names::SUBMITTED);
+                self.shared.metrics.set_queue_depth(depth as u64);
                 Ok(Pending { ticket })
             }
             Err(PushRejected::Full(job)) => {
@@ -339,6 +379,15 @@ impl Server {
     /// histogram quantiles), for dumping alongside trace exports.
     pub fn metrics_json(&self) -> String {
         dv_trace::metrics_json(self.shared.metrics.registry())
+    }
+
+    /// The trace id exemplifying the latency bucket that currently
+    /// holds the `q`-quantile (0 when no request has landed there).
+    /// Resolve it against [`dv_trace::stitch`]'s timelines — or a
+    /// [`ScoreResponse::trace`](crate::ScoreResponse) — to replay
+    /// exactly what a tail request went through.
+    pub fn latency_exemplar(&self, q: f64) -> u64 {
+        self.shared.metrics.latency_exemplar(q)
     }
 
     /// Shuts down cooperatively per the configured [`ShutdownPolicy`]
@@ -425,10 +474,25 @@ fn ingest_drift_obs(shared: &Arc<Shared>, drift: Option<&mut DriftMonitor>, batc
             Some(DriftEvent::Raised(_)) => {
                 b.open.store(true, Ordering::SeqCst);
                 shared.metrics.inc(names::BREAKER_OPENED);
+                // The breaker decision lands on the timeline of the
+                // observation that tripped it, so a degraded tail
+                // response can be traced back to the cause.
+                dv_trace::record_event(
+                    "serve.breaker_open",
+                    dv_trace::TraceId::from_seq(o.seq),
+                    dv_trace::EventRef::NONE,
+                    0,
+                );
             }
             Some(DriftEvent::Cleared(_)) => {
                 b.open.store(false, Ordering::SeqCst);
                 shared.metrics.inc(names::BREAKER_CLOSED);
+                dv_trace::record_event(
+                    "serve.breaker_close",
+                    dv_trace::TraceId::from_seq(o.seq),
+                    dv_trace::EventRef::NONE,
+                    0,
+                );
             }
             None => {}
         }
@@ -450,6 +514,20 @@ fn worker_body(shared: &Arc<Shared>, slot: usize) {
             // The unwound request had no parked copy: its dropped
             // promise is a terminal WorkerCrashed outcome.
             shared.metrics.inc(names::REQUESTS_CRASHED);
+        }
+        // Attribute the crash on the dying request's timeline. The
+        // stash is only non-zero while a sampled single is in flight;
+        // batch members record their own crash event before the panic
+        // (see `serve_batch`), since their promises survive in the pen.
+        let trace = shared.inflight_trace[slot].swap(0, Ordering::SeqCst);
+        let parent = shared.inflight_parent[slot].swap(0, Ordering::SeqCst);
+        if trace != 0 {
+            dv_trace::record_event(
+                "serve.crashed",
+                dv_trace::TraceId(trace),
+                dv_trace::EventRef(parent),
+                0,
+            );
         }
         shared.crash_stamp_us[slot].store(shared.elapsed_us().max(1), Ordering::SeqCst);
     }
@@ -496,9 +574,17 @@ fn worker_loop(shared: &Arc<Shared>, slot: usize) {
     loop {
         drained.clear();
         match shared.queue.drain_up_to(max_batch, POP_TICK, &mut drained) {
-            Drained::Items(k) => {
-                shared.popped_jobs.fetch_add(k as u64, Ordering::SeqCst);
-                serve_drained(shared, slot, &mut drained, &mut ctx);
+            Drained::Items { taken, depth } => {
+                shared.popped_jobs.fetch_add(taken as u64, Ordering::SeqCst);
+                shared.metrics.set_queue_depth(depth as u64);
+                let drained_at = Instant::now();
+                for job in drained.iter_mut() {
+                    if shared.traced(job.seq) {
+                        job.last_event =
+                            dv_trace::record_event("serve.dequeued", job.trace, job.last_event, 0);
+                    }
+                }
+                serve_drained(shared, slot, &mut drained, &mut ctx, drained_at);
             }
             Drained::Empty => {}
             Drained::Closed => return,
@@ -518,11 +604,15 @@ fn worker_loop(shared: &Arc<Shared>, slot: usize) {
 /// dropped promise-unfulfilled by a panic in an earlier single).
 fn serve_parked(shared: &Arc<Shared>, slot: usize, ctx: &mut WorkerCtx, as_retry: bool) {
     loop {
-        let Some(job) = shared.parked[slot].pop_front() else {
+        let Some(mut job) = shared.parked[slot].pop_front() else {
             return;
         };
         if as_retry {
             shared.metrics.inc(names::BATCH_RETRIED);
+            if shared.traced(job.seq) {
+                job.last_event =
+                    dv_trace::record_event("serve.retried", job.trace, job.last_event, 0);
+            }
         }
         serve_job(shared, slot, job, ctx);
     }
@@ -628,7 +718,13 @@ fn warm_up(shared: &Arc<Shared>, ctx: &mut WorkerCtx) -> RungEstimates {
 /// pen (batch members first, then the singles) *before* anything is
 /// scored: a panic at any point of the wakeup — mid-batch or mid-single
 /// — leaves every not-yet-served promise recoverable.
-fn serve_drained(shared: &Arc<Shared>, slot: usize, drained: &mut Vec<Job>, ctx: &mut WorkerCtx) {
+fn serve_drained(
+    shared: &Arc<Shared>,
+    slot: usize,
+    drained: &mut Vec<Job>,
+    ctx: &mut WorkerCtx,
+    drained_at: Instant,
+) {
     if drained.len() == 1 {
         let job = drained.pop().expect("length checked above");
         serve_job(shared, slot, job, ctx);
@@ -684,10 +780,34 @@ fn serve_drained(shared: &Arc<Shared>, slot: usize, drained: &mut Vec<Job>, ctx:
         }
     }
     let n = batch_jobs.len();
+    if n >= 2 {
+        for job in batch_jobs.iter_mut() {
+            if shared.traced(job.seq) {
+                job.last_event = dv_trace::record_event(
+                    "serve.batch_joined",
+                    job.trace,
+                    job.last_event,
+                    n as u64,
+                );
+            }
+        }
+    } else {
+        for job in batch_jobs.iter_mut() {
+            if shared.traced(job.seq) {
+                job.last_event =
+                    dv_trace::record_event("serve.parked", job.trace, job.last_event, 0);
+            }
+        }
+    }
+    for job in singles.iter_mut() {
+        if shared.traced(job.seq) {
+            job.last_event = dv_trace::record_event("serve.parked", job.trace, job.last_event, 0);
+        }
+    }
     shared.parked[slot].park(batch_jobs);
     shared.parked[slot].park(singles);
     if n >= 2 {
-        serve_batch(shared, slot, n, ctx);
+        serve_batch(shared, slot, n, ctx, drained_at);
     }
     // A "batch" of one gains nothing over the single path (its staged
     // pixels are simply discarded by the next begin_batch); it is the
@@ -704,7 +824,13 @@ fn serve_drained(shared: &Arc<Shared>, slot: usize, drained: &mut Vec<Job>, ctx:
 /// here (fault injection or a genuine scoring bug) leaves every promise
 /// intact inside the pen, where the respawned incarnation retries them
 /// singly.
-fn serve_batch(shared: &Arc<Shared>, slot: usize, n: usize, ctx: &mut WorkerCtx) {
+fn serve_batch(
+    shared: &Arc<Shared>,
+    slot: usize,
+    n: usize,
+    ctx: &mut WorkerCtx,
+    drained_at: Instant,
+) {
     dv_trace::span!("serve.batch");
     if dv_trace::tracing_enabled() {
         let now_ns = dv_trace::now_ns();
@@ -721,6 +847,15 @@ fn serve_batch(shared: &Arc<Shared>, slot: usize, n: usize, ctx: &mut WorkerCtx)
             }
         });
         if let Some(seq) = panic_seq {
+            // The guilty member's crash shows on its own timeline (its
+            // promise survives in the pen, so `worker_body`'s
+            // single-in-flight stash never sees it).
+            shared.parked[slot].for_front_mut(n, |job| {
+                if job.seq == seq && shared.traced(job.seq) {
+                    job.last_event =
+                        dv_trace::record_event("serve.crashed", job.trace, job.last_event, 0);
+                }
+            });
             // The members are parked, so this unwind breaks no promise:
             // the respawned incarnation retries each singly, and only
             // the guilty request (which deterministically re-panics)
@@ -730,6 +865,19 @@ fn serve_batch(shared: &Arc<Shared>, slot: usize, n: usize, ctx: &mut WorkerCtx)
     }
 
     let t0 = Instant::now();
+    shared
+        .metrics
+        .record_coalesce_wait_us(t0.duration_since(drained_at).as_micros() as u64);
+    shared.parked[slot].for_front_mut(n, |job| {
+        if shared.traced(job.seq) {
+            job.last_event = dv_trace::record_event(
+                "serve.score_begin",
+                job.trace,
+                job.last_event,
+                ServedVia::FullJoint.code(),
+            );
+        }
+    });
     shared.validator.score_staged_into(
         &shared.plan,
         &mut ctx.sw,
@@ -738,23 +886,37 @@ fn serve_batch(shared: &Arc<Shared>, slot: usize, n: usize, ctx: &mut WorkerCtx)
     );
     let scoring_us = t0.elapsed().as_micros() as u64;
     refine_estimate(&mut ctx.est.batch_item_us, (scoring_us / n as u64).max(1));
+    shared.parked[slot].for_front_mut(n, |job| {
+        if shared.traced(job.seq) {
+            job.last_event =
+                dv_trace::record_event("serve.score_end", job.trace, job.last_event, 0);
+        }
+    });
 
     let mut jobs: Vec<Job> = shared.parked[slot].release_front(n);
     debug_assert_eq!(ctx.results.len(), n, "one result per staged image");
     shared.metrics.record_batch(n as u64);
     let width = ctx.batch_pl.len() / n;
-    let finish = Instant::now();
-    for (bi, job) in jobs.drain(..).enumerate() {
+    for (bi, mut job) in jobs.drain(..).enumerate() {
         let row = &ctx.batch_pl[bi * width..(bi + 1) * width];
         let (predicted, confidence) = ctx.results[bi];
         let joint: f32 = row.iter().sum();
+        // Per-member finish: member `bi`'s response genuinely leaves after
+        // the first `bi` promises are fulfilled, and the traced
+        // enqueued→responded window includes that drain — a shared batch
+        // timestamp would under-report wall time for later members.
+        let finish = Instant::now();
         let total_us = finish.duration_since(job.submitted).as_micros() as u64;
         let deadline_met = finish <= job.deadline;
         shared.metrics.inc(names::SERVED_FULL);
         if !deadline_met {
             shared.metrics.inc(names::DEADLINE_MISSED);
         }
-        shared.metrics.record_latency_us(total_us);
+        shared.metrics.record_latency_us(total_us, job.trace.0);
+        if shared.traced(job.seq) {
+            job.last_event =
+                dv_trace::record_event("serve.responded", job.trace, job.last_event, 0);
+        }
         if let Some(b) = shared.breaker.as_ref() {
             if b.obs
                 .try_push(Obs {
@@ -777,6 +939,7 @@ fn serve_batch(shared: &Arc<Shared>, slot: usize, n: usize, ctx: &mut WorkerCtx)
             deadline_met,
             worker: slot,
             seq: job.seq,
+            trace: job.trace.0,
             batch: n,
         }));
     }
@@ -786,9 +949,18 @@ fn serve_batch(shared: &Arc<Shared>, slot: usize, n: usize, ctx: &mut WorkerCtx)
 /// as having a non-recoverable request in flight for the duration (a
 /// panic in here is a terminal per-request crash — see `worker_body`).
 fn serve_job(shared: &Arc<Shared>, slot: usize, job: Job, ctx: &mut WorkerCtx) {
+    if shared.traced(job.seq) {
+        // Stash the identity for crash attribution: if this request
+        // panics the worker, `worker_body` records `serve.crashed` on
+        // its timeline from here (the job itself is gone by then).
+        shared.inflight_trace[slot].store(job.trace.0, Ordering::SeqCst);
+        shared.inflight_parent[slot].store(job.last_event.0, Ordering::SeqCst);
+    }
     shared.single_in_flight[slot].store(true, Ordering::SeqCst);
     serve_single(shared, slot, job, ctx);
     shared.single_in_flight[slot].store(false, Ordering::SeqCst);
+    shared.inflight_trace[slot].store(0, Ordering::SeqCst);
+    shared.inflight_parent[slot].store(0, Ordering::SeqCst);
 }
 
 fn serve_single(shared: &Arc<Shared>, slot: usize, job: Job, ctx: &mut WorkerCtx) {
@@ -799,6 +971,8 @@ fn serve_single(shared: &Arc<Shared>, slot: usize, job: Job, ctx: &mut WorkerCtx
         deadline,
         seq,
         submitted_ns,
+        trace,
+        mut last_event,
     } = job;
     let picked = Instant::now();
     let queue_us = picked.duration_since(submitted).as_micros() as u64;
@@ -869,6 +1043,12 @@ fn serve_single(shared: &Arc<Shared>, slot: usize, job: Job, ctx: &mut WorkerCtx
         }
     }
 
+    if shared.traced(seq) {
+        if via != ServedVia::FullJoint {
+            last_event = dv_trace::record_event("serve.degraded", trace, last_event, via.code());
+        }
+        last_event = dv_trace::record_event("serve.score_begin", trace, last_event, via.code());
+    }
     let t_score = Instant::now();
     let scored =
         match via {
@@ -888,6 +1068,9 @@ fn serve_single(shared: &Arc<Shared>, slot: usize, job: Job, ctx: &mut WorkerCtx
                 .validator
                 .score_masked_into(&shared.plan, &image, &[], &mut ctx.sw, &mut ctx.per_layer),
         };
+    if shared.traced(seq) {
+        last_event = dv_trace::record_event("serve.score_end", trace, last_event, 0);
+    }
 
     match scored {
         Ok((predicted, confidence)) => {
@@ -914,7 +1097,10 @@ fn serve_single(shared: &Arc<Shared>, slot: usize, job: Job, ctx: &mut WorkerCtx
             if !deadline_met {
                 shared.metrics.inc(names::DEADLINE_MISSED);
             }
-            shared.metrics.record_latency_us(total_us);
+            shared.metrics.record_latency_us(total_us, trace.0);
+            if shared.traced(seq) {
+                dv_trace::record_event("serve.responded", trace, last_event, 0);
+            }
             let joint = match via {
                 ServedVia::FullJoint => Some(ctx.per_layer.iter().sum()),
                 _ => None,
@@ -937,6 +1123,7 @@ fn serve_single(shared: &Arc<Shared>, slot: usize, job: Job, ctx: &mut WorkerCtx
                 deadline_met,
                 worker: slot,
                 seq,
+                trace: trace.0,
                 batch: 1,
             }));
         }

@@ -9,14 +9,21 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
+use crate::causal::stitch;
 use crate::metric::{MetricValue, MetricsRegistry};
 use crate::span::TraceSnapshot;
 
 /// Serialises a [`TraceSnapshot`] in chrome://tracing "trace event"
-/// format: one complete (`ph: "X"`) event per span, one process, one
+/// format: one complete (`ph: "X"`) event per duration span, one
+/// instant (`ph: "i"`) event per lifecycle event, one process, one
 /// `tid` per thread lane, with thread-name metadata events so Perfetto
 /// labels each lane with its Crew worker name. Timestamps are
 /// microseconds from the trace epoch.
+///
+/// Request-scoped lifecycle events additionally emit chrome *flow*
+/// events — `ph: "s"` at a trace's first event, `"t"` steps, and a
+/// terminating `"f"` — keyed by `id` = the trace id, so the viewer
+/// draws an arrow following each request across thread lanes.
 #[must_use]
 pub fn chrome_trace_json(snap: &TraceSnapshot) -> String {
     let mut out = String::with_capacity(snap.span_count() * 96 + 256);
@@ -34,15 +41,55 @@ pub fn chrome_trace_json(snap: &TraceSnapshot) -> String {
             json_string(&lane.thread_name)
         );
         for s in &lane.spans {
+            if s.is_event {
+                let _ = write!(
+                    out,
+                    ",{{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{},\"cat\":\"dv\",\"name\":{},\"ts\":{},\"args\":{{\"seq\":{},\"trace\":{},\"parent\":{},\"arg\":{}}}}}",
+                    lane.lane,
+                    json_string(s.name),
+                    micros(s.start_ns),
+                    s.seq,
+                    s.trace,
+                    s.parent,
+                    s.arg
+                );
+            } else {
+                let _ = write!(
+                    out,
+                    ",{{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"cat\":\"dv\",\"name\":{},\"ts\":{},\"dur\":{},\"args\":{{\"seq\":{},\"depth\":{}}}}}",
+                    lane.lane,
+                    json_string(s.name),
+                    micros(s.start_ns),
+                    micros(s.dur_ns),
+                    s.seq,
+                    s.depth
+                );
+            }
+        }
+    }
+    for tl in stitch(snap) {
+        if tl.events.len() < 2 {
+            continue;
+        }
+        for (i, e) in tl.events.iter().enumerate() {
+            let ph = if i == 0 {
+                "s"
+            } else if i + 1 == tl.events.len() {
+                "f"
+            } else {
+                "t"
+            };
+            if !first {
+                out.push(',');
+            }
+            first = false;
             let _ = write!(
                 out,
-                ",{{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"cat\":\"dv\",\"name\":{},\"ts\":{},\"dur\":{},\"args\":{{\"seq\":{},\"depth\":{}}}}}",
-                lane.lane,
-                json_string(s.name),
-                micros(s.start_ns),
-                micros(s.dur_ns),
-                s.seq,
-                s.depth
+                "{{\"ph\":\"{ph}\",{}\"pid\":1,\"tid\":{},\"cat\":\"dv.flow\",\"name\":\"dv.request\",\"id\":{},\"ts\":{}}}",
+                if ph == "f" { "\"bp\":\"e\"," } else { "" },
+                e.lane,
+                tl.trace,
+                micros(e.ts_ns)
             );
         }
     }
@@ -56,8 +103,8 @@ pub fn chrome_trace_json(snap: &TraceSnapshot) -> String {
 
 /// Serialises a registry snapshot as one flat JSON object, keys sorted:
 /// counters and gauges as numbers, histograms as `{count, sum, mean,
-/// min, max, p50, p90, p95, p99}` objects (`mean` is exact, the
-/// quantiles are bucket midpoints).
+/// min, max, p50, p90, p95, p99, p999}` objects (`mean` is exact, the
+/// quantiles interpolate within their bucket and clamp to min/max).
 #[must_use]
 pub fn metrics_json(reg: &MetricsRegistry) -> String {
     let entries = reg.snapshot();
@@ -72,8 +119,8 @@ pub fn metrics_json(reg: &MetricsRegistry) -> String {
             MetricValue::Histogram(h) => {
                 let _ = write!(
                     out,
-                    "{{\"count\":{},\"sum\":{},\"mean\":{:.1},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p95\":{},\"p99\":{}}}",
-                    h.count, h.sum, h.mean(), h.min, h.max, h.p50, h.p90, h.p95, h.p99
+                    "{{\"count\":{},\"sum\":{},\"mean\":{:.1},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p95\":{},\"p99\":{},\"p999\":{}}}",
+                    h.count, h.sum, h.mean(), h.min, h.max, h.p50, h.p90, h.p95, h.p99, h.p999
                 );
             }
         }
@@ -126,7 +173,9 @@ pub fn stage_totals(snap: &TraceSnapshot) -> Vec<StageTotal> {
     let mut map: BTreeMap<&str, (u64, u64, u64)> = BTreeMap::new();
     for lane in &snap.lanes {
         let mut stack: Vec<Frame<'_>> = Vec::new();
-        for s in &lane.spans {
+        // Instant lifecycle events are identity markers, not time: they
+        // must not perturb the self-time partition invariant.
+        for s in lane.spans.iter().filter(|s| !s.is_event) {
             while let Some(top) = stack.last() {
                 if s.start_ns >= top.end_ns {
                     let f = stack.pop().expect("stack.last() was Some");
@@ -203,6 +252,24 @@ mod tests {
             depth,
             start_ns,
             dur_ns,
+            trace: 0,
+            parent: 0,
+            arg: 0,
+            is_event: false,
+        }
+    }
+
+    fn event(name: &'static str, ts_ns: u64, seq: u64, trace: u64, parent: u64) -> SpanRecord {
+        SpanRecord {
+            name,
+            seq,
+            depth: 0,
+            start_ns: ts_ns,
+            dur_ns: 0,
+            trace,
+            parent,
+            arg: 0,
+            is_event: true,
         }
     }
 
@@ -277,6 +344,55 @@ mod tests {
         assert!(json.contains("\"dur\":2.500"));
         assert!(json.contains("crew \\\"0\\\"\\n"));
         assert!(json.contains("\"dropped_spans\":0"));
+    }
+
+    #[test]
+    fn instant_events_export_as_i_phase_with_flow_arrows() {
+        // Trace 5's three events span two lanes; the flow triple must be
+        // s → t → f under one id, and the events ph:"i" with trace args.
+        let s = TraceSnapshot {
+            lanes: vec![
+                LaneSnapshot {
+                    lane: 0,
+                    thread_name: "client".to_string(),
+                    spans: vec![event("serve.enqueued", 100, 1, 5, 0)],
+                },
+                LaneSnapshot {
+                    lane: 3,
+                    thread_name: "worker".to_string(),
+                    spans: vec![
+                        event("serve.dequeued", 300, 2, 5, 2),
+                        event("serve.responded", 900, 3, 5, 3),
+                        span("serve.batch", 300, 600, 0, 4),
+                    ],
+                },
+            ],
+            dropped: 0,
+        };
+        let json = chrome_trace_json(&s);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches("\"ph\":\"i\"").count(), 3);
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 1);
+        assert_eq!(json.matches("\"ph\":\"s\"").count(), 1);
+        assert_eq!(json.matches("\"ph\":\"t\"").count(), 1);
+        assert_eq!(json.matches("\"ph\":\"f\"").count(), 1);
+        assert!(json.contains("\"ph\":\"f\",\"bp\":\"e\""));
+        assert_eq!(json.matches("\"id\":5").count(), 3, "flow keyed by trace");
+        assert!(json.contains("\"trace\":5"));
+        // Events must not disturb the duration-span self-time partition.
+        let totals = stage_totals(&s);
+        assert_eq!(totals.len(), 1);
+        assert_eq!(totals[0].name, "serve.batch");
+        assert_eq!(totals[0].self_ns, 600);
+    }
+
+    #[test]
+    fn single_event_traces_emit_no_dangling_flow() {
+        let s = snap(vec![event("serve.enqueued", 10, 0, 9, 0)]);
+        let json = chrome_trace_json(&s);
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(!json.contains("\"ph\":\"s\""), "no flow start without end");
+        assert!(!json.contains("\"ph\":\"f\""));
     }
 
     #[test]

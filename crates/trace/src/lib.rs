@@ -15,12 +15,15 @@
 //!   timers recording into fixed-size per-thread ring buffers,
 //!   sequence-numbered across threads; per-tap discrepancy telemetry
 //!   ([`record_discrepancy`]/[`discrepancy_summary`], running
-//!   mean/var/max via Welford); [`chrome_trace_json`] (`trace.json`,
-//!   one lane per Crew worker) and [`stage_totals`] (per-stage
-//!   self-time breakdown). With the feature off — the default — every
-//!   probe is a true no-op: [`TraceGuard`] is zero-sized, nothing reads
-//!   a clock, and the zero-alloc and bit-identity suites hold in both
-//!   modes.
+//!   mean/var/max via Welford); request-scoped lifecycle events
+//!   ([`record_event`] with a [`TraceId`] + causal [`EventRef`] parent)
+//!   stitched into cross-thread timelines by [`stitch`]/[`segments`];
+//!   [`chrome_trace_json`] (`trace.json`, one lane per Crew worker,
+//!   flow arrows following each request across lanes) and
+//!   [`stage_totals`] (per-stage self-time breakdown). With the feature
+//!   off — the default — every probe is a true no-op: [`TraceGuard`] is
+//!   zero-sized, nothing reads a clock, and the zero-alloc and
+//!   bit-identity suites hold in both modes.
 //!
 //! # Determinism contract
 //!
@@ -51,6 +54,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod causal;
 mod export;
 mod hist;
 mod metric;
@@ -58,13 +62,14 @@ mod span;
 mod time;
 mod welford;
 
+pub use causal::{lifecycle, segments, stitch, RequestTimeline, Segments, TimelineEvent};
 pub use export::{chrome_trace_json, metrics_json, stage_totals, StageTotal};
 pub use hist::{bucket_floor, bucket_index, HistogramSnapshot, LogLinearHistogram, BUCKETS};
 pub use metric::{global, Counter, Gauge, MetricEntry, MetricValue, MetricsRegistry};
 pub use span::{
-    discrepancy_summary, record_discrepancy, record_raw, reset, sample_scope, snapshot,
-    tracing_enabled, LaneSnapshot, SampleGuard, SpanRecord, TraceGuard, TraceSnapshot, MAX_LANES,
-    MAX_TAPS, RING_CAP,
+    discrepancy_summary, record_discrepancy, record_event, record_raw, reset, sample_scope,
+    snapshot, tracing_enabled, EventRef, LaneSnapshot, SampleGuard, SpanRecord, TraceGuard,
+    TraceId, TraceSnapshot, MAX_LANES, MAX_TAPS, RING_CAP,
 };
 pub use time::{now_ns, Stopwatch};
 pub use welford::{TapSummary, Welford};

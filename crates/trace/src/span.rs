@@ -28,8 +28,49 @@ pub const MAX_TAPS: usize = 32;
 pub const RING_CAP: usize = 1 << 13;
 
 /// Maximum thread lanes; threads beyond this record nothing (counted as
-/// dropped lanes in [`TraceSnapshot::dropped`]).
-pub const MAX_LANES: usize = 64;
+/// dropped lanes in [`TraceSnapshot::dropped`]). Sized for the
+/// fault-injection soak: every respawned worker incarnation claims a
+/// fresh lane, and a 4000-request run sees ~90 crashes.
+pub const MAX_LANES: usize = 128;
+
+/// A request-scoped trace identity: follows one request across every
+/// thread it touches (client submit, worker, respawned worker). 0 is
+/// reserved for "no trace"; [`TraceId::from_seq`] derives the id
+/// deterministically from the request sequence number, so the same
+/// request stream yields the same trace ids at any thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceId(pub u64);
+
+impl TraceId {
+    /// The "not request-scoped" sentinel.
+    pub const NONE: TraceId = TraceId(0);
+
+    /// The trace id of the request with sequence number `seq`
+    /// (`seq + 1`, so sequence 0 is distinguishable from NONE).
+    #[must_use]
+    pub const fn from_seq(seq: u64) -> Self {
+        TraceId(seq + 1)
+    }
+
+    /// Whether this is the NONE sentinel.
+    #[must_use]
+    pub const fn is_none(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// A reference to a previously recorded lifecycle event, used as the
+/// *causal parent* of the next event on the same request: chaining them
+/// reconstructs the request's cross-thread path even when wall-clock
+/// stamps tie. 0 ([`EventRef::NONE`]) means "no parent" — the chain
+/// root, or an event that was sampled out / compiled out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventRef(pub u64);
+
+impl EventRef {
+    /// The "no parent" sentinel.
+    pub const NONE: EventRef = EventRef(0);
+}
 
 /// Is span recording compiled in?
 #[must_use]
@@ -77,7 +118,7 @@ impl Drop for TraceGuard {
         {
             let end_ns = crate::time::now_ns();
             imp::pop_depth();
-            imp::record(self.name, self.start_ns, end_ns, self.depth);
+            imp::record(self.name, self.start_ns, end_ns, self.depth, 0, 0, 0, false);
         }
     }
 }
@@ -149,11 +190,45 @@ impl Drop for SampleGuard {
 pub fn record_raw(name: &'static str, start_ns: u64, end_ns: u64) {
     #[cfg(feature = "trace")]
     {
-        imp::record(name, start_ns, end_ns, imp::current_depth());
+        imp::record(name, start_ns, end_ns, imp::current_depth(), 0, 0, 0, false);
     }
     #[cfg(not(feature = "trace"))]
     {
         let _ = (name, start_ns, end_ns);
+    }
+}
+
+/// Records an instant lifecycle event for request `trace` on the
+/// *calling* thread's lane, causally chained to `parent` (the
+/// [`EventRef`] returned by the request's previous event, or
+/// [`EventRef::NONE`] at the chain root). `arg` carries a small event
+/// payload — batch width for `batch_joined`, the `ServedVia` code for
+/// `score_begin` — and the returned ref becomes the next event's parent.
+///
+/// Allocation-free (the ring and intern table are pre-sized), honors
+/// [`sample_scope`] like spans do (a sampled-out event returns
+/// [`EventRef::NONE`]), and compiles to a no-op returning NONE — no
+/// clock read, no atomics — when the `trace` feature is off.
+#[inline]
+pub fn record_event(name: &'static str, trace: TraceId, parent: EventRef, arg: u64) -> EventRef {
+    #[cfg(feature = "trace")]
+    {
+        let now = crate::time::now_ns();
+        EventRef(imp::record(
+            name,
+            now,
+            now,
+            imp::current_depth(),
+            trace.0,
+            parent.0,
+            arg,
+            true,
+        ))
+    }
+    #[cfg(not(feature = "trace"))]
+    {
+        let _ = (name, trace, parent, arg);
+        EventRef::NONE
     }
 }
 
@@ -184,6 +259,23 @@ pub struct SpanRecord {
     pub start_ns: u64,
     /// Duration in nanoseconds.
     pub dur_ns: u64,
+    /// Request trace id ([`TraceId`]), 0 for plain spans.
+    pub trace: u64,
+    /// Causal parent ([`EventRef`], = the parent's `seq + 1`), 0 = root.
+    pub parent: u64,
+    /// Small event payload (batch width, `ServedVia` code, ...).
+    pub arg: u64,
+    /// True for instant lifecycle events (zero duration, carry a trace
+    /// id), false for scoped duration spans.
+    pub is_event: bool,
+}
+
+impl SpanRecord {
+    /// This record's [`EventRef`] (valid as another record's `parent`).
+    #[must_use]
+    pub const fn event_ref(&self) -> u64 {
+        self.seq + 1
+    }
 }
 
 /// All spans recorded on one thread lane.
@@ -274,6 +366,11 @@ mod imp {
         seq: AtomicU64,
         start_ns: AtomicU64,
         dur_ns: AtomicU64,
+        trace: AtomicU64,
+        parent: AtomicU64,
+        arg: AtomicU64,
+        /// 0 = duration span, 1 = instant lifecycle event.
+        kind: AtomicU32,
     }
 
     impl Entry {
@@ -284,6 +381,10 @@ mod imp {
                 seq: AtomicU64::new(0),
                 start_ns: AtomicU64::new(0),
                 dur_ns: AtomicU64::new(0),
+                trace: AtomicU64::new(0),
+                parent: AtomicU64::new(0),
+                arg: AtomicU64::new(0),
+                kind: AtomicU32::new(0),
             }
         }
     }
@@ -407,18 +508,31 @@ mod imp {
         None
     }
 
-    pub(super) fn record(name: &'static str, start_ns: u64, end_ns: u64, depth: u32) {
+    /// Stamps one ring slot. Returns the record's event ref (`seq + 1`)
+    /// for causal chaining, or 0 when the record was suppressed or
+    /// dropped.
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn record(
+        name: &'static str,
+        start_ns: u64,
+        end_ns: u64,
+        depth: u32,
+        trace: u64,
+        parent: u64,
+        arg: u64,
+        is_event: bool,
+    ) -> u64 {
         if SUPPRESS.with(Cell::get) {
             // Sampled out by a SampleGuard: intentionally unrecorded,
             // not "dropped" — the dropped counter tracks lost data.
-            return;
+            return 0;
         }
         let Some(ring) = current_ring() else {
-            return;
+            return 0;
         };
         let Some(name_id) = intern(name) else {
             DROPPED.fetch_add(1, Ordering::SeqCst);
-            return;
+            return 0;
         };
         let seq = GLOBAL_SEQ.fetch_add(1, Ordering::SeqCst);
         let head = ring.head.load(Ordering::SeqCst);
@@ -430,8 +544,13 @@ mod imp {
         entry
             .dur_ns
             .store(end_ns.saturating_sub(start_ns), Ordering::SeqCst);
+        entry.trace.store(trace, Ordering::SeqCst);
+        entry.parent.store(parent, Ordering::SeqCst);
+        entry.arg.store(arg, Ordering::SeqCst);
+        entry.kind.store(u32::from(is_event), Ordering::SeqCst);
         // Published last: a racy reader sees the slot only once whole.
         ring.head.store(head + 1, Ordering::SeqCst);
+        seq + 1
     }
 
     pub(super) fn record_discrepancy(tap: usize, value: f32) {
@@ -471,6 +590,10 @@ mod imp {
                     depth: entry.depth.load(Ordering::SeqCst),
                     start_ns: entry.start_ns.load(Ordering::SeqCst),
                     dur_ns: entry.dur_ns.load(Ordering::SeqCst),
+                    trace: entry.trace.load(Ordering::SeqCst),
+                    parent: entry.parent.load(Ordering::SeqCst),
+                    arg: entry.arg.load(Ordering::SeqCst),
+                    is_event: entry.kind.load(Ordering::SeqCst) == 1,
                 });
             }
             // Parents before children: earlier start first; on ties the
@@ -543,6 +666,23 @@ mod off_tests {
         assert_eq!(snap.dropped, 0);
         assert!(discrepancy_summary().is_empty());
         assert!(!tracing_enabled());
+    }
+
+    /// The event API must be a true no-op when tracing is compiled out:
+    /// no clock read, no ring write, and the returned ref is NONE so
+    /// causal chains stay inert.
+    #[test]
+    fn record_event_is_a_none_returning_noop() {
+        let parent = record_event("off.enqueued", TraceId::from_seq(7), EventRef::NONE, 3);
+        assert_eq!(parent, EventRef::NONE);
+        let child = record_event("off.dequeued", TraceId::from_seq(7), parent, 0);
+        assert_eq!(child, EventRef::NONE);
+        assert!(snapshot().lanes.is_empty());
+        assert_eq!(snapshot().dropped, 0);
+        // Trace ids themselves are always live (they ride on responses
+        // and histogram exemplars even without span recording).
+        assert_eq!(TraceId::from_seq(0), TraceId(1));
+        assert!(TraceId::NONE.is_none());
     }
 }
 
@@ -689,6 +829,63 @@ mod on_tests {
             }
         }
         assert!(my_lane_spans("t.nested_suppressed").is_empty());
+    }
+
+    #[test]
+    fn events_chain_causally_and_respect_sampling() {
+        let _g = locked();
+        reset();
+        let trace = TraceId::from_seq(41);
+        let root = record_event("t.ev_enqueued", trace, EventRef::NONE, 0);
+        assert_ne!(root, EventRef::NONE);
+        let next = record_event("t.ev_dequeued", trace, root, 4);
+        assert_ne!(next, EventRef::NONE);
+        let events: Vec<_> = snapshot()
+            .lanes
+            .into_iter()
+            .flat_map(|l| l.spans)
+            .filter(|s| s.name.starts_with("t.ev_"))
+            .collect();
+        assert_eq!(events.len(), 2, "{events:?}");
+        let enq = events
+            .iter()
+            .find(|e| e.name == "t.ev_enqueued")
+            .expect("enqueued recorded");
+        let deq = events
+            .iter()
+            .find(|e| e.name == "t.ev_dequeued")
+            .expect("dequeued recorded");
+        assert!(enq.is_event && deq.is_event);
+        assert_eq!(enq.trace, trace.0);
+        assert_eq!(deq.trace, trace.0);
+        assert_eq!(enq.parent, 0, "chain root has no parent");
+        assert_eq!(deq.parent, enq.event_ref(), "child points at the root");
+        assert_eq!(deq.arg, 4);
+        assert_eq!(enq.dur_ns, 0, "instant events have no duration");
+
+        // Sampled out: nothing recorded, NONE returned, chain stays inert.
+        reset();
+        {
+            let _out = sample_scope(false);
+            let e = record_event("t.ev_suppressed", trace, EventRef::NONE, 0);
+            assert_eq!(e, EventRef::NONE);
+        }
+        assert!(my_lane_spans("t.ev_suppressed").is_empty());
+        assert_eq!(snapshot().dropped, 0, "sampling is not data loss");
+    }
+
+    #[test]
+    fn plain_spans_carry_no_trace_identity() {
+        let _g = locked();
+        reset();
+        span!("t.plain");
+        record_raw("t.plain_raw", 5, 9);
+        for s in my_lane_spans("t.plain") {
+            assert!(!s.is_event);
+            assert_eq!(s.trace, 0);
+            assert_eq!(s.parent, 0);
+            assert_eq!(s.arg, 0);
+        }
     }
 
     #[test]

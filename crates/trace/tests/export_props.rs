@@ -1,0 +1,368 @@
+//! Property tests for the exporters and the exemplar histogram: every
+//! generated snapshot must serialize to well-formed JSON (checked by a
+//! hand-rolled validator — this workspace is dependency-free, so the
+//! emitters cannot lean on serde and neither can their tests), flow
+//! events must pair `s`→`f` per trace id, and per-bucket exemplars must
+//! come out identical whether recorded from one thread or four.
+
+use dv_trace::{
+    chrome_trace_json, metrics_json, LaneSnapshot, LogLinearHistogram, MetricsRegistry, SpanRecord,
+    TraceSnapshot,
+};
+use proptest::prelude::*;
+
+/// Span/event names deliberately hostile to naive JSON emission: every
+/// escape class [`chrome_trace_json`] must handle (quotes, backslashes,
+/// newlines, tabs, low control chars, non-ASCII).
+const NAMES: &[&str] = &[
+    "serve.enqueued",
+    "tensor.matmul",
+    "quote\"inside",
+    "back\\slash.stage",
+    "line\nbreak.stage",
+    "tab\there",
+    "ctrl\u{0001}char.low",
+    "unicode.λ.名前",
+];
+
+const THREAD_NAMES: &[&str] = &["main", "dv-serve-0", "crew \"1\"\n", "w\ttab", "λ-worker"];
+
+// ---------------------------------------------------------------------
+// Hand-rolled JSON well-formedness validator (recursive descent).
+// ---------------------------------------------------------------------
+
+struct P<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl P<'_> {
+    fn ws(&mut self) {
+        while matches!(self.b.get(self.i), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.i += 1;
+        }
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        self.ws();
+        match self.b.get(self.i) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.lit("true"),
+            Some(b'f') => self.lit("false"),
+            Some(b'n') => self.lit("null"),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.i)),
+        }
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.i += 1; // consume '{'
+        self.ws();
+        if self.b.get(self.i) == Some(&b'}') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.ws();
+            self.string()?;
+            self.ws();
+            if self.b.get(self.i) != Some(&b':') {
+                return Err(format!("expected ':' at byte {}", self.i));
+            }
+            self.i += 1;
+            self.value()?;
+            self.ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                other => return Err(format!("expected ',' or '}}', got {other:?}")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.i += 1; // consume '['
+        self.ws();
+        if self.b.get(self.i) == Some(&b']') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.value()?;
+            self.ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                other => return Err(format!("expected ',' or ']', got {other:?}")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        if self.b.get(self.i) != Some(&b'"') {
+            return Err(format!("expected '\"' at byte {}", self.i));
+        }
+        self.i += 1;
+        loop {
+            match self.b.get(self.i) {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.b.get(self.i) {
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                            self.i += 1;
+                        }
+                        Some(b'u') => {
+                            for k in 1..=4 {
+                                if !self.b.get(self.i + k).is_some_and(u8::is_ascii_hexdigit) {
+                                    return Err(format!("bad \\u escape at byte {}", self.i));
+                                }
+                            }
+                            self.i += 5;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                }
+                // An unescaped control character is exactly the bug the
+                // emitter's json_string exists to prevent.
+                Some(&c) if c < 0x20 => {
+                    return Err(format!("unescaped control byte {c:#04x} at {}", self.i))
+                }
+                Some(_) => self.i += 1,
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        if self.b.get(self.i) == Some(&b'-') {
+            self.i += 1;
+        }
+        let start = self.i;
+        while self.b.get(self.i).is_some_and(u8::is_ascii_digit) {
+            self.i += 1;
+        }
+        if self.i == start {
+            return Err(format!("number without digits at byte {}", self.i));
+        }
+        if self.b.get(self.i) == Some(&b'.') {
+            self.i += 1;
+            let frac = self.i;
+            while self.b.get(self.i).is_some_and(u8::is_ascii_digit) {
+                self.i += 1;
+            }
+            if self.i == frac {
+                return Err("dot without fraction digits".to_string());
+            }
+        }
+        if matches!(self.b.get(self.i), Some(b'e' | b'E')) {
+            self.i += 1;
+            if matches!(self.b.get(self.i), Some(b'+' | b'-')) {
+                self.i += 1;
+            }
+            let exp = self.i;
+            while self.b.get(self.i).is_some_and(u8::is_ascii_digit) {
+                self.i += 1;
+            }
+            if self.i == exp {
+                return Err("exponent without digits".to_string());
+            }
+        }
+        Ok(())
+    }
+
+    fn lit(&mut self, word: &str) -> Result<(), String> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(())
+        } else {
+            Err(format!("bad literal at byte {}", self.i))
+        }
+    }
+}
+
+/// Checks `s` parses as exactly one JSON value with nothing trailing.
+fn json_ok(s: &str) -> Result<(), String> {
+    let mut p = P {
+        b: s.as_bytes(),
+        i: 0,
+    };
+    p.value()?;
+    p.ws();
+    if p.i == p.b.len() {
+        Ok(())
+    } else {
+        Err(format!("trailing bytes at {}", p.i))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Snapshot generation.
+// ---------------------------------------------------------------------
+
+/// A generated record: `(name_idx, lane, trace)` + `(jitter, dur, arg)`,
+/// the exact tuple shape the proptest strategies produce.
+type GenRow = ((usize, usize, u64), (u64, u64, u64));
+
+/// Builds a snapshot from generated rows. `trace != 0` rows become
+/// lifecycle instant events; `trace == 0` rows become duration spans.
+/// Timestamps are made globally unique (`i * 1000 + jitter`) so any
+/// serialized event string is unambiguous in substring assertions.
+fn build_snapshot(rows: &[GenRow], dropped: u64) -> TraceSnapshot {
+    let mut lanes: Vec<LaneSnapshot> = (0..4)
+        .map(|lane| LaneSnapshot {
+            lane,
+            thread_name: THREAD_NAMES[lane % THREAD_NAMES.len()].to_string(),
+            spans: Vec::new(),
+        })
+        .collect();
+    for (i, &((name_idx, lane, trace), (jitter, dur, arg))) in rows.iter().enumerate() {
+        let is_event = trace != 0;
+        lanes[lane].spans.push(SpanRecord {
+            name: NAMES[name_idx % NAMES.len()],
+            seq: i as u64,
+            depth: 0,
+            start_ns: i as u64 * 1000 + jitter % 997,
+            dur_ns: if is_event { 0 } else { dur },
+            trace,
+            parent: if i == 0 { 0 } else { i as u64 - 1 },
+            arg,
+            is_event,
+        });
+    }
+    for lane in &mut lanes {
+        lane.spans.sort_by_key(|s| s.start_ns);
+    }
+    lanes.retain(|l| !l.spans.is_empty());
+    TraceSnapshot { lanes, dropped }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn chrome_trace_is_well_formed_json_for_any_snapshot(
+        rows in prop::collection::vec(
+            ((0usize..8, 0usize..4, 0u64..4), (0u64..997, 0u64..50_000, 0u64..10)),
+            0..60,
+        ),
+        dropped in 0u64..5,
+    ) {
+        let snap = build_snapshot(&rows, dropped);
+        let json = chrome_trace_json(&snap);
+        prop_assert!(json_ok(&json).is_ok(), "{}:\n{json}", json_ok(&json).unwrap_err());
+        prop_assert!(json.contains(&format!("\"dropped_spans\":{dropped}")));
+        // Every row surfaces as exactly one X or i event.
+        let events = rows.iter().filter(|r| r.0 .2 != 0).count();
+        let spans = rows.len() - events;
+        prop_assert_eq!(json.matches("\"ph\":\"i\"").count(), events);
+        prop_assert_eq!(json.matches("\"ph\":\"X\"").count(), spans);
+    }
+
+    #[test]
+    fn metrics_json_is_well_formed_for_any_registry(
+        counters in prop::collection::vec((0usize..8, 0u64..1_000_000), 0..6),
+        hist_values in prop::collection::vec(0u64..10_000_000, 0..50),
+    ) {
+        let reg = MetricsRegistry::new();
+        for &(idx, v) in &counters {
+            reg.counter(NAMES[idx % NAMES.len()]).add(v);
+        }
+        for &v in &hist_values {
+            reg.histogram("serve.latency_us").record(v);
+        }
+        let json = metrics_json(&reg);
+        prop_assert!(json_ok(&json).is_ok(), "{}:\n{json}", json_ok(&json).unwrap_err());
+        if !hist_values.is_empty() {
+            prop_assert!(json.contains("\"p999\":"), "histograms export p999:\n{json}");
+        }
+    }
+
+    #[test]
+    fn flow_events_pair_start_to_finish_per_trace(
+        rows in prop::collection::vec(
+            ((0usize..8, 0usize..4, 0u64..4), (0u64..997, 0u64..50_000, 0u64..10)),
+            0..60,
+        ),
+    ) {
+        let snap = build_snapshot(&rows, 0);
+        let json = chrome_trace_json(&snap);
+        let micros = |ns: u64| format!("{}.{:03}", ns / 1_000, ns % 1_000);
+        let mut flow_total = 0;
+        for tl in dv_trace::stitch(&snap) {
+            let id_marker = format!("\"id\":{},\"ts\":", tl.trace);
+            let n = tl.events.len();
+            if n < 2 {
+                prop_assert_eq!(
+                    json.matches(&id_marker).count(), 0,
+                    "single-event trace {} must emit no dangling flow", tl.trace
+                );
+                continue;
+            }
+            flow_total += n;
+            prop_assert_eq!(json.matches(&id_marker).count(), n, "trace {}", tl.trace);
+            let first = tl.events[0];
+            let last = tl.events[n - 1];
+            let s_ev = format!(
+                "{{\"ph\":\"s\",\"pid\":1,\"tid\":{},\"cat\":\"dv.flow\",\"name\":\"dv.request\",\"id\":{},\"ts\":{}}}",
+                first.lane, tl.trace, micros(first.ts_ns)
+            );
+            let f_ev = format!(
+                "{{\"ph\":\"f\",\"bp\":\"e\",\"pid\":1,\"tid\":{},\"cat\":\"dv.flow\",\"name\":\"dv.request\",\"id\":{},\"ts\":{}}}",
+                last.lane, tl.trace, micros(last.ts_ns)
+            );
+            prop_assert_eq!(json.matches(&s_ev).count(), 1, "missing flow start:\n{json}");
+            prop_assert_eq!(json.matches(&f_ev).count(), 1, "missing flow finish:\n{json}");
+        }
+        // No flow events beyond the ones the timelines account for.
+        prop_assert_eq!(
+            json.matches("\"cat\":\"dv.flow\"").count(),
+            flow_total,
+            "stray flow events:\n{json}"
+        );
+    }
+
+    #[test]
+    fn exemplars_are_identical_from_one_thread_or_four(
+        values in prop::collection::vec((0u64..1_000_000, 1u64..1_000_000), 1..300),
+    ) {
+        let serial = LogLinearHistogram::new();
+        for &(v, t) in &values {
+            serial.record_with_exemplar(v, t);
+        }
+        let sharded = LogLinearHistogram::new();
+        std::thread::scope(|s| {
+            for w in 0..4 {
+                let chunk: Vec<(u64, u64)> =
+                    values.iter().skip(w).step_by(4).copied().collect();
+                let h = &sharded;
+                s.spawn(move || {
+                    for (v, t) in chunk {
+                        h.record_with_exemplar(v, t);
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(serial.count(), sharded.count());
+        prop_assert_eq!(serial.sum(), sharded.sum());
+        for q in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            prop_assert_eq!(serial.quantile(q), sharded.quantile(q), "q = {}", q);
+            prop_assert_eq!(
+                serial.quantile_exemplar(q),
+                sharded.quantile_exemplar(q),
+                "exemplar at q = {} depends on recording interleaving", q
+            );
+        }
+    }
+}
